@@ -1,0 +1,81 @@
+"""Ablation 1 — exact vs approximate multi-server MVA.
+
+The paper argues (vs MAQ-PRO, its ref. [24]) that using an *approximate*
+multi-server MVA hurts accuracy at high concurrency.  Compares, on the
+JPetStore 16-core bottleneck with fixed demands: the exact solver
+(convolution-backed Algorithm 2), the renormalized marginal recursion,
+and the Seidmann+Schweitzer approximation.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, mean_percent_deviation
+from repro.core import (
+    approximate_multiserver_mva,
+    exact_multiserver_mva,
+    linearizer_multiserver_mva,
+)
+from repro.loadtest.runner import extract_demands
+
+
+def test_abl01_exact_vs_approximate(benchmark, jps_sweep, emit):
+    app = jps_sweep.application
+    run140 = dict(zip(jps_sweep.levels.tolist(), jps_sweep.runs))[140]
+    demands = extract_demands(run140, app)
+    vector = [demands[n] for n in app.network.station_names]
+
+    def solve_all():
+        return {
+            "exact (convolution)": exact_multiserver_mva(
+                app.network, 280, demands=vector, station_detail=False
+            ),
+            "recursion (renormalized)": exact_multiserver_mva(
+                app.network, 280, demands=vector, method="recursion"
+            ),
+            "approximate (Seidmann+Schweitzer)": approximate_multiserver_mva(
+                app.network, 280, demands=vector
+            ),
+            "approximate (Seidmann+Linearizer)": linearizer_multiserver_mva(
+                app.network, 280, demands=vector
+            ),
+        }
+
+    results = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+
+    exact = results["exact (convolution)"]
+    rows = []
+    for name, res in results.items():
+        dev = (
+            0.0
+            if res is exact
+            else mean_percent_deviation(res.throughput, exact.throughput)
+        )
+        worst = (
+            0.0
+            if res is exact
+            else float(
+                (np.abs(res.throughput - exact.throughput) / exact.throughput).max()
+                * 100
+            )
+        )
+        rows.append((name, res.throughput[-1], dev, worst))
+    text = format_table(
+        ("Solver", "X(280)", "mean dev vs exact (%)", "worst dev (%)"),
+        rows,
+        title="Ablation 1 — multi-server solver accuracy on JPetStore demands (16-core bottleneck)",
+    )
+    text += (
+        "\n\nApproximation error concentrates in the saturation transition "
+        "— exactly where the paper's evaluation lives (N=100..200)."
+    )
+    emit(text)
+
+    dev_rec = mean_percent_deviation(
+        results["recursion (renormalized)"].throughput, exact.throughput
+    )
+    dev_apx = mean_percent_deviation(
+        results["approximate (Seidmann+Schweitzer)"].throughput, exact.throughput
+    )
+    # Both alternatives deviate from exact, and stay within sane bands.
+    assert 0 < dev_rec < 3.0
+    assert 0 < dev_apx < 10.0

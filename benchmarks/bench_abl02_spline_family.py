@@ -1,0 +1,56 @@
+"""Ablation 2 — interpolation family for the MVASD demand curves.
+
+DESIGN.md calls out the spline choice as a design decision: cubic
+natural (the paper's Scilab interp), not-a-knot, smoothing, piecewise
+linear and the constant-mean baseline (what plain MVA effectively
+assumes).  All families are fed the same measured samples.
+"""
+
+from repro.analysis import format_table, mean_percent_deviation
+from repro.core import mvasd
+
+FAMILIES = ("cubic", "not-a-knot", "smoothing", "pchip", "linear", "constant")
+
+
+def test_abl02_spline_family(benchmark, jps_sweep, emit):
+    app = jps_sweep.application
+    lv = jps_sweep.levels.astype(float)
+
+    def run_all():
+        out = {}
+        for kind in FAMILIES:
+            table = jps_sweep.demand_table(kind=kind, lam=1e-7)
+            out[kind] = mvasd(app.network, 280, demand_functions=table.functions())
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    devs = {}
+    for kind, res in results.items():
+        dx = mean_percent_deviation(
+            res.interpolate_throughput(lv), jps_sweep.throughput
+        )
+        dct = mean_percent_deviation(
+            res.interpolate_cycle_time(lv), jps_sweep.cycle_time
+        )
+        devs[kind] = dx
+        rows.append((kind, dx, dct))
+    text = format_table(
+        ("Demand interpolation", "X deviation (%)", "R+Z deviation (%)"),
+        rows,
+        title="Ablation 2 — MVASD accuracy by demand-interpolation family (JPetStore)",
+    )
+    text += (
+        "\n\nAny level-aware interpolation beats the constant-mean demand; "
+        "spline families are near-equivalent on smooth decay data."
+    )
+    emit(text)
+
+    # The paper's structural point: interpolated demands (any family)
+    # dominate the constant-demand assumption.
+    for kind in ("cubic", "not-a-knot", "smoothing", "pchip", "linear"):
+        assert devs[kind] < devs["constant"]
+    # Cubic is competitive with everything else.
+    best = min(devs.values())
+    assert devs["cubic"] <= best + 1.0

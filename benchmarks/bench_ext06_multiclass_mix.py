@@ -1,0 +1,100 @@
+"""Extension 6 — multi-class workload mixes (lifting the single-class
+assumption).
+
+The paper's "future work": real traffic mixes workflows with different
+resource appetites.  The Bard-Schweitzer multi-class AMVA with varying
+demands (multi-class MVASD) sweeps a 3:1 browse/buy JPetStore-style mix
+and is validated against the multi-class simulator at the top of the
+sweep.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.core import multiclass_mvasd
+from repro.simulation import ClassSpec, simulate_multiclass
+
+STATIONS = ("app.cpu", "db.cpu", "db.disk")
+SERVERS = {"app.cpu": 1, "db.cpu": 1, "db.disk": 1}
+
+# Per-server demands: buyers hit the DB disk (order writes), browsers are
+# CPU-light cache-friendly traffic.  Both warm up with load.
+DEMANDS = {
+    "browse": {
+        "app.cpu": lambda n: 0.010 + 0.003 * np.exp(-n / 40),
+        "db.cpu": lambda n: 0.008 + 0.002 * np.exp(-n / 40),
+        "db.disk": 0.004,
+    },
+    "buy": {
+        "app.cpu": lambda n: 0.014 + 0.004 * np.exp(-n / 40),
+        "db.cpu": lambda n: 0.012 + 0.003 * np.exp(-n / 40),
+        "db.disk": lambda n: 0.030 + 0.008 * np.exp(-n / 40),
+    },
+}
+MIX = {"browse": 3, "buy": 1}
+THINK = {"browse": 1.0, "buy": 2.0}
+TOP = 130
+
+
+def test_ext06_multiclass_workload_mix(benchmark, emit):
+    traj = benchmark.pedantic(
+        lambda: multiclass_mvasd(
+            STATIONS, DEMANDS, mix=MIX, max_total_population=TOP, think_times=THINK
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    steps = [4, 16, 32, 64, 96, 112, 130]
+    idx = [s - 1 for s in steps]
+    text = format_series(
+        "Total users",
+        steps,
+        {
+            "X browse": np.round(traj.throughput[idx, 0], 2),
+            "X buy": np.round(traj.throughput[idx, 1], 2),
+            "R+Z browse": np.round(traj.cycle_time("browse")[idx], 3),
+            "R+Z buy": np.round(traj.cycle_time("buy")[idx], 3),
+            "db.disk util": np.round(traj.utilizations[idx, 2], 2),
+        },
+        title="Extension 6 — 3:1 browse/buy mix, multi-class MVASD sweep",
+    )
+
+    # Validate the top of the sweep against the multi-class simulator.
+    top_mix = traj.populations[-1]
+    sim = simulate_multiclass(
+        STATIONS,
+        SERVERS,
+        classes=[
+            ClassSpec(
+                "browse",
+                int(top_mix[0]),
+                THINK["browse"],
+                {k: (v(TOP) if callable(v) else v) for k, v in DEMANDS["browse"].items()},
+            ),
+            ClassSpec(
+                "buy",
+                int(top_mix[1]),
+                THINK["buy"],
+                {k: (v(TOP) if callable(v) else v) for k, v in DEMANDS["buy"].items()},
+            ),
+        ],
+        duration=400.0,
+        warmup=40.0,
+        seed=21,
+    )
+    err = np.abs(traj.throughput[-1] - sim.throughput) / sim.throughput * 100
+    text += (
+        f"\n\nValidation at {TOP} users vs multi-class DES: "
+        f"browse {traj.throughput[-1, 0]:.2f} vs {sim.throughput[0]:.2f} "
+        f"({err[0]:.1f}%), buy {traj.throughput[-1, 1]:.2f} vs "
+        f"{sim.throughput[1]:.2f} ({err[1]:.1f}%)."
+    )
+    emit(text)
+
+    # buyers (disk-heavy) absorb more absolute queueing delay as the
+    # shared disk saturates (they carry the largest per-visit demand)
+    rise_buy = traj.response_time[-1, 1] - traj.response_time[0, 1]
+    rise_browse = traj.response_time[-1, 0] - traj.response_time[0, 0]
+    assert rise_buy > rise_browse
+    assert err.max() < 10.0

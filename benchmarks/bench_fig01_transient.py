@@ -1,0 +1,58 @@
+"""Fig. 1 — The Grinder test output with respect to length of tests.
+
+Reproduces the transient view of one load test: ramped worker-process
+start plus thread sleep jitter produce an initial throughput climb that
+settles into steady state — the reason the paper runs long tests and we
+cut a warm-up window.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.loadtest import GrinderProperties, LoadTest, steady_state_window
+
+
+def test_fig01_transient_behaviour(benchmark, vins_app, emit):
+    props = GrinderProperties(
+        processes=10,
+        threads=20,
+        duration_ms=240_000,
+        initial_sleep_time_ms=4_000,
+        process_increment=2,
+        process_increment_interval_ms=8_000,
+    )
+    test = LoadTest(vins_app, properties=props)
+
+    run = benchmark.pedantic(
+        lambda: test.fire(seed=7), rounds=1, iterations=1
+    )
+
+    w = run.windowed(10.0)
+    text = format_series(
+        "t (s)",
+        [f"{t:.0f}" for t in w["time"]],
+        {
+            "TPS (pages/s)": np.round(w["throughput"], 2),
+            "Mean RT (s)": np.round(w["response_time"], 3),
+        },
+        title=(
+            "Fig. 1 — Grinder output over test time "
+            f"(VINS, {run.virtual_users} users, ramped start)"
+        ),
+    )
+    settle = steady_state_window(
+        w["time"], np.nan_to_num(w["throughput"]), window=20.0
+    )
+    text += (
+        f"\n\nSteady state reached by ~{settle:.0f}s; "
+        f"warm-up cut applied at {run.warmup:.0f}s.\n"
+        f"Steady-state TPS {run.tps:.2f} pages/s, RT {run.mean_response_time:.3f}s."
+    )
+    emit(text)
+
+    # Shape assertions: early windows below the steady mean; late stable.
+    tps = w["throughput"]
+    steady = tps[int(len(tps) * 0.5):].mean()
+    assert tps[0] < steady * 0.9
+    late = tps[int(len(tps) * 0.6):]
+    assert np.all(np.abs(late - steady) < 0.25 * steady)

@@ -1,0 +1,70 @@
+"""Fig. 8 — MVASD vs MVASD: Single-Server on JPetStore.
+
+Normalizing a 16-core CPU into one server of demand D/16 drops the
+multi-server correction and misses queueing dynamics exactly where the
+CPU is the bottleneck: the single-server variant's predictions
+deteriorate visibly, the paper's argument for the multi-server model.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, mean_percent_deviation
+from repro.core import mvasd
+
+
+def test_fig08_single_server_normalization(benchmark, jps_sweep, emit):
+    app = jps_sweep.application
+    table = jps_sweep.demand_table()
+    fns = table.functions()
+
+    def solve_both():
+        return (
+            mvasd(app.network, 280, demand_functions=fns),
+            mvasd(app.network, 280, demand_functions=fns, single_server=True),
+        )
+
+    multi, single = benchmark.pedantic(solve_both, rounds=1, iterations=1)
+
+    lv = jps_sweep.levels.astype(float)
+    text = format_series(
+        "Users",
+        jps_sweep.levels,
+        {
+            "Measured X": np.round(jps_sweep.throughput, 2),
+            "MVASD X": np.round(multi.interpolate_throughput(lv), 2),
+            "SingleSrv X": np.round(single.interpolate_throughput(lv), 2),
+            "Measured R+Z": np.round(jps_sweep.cycle_time, 3),
+            "MVASD R+Z": np.round(multi.interpolate_cycle_time(lv), 3),
+            "SingleSrv R+Z": np.round(single.interpolate_cycle_time(lv), 3),
+        },
+        title="Fig. 8 — JPetStore: multi-server MVASD vs normalized single-server MVASD",
+    )
+    dev = {
+        "MVASD": mean_percent_deviation(
+            multi.interpolate_throughput(lv), jps_sweep.throughput
+        ),
+        "MVASD: Single-Server": mean_percent_deviation(
+            single.interpolate_throughput(lv), jps_sweep.throughput
+        ),
+    }
+    dev_ct = {
+        "MVASD": mean_percent_deviation(
+            multi.interpolate_cycle_time(lv), jps_sweep.cycle_time
+        ),
+        "MVASD: Single-Server": mean_percent_deviation(
+            single.interpolate_cycle_time(lv), jps_sweep.cycle_time
+        ),
+    }
+    text += "\n\nThroughput deviation: " + ", ".join(
+        f"{k}: {v:.2f}%" for k, v in dev.items()
+    )
+    text += "\nCycle-time deviation: " + ", ".join(
+        f"{k}: {v:.2f}%" for k, v in dev_ct.items()
+    )
+    emit(text)
+
+    # Paper shape: single-server normalization clearly worse on both
+    # metrics for the CPU-bound application.
+    assert dev["MVASD"] < dev["MVASD: Single-Server"]
+    assert dev_ct["MVASD"] < dev_ct["MVASD: Single-Server"]
+    assert dev["MVASD: Single-Server"] > 2 * dev["MVASD"]

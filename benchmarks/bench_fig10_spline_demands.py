@@ -1,0 +1,55 @@
+"""Fig. 10 — spline-interpolated service demands for the VINS DB server.
+
+Cubic splines through the measured demand samples overlap the samples
+exactly and interpolate the unsampled concurrencies; the overall trend
+is decreasing demand with workload.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.interpolate import ServiceDemandModel
+
+
+def test_fig10_spline_interpolated_demands(benchmark, vins_sweep, emit):
+    samples = vins_sweep.demand_samples()
+    levels = vins_sweep.levels.astype(float)
+
+    models = benchmark.pedantic(
+        lambda: {
+            name: ServiceDemandModel(levels, samples[name])
+            for name in ("db.cpu", "db.disk")
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    grid = np.unique(
+        np.concatenate([levels, np.linspace(1, 1421, 15).round()])
+    )
+    series = {}
+    for name, model in models.items():
+        series[f"{name} (ms)"] = np.round(model(grid) * 1000, 3)
+        truth = vins_sweep.application.network[name]
+        series[f"{name} truth"] = np.round(
+            [truth.demand_at(g) * 1000 for g in grid], 3
+        )
+    text = format_series(
+        "Users",
+        grid.astype(int),
+        series,
+        title="Fig. 10 — VINS DB demands: spline interpolation vs ground truth (ms/page)",
+    )
+    emit(text)
+
+    # Splines pass through the measured samples …
+    for name, model in models.items():
+        np.testing.assert_allclose(model(levels), samples[name], rtol=1e-9)
+    # … decrease overall …
+    for name, model in models.items():
+        dense = model(np.linspace(1, 1421, 200))
+        assert dense[-1] < dense[0]
+    # … and track the generating profile within measurement noise.
+    for name, model in models.items():
+        truth = vins_sweep.application.network[name]
+        np.testing.assert_allclose(model(700.0), truth.demand_at(700.0), rtol=0.1)

@@ -1,0 +1,57 @@
+"""Fig. 12 — splines generated for the DB server from 3 / 5 / 7 samples
+(JPetStore).
+
+The wider the spread of collected demand samples, the better the
+interpolation: with only {1, 14, 28} the spline misses the whole
+decaying tail, with 5 and 7 samples it converges onto the dense curve.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.interpolate import ServiceDemandModel
+
+SUBSETS = {
+    3: (1, 14, 28),
+    5: (1, 14, 28, 70, 140),
+    7: (1, 14, 28, 70, 140, 168, 210),
+}
+
+
+def test_fig12_sample_count_effect(benchmark, jps_sweep, emit):
+    samples = jps_sweep.demand_samples()["db.cpu"]
+    by_level = dict(zip(jps_sweep.levels.tolist(), samples))
+
+    def fit_all():
+        models = {}
+        for count, levels in SUBSETS.items():
+            models[count] = ServiceDemandModel(
+                np.array(levels, float), [by_level[l] for l in levels]
+            )
+        return models
+
+    models = benchmark.pedantic(fit_all, rounds=1, iterations=1)
+
+    dense = ServiceDemandModel(jps_sweep.levels.astype(float), samples)
+    grid = np.array([1, 14, 28, 50, 70, 100, 140, 168, 210, 250, 280], float)
+    series = {"dense (8 pts)": np.round(dense(grid) * 1000, 3)}
+    errors = {}
+    for count, model in models.items():
+        series[f"{count} samples"] = np.round(model(grid) * 1000, 3)
+        probe = np.linspace(1, 280, 100)
+        errors[count] = float(
+            np.abs(model(probe) - dense(probe)).max() / dense(probe).mean() * 100
+        )
+    text = format_series(
+        "Users",
+        grid.astype(int),
+        series,
+        title="Fig. 12 — JPetStore db.cpu demand splines from 3/5/7 samples (ms/page)",
+    )
+    text += "\n\nMax deviation from the dense curve: " + ", ".join(
+        f"{c} samples: {e:.1f}%" for c, e in errors.items()
+    )
+    emit(text)
+
+    # More (wider-spread) samples -> better interpolation.
+    assert errors[7] < errors[5] < errors[3]

@@ -1,0 +1,28 @@
+"""Table 3 — Utilization % observed during load testing of JPetStore.
+
+The paper's anchor (underlined in Table 3): database CPU *and* disk
+saturate together near 140 users — JPetStore is the CPU-heavy workload.
+"""
+
+from repro.loadtest import utilization_table_text
+
+
+def test_tab03_jpetstore_utilization_grid(benchmark, jps_sweep, emit):
+    text = benchmark.pedantic(
+        lambda: utilization_table_text(jps_sweep), rounds=1, iterations=1
+    )
+    text += (
+        "\n\nAnchors (paper Table 3): db CPU and db Disk saturate together "
+        "near 140 users."
+    )
+    emit(text)
+
+    rows = dict(
+        (users, tiers) for users, tiers in jps_sweep.utilization_table()
+    )
+    at140 = rows[140]
+    assert at140["db"].cpu > 85.0
+    assert at140["db"].disk > 85.0
+    # and well below saturation at 70 users
+    at70 = rows[70]
+    assert at70["db"].cpu < 60.0

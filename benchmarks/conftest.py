@@ -1,0 +1,65 @@
+"""Shared fixtures for the paper-reproduction benches.
+
+Each bench regenerates one table or figure of the paper and
+
+* prints the same rows/series the paper reports (compare side by side),
+* writes the text to ``benchmarks/results/<bench>.txt``,
+* times a representative computation via pytest-benchmark.
+
+The measured sweeps (the paper's load-test campaigns) are expensive, so
+they are built once per session here.  Durations are sized for
+steady-state stability, not realism — the paper ran 30-60-minute tests;
+the simulated testbed converges in a few hundred simulated seconds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import jpetstore_application, vins_application
+from repro.loadtest import run_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Concurrency levels of the paper's campaigns (Tables 2-3 grids).
+VINS_LEVELS = (1, 51, 102, 203, 406, 609, 812, 1015, 1218, 1421)
+JPS_LEVELS = (1, 14, 28, 70, 140, 168, 210, 280)
+
+#: Simulated seconds per load test.
+DURATION = 200.0
+
+
+@pytest.fixture(scope="session")
+def vins_app():
+    return vins_application()
+
+
+@pytest.fixture(scope="session")
+def jps_app():
+    return jpetstore_application()
+
+
+@pytest.fixture(scope="session")
+def vins_sweep(vins_app):
+    return run_sweep(vins_app, levels=VINS_LEVELS, duration=DURATION, seed=101)
+
+
+@pytest.fixture(scope="session")
+def jps_sweep(jps_app):
+    return run_sweep(jps_app, levels=JPS_LEVELS, duration=DURATION, seed=202)
+
+
+@pytest.fixture
+def emit(request):
+    """Print a bench's paper-style output and persist it under results/."""
+
+    def _emit(text: str, name: str | None = None) -> None:
+        stem = name or request.node.fspath.purebasename
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

@@ -1,0 +1,89 @@
+"""Multi-class analysis — mixing the VINS workflows.
+
+The paper models a single customer class (every user runs Renew Policy).
+Real traffic mixes the application's four workflows — Registration, New
+Policy, Renew Policy, Read Policy — each with its own resource appetite.
+The exact multi-class MVA extension answers mix questions a single-class
+model cannot:
+
+* what happens to Renew-Policy latency when read-only traffic doubles?
+* which workflow suffers most as the DB disk saturates?
+
+Stations are reduced to their per-server demands (Seidmann-style) so the
+multi-class recursion stays single-server; populations are kept modest
+because the exact lattice grows as the product of class populations.
+
+Run:  python examples/multiclass_workload_mix.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import exact_multiclass_mva
+
+# Per-workflow demands (seconds/page) on the three dominant resources.
+# Read-only traffic is cache-friendly (light disk); Registration writes
+# heavily.  Values are per-server (CPU demands already divided by cores).
+STATIONS = ("app.cpu/16", "db.cpu/16", "db.disk")
+WORKFLOWS = {
+    "Registration": [0.0046, 0.0056, 0.0450],
+    "New Policy": [0.0040, 0.0049, 0.0350],
+    "Renew Policy": [0.0040, 0.0049, 0.0300],
+    "Read Policy": [0.0030, 0.0035, 0.0100],
+}
+THINK = 1.0
+
+
+def solve(mix: dict[str, int]):
+    names = list(WORKFLOWS)
+    demands = np.array([WORKFLOWS[w] for w in names]).T  # (K, C)
+    populations = [mix.get(w, 0) for w in names]
+    res = exact_multiclass_mva(
+        demands=demands,
+        populations=populations,
+        think_times=[THINK] * len(names),
+        station_names=STATIONS,
+    )
+    return names, res
+
+
+def main() -> None:
+    base_mix = {"Registration": 4, "New Policy": 6, "Renew Policy": 14, "Read Policy": 8}
+    heavy_read = dict(base_mix, **{"Read Policy": 16})
+
+    rows = []
+    for label, mix in (("base mix", base_mix), ("2x read traffic", heavy_read)):
+        names, res = solve(mix)
+        for w, x, r in zip(names, res.throughput, res.cycle_times):
+            rows.append((label, w, mix[w], x, r))
+        rows.append(
+            (label, "TOTAL", sum(mix.values()), res.total_throughput, None)
+        )
+
+    print(
+        format_table(
+            ("Scenario", "Workflow", "users", "X (pages/s)", "R+Z (s)"),
+            rows,
+            precision=3,
+            title="VINS workflow mix — exact multi-class MVA",
+        )
+    )
+
+    _, base = solve(base_mix)
+    _, heavy = solve(heavy_read)
+    renew_idx = list(WORKFLOWS).index("Renew Policy")
+    slowdown = (
+        heavy.cycle_times[renew_idx] / base.cycle_times[renew_idx] - 1
+    ) * 100
+    disk_idx = STATIONS.index("db.disk")
+    print(
+        f"\nDoubling read-only users raises Renew-Policy cycle time by "
+        f"{slowdown:.1f}% (db.disk utilization "
+        f"{base.utilizations[disk_idx]:.0%} -> {heavy.utilizations[disk_idx]:.0%}): "
+        "read traffic is disk-light, so the write-heavy classes keep most "
+        "of their capacity — a conclusion invisible to a single-class model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart — predict an application's performance from 5 load tests.
+
+Runs the paper's Fig. 17 workflow against the bundled JPetStore model:
+
+1. pick 5 Chebyshev-placed concurrency levels on [1, 300];
+2. fire one simulated load test per level and extract service demands
+   via the service-demand law;
+3. spline-interpolate the demands and run MVASD over 1..280 users.
+
+Then validates the prediction against an independent dense measurement
+campaign, reproducing the paper's headline: a handful of well-placed
+tests predict the whole throughput / response-time curve within a few
+percent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import jpetstore_application, predict_performance, run_sweep
+from repro.analysis import format_series
+
+
+def main() -> None:
+    app = jpetstore_application()
+    print(f"Application: {app.name} — {app.description}\n")
+
+    report = predict_performance(
+        app,
+        n_design_points=5,
+        max_population=280,
+        concurrency_range=(1, 300),
+        duration=150.0,
+        seed=7,
+    )
+    print(f"Step 1 — Chebyshev design points: {report.design.tolist()}")
+    print(f"Step 2 — measured demands at the design points (db tier, ms/page):")
+    for name in ("db.cpu", "db.disk"):
+        row = ", ".join(
+            f"N={int(l)}: {report.demand_table.models[name](float(l)) * 1000:.2f}"
+            for l in report.design
+        )
+        print(f"    {name}: {row}")
+    print(f"Step 3 — {report.prediction.summary()}\n")
+
+    for n in (50, 140, 280):
+        snap = report.predicted_at(n)
+        print(
+            f"  predicted @ {n:>3} users: {snap['throughput']:7.2f} pages/s, "
+            f"cycle time {snap['cycle_time']:.3f}s, "
+            f"db.cpu util {snap['utilizations']['db.cpu'] * 100:.0f}%"
+        )
+
+    print("\nValidating against an independent dense campaign ...")
+    reference = run_sweep(app, duration=150.0, seed=123)
+    deviation = report.validate(reference)
+    print(
+        f"  throughput deviation {deviation['throughput']:.2f}%, "
+        f"cycle-time deviation {deviation['cycle_time']:.2f}% "
+        "(paper band: <3% / <9%)"
+    )
+
+    lv = reference.levels.astype(float)
+    print()
+    print(
+        format_series(
+            "Users",
+            reference.levels,
+            {
+                "measured X": reference.throughput.round(2),
+                "predicted X": report.prediction.interpolate_throughput(lv).round(2),
+                "measured R+Z": reference.cycle_time.round(3),
+                "predicted R+Z": report.prediction.interpolate_cycle_time(lv).round(3),
+            },
+            title="Prediction vs measurement",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""repro — MVASD: performance modeling of multi-tier web applications
+with varying service demands.
+
+Reproduction of Kattepur & Nambiar, *Performance Modeling of
+Multi-tiered Web Applications with Varying Service Demands* (IJNC 6(1),
+2016 / IPPS 2015): exact multi-server Mean Value Analysis extended with
+spline-interpolated, concurrency-varying service demands, plus the
+entire evaluation substrate — a discrete-event simulation testbed of
+three-tier deployments, a Grinder-style load-test harness, VINS and
+JPetStore application models, Chebyshev test-point design and the
+deviation-scoring machinery of the paper's tables and figures.
+
+Quick start::
+
+    from repro import jpetstore_application, predict_performance
+
+    app = jpetstore_application()
+    report = predict_performance(app, n_design_points=5, max_population=280)
+    print(report.prediction.summary())
+
+Subpackages
+-----------
+``repro.core``
+    MVA solver family (Algorithms 1-3 and baselines/extensions).
+``repro.interpolate``
+    Cubic/smoothing splines, Chebyshev design, demand models.
+``repro.simulation``
+    Discrete-event closed-network simulator (the measured testbed).
+``repro.apps``
+    VINS and JPetStore application models.
+``repro.loadtest``
+    Grinder-style load tests, monitors, sweeps, demand extraction.
+``repro.workflow``
+    The Fig. 17 design->measure->predict pipeline.
+``repro.analysis``
+    Eq. 15 deviations and Tables-4/5 comparisons.
+"""
+
+from .analysis import (
+    DeviationReport,
+    ModelComparison,
+    compare_models,
+    deviation_against_sweep,
+    mean_percent_deviation,
+)
+from .apps import (
+    Application,
+    DemandProfile,
+    jpetstore_application,
+    vins_application,
+)
+from .core import (
+    ClosedNetwork,
+    MVAResult,
+    Station,
+    approximate_multiserver_mva,
+    exact_load_dependent_mva,
+    exact_multiclass_mva,
+    exact_multiserver_mva,
+    exact_mva,
+    mvasd,
+    schweitzer_amva,
+)
+from .interpolate import (
+    CubicSpline,
+    DemandTable,
+    ServiceDemandModel,
+    SmoothingSpline,
+    chebyshev_nodes,
+    concurrency_test_points,
+)
+from .loadtest import (
+    GrinderProperties,
+    LoadTest,
+    LoadTestSweep,
+    run_sweep,
+)
+from .simulation import SimulationResult, simulate_closed_network
+from .workflow import PipelineReport, design_points, predict_performance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "ClosedNetwork",
+    "CubicSpline",
+    "DemandProfile",
+    "DemandTable",
+    "DeviationReport",
+    "GrinderProperties",
+    "LoadTest",
+    "LoadTestSweep",
+    "MVAResult",
+    "ModelComparison",
+    "PipelineReport",
+    "ServiceDemandModel",
+    "SimulationResult",
+    "SmoothingSpline",
+    "Station",
+    "approximate_multiserver_mva",
+    "chebyshev_nodes",
+    "compare_models",
+    "concurrency_test_points",
+    "design_points",
+    "deviation_against_sweep",
+    "exact_load_dependent_mva",
+    "exact_multiclass_mva",
+    "exact_multiserver_mva",
+    "exact_mva",
+    "jpetstore_application",
+    "mean_percent_deviation",
+    "mvasd",
+    "predict_performance",
+    "run_sweep",
+    "schweitzer_amva",
+    "simulate_closed_network",
+    "vins_application",
+    "__version__",
+]

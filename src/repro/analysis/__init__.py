@@ -1,0 +1,42 @@
+"""Prediction scoring, comparison (eq. 15, Tables 4-5), what-if planning
+and the curve-fitting extrapolation baseline."""
+
+from .bottlenecks import (
+    BottleneckRanking,
+    bottleneck_migration,
+    bottleneck_ranking,
+    upgrade_leverage,
+)
+from .compare import ModelComparison, compare_models
+from .deviation import DeviationReport, deviation_against_sweep, mean_percent_deviation
+from .extrapolation import ThroughputExtrapolator
+from .tables import format_series, format_table
+from .whatif import (
+    SLA,
+    Scenario,
+    ScenarioOutcome,
+    evaluate_scenarios,
+    max_users_within_sla,
+    outcomes_table,
+)
+
+__all__ = [
+    "BottleneckRanking",
+    "DeviationReport",
+    "ModelComparison",
+    "SLA",
+    "bottleneck_migration",
+    "bottleneck_ranking",
+    "upgrade_leverage",
+    "Scenario",
+    "ScenarioOutcome",
+    "ThroughputExtrapolator",
+    "compare_models",
+    "deviation_against_sweep",
+    "evaluate_scenarios",
+    "format_series",
+    "format_table",
+    "max_users_within_sla",
+    "mean_percent_deviation",
+    "outcomes_table",
+]

@@ -1,0 +1,146 @@
+"""Bottleneck identification, migration and upgrade advice.
+
+Operational-analysis bookkeeping the paper does by eye on Tables 2-3
+("the database server disk utilization value is 93% ... hence it is the
+bottleneck"), automated:
+
+* rank stations by per-server demand ``D_k / C_k`` at a load level;
+* track the ranking across concurrency — with varying demands the
+  bottleneck can *migrate* as curves decay at different rates;
+* quantify upgrade leverage: how much the system throughput ceiling
+  moves when one station gets faster — the utilization-law argument the
+  capacity-planning example makes by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.network import ClosedNetwork
+from .tables import format_table
+
+__all__ = ["BottleneckRanking", "bottleneck_ranking", "bottleneck_migration", "upgrade_leverage"]
+
+
+@dataclass(frozen=True)
+class BottleneckRanking:
+    """Stations ordered by saturation pressure at one load level."""
+
+    level: float
+    stations: tuple[str, ...]  # most critical first
+    per_server_demands: np.ndarray  # same order
+    throughput_ceilings: np.ndarray  # C_k / D_k, same order
+
+    @property
+    def primary(self) -> str:
+        return self.stations[0]
+
+    @property
+    def secondary(self) -> str | None:
+        return self.stations[1] if len(self.stations) > 1 else None
+
+    @property
+    def system_ceiling(self) -> float:
+        return float(self.throughput_ceilings[0])
+
+    def criticality(self, station: str) -> float:
+        """Per-server demand of ``station`` relative to the primary's.
+
+        1.0 means co-bottleneck; small values mean ample headroom.
+        """
+        try:
+            idx = self.stations.index(station)
+        except ValueError:
+            raise KeyError(f"unknown station {station!r}") from None
+        top = self.per_server_demands[0]
+        return float(self.per_server_demands[idx] / top) if top > 0 else 0.0
+
+    def table(self) -> str:
+        rows = [
+            (name, d * 1000, ceiling)
+            for name, d, ceiling in zip(
+                self.stations, self.per_server_demands, self.throughput_ceilings
+            )
+        ]
+        return format_table(
+            ("Station", "D/C (ms)", "X ceiling (/s)"),
+            rows,
+            title=f"Bottleneck ranking at N={self.level:g}",
+        )
+
+
+def bottleneck_ranking(network: ClosedNetwork, level: float = 1.0) -> BottleneckRanking:
+    """Rank queueing stations by per-server demand at one concurrency."""
+    entries = []
+    for st in network.stations:
+        if st.kind != "queue":
+            continue
+        d = st.demand_at(level)
+        per_server = d / st.servers
+        ceiling = st.servers / d if d > 0 else float("inf")
+        entries.append((st.name, per_server, ceiling))
+    if not entries:
+        raise ValueError("network has no queueing stations")
+    entries.sort(key=lambda e: e[1], reverse=True)
+    return BottleneckRanking(
+        level=float(level),
+        stations=tuple(e[0] for e in entries),
+        per_server_demands=np.array([e[1] for e in entries]),
+        throughput_ceilings=np.array([e[2] for e in entries]),
+    )
+
+
+def bottleneck_migration(
+    network: ClosedNetwork, levels: Sequence[float]
+) -> list[tuple[float, str]]:
+    """Primary bottleneck at each level — detects migration under
+    varying demands.
+
+    Returns ``[(level, primary_station), ...]``; consecutive duplicate
+    primaries are retained so callers can see exactly where the switch
+    happens.
+    """
+    if not levels:
+        raise ValueError("levels must be non-empty")
+    return [
+        (float(lvl), bottleneck_ranking(network, lvl).primary) for lvl in levels
+    ]
+
+
+def upgrade_leverage(
+    network: ClosedNetwork,
+    level: float = 1.0,
+    speedup: float = 2.0,
+) -> dict[str, float]:
+    """Throughput-ceiling gain from speeding each station up by ``speedup``.
+
+    For every queueing station, recompute the system ceiling
+    ``min_k C_k / D_k`` with that one station's demand divided by
+    ``speedup``; report the ratio to the baseline ceiling.  A value of
+    1.0 means "money spent here buys nothing" (the station is not the
+    bottleneck); the maximum possible is ``min(speedup, ceiling_2/ceiling_1)``
+    before the bottleneck migrates.
+    """
+    if speedup <= 1.0:
+        raise ValueError(f"speedup must exceed 1, got {speedup}")
+    base = network.max_throughput(level)
+    out = {}
+    for st in network.stations:
+        if st.kind != "queue":
+            continue
+        ceilings = []
+        for other in network.stations:
+            if other.kind != "queue":
+                continue
+            d = other.demand_at(level)
+            if d <= 0:
+                continue
+            if other.name == st.name:
+                d = d / speedup
+            ceilings.append(other.servers / d)
+        new_ceiling = min(ceilings) if ceilings else float("inf")
+        out[st.name] = new_ceiling / base if base > 0 else 1.0
+    return out

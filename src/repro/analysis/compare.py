@@ -1,0 +1,136 @@
+"""Model-comparison harness for the paper's Tables 4 and 5.
+
+Given one measured load-test sweep, build every competing model the
+paper scores —
+
+* **MVASD** (Algorithm 3, multi-server, spline demands) — the paper's
+  contribution;
+* **MVASD: Single-Server** — demands normalized by core count (Fig. 8);
+* **MVA i** (Algorithm 2 with demands frozen at concurrency ``i``) for
+  a set of sampling levels;
+* optionally the throughput-axis MVASD (Fig. 11) and the approximate
+  multi-server baseline —
+
+solve each over the full population range and score it with eq. 15
+against the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.amva import approximate_multiserver_mva
+from ..core.multiserver import exact_multiserver_mva
+from ..core.mvasd import mvasd
+from ..core.results import MVAResult
+from ..loadtest.runner import LoadTestSweep, extract_demands
+from .deviation import DeviationReport, deviation_against_sweep
+from .tables import format_table
+
+__all__ = ["ModelComparison", "compare_models"]
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Results and deviation scores of every compared model."""
+
+    application: str
+    max_population: int
+    results: dict[str, MVAResult]
+    deviations: dict[str, DeviationReport]
+
+    def best(self, metric: str = "throughput") -> str:
+        """Model name with the lowest deviation on the given metric."""
+        return min(self.deviations, key=lambda name: self.deviations[name][metric])
+
+    def table(self, metrics: Sequence[str] = ("throughput", "cycle_time")) -> str:
+        """Render the Table-4/5-style deviation summary."""
+        rows = []
+        for metric in metrics:
+            for name, report in self.deviations.items():
+                rows.append((metric, name, report[metric]))
+        return format_table(
+            ("Metric", "Model", "Deviation (%)"),
+            rows,
+            precision=2,
+            title=f"Mean deviation vs measured — {self.application}",
+        )
+
+
+def compare_models(
+    sweep: LoadTestSweep,
+    max_population: int | None = None,
+    mva_levels: Sequence[int] | None = None,
+    include_single_server: bool = True,
+    include_throughput_axis: bool = False,
+    include_approximate: bool = False,
+    demand_kind: str = "cubic",
+) -> ModelComparison:
+    """Run the full Tables-4/5 comparison for one sweep.
+
+    Parameters
+    ----------
+    sweep:
+        Measured load tests (provides demands and the scoring target).
+    max_population:
+        Population range for every solver (default: top swept level).
+    mva_levels:
+        Concurrency levels ``i`` for the ``MVA i`` variants (default:
+        first, middle and last swept levels).
+    include_single_server / include_throughput_axis / include_approximate:
+        Toggle the optional baselines.
+    demand_kind:
+        Interpolation family for the MVASD demand table.
+    """
+    app = sweep.application
+    network = app.network
+    top = int(sweep.levels[-1])
+    n_max = int(max_population) if max_population is not None else top
+    if n_max < 1:
+        raise ValueError(f"max_population must be >= 1, got {n_max}")
+    if mva_levels is None:
+        mid = int(sweep.levels[len(sweep.levels) // 2])
+        mva_levels = sorted({int(sweep.levels[0]), mid, top})
+
+    results: dict[str, MVAResult] = {}
+    table = sweep.demand_table(kind=demand_kind)
+    results["MVASD"] = mvasd(network, n_max, demand_functions=table.functions())
+
+    if include_single_server:
+        results["MVASD: Single-Server"] = mvasd(
+            network, n_max, demand_functions=table.functions(), single_server=True
+        )
+    if include_throughput_axis:
+        xtable = sweep.demand_table(kind=demand_kind, axis="throughput")
+        results["MVASD: Throughput-Axis"] = mvasd(
+            network, n_max, demand_functions=xtable.functions(),
+            demand_axis="throughput",
+        )
+
+    by_level = {int(lvl): run for lvl, run in zip(sweep.levels, sweep.runs)}
+    for level in mva_levels:
+        if level not in by_level:
+            raise KeyError(f"MVA level {level} was not swept (have {sorted(by_level)})")
+        demands_at = extract_demands(by_level[level], app)
+        vector = [demands_at[name] for name in network.station_names]
+        # Deviation scoring only needs system-level trajectories; skip the
+        # per-station complement convolutions (O(K N^2) each).
+        results[f"MVA {level}"] = exact_multiserver_mva(
+            network, n_max, demands=vector, station_detail=False
+        )
+        if include_approximate:
+            results[f"ApproxMVA {level}"] = approximate_multiserver_mva(
+                network, n_max, demands=vector
+            )
+
+    deviations = {
+        name: deviation_against_sweep(result, sweep)
+        for name, result in results.items()
+    }
+    return ModelComparison(
+        application=app.name,
+        max_population=n_max,
+        results=results,
+        deviations=deviations,
+    )

@@ -1,0 +1,107 @@
+"""Prediction-accuracy metrics (paper eq. 15).
+
+The paper scores every model by the mean absolute percentage deviation
+of its predictions against the ``M`` measured observations:
+
+    ``%Deviation = (1/M) * sum_m |Predicted(m) - Measured(m)| / Measured(m) * 100``
+
+:func:`mean_percent_deviation` is the raw metric;
+:func:`deviation_against_sweep` matches an
+:class:`~repro.core.results.MVAResult` to a measured sweep by
+interpolating the model trajectory at the measured concurrency levels
+(predictions exist at every integer population, measurements only at
+the swept grid).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.results import MVAResult
+from ..loadtest.runner import LoadTestSweep
+
+__all__ = ["mean_percent_deviation", "deviation_against_sweep", "DeviationReport"]
+
+
+def mean_percent_deviation(predicted, measured) -> float:
+    """Eq. 15 over matched prediction/measurement pairs.
+
+    Raises on empty inputs, mismatched lengths or non-positive measured
+    values (the metric divides by them).
+    """
+    p = np.asarray(predicted, dtype=float)
+    m = np.asarray(measured, dtype=float)
+    if p.shape != m.shape or p.ndim != 1 or p.size == 0:
+        raise ValueError(f"predicted/measured must be equal-length 1-D, got {p.shape}/{m.shape}")
+    if np.any(m <= 0):
+        raise ValueError("measured values must be strictly positive")
+    return float((np.abs(p - m) / m).mean() * 100.0)
+
+
+class DeviationReport(dict):
+    """``{metric: %deviation}`` mapping with a stable rendering order."""
+
+    _ORDER = ("throughput", "cycle_time", "response_time", "utilization")
+
+    def rows(self) -> list[tuple[str, float]]:
+        keys = [k for k in self._ORDER if k in self] + [
+            k for k in self if k not in self._ORDER
+        ]
+        return [(k, self[k]) for k in keys]
+
+
+def deviation_against_sweep(
+    result: MVAResult,
+    sweep: LoadTestSweep,
+    levels: Sequence[int] | None = None,
+    stations_for_utilization: Sequence[str] = (),
+) -> DeviationReport:
+    """Score a solver trajectory against measured load tests.
+
+    Parameters
+    ----------
+    result:
+        Any MVA-family result covering at least the measured levels.
+    sweep:
+        The measured load-test sweep.
+    levels:
+        Concurrency levels to score at (default: every swept level that
+        the result covers).
+    stations_for_utilization:
+        Optional station names whose predicted-vs-measured utilization is
+        scored too (Fig. 9); reported as ``"utilization:<name>"``.
+
+    Returns
+    -------
+    DeviationReport
+        With at least ``"throughput"`` and ``"cycle_time"`` entries
+        (the paper's Table 4/5 metrics), both in percent.
+    """
+    if levels is None:
+        levels = [int(l) for l in sweep.levels if l <= result.max_population]
+    else:
+        levels = [int(l) for l in levels]
+        beyond = [l for l in levels if l > result.max_population]
+        if beyond:
+            raise ValueError(f"result only covers N<={result.max_population}, asked for {beyond}")
+    if not levels:
+        raise ValueError("no comparable levels between result and sweep")
+
+    sub = sweep.subset(levels)
+    lv = np.asarray(levels, dtype=float)
+    report = DeviationReport()
+    report["throughput"] = mean_percent_deviation(
+        result.interpolate_throughput(lv), sub.throughput
+    )
+    report["cycle_time"] = mean_percent_deviation(
+        result.interpolate_cycle_time(lv), sub.cycle_time
+    )
+    for name in stations_for_utilization:
+        predicted = np.interp(lv, result.populations, result.utilization_of(name))
+        measured = sub.utilization_of(name)
+        if np.any(measured <= 0):
+            raise ValueError(f"station {name!r} has zero measured utilization")
+        report[f"utilization:{name}"] = mean_percent_deviation(predicted, measured)
+    return report

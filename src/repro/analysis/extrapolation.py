@@ -1,0 +1,145 @@
+"""Curve-fitting extrapolation of load-test results (the Perfext baseline).
+
+The paper's related work (its ref. [4], Dattagupta et al.) predicts
+high-concurrency performance by *extrapolating the measured curves
+directly* — linear regression through the rising region and a sigmoid
+for saturation — with no queueing model at all.  This module implements
+that baseline so the model-based MVASD can be compared against the
+model-free alternative:
+
+* :class:`ThroughputExtrapolator` fits one of three families to the
+  measured throughput points: ``"knee"`` (default) — the smooth-min
+  ``X(N) = a N / (1 + (a N / X_max)^p)^(1/p)``, which matches the
+  linear-then-plateau shape closed systems actually produce (asymptotes
+  ``a N`` and ``X_max``, knee sharpness ``p``); ``"saturating"`` —
+  ``X_max (1 - exp(-N / tau))``; or ``"logistic"`` — the sigmoid of the
+  Perfext paper;
+* cycle time follows from Little's law, ``R + Z = N / X(N)`` — the same
+  closure the measured system obeys.
+
+Strengths and weaknesses mirror the paper's discussion: interpolation
+inside the sampled range is excellent, but the extrapolated plateau is
+only as good as how close to saturation the samples reach — unlike
+MVASD, which carries the bottleneck structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+__all__ = ["ThroughputExtrapolator"]
+
+
+def _saturating(n, x_max, tau):
+    return x_max * (1.0 - np.exp(-n / tau))
+
+
+def _logistic(n, x_max, n0, width):
+    return x_max / (1.0 + np.exp(-(n - n0) / width))
+
+
+def _knee(n, slope, x_max, p):
+    linear = slope * np.asarray(n, dtype=float)
+    return linear / (1.0 + (linear / x_max) ** p) ** (1.0 / p)
+
+
+@dataclass(frozen=True)
+class _Fit:
+    kind: str
+    params: tuple
+
+
+class ThroughputExtrapolator:
+    """Fit-and-extrapolate throughput (and derived cycle time) curves.
+
+    Parameters
+    ----------
+    levels:
+        Measured concurrency levels (>= 3 points, increasing).
+    throughput:
+        Measured throughput at those levels (positive).
+    model:
+        ``"saturating"`` (default) — ``X_max (1 - exp(-N/tau))``, linear
+        near 0 with slope ``X_max/tau``; or ``"logistic"`` — the sigmoid
+        of the Perfext paper.
+
+    Notes
+    -----
+    The fit minimizes least squares over the samples
+    (:func:`scipy.optimize.curve_fit`); sensible starting values are
+    derived from the data (top throughput, light-load slope).
+    """
+
+    def __init__(self, levels, throughput, model: str = "knee") -> None:
+        levels = np.asarray(levels, dtype=float)
+        throughput = np.asarray(throughput, dtype=float)
+        if levels.ndim != 1 or levels.shape != throughput.shape:
+            raise ValueError("levels and throughput must be equal-length 1-D")
+        if levels.size < 3:
+            raise ValueError("need at least 3 measured points")
+        if np.any(np.diff(levels) <= 0):
+            raise ValueError("levels must be strictly increasing")
+        if np.any(throughput <= 0):
+            raise ValueError("throughput must be positive")
+        if model not in ("knee", "saturating", "logistic"):
+            raise ValueError(
+                f"model must be 'knee', 'saturating' or 'logistic', got {model!r}"
+            )
+        self.levels = levels
+        self.throughput = throughput
+        self.model = model
+
+        x_top = float(throughput.max())
+        slope0 = float(throughput[0] / max(levels[0], 1.0))
+        if model == "knee":
+            p0 = (max(slope0, 1e-6), x_top * 1.02, 4.0)
+            bounds = ([1e-9, x_top * 0.5, 0.5], [1e6, x_top * 10, 64.0])
+            params, _ = curve_fit(
+                _knee, levels, throughput, p0=p0, bounds=bounds, maxfev=20_000
+            )
+            self._fit = _Fit("knee", tuple(params))
+        elif model == "saturating":
+            p0 = (x_top * 1.05, max(x_top / max(slope0, 1e-9), 1.0))
+            bounds = ([x_top * 0.5, 1e-6], [x_top * 10, 1e7])
+            params, _ = curve_fit(
+                _saturating, levels, throughput, p0=p0, bounds=bounds, maxfev=20_000
+            )
+            self._fit = _Fit("saturating", tuple(params))
+        else:
+            p0 = (x_top * 1.05, float(np.median(levels)), float(levels[-1] / 10))
+            bounds = ([x_top * 0.5, 0.0, 1e-6], [x_top * 10, levels[-1] * 10, 1e7])
+            params, _ = curve_fit(
+                _logistic, levels, throughput, p0=p0, bounds=bounds, maxfev=20_000
+            )
+            self._fit = _Fit("logistic", tuple(params))
+
+    @property
+    def x_max(self) -> float:
+        """The fitted saturation throughput."""
+        if self._fit.kind == "knee":
+            return float(self._fit.params[1])
+        return float(self._fit.params[0])
+
+    def predict_throughput(self, levels) -> np.ndarray:
+        """Extrapolated throughput at arbitrary concurrency levels."""
+        n = np.asarray(levels, dtype=float)
+        if self._fit.kind == "knee":
+            return _knee(n, *self._fit.params)
+        if self._fit.kind == "saturating":
+            return _saturating(n, *self._fit.params)
+        return _logistic(n, *self._fit.params)
+
+    def predict_cycle_time(self, levels) -> np.ndarray:
+        """Cycle time via Little's law: ``R + Z = N / X(N)``."""
+        n = np.asarray(levels, dtype=float)
+        x = self.predict_throughput(n)
+        if np.any(x <= 0):
+            raise ValueError("fitted throughput non-positive at requested levels")
+        return n / x
+
+    def residuals(self) -> np.ndarray:
+        """Fit residuals at the measured points."""
+        return self.throughput - self.predict_throughput(self.levels)

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for benches and reports.
+
+Every bench prints the same rows/series the paper's tables and figures
+report; this module renders them as aligned monospace tables so the
+output is directly comparable with the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value, precision: int) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are formatted to ``precision`` decimals; ``None`` renders
+    empty.  Column widths adapt to content.
+    """
+    str_rows = [[_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render one x-column plus named y-series — a figure as a table."""
+    headers = [x_label, *series.keys()]
+    columns = [list(x_values)] + [list(v) for v in series.values()]
+    lengths = {len(c) for c in columns}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: { {h: len(c) for h, c in zip(headers, columns)} }")
+    rows = list(zip(*columns))
+    return format_table(headers, rows, precision=precision, title=title)

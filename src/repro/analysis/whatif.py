@@ -1,0 +1,217 @@
+"""What-if scenarios and SLA-driven capacity planning.
+
+The practical payoff of MVASD over raw load testing (and the use case of
+the paper's TeamQuest comparison): once demand curves are fitted from a
+few load tests, hardware and configuration variations are *re-solves*,
+not re-tests.  A :class:`Scenario` rewrites the model — scale selected
+stations' demands (faster disk array, query optimization), change server
+counts (more cores), adjust think time (different user behaviour) — and
+:func:`evaluate_scenarios` solves every variant with MVASD over the same
+demand curves, reporting capacity against an SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.mvasd import mvasd
+from ..core.network import ClosedNetwork, Station
+from ..core.results import MVAResult
+from .tables import format_table
+
+__all__ = [
+    "Scenario",
+    "ScenarioOutcome",
+    "SLA",
+    "evaluate_scenarios",
+    "max_users_within_sla",
+]
+
+DemandFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class SLA:
+    """A service-level objective to check predictions against.
+
+    Any unspecified bound is unconstrained.
+    """
+
+    max_cycle_time: float | None = None
+    min_throughput: float | None = None
+    max_utilization: float | None = None
+    at_users: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_cycle_time", "min_throughput", "max_utilization"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if (
+            self.max_cycle_time is None
+            and self.min_throughput is None
+            and self.max_utilization is None
+        ):
+            raise ValueError("SLA needs at least one bound")
+
+    def satisfied_mask(self, result: MVAResult) -> np.ndarray:
+        """Boolean per population level: does the prediction meet the SLA?"""
+        ok = np.ones(len(result.populations), dtype=bool)
+        if self.max_cycle_time is not None:
+            ok &= result.cycle_time <= self.max_cycle_time
+        if self.min_throughput is not None:
+            ok &= result.throughput >= self.min_throughput
+        if self.max_utilization is not None:
+            ok &= result.utilizations.max(axis=1) <= self.max_utilization
+        return ok
+
+    def describe(self) -> str:
+        parts = []
+        if self.max_cycle_time is not None:
+            parts.append(f"R+Z <= {self.max_cycle_time:g}s")
+        if self.min_throughput is not None:
+            parts.append(f"X >= {self.min_throughput:g}/s")
+        if self.max_utilization is not None:
+            parts.append(f"util <= {self.max_utilization:.0%}")
+        return " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One model rewrite to evaluate.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    demand_scale:
+        ``station -> factor`` multipliers on the fitted demand curves
+        (0.5 = a resource twice as fast per unit of work).
+    servers:
+        ``station -> C_k`` overrides (hardware with more cores/spindles).
+    think_time:
+        Optional think-time override (user-behaviour change).
+    """
+
+    name: str
+    demand_scale: Mapping[str, float] = field(default_factory=dict)
+    servers: Mapping[str, int] = field(default_factory=dict)
+    think_time: float | None = None
+
+    def __post_init__(self) -> None:
+        for station, factor in self.demand_scale.items():
+            if factor < 0:
+                raise ValueError(f"{station}: demand factor must be non-negative")
+        for station, count in self.servers.items():
+            if count < 1:
+                raise ValueError(f"{station}: servers must be >= 1")
+        if self.think_time is not None and self.think_time < 0:
+            raise ValueError("think_time must be non-negative")
+
+    def apply(
+        self,
+        network: ClosedNetwork,
+        demand_functions: Mapping[str, DemandFn],
+    ) -> tuple[ClosedNetwork, dict[str, DemandFn]]:
+        """Rewrite the network and demand curves for this scenario."""
+        unknown = (set(self.demand_scale) | set(self.servers)) - set(
+            network.station_names
+        )
+        if unknown:
+            raise KeyError(f"scenario {self.name!r}: unknown stations {sorted(unknown)}")
+        stations = []
+        for st in network.stations:
+            servers = self.servers.get(st.name, st.servers)
+            stations.append(
+                Station(st.name, st.demand, servers=servers, visits=st.visits, kind=st.kind)
+            )
+        think = self.think_time if self.think_time is not None else network.think_time
+        new_net = ClosedNetwork(stations, think_time=think, name=f"{network.name}:{self.name}")
+
+        fns = dict(demand_functions)
+        for station, factor in self.demand_scale.items():
+            base = fns[station]
+            fns[station] = lambda n, _b=base, _f=factor: _b(n) * _f
+        return new_net, fns
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Solved scenario plus its SLA verdict."""
+
+    scenario: Scenario
+    result: MVAResult
+    sla: SLA | None
+    max_users: int | None
+
+    @property
+    def peak_throughput(self) -> float:
+        return float(self.result.throughput.max())
+
+    def sla_met_at(self, users: int) -> bool:
+        if self.sla is None:
+            raise ValueError("no SLA attached")
+        idx = users - 1
+        return bool(self.sla.satisfied_mask(self.result)[idx])
+
+
+def max_users_within_sla(result: MVAResult, sla: SLA) -> int:
+    """Largest contiguous-from-1 population meeting the SLA (0 if none)."""
+    mask = sla.satisfied_mask(result)
+    if not mask[0]:
+        return 0
+    breaks = np.nonzero(~mask)[0]
+    if breaks.size == 0:
+        return int(result.populations[-1])
+    return int(result.populations[breaks[0] - 1]) if breaks[0] > 0 else 0
+
+
+def evaluate_scenarios(
+    network: ClosedNetwork,
+    demand_functions: Mapping[str, DemandFn],
+    scenarios: Sequence[Scenario],
+    max_population: int,
+    sla: SLA | None = None,
+) -> dict[str, ScenarioOutcome]:
+    """Solve every scenario with MVASD and score it against the SLA.
+
+    A ``"baseline"`` scenario (no rewrites) is always included first.
+    """
+    if max_population < 1:
+        raise ValueError("max_population must be >= 1")
+    all_scenarios = [Scenario("baseline")] + [
+        s for s in scenarios if s.name != "baseline"
+    ]
+    outcomes: dict[str, ScenarioOutcome] = {}
+    for scenario in all_scenarios:
+        net, fns = scenario.apply(network, demand_functions)
+        result = mvasd(net, max_population, demand_functions=fns)
+        users = max_users_within_sla(result, sla) if sla is not None else None
+        outcomes[scenario.name] = ScenarioOutcome(
+            scenario=scenario, result=result, sla=sla, max_users=users
+        )
+    return outcomes
+
+
+def outcomes_table(outcomes: Mapping[str, ScenarioOutcome]) -> str:
+    """Render a capacity-plan summary of :func:`evaluate_scenarios` output."""
+    rows = []
+    sla = next(iter(outcomes.values())).sla
+    for name, outcome in outcomes.items():
+        row = [
+            name,
+            outcome.peak_throughput,
+            outcome.result.cycle_time[-1],
+        ]
+        if sla is not None:
+            row.append(outcome.max_users)
+        rows.append(tuple(row))
+    headers = ["Scenario", "X_max (/s)", "R+Z @ top (s)"]
+    title = "What-if capacity plan"
+    if sla is not None:
+        headers.append("max users in SLA")
+        title += f" — SLA: {sla.describe()}"
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,25 @@
+"""Benchmark application models (the paper's VINS and JPetStore).
+
+Parametric three-tier deployments with concurrency-varying demand
+profiles calibrated to the paper's utilization anchors; the simulated
+testbed runs these in place of the physical applications.
+"""
+
+from .base import Application, TIER_RESOURCES, three_tier_network
+from .datagen import Datapool, synthetic_records
+from .jpetstore import JPETSTORE_SAMPLE_LEVELS, jpetstore_application
+from .profiles import DemandProfile
+from .vins import VINS_SAMPLE_LEVELS, vins_application
+
+__all__ = [
+    "Application",
+    "Datapool",
+    "DemandProfile",
+    "JPETSTORE_SAMPLE_LEVELS",
+    "TIER_RESOURCES",
+    "VINS_SAMPLE_LEVELS",
+    "jpetstore_application",
+    "synthetic_records",
+    "three_tier_network",
+    "vins_application",
+]

@@ -1,0 +1,147 @@
+"""Application model base: a multi-tier deployment as a closed network.
+
+An :class:`Application` bundles everything a load test of a deployed
+multi-tier web application exposes to the performance engineer: the
+three-tier topology of Fig. 2 (load injector, web/application server,
+database server — each with a multi-core CPU, a disk and network Tx/Rx
+paths), the per-resource demand profiles, the page count of the tested
+workflow and the datapool backing the database.
+
+:func:`three_tier_network` builds the canonical 12-station
+:class:`~repro.core.network.ClosedNetwork` the paper models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.network import ClosedNetwork, Station
+from .datagen import Datapool
+from .profiles import DemandProfile
+
+__all__ = ["Application", "three_tier_network", "TIER_RESOURCES"]
+
+#: Resource suffixes of one server, in canonical column order
+#: (matches the paper's Tables 2-3: CPU | Disk | Net-Tx | Net-Rx).
+TIER_RESOURCES = ("cpu", "disk", "net_tx", "net_rx")
+
+#: Canonical tier prefixes in table order.
+TIERS = ("load", "app", "db")
+
+
+def three_tier_network(
+    profiles: Mapping[str, DemandProfile],
+    think_time: float = 1.0,
+    cpu_cores: int = 16,
+    name: str = "three-tier",
+) -> ClosedNetwork:
+    """Build the Fig. 2 topology from per-station demand profiles.
+
+    ``profiles`` must contain one entry per ``"<tier>.<resource>"`` for
+    the tiers ``load``, ``app``, ``db`` and resources
+    ``cpu, disk, net_tx, net_rx``.  CPUs get ``cpu_cores`` servers
+    (16-core machines in the paper's testbed); disks and network paths
+    are single-server.
+    """
+    stations = []
+    for tier in TIERS:
+        for resource in TIER_RESOURCES:
+            key = f"{tier}.{resource}"
+            if key not in profiles:
+                raise ValueError(f"missing demand profile for station {key!r}")
+            servers = cpu_cores if resource == "cpu" else 1
+            stations.append(Station(key, profiles[key], servers=servers))
+    return ClosedNetwork(stations, think_time=think_time, name=name)
+
+
+@dataclass(frozen=True)
+class Application:
+    """A benchmark application deployed on the three-tier testbed.
+
+    Attributes
+    ----------
+    name:
+        Application identifier (``"VINS"``, ``"JPetStore"``).
+    network:
+        The closed-network model with concurrency-varying demands.
+    workflow:
+        Name of the exercised workflow (e.g. ``"Renew Policy"``).
+    pages:
+        Pages per workflow iteration; throughput is reported in
+        pages/second and one simulated cycle is one page view.
+    datapool:
+        The synthetic data backing the database tier.
+    max_tested_concurrency:
+        Upper end of the concurrency range the paper's load tests cover.
+    default_sample_levels:
+        Concurrency levels at which the paper collected service demands.
+    description:
+        One-paragraph description for reports.
+    page_weights:
+        Optional per-page demand weights ``((name, weight), ...)`` for
+        page-level simulation (:func:`repro.simulation.simulate_workflow`).
+        Length must equal ``pages``; weights are relative (rescaled to
+        mean 1).  ``None`` means a uniform workflow.
+    """
+
+    name: str
+    network: ClosedNetwork
+    workflow: str
+    pages: int
+    datapool: Datapool
+    max_tested_concurrency: int
+    default_sample_levels: tuple[int, ...]
+    description: str = ""
+    page_weights: tuple[tuple[str, float], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.pages < 1:
+            raise ValueError(f"pages must be >= 1, got {self.pages}")
+        if self.page_weights is not None:
+            if len(self.page_weights) != self.pages:
+                raise ValueError(
+                    f"page_weights must have {self.pages} entries, "
+                    f"got {len(self.page_weights)}"
+                )
+            if any(w <= 0 for _, w in self.page_weights):
+                raise ValueError("page weights must be positive")
+        if self.max_tested_concurrency < 1:
+            raise ValueError("max_tested_concurrency must be >= 1")
+        if not self.default_sample_levels:
+            raise ValueError("default_sample_levels must be non-empty")
+        if any(
+            lvl < 1 or lvl > self.max_tested_concurrency
+            for lvl in self.default_sample_levels
+        ):
+            raise ValueError("sample levels must lie in [1, max_tested_concurrency]")
+
+    @property
+    def station_names(self) -> tuple[str, ...]:
+        return self.network.station_names
+
+    @property
+    def think_time(self) -> float:
+        return self.network.think_time
+
+    def true_demands_at(self, n: float) -> dict[str, float]:
+        """Ground-truth demands at concurrency ``n`` (testbed oracle).
+
+        Real load tests never see these directly — they estimate them via
+        the service-demand law.  Exposed for ablations that separate
+        interpolation error from measurement error.
+        """
+        return dict(zip(self.network.station_names, self.network.demands_at(n)))
+
+    def bottleneck(self, n: float | None = None) -> str:
+        """Name of the bottleneck station at concurrency ``n``."""
+        return self.network.bottleneck(n).name
+
+    def workflow_weights(self) -> dict[str, float]:
+        """Page-name -> weight mapping for page-level simulation.
+
+        Uniform weights when the application defines none.
+        """
+        if self.page_weights is None:
+            return {f"{self.workflow}-page-{i + 1}": 1.0 for i in range(self.pages)}
+        return dict(self.page_weights)

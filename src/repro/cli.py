@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing Python::
+
+    python -m repro list-apps
+    python -m repro sweep   --app vins --levels 1,51,203 --duration 120
+    python -m repro predict --app jpetstore --nodes 5 --max-population 280
+    python -m repro compare --app jpetstore --mva-levels 28,140
+    python -m repro solve   --demands 0.05,0.08 --servers 4,1 --think 1 --population 100
+
+Every command prints the same ASCII tables the benches produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis import compare_models, format_series
+from .apps import jpetstore_application, vins_application
+from .core import ClosedNetwork, Station, exact_multiserver_mva, exact_mva
+from .loadtest import run_sweep, sweep_summary_text, utilization_table_text
+from .workflow import predict_performance
+
+__all__ = ["main"]
+
+_APPS = {"vins": vins_application, "jpetstore": jpetstore_application}
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}") from exc
+
+
+def _parse_float_list(text: str) -> list[float]:
+    try:
+        return [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}") from exc
+
+
+def _get_app(name: str):
+    try:
+        return _APPS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown application {name!r}; choose from {sorted(_APPS)}")
+
+
+def _cmd_list_apps(_args) -> int:
+    for name, factory in sorted(_APPS.items()):
+        app = factory()
+        print(f"{name}: {app.name} — {app.workflow} workflow, {app.pages} pages")
+        print(f"    {app.description}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    app = _get_app(args.app)
+    sweep = run_sweep(
+        app, levels=args.levels, duration=args.duration, seed=args.seed
+    )
+    print(sweep_summary_text(sweep))
+    print()
+    print(utilization_table_text(sweep))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    app = _get_app(args.app)
+    high = args.max_population or app.max_tested_concurrency
+    report = predict_performance(
+        app,
+        n_design_points=args.nodes,
+        max_population=high,
+        concurrency_range=(1, app.max_tested_concurrency),
+        strategy=args.strategy,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    print(f"Design points ({args.strategy}): {report.design.tolist()}")
+    print(report.prediction.summary())
+    levels = np.unique(np.linspace(1, high, 12).round().astype(int))
+    print()
+    print(
+        format_series(
+            "Users",
+            levels,
+            {
+                "X (pages/s)": report.prediction.interpolate_throughput(levels.astype(float)).round(2),
+                "R+Z (s)": report.prediction.interpolate_cycle_time(levels.astype(float)).round(3),
+            },
+            title=f"MVASD prediction — {app.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    app = _get_app(args.app)
+    sweep = run_sweep(app, duration=args.duration, seed=args.seed)
+    comparison = compare_models(
+        sweep,
+        max_population=args.max_population,
+        mva_levels=args.mva_levels,
+        include_throughput_axis=args.throughput_axis,
+    )
+    print(comparison.table())
+    print(f"\nBest model (throughput): {comparison.best('throughput')}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    demands = args.demands
+    servers = args.servers or [1] * len(demands)
+    if len(servers) != len(demands):
+        raise SystemExit("--servers must match --demands in length")
+    stations = [
+        Station(f"station-{i}", d, servers=c)
+        for i, (d, c) in enumerate(zip(demands, servers))
+    ]
+    net = ClosedNetwork(stations, think_time=args.think)
+    solver = exact_mva if all(c == 1 for c in servers) else exact_multiserver_mva
+    result = solver(net, args.population)
+    print(result.summary())
+    levels = np.unique(np.linspace(1, args.population, 12).round().astype(int))
+    print()
+    print(
+        format_series(
+            "N",
+            levels,
+            {
+                "X": result.interpolate_throughput(levels.astype(float)).round(3),
+                "R+Z": result.interpolate_cycle_time(levels.astype(float)).round(4),
+            },
+            title=f"{result.solver} trajectory",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MVASD performance modeling of multi-tier web applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list bundled applications").set_defaults(
+        fn=_cmd_list_apps
+    )
+
+    p = sub.add_parser("sweep", help="run a load-test sweep on the simulated testbed")
+    p.add_argument("--app", required=True, choices=sorted(_APPS))
+    p.add_argument("--levels", type=_parse_int_list, default=None,
+                   help="comma-separated concurrency levels (default: the app's)")
+    p.add_argument("--duration", type=float, default=150.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("predict", help="run the Fig. 17 design->measure->predict workflow")
+    p.add_argument("--app", required=True, choices=sorted(_APPS))
+    p.add_argument("--nodes", type=int, default=5, help="number of Chebyshev design points")
+    p.add_argument("--strategy", choices=("chebyshev", "uniform", "random"), default="chebyshev")
+    p.add_argument("--max-population", type=int, default=None)
+    p.add_argument("--duration", type=float, default=150.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("compare", help="Tables-4/5 model comparison against measurements")
+    p.add_argument("--app", required=True, choices=sorted(_APPS))
+    p.add_argument("--mva-levels", type=_parse_int_list, default=None)
+    p.add_argument("--max-population", type=int, default=None)
+    p.add_argument("--throughput-axis", action="store_true")
+    p.add_argument("--duration", type=float, default=150.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("solve", help="solve an ad-hoc closed network with exact MVA")
+    p.add_argument("--demands", type=_parse_float_list, required=True,
+                   help="comma-separated station demands (seconds)")
+    p.add_argument("--servers", type=_parse_int_list, default=None,
+                   help="comma-separated server counts (default all 1)")
+    p.add_argument("--think", type=float, default=0.0)
+    p.add_argument("--population", type=int, required=True)
+    p.set_defaults(fn=_cmd_solve)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

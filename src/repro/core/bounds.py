@@ -1,0 +1,128 @@
+"""Asymptotic and balanced-job bounds for closed networks.
+
+Quick sanity envelopes (paper Section 3, eqs. 5-6, and the classical
+balanced-job-bound refinement).  Every MVA solution must lie inside the
+asymptotic envelope; the property tests enforce this for all solvers.
+Multi-server stations contribute ``D_k / C_k`` to the heavy-load bound
+(a C-server station saturates at rate ``C/D``) and their full ``D_k``
+to the light-load sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import ClosedNetwork
+
+__all__ = ["AsymptoticBounds", "asymptotic_bounds", "balanced_job_bounds"]
+
+
+@dataclass(frozen=True)
+class AsymptoticBounds:
+    """Envelope for throughput and cycle time over a population range.
+
+    ``throughput_upper`` / ``cycle_time_lower`` are the optimistic
+    bounds; the pessimistic counterparts come from zero parallelism.
+    """
+
+    populations: np.ndarray
+    throughput_upper: np.ndarray
+    throughput_lower: np.ndarray
+    cycle_time_lower: np.ndarray
+    cycle_time_upper: np.ndarray
+    knee: float
+
+
+def asymptotic_bounds(
+    network: ClosedNetwork,
+    max_population: int,
+    demand_level: float = 1.0,
+) -> AsymptoticBounds:
+    """Asymptotic bounds of eqs. 5-6 for ``n = 1..N``.
+
+    Demands of varying-demand networks are frozen at ``demand_level``;
+    for a conservative envelope around an MVASD run, evaluate at the
+    level with the largest bottleneck demand.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    d = network.demands_at(demand_level)
+    servers = network.servers().astype(float)
+    is_queue = np.array([st.kind == "queue" for st in network.stations])
+    z = network.think_time
+
+    d_sum = float(d.sum())
+    per_server = np.where(is_queue, d / servers, 0.0)
+    d_max = float(per_server.max()) if per_server.size else 0.0
+
+    n = np.arange(1, max_population + 1, dtype=float)
+    x_upper = np.minimum(n / (d_sum + z), 1.0 / d_max if d_max > 0 else np.inf)
+    # Pessimistic: fully serialized customers (each cycle takes n * sum(D)).
+    x_lower = n / (n * d_sum + z)
+    ct_lower = np.maximum(d_sum + z, n * d_max)
+    ct_upper = n * d_sum + z
+    knee = (d_sum + z) / d_max if d_max > 0 else float("inf")
+    return AsymptoticBounds(
+        populations=np.arange(1, max_population + 1),
+        throughput_upper=x_upper,
+        throughput_lower=x_lower,
+        cycle_time_lower=ct_lower,
+        cycle_time_upper=ct_upper,
+        knee=knee,
+    )
+
+
+def balanced_job_bounds(
+    network: ClosedNetwork,
+    max_population: int,
+    demand_level: float = 1.0,
+) -> AsymptoticBounds:
+    """Balanced-job bounds (tighter than asymptotic, single-server form).
+
+    The classical BJB expressions with the terminal (think-time)
+    adjustment of Lazowska et al. — with terminals, only the fraction
+    ``sum(D) / (sum(D) + Z)`` of the other ``n - 1`` customers competes
+    at the stations on average, which the optimistic branch must credit
+    to remain a true bound:
+
+        ``n / (sum(D) + Z + (n-1) D_max)
+            <=  X  <=
+          n / (sum(D) + Z + (n-1) D_avg sum(D) / (sum(D) + Z))``
+
+    with ``D_avg`` the mean per-server queueing demand and the upper
+    branch additionally capped by ``1 / D_max``.  Multi-server stations
+    enter through their per-server demands ``D_k / C_k``.  Verified
+    against exact MVA over randomized networks in the test suite.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    d_full = network.demands_at(demand_level)
+    servers = network.servers().astype(float)
+    is_queue = np.array([st.kind == "queue" for st in network.stations])
+    d = np.where(is_queue, d_full / servers, 0.0)
+    z = network.think_time
+
+    d_sum_total = float(d_full.sum())
+    d_bottleneck = float(d.max()) if d.size else 0.0
+    queue_demands = d[is_queue]
+    d_avg = float(queue_demands.mean()) if queue_demands.size else 0.0
+
+    n = np.arange(1, max_population + 1, dtype=float)
+    terminal_adj = d_sum_total / (d_sum_total + z) if d_sum_total + z > 0 else 0.0
+    x_lower = n / (d_sum_total + z + (n - 1) * d_bottleneck)
+    x_upper = n / (d_sum_total + z + (n - 1) * d_avg * terminal_adj)
+    if d_bottleneck > 0:
+        x_upper = np.minimum(x_upper, 1.0 / d_bottleneck)
+    ct_lower = n / x_upper
+    ct_upper = n / x_lower
+    knee = (d_sum_total + z) / d_bottleneck if d_bottleneck > 0 else float("inf")
+    return AsymptoticBounds(
+        populations=np.arange(1, max_population + 1),
+        throughput_upper=x_upper,
+        throughput_lower=x_lower,
+        cycle_time_lower=ct_lower,
+        cycle_time_upper=ct_upper,
+        knee=knee,
+    )

@@ -1,0 +1,146 @@
+"""Interval MVA — prediction bands from uncertain demands.
+
+The paper's related work (its ref. [16], Luthi et al.) extends MVA to
+*histogram* inputs to absorb workload variability.  This module
+implements the interval core of that idea: when each demand is only
+known to lie in ``[D_lo, D_hi]`` (measurement noise, regression
+confidence intervals from :mod:`repro.loadtest.inference`), the exact
+MVA map is **monotone in every demand** — increasing any ``D_k`` can
+only decrease throughput and increase response time at every population
+(a consequence of the arrival theorem; verified property-based in the
+tests).  The tight prediction band is therefore obtained from just two
+solves:
+
+* all demands at their lower bounds -> upper throughput / lower R+Z;
+* all demands at their upper bounds -> lower throughput / upper R+Z.
+
+:func:`interval_mva` produces the band; :func:`band_from_estimates`
+builds the intervals straight from
+:class:`~repro.loadtest.inference.DemandEstimate` confidence intervals,
+closing the loop noise -> demand CI -> performance band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..loadtest.inference import DemandEstimate
+from .multiserver import exact_multiserver_mva
+from .network import ClosedNetwork
+from .results import MVAResult
+
+__all__ = ["PredictionBand", "band_from_estimates", "interval_mva"]
+
+
+@dataclass(frozen=True)
+class PredictionBand:
+    """Guaranteed envelope for throughput and cycle time.
+
+    ``optimistic`` is the all-lower-bound solve, ``pessimistic`` the
+    all-upper-bound solve; any true demand vector inside the intervals
+    yields trajectories between them.
+    """
+
+    populations: np.ndarray
+    throughput_low: np.ndarray
+    throughput_high: np.ndarray
+    cycle_time_low: np.ndarray
+    cycle_time_high: np.ndarray
+    optimistic: MVAResult
+    pessimistic: MVAResult
+
+    def throughput_width(self) -> np.ndarray:
+        """Relative band width ``(X_hi - X_lo) / X_hi`` per level."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                self.throughput_high > 0,
+                (self.throughput_high - self.throughput_low) / self.throughput_high,
+                0.0,
+            )
+
+    def contains(self, result: MVAResult, rtol: float = 1e-9) -> bool:
+        """Does a trajectory (same population range) lie inside the band?"""
+        if len(result.populations) != len(self.populations):
+            raise ValueError("population ranges differ")
+        x_ok = np.all(result.throughput <= self.throughput_high * (1 + rtol)) and np.all(
+            result.throughput >= self.throughput_low * (1 - rtol)
+        )
+        ct_ok = np.all(
+            result.cycle_time <= self.cycle_time_high * (1 + rtol)
+        ) and np.all(result.cycle_time >= self.cycle_time_low * (1 - rtol))
+        return bool(x_ok and ct_ok)
+
+    def at(self, n: int) -> dict:
+        idx = int(np.searchsorted(self.populations, n))
+        if idx >= len(self.populations) or self.populations[idx] != n:
+            raise KeyError(f"population {n} not in band")
+        return {
+            "population": n,
+            "throughput": (float(self.throughput_low[idx]), float(self.throughput_high[idx])),
+            "cycle_time": (float(self.cycle_time_low[idx]), float(self.cycle_time_high[idx])),
+        }
+
+
+def interval_mva(
+    network: ClosedNetwork,
+    max_population: int,
+    demand_intervals: Mapping[str, tuple[float, float]],
+) -> PredictionBand:
+    """Solve the network at both interval corners (exact, multi-server).
+
+    ``demand_intervals`` maps every station name to ``(low, high)``;
+    stations not listed use their network demand as a point value.
+    """
+    if max_population < 1:
+        raise ValueError("max_population must be >= 1")
+    lo: list[float] = []
+    hi: list[float] = []
+    for st in network.stations:
+        if st.name in demand_intervals:
+            a, b = demand_intervals[st.name]
+            if a < 0 or b < a:
+                raise ValueError(
+                    f"station {st.name!r}: invalid interval ({a}, {b})"
+                )
+            lo.append(float(a))
+            hi.append(float(b))
+        else:
+            d = st.demand_at(1.0)
+            lo.append(d)
+            hi.append(d)
+
+    optimistic = exact_multiserver_mva(
+        network, max_population, demands=lo, station_detail=False
+    )
+    pessimistic = exact_multiserver_mva(
+        network, max_population, demands=hi, station_detail=False
+    )
+    return PredictionBand(
+        populations=optimistic.populations,
+        throughput_low=pessimistic.throughput,
+        throughput_high=optimistic.throughput,
+        cycle_time_low=optimistic.cycle_time,
+        cycle_time_high=pessimistic.cycle_time,
+        optimistic=optimistic,
+        pessimistic=pessimistic,
+    )
+
+
+def band_from_estimates(
+    network: ClosedNetwork,
+    estimates: Mapping[str, DemandEstimate],
+    max_population: int,
+) -> PredictionBand:
+    """Prediction band from regression demand estimates (95 % CIs).
+
+    Negative CI lower bounds are clipped at 0 (a demand cannot be
+    negative); stations without an estimate keep their point demand.
+    """
+    intervals = {}
+    for name, est in estimates.items():
+        lo, hi = est.confidence_95
+        intervals[name] = (max(lo, 0.0), max(hi, 0.0))
+    return interval_mva(network, max_population, intervals)

@@ -1,0 +1,196 @@
+"""Operational laws for queueing-network performance analysis.
+
+These are the fundamental identities of operational analysis (Denning &
+Buzen) used throughout the paper — eqs. (1)-(6):
+
+* Utilization law          ``U_i = X_i * S_i``
+* Forced-flow law          ``X_i = V_i * X``
+* Service-demand law       ``D_i = V_i * S_i = U_i / X``
+* Little's law             ``N = X * (R + Z)``
+* Bottleneck law           ``X <= 1 / D_max`` and the derived response-time
+  lower bound ``R >= N * D_max - Z``.
+
+All functions are pure, accept scalars or NumPy arrays (broadcasting
+element-wise), and raise :class:`ValueError` on physically meaningless
+inputs (negative times, zero throughput where a division is required).
+They are deliberately tiny so they can be used inside tight loops of the
+MVA solvers without overhead concerns; everything vectorizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "utilization",
+    "throughput_from_utilization",
+    "service_time_from_utilization",
+    "forced_flow",
+    "visit_count",
+    "service_demand",
+    "service_demand_from_utilization",
+    "littles_law_population",
+    "littles_law_throughput",
+    "littles_law_response_time",
+    "bottleneck_throughput_bound",
+    "response_time_lower_bound",
+    "asymptotic_knee",
+]
+
+
+def _as_nonnegative(name: str, value):
+    """Coerce to ``float`` / ``ndarray`` and validate non-negativity."""
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return arr if arr.ndim else float(arr)
+
+
+def _as_positive(name: str, value):
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return arr if arr.ndim else float(arr)
+
+
+def utilization(throughput, service_time):
+    """Utilization law (eq. 1): ``U_i = X_i * S_i``.
+
+    Parameters
+    ----------
+    throughput:
+        Completion rate ``X_i`` of resource *i* (jobs / second).
+    service_time:
+        Mean service time ``S_i`` per visit (seconds).
+
+    Returns
+    -------
+    float or ndarray
+        Fraction of time the resource is busy.  May exceed 1 for a
+        multi-server station where it then denotes *total* busy servers;
+        divide by the server count for the per-server utilization.
+    """
+    x = _as_nonnegative("throughput", throughput)
+    s = _as_nonnegative("service_time", service_time)
+    return x * s
+
+
+def throughput_from_utilization(util, service_time):
+    """Invert the utilization law: ``X_i = U_i / S_i``."""
+    u = _as_nonnegative("util", util)
+    s = _as_positive("service_time", service_time)
+    return u / s
+
+
+def service_time_from_utilization(util, throughput):
+    """Invert the utilization law: ``S_i = U_i / X_i``."""
+    u = _as_nonnegative("util", util)
+    x = _as_positive("throughput", throughput)
+    return u / x
+
+
+def forced_flow(system_throughput, visits):
+    """Forced-flow law (eq. 2): ``X_i = V_i * X``."""
+    x = _as_nonnegative("system_throughput", system_throughput)
+    v = _as_nonnegative("visits", visits)
+    return x * v
+
+
+def visit_count(resource_throughput, system_throughput):
+    """Invert the forced-flow law: ``V_i = X_i / X``."""
+    xi = _as_nonnegative("resource_throughput", resource_throughput)
+    x = _as_positive("system_throughput", system_throughput)
+    return xi / x
+
+
+def service_demand(visits, service_time):
+    """Service-demand law (eq. 3, first form): ``D_i = V_i * S_i``."""
+    v = _as_nonnegative("visits", visits)
+    s = _as_nonnegative("service_time", service_time)
+    return v * s
+
+
+def service_demand_from_utilization(util, system_throughput):
+    """Service-demand law (eq. 3, second form): ``D_i = U_i / X``.
+
+    This is the form the paper uses to *extract* demands from monitored
+    utilization and measured load-test throughput (Tables 2-3 -> Fig. 5).
+    """
+    u = _as_nonnegative("util", util)
+    x = _as_positive("system_throughput", system_throughput)
+    return u / x
+
+
+def littles_law_population(throughput, response_time, think_time=0.0):
+    """Little's law (eq. 4): ``N = X * (R + Z)``."""
+    x = _as_nonnegative("throughput", throughput)
+    r = _as_nonnegative("response_time", response_time)
+    z = _as_nonnegative("think_time", think_time)
+    return x * (r + z)
+
+
+def littles_law_throughput(population, response_time, think_time=0.0):
+    """Little's law solved for throughput: ``X = N / (R + Z)``."""
+    n = _as_nonnegative("population", population)
+    r = _as_nonnegative("response_time", response_time)
+    z = _as_nonnegative("think_time", think_time)
+    denom = np.asarray(r + z, dtype=float)
+    if np.any(denom <= 0):
+        raise ValueError("R + Z must be strictly positive")
+    out = n / denom
+    return out if np.ndim(out) else float(out)
+
+
+def littles_law_response_time(population, throughput, think_time=0.0):
+    """Little's law solved for response time: ``R = N / X - Z``."""
+    n = _as_nonnegative("population", population)
+    x = _as_positive("throughput", throughput)
+    z = _as_nonnegative("think_time", think_time)
+    out = n / x - z
+    return out if np.ndim(out) else float(out)
+
+
+def bottleneck_throughput_bound(demands) -> float:
+    """Bottleneck law (eq. 5): ``X <= 1 / D_max`` with ``D_max = max_i D_i``."""
+    d = np.asarray(demands, dtype=float)
+    if d.size == 0:
+        raise ValueError("demands must be non-empty")
+    if np.any(d < 0):
+        raise ValueError("demands must be non-negative")
+    dmax = float(d.max())
+    if dmax <= 0:
+        return float("inf")
+    return 1.0 / dmax
+
+
+def response_time_lower_bound(population, demands, think_time=0.0):
+    """Asymptotic response-time bound (eq. 6): ``R >= N * D_max - Z``.
+
+    Also bounded below by the zero-contention sum of demands, so the
+    returned value is ``max(sum(D), N * D_max - Z)``.
+    """
+    n = _as_nonnegative("population", population)
+    d = np.asarray(demands, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("demands must be non-negative")
+    z = _as_nonnegative("think_time", think_time)
+    dmax = float(d.max()) if d.size else 0.0
+    dsum = float(d.sum())
+    return np.maximum(dsum, n * dmax - z)
+
+
+def asymptotic_knee(demands, think_time=0.0) -> float:
+    """Population ``N*`` where the throughput asymptotes intersect.
+
+    Below ``N* = (sum(D) + Z) / D_max`` the light-load asymptote
+    ``X = N / (sum(D) + Z)`` applies; above it, ``X = 1 / D_max``.  Used
+    by the benches to locate the saturation onset of each application.
+    """
+    d = np.asarray(demands, dtype=float)
+    if d.size == 0 or np.any(d < 0):
+        raise ValueError("demands must be non-empty and non-negative")
+    z = _as_nonnegative("think_time", think_time)
+    dmax = float(d.max())
+    if dmax <= 0:
+        return float("inf")
+    return (float(d.sum()) + z) / dmax

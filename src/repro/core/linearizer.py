@@ -1,0 +1,182 @@
+"""Linearizer — the Chandy-Neuse high-accuracy approximate MVA.
+
+Schweitzer's approximation (paper eq. 9) assumes the queue *fractions*
+``F_k(n) = Q_k(n) / n`` do not change when one customer is removed.
+Linearizer refines this with a first-order correction: it estimates the
+deviations ``delta_k(n) = F_k(n-1) - F_k(n)`` by actually solving
+auxiliary fixed points at populations ``n-1`` and ``n-2``, then re-solves
+the target population with
+
+    ``Q_k(n-1) ~= (n-1) * (Q_k(n)/n + delta_k(n))``
+
+iterating the whole scheme a few times.  Accuracy is typically an order
+of magnitude better than Schweitzer at a small constant-factor cost —
+the standard middle ground between Schweitzer and exact MVA, and a
+useful extra baseline for the paper's exact-vs-approximate discussion.
+
+Single-server stations (use :func:`repro.core.amva.seidmann_transform`
+first for multi-server networks, as
+:func:`linearizer_multiserver_mva` does for you).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .amva import seidmann_transform
+from .mva import _resolve_demands
+from .network import ClosedNetwork
+from .results import MVAResult
+
+__all__ = ["linearizer_amva", "linearizer_multiserver_mva"]
+
+_CORE_MAX_ITER = 10_000
+_CORE_TOL = 1e-10
+_OUTER_ITERATIONS = 3
+
+
+def _core(
+    d: np.ndarray,
+    is_queue: np.ndarray,
+    z: float,
+    n: int,
+    delta: np.ndarray,
+    q0: np.ndarray,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Solve the Linearizer core fixed point at population ``n``.
+
+    ``delta`` holds the current deviation estimates ``delta_k(n)``.
+    Returns ``(X, R_k, Q_k)``; for ``n == 0`` everything is zero.
+    """
+    k = d.shape[0]
+    if n == 0:
+        return 0.0, np.zeros(k), np.zeros(k)
+    q = q0.copy()
+    x = 0.0
+    r_k = np.zeros(k)
+    for _ in range(_CORE_MAX_ITER):
+        q_arr = (n - 1.0) * (q / n + delta)
+        q_arr = np.maximum(q_arr, 0.0)
+        r_k = np.where(is_queue, d * (1.0 + q_arr), d)
+        x = n / (float(r_k.sum()) + z)
+        q_new = x * r_k
+        if np.max(np.abs(q_new - q)) <= _CORE_TOL * max(1.0, float(np.max(q_new))):
+            return x, r_k, q_new
+        q = q_new
+    return x, r_k, q_new  # pragma: no cover - geometric convergence
+
+
+def _solve_population(
+    d: np.ndarray, is_queue: np.ndarray, z: float, n: int
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Full Linearizer at one population: returns (X, R_k, Q_k)."""
+    k = d.shape[0]
+    deltas = {m: np.zeros(k) for m in (n, n - 1, n - 2) if m >= 0}
+    seeds = {m: np.full(k, m / max(k, 1)) for m in deltas}
+    solutions: dict[int, tuple[float, np.ndarray, np.ndarray]] = {}
+
+    for _ in range(_OUTER_ITERATIONS):
+        for m in sorted(deltas):
+            solutions[m] = _core(d, is_queue, z, m, deltas[m], seeds[m])
+            seeds[m] = solutions[m][2]
+        # update deviation estimates from the freshly solved populations
+        for m in sorted(deltas):
+            if m - 1 in solutions and m >= 1:
+                q_m = solutions[m][2]
+                q_prev = solutions[m - 1][2]
+                f_m = q_m / m
+                f_prev = q_prev / (m - 1) if m - 1 > 0 else np.zeros(k)
+                deltas[m] = f_prev - f_m
+    x, r_k, q = solutions[n]
+    return x, r_k, q
+
+
+def linearizer_amva(
+    network: ClosedNetwork,
+    max_population: int,
+    demands: Sequence[float] | None = None,
+    demand_level: float = 1.0,
+) -> MVAResult:
+    """Linearizer approximate MVA over ``n = 1..N`` (single-server form).
+
+    Interface mirrors :func:`repro.core.amva.schweitzer_amva`; each
+    population level runs an independent three-population Linearizer.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    d = _resolve_demands(network, demands, demand_level)
+    k = len(network)
+    z = network.think_time
+    is_queue = np.array([st.kind == "queue" for st in network.stations])
+    servers = network.servers().astype(float)
+
+    pops = np.arange(1, max_population + 1)
+    xs = np.empty(max_population)
+    rs = np.empty(max_population)
+    qs = np.empty((max_population, k))
+    rks = np.empty((max_population, k))
+    utils = np.empty((max_population, k))
+    for i, n in enumerate(pops):
+        x, r_k, q = _solve_population(d, is_queue, z, int(n))
+        xs[i] = x
+        rs[i] = float(r_k.sum())
+        qs[i] = q
+        rks[i] = r_k
+        utils[i] = x * d / servers
+
+    return MVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_time=z,
+        solver="linearizer-amva",
+        demands_used=np.tile(d, (max_population, 1)),
+    )
+
+
+def linearizer_multiserver_mva(
+    network: ClosedNetwork,
+    max_population: int,
+    demands: Sequence[float] | None = None,
+    demand_level: float = 1.0,
+) -> MVAResult:
+    """Linearizer over the Seidmann transform — multi-server baseline.
+
+    Folds the synthetic Seidmann delay back onto the parent stations, as
+    :func:`repro.core.amva.approximate_multiserver_mva` does.
+    """
+    if demands is not None:
+        network = network.with_demands(list(demands))
+    transformed = seidmann_transform(network)
+    raw = linearizer_amva(transformed, max_population, demand_level=demand_level)
+
+    names = network.station_names
+    k = len(names)
+    qs = np.zeros((max_population, k))
+    rks = np.zeros((max_population, k))
+    utils = np.zeros((max_population, k))
+    for col_raw, raw_name in enumerate(raw.station_names):
+        base = raw_name.removesuffix(".seidmann-delay")
+        col = names.index(base)
+        qs[:, col] += raw.queue_lengths[:, col_raw]
+        rks[:, col] += raw.residence_times[:, col_raw]
+        if not raw_name.endswith(".seidmann-delay"):
+            utils[:, col] = raw.utilizations[:, col_raw]
+
+    return MVAResult(
+        populations=raw.populations,
+        throughput=raw.throughput,
+        response_time=raw.response_time,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=names,
+        think_time=raw.think_time,
+        solver="linearizer-multiserver",
+    )

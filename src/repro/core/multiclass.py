@@ -1,0 +1,161 @@
+"""Exact multi-class MVA (extension beyond the paper's single class).
+
+The paper restricts itself to a single customer class ("customers are
+assumed to be indistinguishable"), but real load tests mix workflows —
+e.g. VINS Registration vs Renew-Policy customers.  This module provides
+the classical exact multi-class recursion over population *vectors* so
+such mixes can be modelled:
+
+    ``R_{k,c}(n) = D_{k,c} * (1 + Q_k(n - e_c))``
+    ``X_c(n)    = n_c / (Z_c + sum_k R_{k,c}(n))``
+    ``Q_k(n)    = sum_c X_c(n) * R_{k,c}(n)``
+
+Stations are single-server (or delay); combine with
+:func:`repro.core.amva.seidmann_transform` for multi-core CPUs.  Cost is
+O(K * prod_c (N_c + 1)), so keep class populations modest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MultiClassResult", "exact_multiclass_mva"]
+
+
+@dataclass(frozen=True)
+class MultiClassResult:
+    """Solution of a multi-class closed network at the full population.
+
+    Attributes
+    ----------
+    populations:
+        The target population vector ``(N_1, ..., N_C)``.
+    throughput:
+        Per-class throughput ``X_c``, shape ``(C,)``.
+    response_time:
+        Per-class response time (excluding think time), shape ``(C,)``.
+    queue_lengths:
+        Total mean jobs per station, shape ``(K,)``.
+    queue_lengths_by_class:
+        Shape ``(K, C)``.
+    utilizations:
+        Per-station utilization ``sum_c X_c D_{k,c}``, shape ``(K,)``.
+    station_names:
+        Station labels.
+    """
+
+    populations: tuple[int, ...]
+    throughput: np.ndarray
+    response_time: np.ndarray
+    queue_lengths: np.ndarray
+    queue_lengths_by_class: np.ndarray
+    utilizations: np.ndarray
+    station_names: tuple[str, ...]
+    think_times: tuple[float, ...]
+
+    @property
+    def total_throughput(self) -> float:
+        return float(self.throughput.sum())
+
+    @property
+    def cycle_times(self) -> np.ndarray:
+        return self.response_time + np.asarray(self.think_times)
+
+
+def exact_multiclass_mva(
+    demands: Sequence[Sequence[float]],
+    populations: Sequence[int],
+    think_times: Sequence[float],
+    station_names: Sequence[str] | None = None,
+    station_kinds: Sequence[str] | None = None,
+) -> MultiClassResult:
+    """Solve a multi-class closed network exactly.
+
+    Parameters
+    ----------
+    demands:
+        ``(K, C)`` matrix — demand of class ``c`` at station ``k``.
+    populations:
+        Class populations ``(N_1, ..., N_C)``.
+    think_times:
+        Per-class think times ``Z_c``.
+    station_names:
+        Optional station labels (defaults ``station-0..``).
+    station_kinds:
+        Optional per-station ``"queue"`` / ``"delay"`` flags (default all
+        queueing).
+
+    Returns
+    -------
+    MultiClassResult
+        Metrics at the full population vector.
+    """
+    d = np.asarray(demands, dtype=float)
+    if d.ndim != 2:
+        raise ValueError(f"demands must be a (K, C) matrix, got shape {d.shape}")
+    if np.any(d < 0):
+        raise ValueError("demands must be non-negative")
+    k, c = d.shape
+    pops = tuple(int(p) for p in populations)
+    if len(pops) != c or any(p < 0 for p in pops):
+        raise ValueError(f"populations must be {c} non-negative integers, got {populations}")
+    z = np.asarray(think_times, dtype=float)
+    if z.shape != (c,) or np.any(z < 0):
+        raise ValueError(f"think_times must be {c} non-negative values")
+    names = tuple(station_names) if station_names else tuple(f"station-{i}" for i in range(k))
+    if len(names) != k:
+        raise ValueError(f"expected {k} station names")
+    kinds = tuple(station_kinds) if station_kinds else ("queue",) * k
+    if len(kinds) != k or any(kd not in ("queue", "delay") for kd in kinds):
+        raise ValueError("station_kinds must be 'queue'/'delay' per station")
+    is_queue = np.array([kd == "queue" for kd in kinds])
+
+    if sum(pops) == 0:
+        zero_c = np.zeros(c)
+        return MultiClassResult(
+            pops, zero_c, zero_c.copy(), np.zeros(k), np.zeros((k, c)),
+            np.zeros(k), names, tuple(z),
+        )
+
+    # Dense table of station queue lengths Q_k(n) over the population lattice.
+    shape = tuple(p + 1 for p in pops)
+    q_table = np.zeros(shape + (k,))
+    last_x = np.zeros(c)
+    last_r = np.zeros(c)
+    last_qkc = np.zeros((k, c))
+
+    for n in product(*(range(p + 1) for p in pops)):
+        if sum(n) == 0:
+            continue
+        r_kc = np.zeros((k, c))
+        x_c = np.zeros(c)
+        for ci in range(c):
+            if n[ci] == 0:
+                continue
+            prev = list(n)
+            prev[ci] -= 1
+            q_prev = q_table[tuple(prev)]
+            r_kc[:, ci] = np.where(is_queue, d[:, ci] * (1.0 + q_prev), d[:, ci])
+            x_c[ci] = n[ci] / (z[ci] + float(r_kc[:, ci].sum()))
+        q_kc = r_kc * x_c[np.newaxis, :]
+        q_table[n] = q_kc.sum(axis=1)
+        if n == pops:
+            last_x = x_c
+            last_r = r_kc.sum(axis=0)
+            last_qkc = q_kc
+
+    util = (d * last_x[np.newaxis, :]).sum(axis=1)
+    return MultiClassResult(
+        populations=pops,
+        throughput=last_x,
+        response_time=last_r,
+        queue_lengths=last_qkc.sum(axis=1),
+        queue_lengths_by_class=last_qkc,
+        utilizations=util,
+        station_names=names,
+        think_times=tuple(z),
+    )

@@ -1,0 +1,221 @@
+"""Multi-class approximate MVA with varying demands ("multi-class MVASD").
+
+The paper treats all virtual users as one class and leaves workload
+mixes to future work.  This module combines its two threads:
+
+* the **Bard-Schweitzer multi-class approximation** — the exact
+  multi-class recursion of :mod:`repro.core.multiclass` costs
+  ``prod_c (N_c + 1)`` lattice points, hopeless for realistic
+  populations, while the Schweitzer fixed point
+
+      ``Q_k(N - e_c) ~= Q_k(N) - Q_{k,c}(N) / N_c``
+
+  solves directly at the target mix;
+* **concurrency-varying demands**: per-class demand curves
+  ``SS_{k,c}(n)`` evaluated at the *total* population, exactly like
+  Algorithm 3 — fitted from per-workflow load tests.
+
+:func:`multiclass_mvasd` sweeps a fixed mix proportionally (e.g. 20 %
+Registration / 80 % Read) from 1 user to a target total, producing
+per-class trajectories; this is the multi-class analogue of the paper's
+Fig. 6/7 curves.
+
+Stations are single-server or delay (Seidmann-transform multi-server
+networks first); multi-class FCFS product form additionally requires a
+common service rate across classes at FCFS stations, so — as with every
+multi-class AMVA in practice — results for class-dependent demands are
+approximations, validated against the multi-class DES in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["MultiClassTrajectory", "multiclass_mvasd", "bard_schweitzer"]
+
+DemandFn = Callable[[float], float]
+
+_MAX_ITER = 50_000
+_TOL = 1e-10
+
+
+def bard_schweitzer(
+    demands: np.ndarray,
+    populations: Sequence[int],
+    think_times: Sequence[float],
+    station_kinds: Sequence[str] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bard-Schweitzer fixed point at one population vector.
+
+    Parameters
+    ----------
+    demands:
+        ``(K, C)`` demand matrix.
+    populations / think_times:
+        Per-class ``N_c`` and ``Z_c``.
+    station_kinds:
+        Optional ``"queue"``/``"delay"`` per station.
+
+    Returns
+    -------
+    (X_c, R_c, Q_kc):
+        Per-class throughput and response time, and the per-station x
+        per-class queue matrix.
+    """
+    d = np.asarray(demands, dtype=float)
+    if d.ndim != 2 or np.any(d < 0):
+        raise ValueError("demands must be a non-negative (K, C) matrix")
+    k, c = d.shape
+    n_c = np.asarray(populations, dtype=float)
+    z = np.asarray(think_times, dtype=float)
+    if n_c.shape != (c,) or np.any(n_c < 0):
+        raise ValueError(f"populations must be {c} non-negative values")
+    if z.shape != (c,) or np.any(z < 0):
+        raise ValueError(f"think_times must be {c} non-negative values")
+    kinds = tuple(station_kinds) if station_kinds else ("queue",) * k
+    is_queue = np.array([kd == "queue" for kd in kinds])
+
+    active = n_c > 0
+    q_kc = np.zeros((k, c))
+    if active.any():
+        q_kc[:, active] = n_c[active] / k  # even initial spread
+    x_c = np.zeros(c)
+    r_kc = np.zeros((k, c))
+    for _ in range(_MAX_ITER):
+        q_total = q_kc.sum(axis=1)
+        r_kc = np.empty((k, c))
+        for ci in range(c):
+            if not active[ci]:
+                r_kc[:, ci] = 0.0
+                continue
+            # arrival-theorem queue with one class-ci customer removed
+            removed = q_kc[:, ci] / n_c[ci]
+            q_arr = np.maximum(q_total - removed, 0.0)
+            r_kc[:, ci] = np.where(is_queue, d[:, ci] * (1.0 + q_arr), d[:, ci])
+        r_c = r_kc.sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_c = np.where(active, n_c / (z + r_c), 0.0)
+        q_new = r_kc * x_c[np.newaxis, :]
+        if np.max(np.abs(q_new - q_kc)) <= _TOL * max(1.0, float(np.max(q_new))):
+            return x_c, r_c, q_new
+        q_kc = q_new
+    return x_c, r_c, q_new  # pragma: no cover - geometric convergence
+
+
+@dataclass(frozen=True)
+class MultiClassTrajectory:
+    """Per-class trajectories along a proportional population sweep."""
+
+    class_names: tuple[str, ...]
+    station_names: tuple[str, ...]
+    totals: np.ndarray  # total population per step
+    populations: np.ndarray  # (steps, C) realized integer mixes
+    throughput: np.ndarray  # (steps, C)
+    response_time: np.ndarray  # (steps, C)
+    utilizations: np.ndarray  # (steps, K)
+    think_times: tuple[float, ...]
+
+    @property
+    def total_throughput(self) -> np.ndarray:
+        return self.throughput.sum(axis=1)
+
+    def class_index(self, name: str) -> int:
+        try:
+            return self.class_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown class {name!r}") from None
+
+    def cycle_time(self, name: str) -> np.ndarray:
+        ci = self.class_index(name)
+        return self.response_time[:, ci] + self.think_times[ci]
+
+
+def multiclass_mvasd(
+    station_names: Sequence[str],
+    class_demands: Mapping[str, Mapping[str, DemandFn | float]],
+    mix: Mapping[str, float],
+    max_total_population: int,
+    think_times: Mapping[str, float],
+    station_kinds: Sequence[str] | None = None,
+) -> MultiClassTrajectory:
+    """Sweep a workload mix with varying-demand multi-class AMVA.
+
+    Parameters
+    ----------
+    station_names:
+        Stations in order (single-server or delay).
+    class_demands:
+        ``class -> station -> demand`` where demand is a constant or a
+        callable of the *total* population (the ``SS_{k,c}^n`` curves).
+    mix:
+        Relative class weights (normalized internally); realized integer
+        populations follow largest-remainder rounding per step.
+    max_total_population:
+        Sweep 1..N total users.
+    think_times:
+        Per-class ``Z_c``.
+    """
+    classes = tuple(class_demands)
+    if not classes:
+        raise ValueError("need at least one class")
+    if set(mix) != set(classes) or set(think_times) != set(classes):
+        raise ValueError("mix and think_times must cover exactly the classes")
+    weights = np.array([float(mix[c]) for c in classes])
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("mix weights must be non-negative with positive sum")
+    weights = weights / weights.sum()
+    if max_total_population < 1:
+        raise ValueError("max_total_population must be >= 1")
+    names = tuple(station_names)
+    k = len(names)
+    for cls in classes:
+        missing = set(names) - set(class_demands[cls])
+        if missing:
+            raise ValueError(f"class {cls!r} missing demands for {sorted(missing)}")
+
+    z = np.array([float(think_times[c]) for c in classes])
+
+    def demands_at(total: float) -> np.ndarray:
+        d = np.empty((k, len(classes)))
+        for ci, cls in enumerate(classes):
+            for ki, st in enumerate(names):
+                spec = class_demands[cls][st]
+                d[ki, ci] = float(spec(total)) if callable(spec) else float(spec)
+                if d[ki, ci] < 0:
+                    raise ValueError(f"negative demand for {cls}/{st} at N={total}")
+        return d
+
+    steps = np.arange(1, max_total_population + 1)
+    pops = np.zeros((len(steps), len(classes)), dtype=int)
+    xs = np.zeros((len(steps), len(classes)))
+    rs = np.zeros((len(steps), len(classes)))
+    utils = np.zeros((len(steps), k))
+    kinds = tuple(station_kinds) if station_kinds else ("queue",) * k
+
+    for i, total in enumerate(steps):
+        # largest-remainder apportionment of the mix at this total
+        raw = weights * total
+        base = np.floor(raw).astype(int)
+        remainder = total - base.sum()
+        order = np.argsort(-(raw - base))
+        base[order[:remainder]] += 1
+        pops[i] = base
+        d = demands_at(float(total))
+        x_c, r_c, _ = bard_schweitzer(d, base, z, station_kinds=kinds)
+        xs[i] = x_c
+        rs[i] = r_c
+        utils[i] = (d * x_c[np.newaxis, :]).sum(axis=1)
+
+    return MultiClassTrajectory(
+        class_names=classes,
+        station_names=names,
+        totals=steps,
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        utilizations=utils,
+        think_times=tuple(z),
+    )

@@ -1,0 +1,313 @@
+"""Algorithm 2 — exact MVA with multi-server queues.
+
+Multi-core CPUs are multi-server FCFS queues; plain MVA has no notion of
+``C_k`` parallel servers.  The paper adopts the correction of its
+ref. [8] (the Reiser exact multi-server recursion, as presented e.g. in
+Bolch et al., *Queueing Networks and Markov Chains*): the residence
+time at a ``C_k``-server station is
+
+    ``R_k = (D_k / C_k) * (1 + Q_k + F_k)``                    (eq. 10)
+
+with a correction factor built from the marginal queue-size
+probabilities ``p_k(j)`` = P[``j`` jobs at station ``k``],
+
+    ``F_k = sum_{j=0}^{C_k - 2} (C_k - 1 - j) * p_k(j)``
+
+updated after each population step as
+
+    ``p_k(j) <- (X^n D_k / j) * p_k(j-1)``          for ``j = 1..C_k-1``
+    ``p_k(0) <- 1 - (1/C_k) * (X^n D_k + sum_{j=1}^{C_k-1} (C_k - j) p_k(j))``
+
+**Indexing note.** The paper's pseudocode stores these in a 1-based
+Scilab array — its ``p_k(1)`` (initialized to 1 on the empty network)
+is the *empty-station* probability ``p_k(0)`` here, and its correction
+``sum_{j=1}^{C_k}(C_k - j) p_k(j)`` is this ``F_k`` after the index
+shift.  Read literally in 0-based form, the pseudocode diverges
+(probabilities exceed 1 at ``C_k = 16``).
+
+**Numerical note.** The truncated recursion above, though algebraically
+exact, is numerically unstable for larger server counts: near
+saturation ``p_k(0)`` becomes a catastrophic cancellation
+(``1 - (XD + ...)/C`` with ``XD -> C``) whose rounding error is then
+amplified through the ``(XD/j)`` chain — at ``C_k = 16`` the recursion
+tracks the exact solution to 1e-13 until ~70 % utilization and then
+blows up.  This is a known property of exact multi-server MVA.  The
+solver therefore carries the **full** marginal vector ``p_k(j | n)``
+for ``j = 0..n`` (:class:`MultiServerState`), for which one can show
+
+    ``(D/C) * (1 + Q + F)  ==  D * sum_{j>=1} (j / min(j, C)) p(j-1 | n-1)``
+
+i.e. eq. 10 evaluated with exact marginals equals the load-dependent
+residence form — stable because residence is dominated by the large
+marginals instead of the tiny cancelled ones.  The truncated
+paper-literal update (:func:`multiserver_step` /
+:func:`update_marginals`) is kept for small server counts and the
+Fig. 3 bench; the test suite validates both against
+:mod:`repro.core.ld_mva` in their stable regimes.
+
+The per-visit ``S_k`` of the paper combines with ``V_k`` into the
+demand ``D_k`` here, exactly as in the total ``sum_k V_k R_k``.  For
+``C_k = 1`` the correction factor is zero and the recursion reduces to
+Algorithm 1.
+
+At zero load ``p_k(0) = 1`` so ``F_k = C_k - 1`` and ``R_k = D_k`` — a
+lone customer sees the full service demand.  As the station saturates
+the low-occupancy probabilities vanish and
+``R_k -> (D_k / C_k)(1 + Q_k)``, the correct heavy-traffic behaviour of
+a ``C_k``-server queue.  Fig. 3 of the paper plots these ``p_k(j)``
+trajectories for a 4-core CPU;
+:class:`~repro.core.results.MVAResult.marginal_probabilities` exposes
+them for the corresponding bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .mva import _resolve_demands
+from .network import ClosedNetwork
+from .results import MVAResult
+
+__all__ = [
+    "MultiServerState",
+    "exact_multiserver_mva",
+    "multiserver_step",
+    "update_marginals",
+]
+
+
+class MultiServerState:
+    """Stable exact residence-time state for one multi-server station.
+
+    Carries the full marginal queue-size vector ``p(j | n)`` for
+    ``j = 0..n`` and evaluates eq. 10 through the equivalent
+    load-dependent form (see module docstring).  Demands may differ at
+    every population level, which is what MVASD needs.
+    """
+
+    __slots__ = ("servers", "max_population", "_p", "_weights", "_level")
+
+    def __init__(self, servers: int, max_population: int) -> None:
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        if max_population < 1:
+            raise ValueError(f"max_population must be >= 1, got {max_population}")
+        self.servers = int(servers)
+        self.max_population = int(max_population)
+        self._p = np.zeros(max_population + 1)
+        self._p[0] = 1.0  # empty network
+        js = np.arange(1, max_population + 1, dtype=float)
+        #: j / min(j, C): the per-job residence weight of the LD form.
+        self._weights = js / np.minimum(js, self.servers)
+        self._level = 0
+
+    def residence(self, n: int, demand: float) -> float:
+        """``R_k`` at population ``n`` given this level's demand.
+
+        Must be called with ``n`` equal to one past the last updated
+        level (the recursion is strictly sequential).
+        """
+        if n != self._level + 1:
+            raise ValueError(
+                f"out-of-order recursion: expected n={self._level + 1}, got {n}"
+            )
+        return demand * float((self._weights[:n] * self._p[:n]).sum())
+
+    def update(self, n: int, x: float, demand: float) -> None:
+        """Advance the marginals to population ``n`` after ``X^n`` is known.
+
+        The closing ``p(0) = 1 - sum(tail)`` is a cancellation whose
+        rounding error the recursion amplifies exponentially once the
+        station runs past ~75 % utilization (the classical MVA-LD
+        instability).  Renormalizing the whole vector each level keeps
+        the recursion bounded and self-correcting; the residual bias is
+        confined to the saturation transition and is small (<~2 % on a
+        16-core bottleneck), which the test suite pins down against the
+        exact convolution solver.
+        """
+        if n != self._level + 1:
+            raise ValueError(
+                f"out-of-order recursion: expected n={self._level + 1}, got {n}"
+            )
+        mu_scale = x * demand  # X / mu(j) = X * D / min(j, C), applied below
+        js = np.arange(1, n + 1, dtype=float)
+        new_tail = (mu_scale / np.minimum(js, self.servers)) * self._p[:n]
+        self._p[1 : n + 1] = new_tail
+        self._p[0] = max(0.0, 1.0 - float(new_tail.sum()))
+        total = float(self._p[: n + 1].sum())
+        if total > 0:
+            self._p[: n + 1] /= total
+        self._level = n
+
+    def queue_length(self) -> float:
+        """Mean jobs ``Q_k`` at the last updated level (from the marginals)."""
+        n = self._level
+        js = np.arange(0, n + 1, dtype=float)
+        return float((js * self._p[: n + 1]).sum())
+
+    def marginals(self, upto: int | None = None) -> np.ndarray:
+        """``p(0..upto-1)`` at the last updated level (default: C values)."""
+        count = self.servers if upto is None else int(upto)
+        return self._p[:count].copy()
+
+    def correction_factor(self) -> float:
+        """The paper's ``F_k`` evaluated from the exact marginals."""
+        c = self.servers
+        if c == 1:
+            return 0.0
+        j = np.arange(0, c - 1, dtype=float)
+        return float(((c - 1 - j) * self._p[: c - 1]).sum())
+
+
+def multiserver_step(
+    demand: float,
+    servers: int,
+    queue: float,
+    probs: np.ndarray,
+) -> float:
+    """Residence time of one station for one population step (eq. 10).
+
+    ``probs`` holds ``p_k(0 .. C_k-1)`` at the *previous* population;
+    the caller updates them afterwards with :func:`update_marginals`.
+    Exposed separately so the MVASD solver (Algorithm 3) can reuse it
+    with per-level demands.
+    """
+    if servers == 1:
+        return demand * (1.0 + queue)
+    j = np.arange(0, servers - 1)
+    correction = float(((servers - 1 - j) * probs[: servers - 1]).sum())
+    return (demand / servers) * (1.0 + queue + correction)
+
+
+def update_marginals(probs: np.ndarray, x: float, demand: float, servers: int) -> None:
+    """In-place marginal-probability update of Algorithm 2.
+
+    ``p(1..C-1)`` are chained from the previous population's values
+    (highest index first, so each reads the *old* lower neighbour), then
+    ``p(0)`` is renormalized from the new tail.  ``p(0)`` is clamped at
+    0: past saturation the closed-form normalization can dip negative
+    by rounding since ``X^n D_k -> C_k`` only in exact arithmetic.
+    """
+    if servers == 1:
+        return
+    xd = x * demand
+    for j in range(servers - 1, 0, -1):
+        probs[j] = (xd / j) * probs[j - 1]
+    weights = servers - np.arange(1, servers)
+    tail = float((weights * probs[1:servers]).sum())
+    probs[0] = max(0.0, 1.0 - (xd + tail) / servers)
+
+
+def exact_multiserver_mva(
+    network: ClosedNetwork,
+    max_population: int,
+    demands: Sequence[float] | None = None,
+    demand_level: float = 1.0,
+    method: str = "convolution",
+    station_detail: bool = True,
+) -> MVAResult:
+    """Solve a closed network with exact multi-server MVA (Algorithm 2).
+
+    Demands are constant over the population sweep; as with
+    :func:`repro.core.mva.exact_mva`, a varying-demand network is frozen
+    at ``demand_level`` (the paper's ``MVA i`` construction) unless an
+    explicit ``demands`` vector is given.
+
+    ``method`` selects the backend:
+
+    * ``"convolution"`` (default) — the model Algorithm 2 computes,
+      solved exactly and stably for any server count via
+      :func:`repro.core.convolution.convolution_mva`.
+    * ``"recursion"`` — the paper's marginal-probability recursion
+      (full-vector, renormalized).  Matches convolution to rounding for
+      small server counts and moderate utilization, and additionally
+      returns the ``p_k(j)`` trajectories of Fig. 3 in
+      ``marginal_probabilities``; subject to the MVA-LD transition bias
+      discussed in the module docstring for many-server bottlenecks.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    if method not in ("convolution", "recursion"):
+        raise ValueError(f"method must be 'convolution' or 'recursion', got {method!r}")
+    if method == "convolution":
+        from .convolution import convolution_mva
+
+        result = convolution_mva(
+            network,
+            max_population,
+            demands=demands,
+            demand_level=demand_level,
+            station_detail=station_detail,
+        )
+        # Re-badge: callers asked for Algorithm 2's model, which this solves.
+        return MVAResult(
+            populations=result.populations,
+            throughput=result.throughput,
+            response_time=result.response_time,
+            queue_lengths=result.queue_lengths,
+            residence_times=result.residence_times,
+            utilizations=result.utilizations,
+            station_names=result.station_names,
+            think_time=result.think_time,
+            solver="exact-multiserver-mva",
+            demands_used=result.demands_used,
+        )
+
+    d = _resolve_demands(network, demands, demand_level)
+    k = len(network)
+    z = network.think_time
+    stations = network.stations
+    servers = network.servers()
+
+    states = [
+        MultiServerState(st.servers, max_population) if st.kind == "queue" else None
+        for st in stations
+    ]
+
+    pops = np.arange(1, max_population + 1)
+    xs = np.empty(max_population)
+    rs = np.empty(max_population)
+    qs = np.empty((max_population, k))
+    rks = np.empty((max_population, k))
+    utils = np.empty((max_population, k))
+    prob_hist = {
+        st.name: np.empty((max_population, st.servers))
+        for st in stations
+        if st.servers > 1
+    }
+
+    for i, n in enumerate(pops):
+        r_k = np.empty(k)
+        for idx, st in enumerate(stations):
+            if st.kind == "delay":
+                r_k[idx] = d[idx]
+            else:
+                r_k[idx] = states[idx].residence(int(n), d[idx])
+        r_total = float(r_k.sum())
+        x = n / (r_total + z)
+        for idx, st in enumerate(stations):
+            if st.kind == "queue":
+                states[idx].update(int(n), x, d[idx])
+            if st.servers > 1:
+                prob_hist[st.name][i] = states[idx].marginals()
+        xs[i] = x
+        rs[i] = r_total
+        qs[i] = x * r_k
+        rks[i] = r_k
+        utils[i] = x * d / servers
+
+    return MVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_time=z,
+        solver="exact-multiserver-mva-recursion",
+        marginal_probabilities=prob_hist or None,
+        demands_used=np.tile(d, (max_population, 1)),
+    )

@@ -1,0 +1,158 @@
+"""Open queueing-network analysis (M/M/C stations, Jackson-style).
+
+Section 7 of the paper motivates modeling demand against *throughput*
+because "throughput can be modified much easier" in **open** systems —
+arrivals are an external rate ``lambda``, not a fixed user population.
+This module provides that open-system counterpart to the closed-network
+solvers:
+
+* Erlang-B / Erlang-C formulas (numerically stable recurrences);
+* :func:`analyze_open` — per-station utilizations, waiting times and
+  queue lengths, system response time and population, for a given
+  arrival rate, with stability checking;
+* demand curves on the throughput axis plug straight in: for an open
+  system the operating point *is* the throughput, so the paper's
+  demand-vs-throughput splines (Fig. 11) evaluate directly — no fixed
+  point needed.
+
+Stations reuse :class:`repro.core.network.Station` (think time is not
+part of an open model and is ignored with a ``ValueError`` if the
+network carries one and ``strict=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .network import ClosedNetwork
+
+__all__ = ["OpenResult", "analyze_open", "erlang_b", "erlang_c"]
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for ``C`` servers at load ``a``.
+
+    Computed with the stable recurrence
+    ``B(0) = 1; B(j) = a B(j-1) / (j + a B(j-1))``.
+    """
+    if servers < 0:
+        raise ValueError(f"servers must be non-negative, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be non-negative, got {offered_load}")
+    b = 1.0
+    for j in range(1, servers + 1):
+        b = offered_load * b / (j + offered_load * b)
+    return b
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C delay probability (P[wait > 0]) for an M/M/C queue.
+
+    Requires ``offered_load < servers`` for a finite result; returns 1.0
+    at or beyond saturation.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be non-negative, got {offered_load}")
+    if offered_load >= servers:
+        return 1.0
+    b = erlang_b(servers, offered_load)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+@dataclass(frozen=True)
+class OpenResult:
+    """Steady-state metrics of an open network at one arrival rate."""
+
+    arrival_rate: float
+    station_names: tuple[str, ...]
+    utilizations: np.ndarray
+    residence_times: np.ndarray
+    queue_lengths: np.ndarray
+    response_time: float
+    population: float
+    demands: np.ndarray
+
+    @property
+    def bottleneck(self) -> str:
+        return self.station_names[int(np.argmax(self.utilizations))]
+
+    def residence_of(self, station: str) -> float:
+        try:
+            return float(self.residence_times[self.station_names.index(station)])
+        except ValueError:
+            raise KeyError(f"unknown station {station!r}") from None
+
+
+def analyze_open(
+    network: ClosedNetwork,
+    arrival_rate: float,
+    demand_functions: Mapping[str, Callable[[float], float]] | None = None,
+) -> OpenResult:
+    """Solve the open M/M/C network at arrival rate ``lambda``.
+
+    Parameters
+    ----------
+    network:
+        Station topology (server counts, demands).  The network's think
+        time is ignored — an open system has no terminals.
+    arrival_rate:
+        External arrival rate ``lambda`` (pages/second); this *is* the
+        system throughput when stable.
+    demand_functions:
+        Optional per-station demand curves **on the throughput axis**
+        (the Fig. 11 splines); evaluated at ``arrival_rate``.  Defaults
+        to the network demands, with varying demands evaluated at the
+        arrival rate (throughput-axis semantics).
+
+    Raises
+    ------
+    ValueError
+        If any station would be saturated (``lambda D_k >= C_k``).
+    """
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be non-negative, got {arrival_rate}")
+
+    names = network.station_names
+    k = len(network)
+    d = np.empty(k)
+    for i, st in enumerate(network.stations):
+        if demand_functions is not None and st.name in demand_functions:
+            d[i] = float(demand_functions[st.name](arrival_rate))
+        else:
+            d[i] = st.demand_at(arrival_rate)
+        if d[i] < 0:
+            raise ValueError(f"station {st.name!r}: negative demand {d[i]}")
+
+    utils = np.zeros(k)
+    residence = np.zeros(k)
+    for i, st in enumerate(network.stations):
+        if st.kind == "delay" or d[i] == 0.0:
+            residence[i] = d[i]
+            continue
+        a = arrival_rate * d[i]  # offered load in servers
+        if a >= st.servers:
+            raise ValueError(
+                f"station {st.name!r} saturated: lambda*D = {a:.3f} >= C = {st.servers}"
+            )
+        utils[i] = a / st.servers
+        # M/M/C waiting time in demand units: Wq = ErlangC * D / (C (1-rho)).
+        pw = erlang_c(st.servers, a)
+        residence[i] = d[i] + pw * d[i] / (st.servers * (1.0 - utils[i]))
+
+    response = float(residence.sum())
+    return OpenResult(
+        arrival_rate=arrival_rate,
+        station_names=names,
+        utilizations=utils,
+        residence_times=residence,
+        queue_lengths=arrival_rate * residence,
+        response_time=response,
+        population=arrival_rate * response,
+        demands=d,
+    )

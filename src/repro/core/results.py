@@ -1,0 +1,143 @@
+"""Result containers shared by all MVA solvers.
+
+Every solver in :mod:`repro.core` walks the population from 1 to ``N``
+and records, for each intermediate population ``n``, the system
+throughput ``X^n``, response time ``R^n``, per-station queue lengths,
+residence times and utilizations.  :class:`MVAResult` packages those
+trajectories as NumPy arrays so benches and tests can slice them
+without re-running the recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["MVAResult"]
+
+
+@dataclass(frozen=True)
+class MVAResult:
+    """Trajectories produced by an MVA-family solver.
+
+    Attributes
+    ----------
+    populations:
+        Population levels ``n = 1..N`` (shape ``(N,)``).
+    throughput:
+        System throughput ``X^n`` at each level (jobs/sec).
+    response_time:
+        System response time ``R^n`` at each level (seconds), *excluding*
+        think time.
+    queue_lengths:
+        Mean jobs at each station, shape ``(N, K)``.
+    residence_times:
+        Per-interaction residence time ``V_k R_k`` at each station,
+        shape ``(N, K)``.
+    utilizations:
+        Per-server utilization ``X^n D_k^n / C_k`` at each station,
+        shape ``(N, K)``; between 0 and 1 for stable stations.
+    station_names:
+        Station labels in column order.
+    think_time:
+        The ``Z`` used by the solver, so cycle time is reconstructible.
+    marginal_probabilities:
+        Optional mapping from station name to an ``(N, C_k)`` array of
+        the paper's marginal queue-size probabilities ``p_k(j)``
+        (multi-server solvers only; Fig. 3).
+    demands_used:
+        Demands ``SS_k^n`` the solver actually used per level, shape
+        ``(N, K)`` (interesting for MVASD; constant rows for fixed-demand
+        solvers).
+    solver:
+        Name of the producing algorithm.
+    """
+
+    populations: np.ndarray
+    throughput: np.ndarray
+    response_time: np.ndarray
+    queue_lengths: np.ndarray
+    residence_times: np.ndarray
+    utilizations: np.ndarray
+    station_names: tuple[str, ...]
+    think_time: float
+    solver: str
+    marginal_probabilities: Mapping[str, np.ndarray] | None = None
+    demands_used: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.populations)
+        k = len(self.station_names)
+        for attr in ("throughput", "response_time"):
+            if getattr(self, attr).shape != (n,):
+                raise ValueError(f"{attr} must have shape ({n},)")
+        for attr in ("queue_lengths", "residence_times", "utilizations"):
+            if getattr(self, attr).shape != (n, k):
+                raise ValueError(f"{attr} must have shape ({n}, {k})")
+        if self.demands_used is not None and self.demands_used.shape != (n, k):
+            raise ValueError(f"demands_used must have shape ({n}, {k})")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def cycle_time(self) -> np.ndarray:
+        """Mean cycle time ``R^n + Z`` — the paper's reported response metric."""
+        return self.response_time + self.think_time
+
+    @property
+    def max_population(self) -> int:
+        return int(self.populations[-1])
+
+    def at(self, n: int) -> dict:
+        """Scalar snapshot of every metric at population ``n``."""
+        idx = int(np.searchsorted(self.populations, n))
+        if idx >= len(self.populations) or self.populations[idx] != n:
+            raise KeyError(f"population {n} not in result (max {self.max_population})")
+        return {
+            "population": n,
+            "throughput": float(self.throughput[idx]),
+            "response_time": float(self.response_time[idx]),
+            "cycle_time": float(self.cycle_time[idx]),
+            "queue_lengths": dict(zip(self.station_names, self.queue_lengths[idx])),
+            "utilizations": dict(zip(self.station_names, self.utilizations[idx])),
+        }
+
+    def interpolate_throughput(self, populations) -> np.ndarray:
+        """Linear interpolation of ``X^n`` at arbitrary population levels."""
+        return np.interp(np.asarray(populations, float), self.populations, self.throughput)
+
+    def interpolate_cycle_time(self, populations) -> np.ndarray:
+        """Linear interpolation of ``R^n + Z`` at arbitrary population levels."""
+        return np.interp(np.asarray(populations, float), self.populations, self.cycle_time)
+
+    def utilization_of(self, station: str) -> np.ndarray:
+        """Utilization trajectory for one station by name."""
+        try:
+            col = self.station_names.index(station)
+        except ValueError:
+            raise KeyError(f"unknown station {station!r}") from None
+        return self.utilizations[:, col]
+
+    def queue_length_of(self, station: str) -> np.ndarray:
+        try:
+            col = self.station_names.index(station)
+        except ValueError:
+            raise KeyError(f"unknown station {station!r}") from None
+        return self.queue_lengths[:, col]
+
+    def littles_law_residual(self) -> np.ndarray:
+        """``|N - X (R + Z)| / N`` per level — must be ~0 for a correct solver."""
+        n = self.populations.astype(float)
+        return np.abs(n - self.throughput * (self.response_time + self.think_time)) / n
+
+    def summary(self) -> str:
+        """One-line textual summary used by examples and benches."""
+        xmax = float(self.throughput.max())
+        nstar = int(self.populations[int(np.argmax(self.throughput))])
+        return (
+            f"{self.solver}: N=1..{self.max_population}, "
+            f"X_max={xmax:.2f}/s at N={nstar}, "
+            f"R+Z({self.max_population})={float(self.cycle_time[-1]):.3f}s"
+        )

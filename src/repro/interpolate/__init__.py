@@ -1,0 +1,37 @@
+"""Spline interpolation, smoothing, Chebyshev design and demand curves.
+
+The substrate behind MVASD's ``SS_k^n`` arrays: from-scratch cubic
+splines with the paper's eq. 14 boundary pegging, smoothing splines
+(eq. 12), Chebyshev test-point design (eqs. 16-19) and the
+:class:`~repro.interpolate.demand_model.ServiceDemandModel` /
+:class:`~repro.interpolate.demand_model.DemandTable` wrappers that the
+solvers consume.
+"""
+
+from .chebyshev import (
+    chebyshev_error_bound,
+    chebyshev_nodes,
+    chebyshev_nodes_unit,
+    concurrency_test_points,
+    exponential_error_bound,
+)
+from .cubic import CubicSpline
+from .demand_model import DemandTable, ServiceDemandModel
+from .monotone import MonotoneCubicSpline
+from .smoothing import SmoothingSpline, smoothing_matrices
+from .tridiagonal import solve_tridiagonal
+
+__all__ = [
+    "CubicSpline",
+    "DemandTable",
+    "MonotoneCubicSpline",
+    "ServiceDemandModel",
+    "SmoothingSpline",
+    "chebyshev_error_bound",
+    "chebyshev_nodes",
+    "chebyshev_nodes_unit",
+    "concurrency_test_points",
+    "exponential_error_bound",
+    "smoothing_matrices",
+    "solve_tridiagonal",
+]

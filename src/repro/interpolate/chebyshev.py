@@ -1,0 +1,98 @@
+"""Chebyshev nodes and polynomial-interpolation error bounds (Section 8).
+
+Sampling service demands at equi-spaced concurrency levels invites the
+Runge phenomenon; the paper instead places load-test points at the
+Chebyshev nodes,
+
+    ``x_k = cos((2k - 1) / (2n) * pi)``,  ``k = 1..n``        (eq. 16)
+
+mapped onto the tested concurrency range ``[a, b]`` by
+
+    ``x_k = (a + b)/2 + (b - a)/2 * cos((2k - 1)/(2n) * pi)``  (eq. 17)
+
+and relies on the interpolation error bound
+
+    ``|f(x) - P(x)| <= max |f^(n)| / (2^(n-1) n!)``            (eq. 19)
+
+to size the number of test points (Fig. 13 evaluates it for the family
+``f(x) = exp(mu * x)`` on [-1, 1]).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "chebyshev_nodes",
+    "chebyshev_nodes_unit",
+    "chebyshev_error_bound",
+    "exponential_error_bound",
+    "concurrency_test_points",
+]
+
+
+def chebyshev_nodes_unit(n: int) -> np.ndarray:
+    """The ``n`` Chebyshev nodes in (-1, 1), ascending (eq. 16)."""
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    k = np.arange(1, n + 1)
+    nodes = np.cos((2 * k - 1) / (2 * n) * np.pi)
+    return nodes[::-1].copy()  # ascending order for spline construction
+
+
+def chebyshev_nodes(n: int, a: float, b: float) -> np.ndarray:
+    """Chebyshev nodes mapped to ``[a, b]``, ascending (eq. 17)."""
+    if b <= a:
+        raise ValueError(f"need a < b, got [{a}, {b}]")
+    unit = chebyshev_nodes_unit(n)
+    return 0.5 * (a + b) + 0.5 * (b - a) * unit
+
+
+def chebyshev_error_bound(n: int, deriv_max: float) -> float:
+    """Eq. 19 bound: ``max|f - P| <= deriv_max / (2^(n-1) n!)`` on [-1, 1].
+
+    ``deriv_max`` is an upper bound on ``|f^(n)|`` over the interval.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if deriv_max < 0:
+        raise ValueError(f"deriv_max must be non-negative, got {deriv_max}")
+    return deriv_max / (2.0 ** (n - 1) * math.factorial(n))
+
+
+def exponential_error_bound(n: int, mu: float) -> float:
+    """Eq. 19 specialized to ``f(x) = exp(mu x)`` on [-1, 1] (Fig. 13).
+
+    ``|f^(n)(x)| = |mu|^n exp(mu x) <= |mu|^n exp(|mu|)``, hence the
+    bound ``|mu|^n exp(|mu|) / (2^(n-1) n!)``.
+    """
+    amu = abs(mu)
+    return chebyshev_error_bound(n, amu**n * math.exp(amu))
+
+
+def concurrency_test_points(
+    n: int, low: int, high: int, minimum_gap: int = 1
+) -> np.ndarray:
+    """Integer concurrency levels for load tests at Chebyshev positions.
+
+    Rounds the eq. 17 nodes on ``[low, high]`` to integers, de-duplicates
+    while preserving order, and enforces a minimal spacing so tests stay
+    distinguishable (the paper's JPetStore designs, e.g. Chebyshev-5 on
+    [1, 300] -> {9, 63, 151, 239, 293}).
+    """
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    if minimum_gap < 1:
+        raise ValueError(f"minimum_gap must be >= 1, got {minimum_gap}")
+    raw = np.rint(chebyshev_nodes(n, float(low), float(high))).astype(int)
+    points: list[int] = []
+    for value in raw:
+        value = max(low, min(high, int(value)))
+        if points and value - points[-1] < minimum_gap:
+            value = points[-1] + minimum_gap
+            if value > high:
+                break
+        points.append(value)
+    return np.array(points, dtype=int)

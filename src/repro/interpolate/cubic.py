@@ -1,0 +1,258 @@
+"""From-scratch cubic spline interpolation.
+
+Reimplements the piecewise-cubic interpolation the paper performs with
+Scilab's ``interp()``: a C^2 piecewise cubic through the data points,
+with the paper's eq. 14 boundary behaviour — outside the sampled
+abscissa range the curve is **pegged to the boundary ordinate values**
+(constant extrapolation), because an extrapolated service demand should
+never overshoot what was actually measured.
+
+The spline is built in the classical second-derivative ("moment")
+formulation: on ``[x_i, x_{i+1}]`` with ``h_i = x_{i+1} - x_i``,
+
+    ``s(x) = M_i (x_{i+1}-x)^3 / (6 h_i) + M_{i+1} (x-x_i)^3 / (6 h_i)
+             + (y_i/h_i - M_i h_i/6)(x_{i+1}-x)
+             + (y_{i+1}/h_i - M_{i+1} h_i/6)(x-x_i)``
+
+and the moments ``M_i = s''(x_i)`` solve a tridiagonal system (Thomas
+algorithm, :mod:`repro.interpolate.tridiagonal`) under one of three
+boundary conditions:
+
+* ``"natural"`` — ``M_0 = M_{n-1} = 0`` (default; matches the smoothing
+  spline limit and is the most robust for monotone demand data);
+* ``"clamped"`` — prescribed end slopes;
+* ``"not-a-knot"`` — third-derivative continuity at the first/last
+  interior knots (Scilab/MATLAB default; solved densely since the
+  boundary rows break tridiagonality and knot counts here are tiny).
+
+Evaluation is fully vectorized (``searchsorted`` + polynomial forms).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tridiagonal import solve_tridiagonal
+
+__all__ = ["CubicSpline"]
+
+_EXTRAPOLATIONS = ("clamp", "linear", "cubic")
+_BC_TYPES = ("natural", "clamped", "not-a-knot")
+
+
+class CubicSpline:
+    """Interpolating cubic spline with selectable boundary handling.
+
+    Parameters
+    ----------
+    x:
+        Strictly increasing knot abscissae (at least 1 point).
+    y:
+        Ordinates, same length as ``x``.
+    bc:
+        Boundary condition: ``"natural"``, ``"clamped"`` or
+        ``"not-a-knot"``.
+    end_slopes:
+        Required for ``bc="clamped"``: ``(s'(x_0), s'(x_{n-1}))``.
+    extrapolation:
+        Behaviour outside ``[x_0, x_{n-1}]``: ``"clamp"`` (paper
+        eq. 14 — constant boundary values, the default), ``"linear"``
+        (continue with the boundary slope) or ``"cubic"`` (evaluate the
+        end polynomials).
+
+    Notes
+    -----
+    With one knot the spline is the constant ``y_0``; with two knots it
+    is the straight line through them regardless of ``bc``.
+    """
+
+    def __init__(
+        self,
+        x: Sequence[float],
+        y: Sequence[float],
+        bc: str = "natural",
+        end_slopes: tuple[float, float] | None = None,
+        extrapolation: str = "clamp",
+    ) -> None:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 1 or x.shape != y.shape:
+            raise ValueError(f"x and y must be 1-D of equal length, got {x.shape}/{y.shape}")
+        if x.size < 1:
+            raise ValueError("need at least one knot")
+        if np.any(np.diff(x) <= 0):
+            raise ValueError("x must be strictly increasing")
+        if bc not in _BC_TYPES:
+            raise ValueError(f"bc must be one of {_BC_TYPES}, got {bc!r}")
+        if bc == "clamped" and end_slopes is None:
+            raise ValueError("bc='clamped' requires end_slopes")
+        if extrapolation not in _EXTRAPOLATIONS:
+            raise ValueError(
+                f"extrapolation must be one of {_EXTRAPOLATIONS}, got {extrapolation!r}"
+            )
+        self.x = x
+        self.y = y
+        self.bc = bc
+        self.extrapolation = extrapolation
+        self._moments = self._solve_moments(x, y, bc, end_slopes)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def _solve_moments(x, y, bc, end_slopes) -> np.ndarray:
+        n = x.size
+        if n == 1:
+            return np.zeros(1)
+        if n == 2:
+            if bc == "clamped":
+                # Single Hermite segment; the 2x2 clamped moment system is
+                #   (h/3) M0 + (h/6) M1 = slope - s0
+                #   (h/6) M0 + (h/3) M1 = s1 - slope
+                h = x[1] - x[0]
+                slope = (y[1] - y[0]) / h
+                s0, s1 = end_slopes
+                a = np.array([[h / 3.0, h / 6.0], [h / 6.0, h / 3.0]])
+                b = np.array([slope - s0, s1 - slope])
+                return np.linalg.solve(a, b)
+            return np.zeros(2)
+
+        h = np.diff(x)
+        slopes = np.diff(y) / h
+        rhs_interior = slopes[1:] - slopes[:-1]  # length n-2
+
+        if bc == "natural":
+            # Interior unknowns M_1..M_{n-2}; M_0 = M_{n-1} = 0.
+            diag = (h[:-1] + h[1:]) / 3.0
+            lower = h[1:-1] / 6.0
+            upper = h[1:-1] / 6.0
+            interior = solve_tridiagonal(lower, diag, upper, rhs_interior)
+            return np.concatenate(([0.0], interior, [0.0]))
+
+        if bc == "clamped":
+            s0, s1 = end_slopes
+            diag = np.empty(n)
+            lower = np.empty(n - 1)
+            upper = np.empty(n - 1)
+            rhs = np.empty(n)
+            diag[0] = h[0] / 3.0
+            upper[0] = h[0] / 6.0
+            rhs[0] = slopes[0] - s0
+            diag[1:-1] = (h[:-1] + h[1:]) / 3.0
+            lower[:-1] = h[:-1] / 6.0
+            upper[1:] = h[1:] / 6.0
+            rhs[1:-1] = rhs_interior
+            diag[-1] = h[-1] / 3.0
+            lower[-1] = h[-1] / 6.0
+            rhs[-1] = s1 - slopes[-1]
+            return solve_tridiagonal(lower, diag, upper, rhs)
+
+        # not-a-knot: dense solve (boundary rows have three entries).
+        a = np.zeros((n, n))
+        rhs = np.zeros(n)
+        for i in range(1, n - 1):
+            a[i, i - 1] = h[i - 1] / 6.0
+            a[i, i] = (h[i - 1] + h[i]) / 3.0
+            a[i, i + 1] = h[i] / 6.0
+            rhs[i] = rhs_interior[i - 1]
+        # s'''.continuity: (M_1 - M_0)/h_0 = (M_2 - M_1)/h_1 and mirrored.
+        a[0, 0] = -1.0 / h[0]
+        a[0, 1] = 1.0 / h[0] + 1.0 / h[1]
+        a[0, 2] = -1.0 / h[1]
+        a[-1, -3] = -1.0 / h[-2]
+        a[-1, -2] = 1.0 / h[-2] + 1.0 / h[-1]
+        a[-1, -1] = -1.0 / h[-1]
+        return np.linalg.solve(a, rhs)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _segment_eval(self, xq: np.ndarray, deriv: int) -> np.ndarray:
+        """Evaluate the piecewise cubic (or a derivative) inside the range."""
+        x, y, m = self.x, self.y, self._moments
+        if x.size == 1:
+            return np.full_like(xq, y[0] if deriv == 0 else 0.0)
+        idx = np.clip(np.searchsorted(x, xq, side="right") - 1, 0, x.size - 2)
+        h = x[idx + 1] - x[idx]
+        left = x[idx + 1] - xq
+        right = xq - x[idx]
+        if deriv == 0:
+            return (
+                m[idx] * left**3 / (6.0 * h)
+                + m[idx + 1] * right**3 / (6.0 * h)
+                + (y[idx] / h - m[idx] * h / 6.0) * left
+                + (y[idx + 1] / h - m[idx + 1] * h / 6.0) * right
+            )
+        if deriv == 1:
+            return (
+                -m[idx] * left**2 / (2.0 * h)
+                + m[idx + 1] * right**2 / (2.0 * h)
+                + (y[idx + 1] - y[idx]) / h
+                - (m[idx + 1] - m[idx]) * h / 6.0
+            )
+        if deriv == 2:
+            return (m[idx] * left + m[idx + 1] * right) / h
+        if deriv == 3:
+            return (m[idx + 1] - m[idx]) / h
+        raise ValueError(f"deriv must be 0..3, got {deriv}")
+
+    def __call__(self, xq, deriv: int = 0):
+        """Evaluate the spline (or derivative ``deriv`` in 0..3) at ``xq``.
+
+        Scalars in, scalar out; arrays in, array out.  Extrapolation
+        follows the mode chosen at construction; derivatives outside the
+        range are 0 for ``"clamp"``, the boundary slope (then 0) for
+        ``"linear"``, and the end-polynomial value for ``"cubic"``.
+        """
+        xq_arr = np.asarray(xq, dtype=float)
+        scalar = xq_arr.ndim == 0
+        xq_flat = np.atleast_1d(xq_arr)
+        out = self._segment_eval(xq_flat, deriv)
+
+        lo, hi = self.x[0], self.x[-1]
+        below = xq_flat < lo
+        above = xq_flat > hi
+        if self.extrapolation == "clamp":
+            if deriv == 0:
+                out = np.where(below, self.y[0], out)
+                out = np.where(above, self.y[-1], out)
+            else:
+                out = np.where(below | above, 0.0, out)
+        elif self.extrapolation == "linear":
+            s_lo = float(self._segment_eval(np.array([lo]), 1)[0])
+            s_hi = float(self._segment_eval(np.array([hi]), 1)[0])
+            if deriv == 0:
+                out = np.where(below, self.y[0] + s_lo * (xq_flat - lo), out)
+                out = np.where(above, self.y[-1] + s_hi * (xq_flat - hi), out)
+            elif deriv == 1:
+                out = np.where(below, s_lo, out)
+                out = np.where(above, s_hi, out)
+            else:
+                out = np.where(below | above, 0.0, out)
+        # "cubic": _segment_eval already extends the end polynomials.
+
+        if scalar:
+            return float(out[0])
+        return out
+
+    def derivative(self, xq, order: int = 1):
+        """Convenience wrapper: ``spline(xq, deriv=order)``."""
+        return self(xq, deriv=order)
+
+    @property
+    def knots(self) -> np.ndarray:
+        return self.x
+
+    @property
+    def second_derivatives(self) -> np.ndarray:
+        """The moments ``M_i = s''(x_i)``."""
+        return self._moments
+
+    def interp(self, xq):
+        """Scilab ``interp()``-style evaluation (paper eq. 13).
+
+        Returns ``(yq, yq1, yq2, yq3)`` — the value and first three
+        derivatives at ``xq`` — exactly the tuple the paper's Scilab
+        implementation consumes.
+        """
+        return tuple(self(xq, deriv=d) for d in range(4))

@@ -1,0 +1,206 @@
+"""Fitted service-demand curves — the ``SS_k^n`` arrays of Algorithm 3.
+
+MVASD consumes, per station, a function mapping a load level (either
+concurrency ``n`` or throughput ``X``, Section 7) to a service demand in
+seconds.  :class:`ServiceDemandModel` fits that function through
+demands measured at a handful of load-test points, with the paper's
+choices baked in:
+
+* cubic-spline interpolation between samples (Scilab ``interp()``
+  equivalent; also linear / smoothing / constant-mean alternatives for
+  the spline-family ablation);
+* eq. 14 constant extrapolation outside the sampled range;
+* non-negativity of the evaluated demand (a spline wiggle must never
+  produce a negative service time).
+
+:class:`DemandTable` bundles one model per station and plugs directly
+into :func:`repro.core.mvasd.mvasd` via :meth:`DemandTable.functions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .cubic import CubicSpline
+from .monotone import MonotoneCubicSpline
+from .smoothing import SmoothingSpline
+
+__all__ = ["ServiceDemandModel", "DemandTable"]
+
+_KINDS = ("cubic", "not-a-knot", "smoothing", "pchip", "linear", "constant")
+_AXES = ("concurrency", "throughput")
+
+
+class ServiceDemandModel:
+    """A demand-vs-load curve fitted through measured samples.
+
+    Parameters
+    ----------
+    levels:
+        Load levels at which demands were measured (concurrency values
+        or throughputs, strictly increasing after sorting).
+    demands:
+        Measured service demands (seconds), one per level, non-negative.
+    kind:
+        ``"cubic"`` (natural spline, default), ``"not-a-knot"``,
+        ``"smoothing"`` (with ``lam``), ``"pchip"``
+        (monotonicity-preserving), ``"linear"`` or ``"constant"``
+        (mean of the samples — the classic what-MVA-does baseline).
+    axis:
+        Label of the independent variable, ``"concurrency"`` or
+        ``"throughput"`` — purely informational but checked by
+        :class:`DemandTable` so curves are not mixed across axes.
+    lam:
+        Smoothing parameter for ``kind="smoothing"``.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        demands: Sequence[float],
+        kind: str = "cubic",
+        axis: str = "concurrency",
+        lam: float = 1.0,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if axis not in _AXES:
+            raise ValueError(f"axis must be one of {_AXES}, got {axis!r}")
+        levels = np.asarray(levels, dtype=float)
+        demands = np.asarray(demands, dtype=float)
+        if levels.ndim != 1 or levels.shape != demands.shape or levels.size == 0:
+            raise ValueError("levels and demands must be equal-length non-empty 1-D")
+        if np.any(demands < 0):
+            raise ValueError("measured demands must be non-negative")
+        order = np.argsort(levels)
+        levels = levels[order]
+        demands = demands[order]
+        if np.any(np.diff(levels) <= 0):
+            raise ValueError("levels must be distinct")
+        self.levels = levels
+        self.demands = demands
+        self.kind = kind
+        self.axis = axis
+        self.lam = float(lam)
+        self._fn = self._build()
+
+    def _build(self):
+        x, y = self.levels, self.demands
+        if self.kind == "constant" or x.size == 1:
+            mean = float(y.mean())
+            return lambda q: np.full_like(np.asarray(q, dtype=float), mean)
+        if self.kind == "linear" or x.size == 2:
+            return lambda q: np.interp(np.asarray(q, dtype=float), x, y)
+        if self.kind == "smoothing" and x.size >= 3:
+            return SmoothingSpline(x, y, lam=self.lam, extrapolation="clamp")
+        if self.kind == "pchip":
+            return MonotoneCubicSpline(x, y)
+        bc = "not-a-knot" if self.kind == "not-a-knot" else "natural"
+        return CubicSpline(x, y, bc=bc, extrapolation="clamp")
+
+    def __call__(self, level):
+        """Interpolated demand at ``level`` — clipped to be non-negative.
+
+        Scalar in, scalar out; array in, array out.
+        """
+        q = np.asarray(level, dtype=float)
+        out = np.maximum(np.atleast_1d(np.asarray(self._fn(q), dtype=float)), 0.0)
+        if q.ndim == 0:
+            return float(out[0])
+        return out
+
+    def slope(self, level):
+        """First derivative of the fitted curve (0 for constant/outside range)."""
+        q = np.asarray(level, dtype=float)
+        if self.kind == "constant" or self.levels.size == 1:
+            return 0.0 if q.ndim == 0 else np.zeros_like(q)
+        if self.kind == "linear" or self.levels.size == 2:
+            eps = max(1e-6, 1e-6 * float(self.levels[-1]))
+            return (self(q + eps) - self(q - eps)) / (2 * eps)
+        return self._fn(q, deriv=1)
+
+    def resampled(self, levels: Sequence[float]) -> "ServiceDemandModel":
+        """Refit on a subset/superset of levels, reading demands off this model.
+
+        Used by the Chebyshev-design benches: the dense measured sweep is
+        the ground truth, and a sparse design is simulated by resampling
+        it at the design points.
+        """
+        levels = np.asarray(levels, dtype=float)
+        return ServiceDemandModel(
+            levels, self(levels), kind=self.kind, axis=self.axis, lam=self.lam
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServiceDemandModel(kind={self.kind!r}, axis={self.axis!r}, "
+            f"{self.levels.size} samples on [{self.levels[0]:g}, {self.levels[-1]:g}])"
+        )
+
+
+@dataclass(frozen=True)
+class DemandTable:
+    """Per-station demand models for one application / testbed.
+
+    Build with :meth:`fit` from raw measurements, then feed
+    :meth:`functions` to :func:`repro.core.mvasd.mvasd`.
+    """
+
+    models: Mapping[str, ServiceDemandModel]
+    axis: str = "concurrency"
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("DemandTable needs at least one station model")
+        for name, model in self.models.items():
+            if model.axis != self.axis:
+                raise ValueError(
+                    f"station {name!r} fitted on axis {model.axis!r}, table is {self.axis!r}"
+                )
+
+    @classmethod
+    def fit(
+        cls,
+        levels: Sequence[float],
+        station_demands: Mapping[str, Sequence[float]],
+        kind: str = "cubic",
+        axis: str = "concurrency",
+        lam: float = 1.0,
+    ) -> "DemandTable":
+        """Fit one model per station from a shared set of load levels."""
+        models = {
+            name: ServiceDemandModel(levels, demands, kind=kind, axis=axis, lam=lam)
+            for name, demands in station_demands.items()
+        }
+        return cls(models=models, axis=axis)
+
+    def functions(self) -> dict[str, ServiceDemandModel]:
+        """Station-name -> callable mapping for :func:`repro.core.mvasd.mvasd`."""
+        return dict(self.models)
+
+    def stations(self) -> tuple[str, ...]:
+        return tuple(self.models)
+
+    def demands_at(self, level: float) -> dict[str, float]:
+        """Interpolated demand of every station at one level."""
+        return {name: model(level) for name, model in self.models.items()}
+
+    def resampled(self, levels: Sequence[float]) -> "DemandTable":
+        """Refit every station on new design points (Chebyshev benches)."""
+        return DemandTable(
+            models={n: m.resampled(levels) for n, m in self.models.items()},
+            axis=self.axis,
+        )
+
+    def with_kind(self, kind: str, lam: float = 1.0) -> "DemandTable":
+        """Refit every station with a different interpolation family."""
+        return DemandTable(
+            models={
+                n: ServiceDemandModel(m.levels, m.demands, kind=kind, axis=m.axis, lam=lam)
+                for n, m in self.models.items()
+            },
+            axis=self.axis,
+        )

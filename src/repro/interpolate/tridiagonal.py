@@ -1,0 +1,78 @@
+"""Thomas algorithm for tridiagonal linear systems.
+
+The cubic-spline construction in :mod:`repro.interpolate.cubic` reduces
+to one tridiagonal solve per fitted curve; the Thomas algorithm does it
+in O(n) time and O(n) extra memory.  Implemented with NumPy views and
+in-place scratch arrays per the HPC guide (no Python-level inner loops
+beyond the unavoidable forward/backward sweeps, no copies of the
+inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["solve_tridiagonal"]
+
+
+def solve_tridiagonal(lower, diag, upper, rhs) -> np.ndarray:
+    """Solve ``A x = rhs`` for tridiagonal ``A``.
+
+    Parameters
+    ----------
+    lower:
+        Sub-diagonal ``a_1..a_{n-1}`` (length ``n-1``); ``A[i, i-1]``.
+    diag:
+        Main diagonal ``b_0..b_{n-1}`` (length ``n``).
+    upper:
+        Super-diagonal ``c_0..c_{n-2}`` (length ``n-1``); ``A[i, i+1]``.
+    rhs:
+        Right-hand side (length ``n``).
+
+    Returns
+    -------
+    ndarray
+        Solution vector ``x`` (new array; inputs untouched).
+
+    Raises
+    ------
+    ValueError
+        On inconsistent lengths or a numerically singular pivot.
+
+    Notes
+    -----
+    No pivoting is performed: spline systems are strictly diagonally
+    dominant, for which the Thomas algorithm is unconditionally stable.
+    """
+    b = np.asarray(diag, dtype=float)
+    n = b.shape[0]
+    if n == 0:
+        raise ValueError("empty system")
+    a = np.asarray(lower, dtype=float)
+    c = np.asarray(upper, dtype=float)
+    d = np.asarray(rhs, dtype=float)
+    if a.shape != (max(n - 1, 0),) or c.shape != (max(n - 1, 0),):
+        raise ValueError(
+            f"off-diagonals must have length {n - 1}, got {a.shape} / {c.shape}"
+        )
+    if d.shape != (n,):
+        raise ValueError(f"rhs must have length {n}, got {d.shape}")
+
+    # Forward sweep into scratch arrays (cp: modified upper, dp: modified rhs).
+    cp = np.empty(n)
+    dp = np.empty(n)
+    if b[0] == 0.0:
+        raise ValueError("singular pivot at row 0")
+    cp[0] = c[0] / b[0] if n > 1 else 0.0
+    dp[0] = d[0] / b[0]
+    for i in range(1, n):
+        denom = b[i] - a[i - 1] * cp[i - 1]
+        if denom == 0.0:
+            raise ValueError(f"singular pivot at row {i}")
+        cp[i] = c[i] / denom if i < n - 1 else 0.0
+        dp[i] = (d[i] - a[i - 1] * dp[i - 1]) / denom
+
+    # Backward substitution, reusing dp as the solution buffer.
+    for i in range(n - 2, -1, -1):
+        dp[i] -= cp[i] * dp[i + 1]
+    return dp

@@ -1,0 +1,46 @@
+"""Grinder-style load testing over the simulation testbed.
+
+Fires fixed-concurrency tests (ramp-up, warm-up, steady-state means),
+monitors utilization the way vmstat/iostat/netstat do (eq. 7 for the
+network path), sweeps concurrency grids and extracts service demands
+via the service-demand law.
+"""
+
+from .grinder import GrinderRun, LoadTest, steady_state_window
+from .inference import DemandEstimate, regress_demands, windowed_observations
+from .monitor import NetworkMonitorConfig, ServerUtilization, monitor_utilizations
+from .properties import GrinderProperties
+from .replication import ReplicatedMeasurement, ReplicatedSweep, run_replicated_sweep
+from .report import sweep_summary_text, utilization_table_text
+from .runner import LoadTestSweep, extract_demands, run_sweep
+from .serialize import (
+    MeasurementArchive,
+    archive_sweep,
+    demand_table_from_dict,
+    demand_table_to_dict,
+)
+
+__all__ = [
+    "DemandEstimate",
+    "GrinderProperties",
+    "GrinderRun",
+    "LoadTest",
+    "LoadTestSweep",
+    "MeasurementArchive",
+    "NetworkMonitorConfig",
+    "ReplicatedMeasurement",
+    "ReplicatedSweep",
+    "ServerUtilization",
+    "archive_sweep",
+    "demand_table_from_dict",
+    "demand_table_to_dict",
+    "extract_demands",
+    "monitor_utilizations",
+    "regress_demands",
+    "run_replicated_sweep",
+    "run_sweep",
+    "steady_state_window",
+    "sweep_summary_text",
+    "utilization_table_text",
+    "windowed_observations",
+]

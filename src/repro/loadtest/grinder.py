@@ -1,0 +1,175 @@
+"""The load-test driver — a Grinder work-alike over the DES testbed.
+
+One :class:`LoadTest` corresponds to one Grinder firing: a fixed
+virtual-user count ramped up per the properties file, run for the
+configured duration against an application's network, with transient
+behaviour visible in windowed output (Fig. 1) and steady-state means
+reported after a warm-up cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..apps.base import Application
+from ..simulation.closednet import SimulationResult, simulate_closed_network
+from .properties import GrinderProperties
+
+__all__ = ["GrinderRun", "LoadTest", "steady_state_window"]
+
+
+def steady_state_window(
+    times: np.ndarray,
+    values: np.ndarray,
+    window: float,
+    tolerance: float = 0.10,
+) -> float:
+    """Estimate when a windowed series settles (transient cutoff).
+
+    Scans window means from the start and returns the first window start
+    whose mean stays within ``tolerance`` (relative) of the overall mean
+    of the remaining series — a pragmatic version of the paper's
+    "run long enough to remove transient behavior".  Returns 0.0 when
+    the series is stationary from the start, or the last window start
+    when it never settles.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if len(times) != len(values) or len(times) == 0:
+        raise ValueError("times and values must be equal-length non-empty")
+    order = np.argsort(times)
+    times = np.asarray(times, float)[order]
+    values = np.asarray(values, float)[order]
+    edges = np.arange(times[0], times[-1] + window, window)
+    if len(edges) < 3:
+        return float(times[0])
+    means = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (times >= lo) & (times < hi)
+        means.append(values[mask].mean() if mask.any() else np.nan)
+    means = np.asarray(means)
+    for i in range(len(means) - 1):
+        tail = means[i:]
+        tail = tail[~np.isnan(tail)]
+        if tail.size == 0:
+            continue
+        ref = tail.mean()
+        if ref == 0:
+            continue
+        if np.all(np.abs(tail - ref) <= tolerance * abs(ref)):
+            return float(edges[i])
+    return float(edges[-2])
+
+
+@dataclass(frozen=True)
+class GrinderRun:
+    """Summary of one load-test firing.
+
+    ``tps`` is pages/second and ``mean_response_time`` the page time in
+    seconds — the Grinder console's two headline numbers.
+    """
+
+    application: str
+    virtual_users: int
+    duration: float
+    warmup: float
+    tps: float
+    mean_response_time: float
+    mean_cycle_time: float
+    pages_served: int
+    simulation: SimulationResult
+
+    def windowed(self, window: float = 10.0) -> dict[str, np.ndarray]:
+        """Transient view (Fig. 1): per-window TPS and response time."""
+        return self.simulation.windowed_series(window)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.application} @ {self.virtual_users} users: "
+            f"{self.tps:.2f} pages/s, RT {self.mean_response_time * 1000:.0f} ms, "
+            f"{self.pages_served} pages in {self.duration:.0f}s"
+        )
+
+
+class LoadTest:
+    """Fire Grinder-style load tests against an application model.
+
+    Parameters
+    ----------
+    application:
+        The application under test.
+    properties:
+        Grinder configuration; ``virtual_users`` defines concurrency
+        unless overridden per-run.
+    warmup_fraction:
+        Fraction of the duration discarded as transient (the paper runs
+        30-60-minute tests for the same reason).  Ramp-up time from the
+        properties is always added to the cut.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        properties: GrinderProperties | None = None,
+        warmup_fraction: float = 0.1,
+    ) -> None:
+        if not 0 <= warmup_fraction < 0.9:
+            raise ValueError("warmup_fraction must be in [0, 0.9)")
+        self.application = application
+        self.properties = properties or GrinderProperties()
+        self.warmup_fraction = warmup_fraction
+
+    def fire(
+        self,
+        virtual_users: int | None = None,
+        seed: int = 0,
+        duration: float | None = None,
+    ) -> GrinderRun:
+        """Run one test and return its summary.
+
+        ``virtual_users`` defaults to the properties' product; ``duration``
+        (seconds) overrides ``grinder.duration``.
+        """
+        props = self.properties
+        users = virtual_users if virtual_users is not None else props.virtual_users
+        if users < 1:
+            raise ValueError(f"virtual_users must be >= 1, got {users}")
+        run_seconds = duration if duration is not None else props.duration_seconds
+
+        if virtual_users is None:
+            start = props.start_times(seed=seed)
+        else:
+            # Explicit override: scale the configured ramp to the new count.
+            try:
+                start = props.with_concurrency(users).start_times(seed=seed)
+            except ValueError:
+                start = [0.0] * users
+        ramp_end = max(start) if start else 0.0
+        if ramp_end >= run_seconds:
+            raise ValueError(
+                f"ramp-up ({ramp_end:.1f}s) exceeds test duration ({run_seconds:.1f}s)"
+            )
+        warmup = min(
+            ramp_end + self.warmup_fraction * run_seconds, 0.9 * run_seconds
+        )
+
+        sim = simulate_closed_network(
+            self.application.network,
+            population=users,
+            duration=run_seconds,
+            warmup=warmup,
+            seed=seed,
+            start_times=start,
+        )
+        return GrinderRun(
+            application=self.application.name,
+            virtual_users=users,
+            duration=run_seconds,
+            warmup=warmup,
+            tps=sim.throughput,
+            mean_response_time=sim.response_time,
+            mean_cycle_time=sim.cycle_time,
+            pages_served=sim.cycles_completed,
+            simulation=sim,
+        )

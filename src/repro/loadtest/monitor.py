@@ -1,0 +1,127 @@
+"""Resource monitors — the vmstat / iostat / netstat equivalents.
+
+During a load test the paper samples CPU utilization with ``vmstat``,
+disk with ``iostat`` and network with ``netstat`` packet counters,
+converting the latter to utilization with eq. 7:
+
+    ``Util% = (#packets_TxRx * packet_size) / (t * bandwidth) * 100``
+
+The simulation testbed knows busy-time utilizations directly, so the
+CPU/disk monitors simply report them in percent; the network monitor
+goes the long way round — it reconstructs packet counts from page
+completions and per-page transfer volumes and applies eq. 7 — so the
+whole measurement path of the paper, including its quantization, is
+exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..simulation.closednet import SimulationResult
+
+__all__ = ["NetworkMonitorConfig", "ServerUtilization", "monitor_utilizations"]
+
+#: Canonical resource order of the paper's Tables 2-3.
+_RESOURCES = ("cpu", "disk", "net_tx", "net_rx")
+
+
+@dataclass(frozen=True)
+class NetworkMonitorConfig:
+    """netstat-equivalent parameters (eq. 7).
+
+    ``bandwidth_bps`` is the link speed (1 GBps switch in the paper's
+    testbed); ``packet_bytes`` the accounting packet size.  Per-page
+    transfer volumes are derived from the station's service demand:
+    a network "service" of ``D`` seconds at bandwidth ``B`` moves
+    ``D * B`` bytes, i.e. ``ceil(D * B / packet)`` packets per page.
+    """
+
+    bandwidth_bps: float = 1e9
+    packet_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+
+    def packets_for_demand(self, demand_seconds: float) -> int:
+        """Packets a single page transfer of the given demand produces."""
+        if demand_seconds < 0:
+            raise ValueError("demand must be non-negative")
+        return math.ceil(demand_seconds * self.bandwidth_bps / self.packet_bytes)
+
+    def utilization_percent(
+        self, packets: float, elapsed_seconds: float
+    ) -> float:
+        """Eq. 7: packet count over a window -> utilization percent."""
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed_seconds must be positive")
+        return (
+            packets * self.packet_bytes / (elapsed_seconds * self.bandwidth_bps) * 100.0
+        )
+
+
+@dataclass(frozen=True)
+class ServerUtilization:
+    """One server's row fragment in a Tables-2/3-style utilization grid."""
+
+    server: str
+    cpu: float
+    disk: float
+    net_tx: float
+    net_rx: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.cpu, self.disk, self.net_tx, self.net_rx)
+
+
+def monitor_utilizations(
+    sim: SimulationResult,
+    demands: Mapping[str, float],
+    net_config: NetworkMonitorConfig | None = None,
+) -> dict[str, ServerUtilization]:
+    """Produce per-server utilization percentages from a simulation run.
+
+    Parameters
+    ----------
+    sim:
+        The finished run (stations named ``"<tier>.<resource>"``).
+    demands:
+        Per-station demands at the run's concurrency — needed by the
+        netstat path to reconstruct bytes-per-page.
+    net_config:
+        netstat parameters (defaults to the paper's 1 GBps / 1500 B).
+
+    Returns
+    -------
+    dict
+        ``{tier: ServerUtilization}`` with percentages, network entries
+        computed via eq. 7 from reconstructed packet counts.
+    """
+    cfg = net_config or NetworkMonitorConfig()
+    window = sim.duration - sim.warmup
+    by_station = dict(zip(sim.station_names, sim.utilizations))
+    tiers = sorted({name.split(".", 1)[0] for name in sim.station_names})
+
+    out: dict[str, ServerUtilization] = {}
+    for tier in tiers:
+        values = {}
+        for resource in _RESOURCES:
+            key = f"{tier}.{resource}"
+            if key not in by_station:
+                values[resource] = 0.0
+                continue
+            if resource.startswith("net"):
+                # netstat path: page completions x packets-per-page -> eq. 7.
+                pages = sim.throughput * window
+                packets = pages * cfg.packets_for_demand(demands.get(key, 0.0))
+                values[resource] = cfg.utilization_percent(packets, window)
+            else:
+                # vmstat / iostat read busy percentages directly.
+                values[resource] = float(by_station[key]) * 100.0
+        out[tier] = ServerUtilization(server=tier, **values)
+    return out

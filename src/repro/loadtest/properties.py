@@ -1,0 +1,177 @@
+"""Grinder-style load-test configuration.
+
+The Grinder drives load from *agents* (machines), each spawning worker
+*processes*, each running worker *threads*; the simulated concurrency
+is ``agents x processes x threads`` (Section 4.1).  A ``grinder.
+properties`` file controls ramp-up and duration; this module models the
+subset of keys the paper lists, with the same semantics and (where the
+Grinder uses them) the same millisecond units, and can parse/serialize
+the Java-properties format so example configs stay copy-pasteable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+__all__ = ["GrinderProperties"]
+
+_KEY_MAP = {
+    "grinder.script": ("script", str),
+    "grinder.processes": ("processes", int),
+    "grinder.threads": ("threads", int),
+    "grinder.runs": ("runs", int),
+    "grinder.duration": ("duration_ms", int),
+    "grinder.initialSleepTime": ("initial_sleep_time_ms", int),
+    "grinder.sleepTimeVariation": ("sleep_time_variation", float),
+    "grinder.processIncrement": ("process_increment", int),
+    "grinder.processIncrementInterval": ("process_increment_interval_ms", int),
+}
+
+
+@dataclass(frozen=True)
+class GrinderProperties:
+    """The ``grinder.properties`` keys used by the paper's tests.
+
+    Attributes
+    ----------
+    script:
+        Jython/Clojure script name (informational here).
+    processes / threads:
+        Worker processes per agent and threads per process.
+    agents:
+        Number of load-injector machines (not a properties key — agents
+        are separate Grinder installations — but part of the product).
+    runs:
+        Iterations per thread; 0 means "run for the duration".
+    duration_ms:
+        Maximum test length per worker process (milliseconds).
+    initial_sleep_time_ms:
+        Maximum random sleep before each thread starts (ramp-up jitter).
+    sleep_time_variation:
+        Normal-distribution variation applied to think-time sleeps.
+    process_increment / process_increment_interval_ms:
+        Start processes in batches of ``process_increment`` every
+        interval — the Grinder's load ramp.  0 increment starts all at
+        once.
+    """
+
+    script: str = "workload.py"
+    processes: int = 1
+    threads: int = 1
+    agents: int = 1
+    runs: int = 0
+    duration_ms: int = 300_000
+    initial_sleep_time_ms: int = 0
+    sleep_time_variation: float = 0.0
+    process_increment: int = 0
+    process_increment_interval_ms: int = 60_000
+
+    def __post_init__(self) -> None:
+        for name in ("processes", "threads", "agents"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.runs < 0:
+            raise ValueError(f"runs must be non-negative, got {self.runs}")
+        if self.duration_ms <= 0:
+            raise ValueError(f"duration_ms must be positive, got {self.duration_ms}")
+        if self.initial_sleep_time_ms < 0:
+            raise ValueError("initial_sleep_time_ms must be non-negative")
+        if not 0.0 <= self.sleep_time_variation <= 1.0:
+            raise ValueError("sleep_time_variation must be in [0, 1]")
+        if self.process_increment < 0:
+            raise ValueError("process_increment must be non-negative")
+        if self.process_increment_interval_ms <= 0:
+            raise ValueError("process_increment_interval_ms must be positive")
+
+    @property
+    def virtual_users(self) -> int:
+        """Simulated users = threads x processes x agents (Section 4.1)."""
+        return self.threads * self.processes * self.agents
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ms / 1000.0
+
+    def with_concurrency(self, users: int) -> "GrinderProperties":
+        """Scale processes/threads to hit a target user count.
+
+        Keeps threads-per-process near the current ratio; raises if the
+        target is not factorable across the configured agents.
+        """
+        if users < 1:
+            raise ValueError(f"users must be >= 1, got {users}")
+        if users % self.agents:
+            raise ValueError(f"{users} users not divisible across {self.agents} agents")
+        per_agent = users // self.agents
+        threads = min(self.threads, per_agent)
+        while per_agent % threads:
+            threads -= 1
+        return replace(self, threads=threads, processes=per_agent // threads)
+
+    def start_times(self, seed: int = 0) -> list[float]:
+        """Per-virtual-user start offsets (seconds) implementing the ramp.
+
+        Processes start in ``process_increment`` batches every
+        ``process_increment_interval_ms``; each thread then waits a
+        uniform random sleep up to ``initial_sleep_time_ms`` (the
+        Grinder's documented behaviour).  Ordering is process-major.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        times: list[float] = []
+        total_processes = self.processes * self.agents
+        increment = self.process_increment or total_processes
+        interval = self.process_increment_interval_ms / 1000.0
+        for proc in range(total_processes):
+            batch = proc // increment
+            base = batch * interval
+            sleeps = rng.uniform(0.0, self.initial_sleep_time_ms / 1000.0, self.threads)
+            times.extend(base + sleeps)
+        return times
+
+    # -- properties-file round trip -------------------------------------------
+
+    def to_properties(self) -> str:
+        """Serialize to ``grinder.properties`` format (sorted keys)."""
+        values = {
+            "grinder.script": self.script,
+            "grinder.processes": self.processes,
+            "grinder.threads": self.threads,
+            "grinder.runs": self.runs,
+            "grinder.duration": self.duration_ms,
+            "grinder.initialSleepTime": self.initial_sleep_time_ms,
+            "grinder.sleepTimeVariation": self.sleep_time_variation,
+            "grinder.processIncrement": self.process_increment,
+            "grinder.processIncrementInterval": self.process_increment_interval_ms,
+        }
+        return "\n".join(f"{k} = {v}" for k, v in sorted(values.items())) + "\n"
+
+    @classmethod
+    def from_properties(cls, text: str, agents: int = 1) -> "GrinderProperties":
+        """Parse Java-properties text (``#``/``!`` comments, ``=`` or ``:``)."""
+        kwargs: dict = {"agents": agents}
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("#", "!")):
+                continue
+            for sep in ("=", ":"):
+                if sep in line:
+                    key, _, value = line.partition(sep)
+                    key = key.strip()
+                    value = value.strip()
+                    if key in _KEY_MAP:
+                        attr, typ = _KEY_MAP[key]
+                        try:
+                            kwargs[attr] = typ(value)
+                        except ValueError as exc:
+                            raise ValueError(
+                                f"bad value for {key}: {value!r}"
+                            ) from exc
+                    break
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path: str | Path, agents: int = 1) -> "GrinderProperties":
+        return cls.from_properties(Path(path).read_text(), agents=agents)

@@ -1,0 +1,123 @@
+"""Replicated load tests and confidence intervals.
+
+The paper runs each load test once and long; sound practice (and what
+its industrial comparators do) is R independent replications per
+operating point with confidence intervals on the means.  This module
+wraps :func:`repro.loadtest.runner.run_sweep` accordingly, so deviation
+claims like "MVASD within 3 %" can be read against the measurement
+noise floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from .runner import LoadTestSweep, run_sweep
+
+__all__ = ["ReplicatedMeasurement", "ReplicatedSweep", "run_replicated_sweep"]
+
+# two-sided 97.5 % Student-t quantiles for dof 1..30 (dof > 30 -> 1.96)
+_T_975 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def _t_quantile(dof: int) -> float:
+    if dof < 1:
+        raise ValueError("need at least 2 replications for an interval")
+    return _T_975[dof - 1] if dof <= len(_T_975) else 1.96
+
+
+@dataclass(frozen=True)
+class ReplicatedMeasurement:
+    """Mean and 95 % confidence half-width of one metric at one level."""
+
+    level: int
+    mean: float
+    half_width: float
+    replications: int
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    @property
+    def relative_half_width(self) -> float:
+        return self.half_width / self.mean if self.mean else float("inf")
+
+
+@dataclass(frozen=True)
+class ReplicatedSweep:
+    """R independent sweeps over the same concurrency grid."""
+
+    application: Application
+    levels: np.ndarray
+    sweeps: tuple[LoadTestSweep, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sweeps) < 2:
+            raise ValueError("need at least 2 replications")
+        for sweep in self.sweeps:
+            if not np.array_equal(sweep.levels, self.levels):
+                raise ValueError("replications must share the concurrency grid")
+
+    @property
+    def replications(self) -> int:
+        return len(self.sweeps)
+
+    def _metric_matrix(self, metric: str) -> np.ndarray:
+        if metric not in ("throughput", "response_time", "cycle_time"):
+            raise ValueError(f"unknown metric {metric!r}")
+        return np.vstack([getattr(s, metric) for s in self.sweeps])
+
+    def measurements(self, metric: str = "throughput") -> list[ReplicatedMeasurement]:
+        """Per-level mean and 95 % CI across replications."""
+        values = self._metric_matrix(metric)
+        r = values.shape[0]
+        t = _t_quantile(r - 1)
+        means = values.mean(axis=0)
+        stderr = values.std(axis=0, ddof=1) / math.sqrt(r)
+        return [
+            ReplicatedMeasurement(
+                level=int(lvl), mean=float(m), half_width=float(t * se), replications=r
+            )
+            for lvl, m, se in zip(self.levels, means, stderr)
+        ]
+
+    def mean_sweep_values(self, metric: str = "throughput") -> np.ndarray:
+        return self._metric_matrix(metric).mean(axis=0)
+
+    def noise_floor(self, metric: str = "throughput") -> float:
+        """Largest relative CI half-width across levels — the precision
+        below which deviation comparisons are meaningless."""
+        return max(m.relative_half_width for m in self.measurements(metric))
+
+    def representative(self) -> LoadTestSweep:
+        """The first replication — for APIs that need a live sweep."""
+        return self.sweeps[0]
+
+
+def run_replicated_sweep(
+    application: Application,
+    replications: int = 3,
+    levels: Sequence[int] | None = None,
+    duration: float = 200.0,
+    seed: int = 0,
+) -> ReplicatedSweep:
+    """Run R independent sweeps with derived seeds."""
+    if replications < 2:
+        raise ValueError("need at least 2 replications")
+    sweeps = tuple(
+        run_sweep(application, levels=levels, duration=duration, seed=seed + 7919 * r)
+        for r in range(replications)
+    )
+    return ReplicatedSweep(
+        application=application, levels=sweeps[0].levels.copy(), sweeps=sweeps
+    )

@@ -1,0 +1,63 @@
+"""Report rendering for load-test sweeps.
+
+Formats the artefacts of a :class:`~repro.loadtest.runner.LoadTestSweep`
+as the paper presents them: the Tables-2/3 utilization grid (one row
+per concurrency, tiers x CPU|Disk|Net-Tx|Net-Rx columns) and a
+throughput/response summary.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from .monitor import NetworkMonitorConfig
+from .runner import LoadTestSweep
+
+__all__ = ["utilization_table_text", "sweep_summary_text"]
+
+_TIER_ORDER = ("load", "app", "db")
+_TIER_LABELS = {"load": "Load Server", "app": "Application Server", "db": "Database Server"}
+
+
+def utilization_table_text(
+    sweep: LoadTestSweep, net_config: NetworkMonitorConfig | None = None
+) -> str:
+    """Render the Tables-2/3-style utilization grid in percent.
+
+    Tier columns follow the canonical load | app | db order when those
+    tiers exist; any other tier names (custom applications) are appended
+    alphabetically with title-cased labels.
+    """
+    rows_raw = sweep.utilization_table(net_config)
+    present = set(rows_raw[0][1]) if rows_raw else set()
+    tiers = [t for t in _TIER_ORDER if t in present] + sorted(present - set(_TIER_ORDER))
+    headers = ["Users"]
+    for tier in tiers:
+        label = _TIER_LABELS.get(tier, f"{tier.title()} Server")
+        headers += [f"{label} CPU", f"{label} Disk", f"{label} Net-Tx", f"{label} Net-Rx"]
+    rows = []
+    for users, by_tier in rows_raw:
+        row: list = [users]
+        for tier in tiers:
+            util = by_tier[tier]
+            row += [util.cpu, util.disk, util.net_tx, util.net_rx]
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        precision=2,
+        title=f"Utilization % observed during load testing — {sweep.application.name}",
+    )
+
+
+def sweep_summary_text(sweep: LoadTestSweep) -> str:
+    """Throughput / response-time summary per concurrency level."""
+    rows = [
+        (int(lvl), run.tps, run.mean_response_time, run.mean_cycle_time, run.pages_served)
+        for lvl, run in zip(sweep.levels, sweep.runs)
+    ]
+    return format_table(
+        ("Users", "Pages/s", "Response (s)", "Cycle R+Z (s)", "Pages served"),
+        rows,
+        precision=3,
+        title=f"Load-test sweep — {sweep.application.name} ({sweep.application.workflow})",
+    )

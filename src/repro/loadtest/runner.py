@@ -1,0 +1,168 @@
+"""Concurrency sweeps and service-demand extraction.
+
+The paper's methodology (Sections 4-5): run load tests at a grid of
+concurrency levels, monitor utilizations, extract per-resource service
+demands with the service-demand law ``D = U_total / X``, and fit demand
+curves for MVASD.  :func:`run_sweep` automates the grid;
+:class:`LoadTestSweep` holds the measurements and turns them into the
+paper's artefacts — utilization tables (Tables 2-3), demand curves
+(Fig. 5) and fitted :class:`~repro.interpolate.demand_model.DemandTable`
+inputs for Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from ..interpolate.demand_model import DemandTable
+from .grinder import GrinderRun, LoadTest
+from .monitor import NetworkMonitorConfig, ServerUtilization, monitor_utilizations
+from .properties import GrinderProperties
+
+__all__ = ["LoadTestSweep", "extract_demands", "run_sweep"]
+
+
+def extract_demands(run: GrinderRun, application: Application) -> dict[str, float]:
+    """Service demands of one run via the service-demand law.
+
+    Utilization monitors report *per-server* busy fractions; the law
+    needs total utilization, so each station is scaled back by its
+    server count: ``D_k = U_k * C_k / X``.
+    """
+    servers = [st.servers for st in application.network.stations]
+    return run.simulation.demand_estimates(servers)
+
+
+@dataclass(frozen=True)
+class LoadTestSweep:
+    """Measurements from load tests over a concurrency grid."""
+
+    application: Application
+    levels: np.ndarray
+    runs: tuple[GrinderRun, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.runs) or len(self.runs) == 0:
+            raise ValueError("levels and runs must be equal-length and non-empty")
+        if np.any(np.diff(self.levels) <= 0):
+            raise ValueError("levels must be strictly increasing")
+
+    # -- measured series -------------------------------------------------------
+
+    @property
+    def throughput(self) -> np.ndarray:
+        """Pages/second at each level."""
+        return np.array([r.tps for r in self.runs])
+
+    @property
+    def response_time(self) -> np.ndarray:
+        return np.array([r.mean_response_time for r in self.runs])
+
+    @property
+    def cycle_time(self) -> np.ndarray:
+        """``R + Z`` at each level — the paper's reported response metric."""
+        return np.array([r.mean_cycle_time for r in self.runs])
+
+    def utilization_of(self, station: str) -> np.ndarray:
+        return np.array([r.simulation.utilization_of(station) for r in self.runs])
+
+    # -- paper artefacts ---------------------------------------------------------
+
+    def utilization_table(
+        self, net_config: NetworkMonitorConfig | None = None
+    ) -> list[tuple[int, dict[str, ServerUtilization]]]:
+        """Rows of a Tables-2/3-style utilization grid.
+
+        Each row is ``(users, {tier: ServerUtilization})`` with values in
+        percent, network columns via the eq. 7 netstat path.
+        """
+        rows = []
+        for level, run in zip(self.levels, self.runs):
+            demands = extract_demands(run, self.application)
+            rows.append(
+                (int(level), monitor_utilizations(run.simulation, demands, net_config))
+            )
+        return rows
+
+    def demand_samples(self) -> dict[str, np.ndarray]:
+        """Measured demand of every station at every swept level (Fig. 5)."""
+        samples: dict[str, list[float]] = {
+            name: [] for name in self.application.station_names
+        }
+        for run in self.runs:
+            for name, value in extract_demands(run, self.application).items():
+                samples[name].append(value)
+        return {name: np.array(vals) for name, vals in samples.items()}
+
+    def demand_table(
+        self, kind: str = "cubic", axis: str = "concurrency", lam: float = 1.0
+    ) -> DemandTable:
+        """Fit per-station demand curves for MVASD (Algorithm 3 input).
+
+        ``axis="concurrency"`` fits against the swept user counts;
+        ``axis="throughput"`` against the measured throughputs
+        (Section 7 / Fig. 11).
+        """
+        if axis == "concurrency":
+            x = self.levels.astype(float)
+        elif axis == "throughput":
+            x = self.throughput
+            if np.any(np.diff(x) <= 0):
+                # Throughput can plateau under saturation; nudge ties so the
+                # interpolation abscissa stay strictly increasing.
+                x = x + np.arange(len(x)) * 1e-9
+        else:
+            raise ValueError(f"axis must be 'concurrency' or 'throughput', got {axis!r}")
+        return DemandTable.fit(x, self.demand_samples(), kind=kind, axis=axis, lam=lam)
+
+    def subset(self, levels: Sequence[int]) -> "LoadTestSweep":
+        """Restrict the sweep to a subset of its levels (sampling studies)."""
+        wanted = set(int(l) for l in levels)
+        pairs = [
+            (lvl, run)
+            for lvl, run in zip(self.levels, self.runs)
+            if int(lvl) in wanted
+        ]
+        if len(pairs) != len(wanted):
+            missing = wanted - {int(l) for l in self.levels}
+            raise KeyError(f"levels not in sweep: {sorted(missing)}")
+        return LoadTestSweep(
+            application=self.application,
+            levels=np.array([p[0] for p in pairs]),
+            runs=tuple(p[1] for p in pairs),
+        )
+
+
+def run_sweep(
+    application: Application,
+    levels: Sequence[int] | None = None,
+    duration: float = 200.0,
+    seed: int = 0,
+    properties: GrinderProperties | None = None,
+    warmup_fraction: float = 0.1,
+) -> LoadTestSweep:
+    """Run one load test per concurrency level and collect the sweep.
+
+    ``levels`` defaults to the application's paper-documented sample
+    levels.  Each level uses a distinct derived seed so runs are
+    independent but the whole sweep is reproducible from ``seed``.
+    """
+    if levels is None:
+        levels = application.default_sample_levels
+    levels = sorted(int(l) for l in levels)
+    if not levels or levels[0] < 1:
+        raise ValueError("levels must be positive integers")
+    test = LoadTest(application, properties=properties, warmup_fraction=warmup_fraction)
+    runs = [
+        test.fire(virtual_users=lvl, seed=seed * 10_007 + i, duration=duration)
+        for i, lvl in enumerate(levels)
+    ]
+    return LoadTestSweep(
+        application=application,
+        levels=np.array(levels),
+        runs=tuple(runs),
+    )

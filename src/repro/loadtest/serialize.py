@@ -1,0 +1,148 @@
+"""Archiving measurements and demand tables as JSON.
+
+A load-test campaign is expensive; its distilled outputs — the measured
+operating points and the fitted demand curves — should outlive the
+session.  This module round-trips both through plain JSON so campaigns
+can be versioned, diffed and re-used as MVASD inputs months later
+(the paper's "statistical analysis of log access files" workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..interpolate.demand_model import DemandTable, ServiceDemandModel
+from .runner import LoadTestSweep
+
+__all__ = [
+    "MeasurementArchive",
+    "archive_sweep",
+    "demand_table_from_dict",
+    "demand_table_to_dict",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def demand_table_to_dict(table: DemandTable) -> dict:
+    """Serializable representation of a fitted demand table."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "axis": table.axis,
+        "stations": {
+            name: {
+                "levels": model.levels.tolist(),
+                "demands": model.demands.tolist(),
+                "kind": model.kind,
+                "lam": model.lam,
+            }
+            for name, model in table.models.items()
+        },
+    }
+
+
+def demand_table_from_dict(data: Mapping) -> DemandTable:
+    """Rebuild a demand table from :func:`demand_table_to_dict` output."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema {data.get('schema')!r}")
+    axis = data["axis"]
+    models = {
+        name: ServiceDemandModel(
+            entry["levels"],
+            entry["demands"],
+            kind=entry["kind"],
+            axis=axis,
+            lam=entry.get("lam", 1.0),
+        )
+        for name, entry in data["stations"].items()
+    }
+    return DemandTable(models=models, axis=axis)
+
+
+@dataclass(frozen=True)
+class MeasurementArchive:
+    """The distilled, re-usable outputs of one campaign.
+
+    Carries everything MVASD and the deviation metrics need — measured
+    operating points and per-station demand samples — without the
+    simulator-internal state of a live :class:`LoadTestSweep`.
+    """
+
+    application: str
+    workflow: str
+    levels: np.ndarray
+    throughput: np.ndarray
+    response_time: np.ndarray
+    cycle_time: np.ndarray
+    demand_samples: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        n = len(self.levels)
+        for name in ("throughput", "response_time", "cycle_time"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} must have {n} entries")
+        for station, values in self.demand_samples.items():
+            if len(values) != n:
+                raise ValueError(f"demand samples for {station!r} must have {n} entries")
+
+    def demand_table(
+        self, kind: str = "cubic", axis: str = "concurrency", lam: float = 1.0
+    ) -> DemandTable:
+        """Fit demand curves from the archived samples (as a live sweep would)."""
+        x = self.levels.astype(float) if axis == "concurrency" else self.throughput
+        if axis not in ("concurrency", "throughput"):
+            raise ValueError(f"axis must be 'concurrency' or 'throughput', got {axis!r}")
+        return DemandTable.fit(x, self.demand_samples, kind=kind, axis=axis, lam=lam)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": _SCHEMA_VERSION,
+            "application": self.application,
+            "workflow": self.workflow,
+            "levels": self.levels.tolist(),
+            "throughput": self.throughput.tolist(),
+            "response_time": self.response_time.tolist(),
+            "cycle_time": self.cycle_time.tolist(),
+            "demand_samples": {k: v.tolist() for k, v in self.demand_samples.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MeasurementArchive":
+        if data.get("schema") != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported schema {data.get('schema')!r}")
+        return cls(
+            application=data["application"],
+            workflow=data["workflow"],
+            levels=np.asarray(data["levels"]),
+            throughput=np.asarray(data["throughput"], dtype=float),
+            response_time=np.asarray(data["response_time"], dtype=float),
+            cycle_time=np.asarray(data["cycle_time"], dtype=float),
+            demand_samples={
+                k: np.asarray(v, dtype=float) for k, v in data["demand_samples"].items()
+            },
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MeasurementArchive":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def archive_sweep(sweep: LoadTestSweep) -> MeasurementArchive:
+    """Distill a live sweep into an archive."""
+    return MeasurementArchive(
+        application=sweep.application.name,
+        workflow=sweep.application.workflow,
+        levels=sweep.levels.copy(),
+        throughput=sweep.throughput,
+        response_time=sweep.response_time,
+        cycle_time=sweep.cycle_time,
+        demand_samples=sweep.demand_samples(),
+    )

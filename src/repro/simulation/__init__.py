@@ -1,0 +1,46 @@
+"""Discrete-event simulation testbed.
+
+Substitutes the paper's physical multi-tier deployment: a from-scratch
+event-driven simulator of closed queueing networks whose output
+(throughput, response time, per-resource utilization) plays the role of
+the measured load-test data.
+"""
+
+from .closednet import SimulationResult, simulate_closed_network
+from .distributions import (
+    Deterministic,
+    DistributionShape,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+)
+from .events import EventList
+from .multiclass import ClassSpec, MultiClassSimResult, simulate_multiclass
+from .rng import RandomStreams
+from .software import ConnectionPool, PoolStats
+from .stations import SimDelay, SimQueue
+from .workflows import PageStats, WorkflowResult, simulate_workflow
+
+__all__ = [
+    "ClassSpec",
+    "ConnectionPool",
+    "Deterministic",
+    "DistributionShape",
+    "PoolStats",
+    "Erlang",
+    "EventList",
+    "Exponential",
+    "HyperExponential",
+    "LogNormal",
+    "MultiClassSimResult",
+    "PageStats",
+    "RandomStreams",
+    "SimDelay",
+    "SimQueue",
+    "SimulationResult",
+    "WorkflowResult",
+    "simulate_closed_network",
+    "simulate_multiclass",
+    "simulate_workflow",
+]

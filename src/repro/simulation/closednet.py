@@ -1,0 +1,445 @@
+"""Discrete-event simulation of closed multi-tier queueing networks.
+
+This is the testbed substitute for the paper's physical servers: an
+event-driven simulation of the Fig. 2 model — ``N`` customers cycling
+through think time and the CPU / disk / network stations of every tier.
+Given the same demands, server counts and think time as an MVA model it
+produces the "measured" throughput, response-time and utilization
+numbers that the paper obtains from The Grinder plus vmstat/iostat/
+netstat.
+
+Modelling choices (all standard for product-form comparability):
+
+* exponential service times and think times — the BCMP conditions under
+  which exact MVA is provably exact, so solver-vs-simulation deviations
+  measure solver error, not distribution mismatch;
+* one visit per station per page cycle with the *demand* as its mean —
+  for FCFS exponential stations, splitting ``D_k`` into ``V_k``
+  exponential visits of mean ``S_k`` leaves all mean steady-state
+  quantities unchanged, so the simpler routing is exact for the metrics
+  of interest;
+* demands are evaluated at the run's population ``N`` (``demand_at(N)``)
+  — concurrency-dependent demands manifest *across* runs, exactly as in
+  the paper's load tests where each test fixes a concurrency.
+
+The implementation is a single tight event loop over an
+:class:`~repro.simulation.events.EventList`; stations keep their own
+lazily-integrated statistics (:mod:`repro.simulation.stations`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.network import ClosedNetwork
+from .events import EventList
+from .rng import RandomStreams
+from .software import ConnectionPool, PoolStats
+from .stations import SimDelay, SimQueue
+
+__all__ = ["SimulationResult", "simulate_closed_network"]
+
+_THINK_DONE = 0
+_SERVICE_DONE = 1
+_CUSTOMER_START = 2
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Steady-state measurements of one simulation run.
+
+    All rates and averages are computed over ``[warmup, duration]``;
+    the raw per-cycle records (including warm-up) are retained for
+    transient analysis (Fig. 1).
+    """
+
+    population: int
+    duration: float
+    warmup: float
+    seed: int
+    throughput: float
+    response_time: float
+    cycle_time: float
+    station_names: tuple[str, ...]
+    utilizations: np.ndarray
+    mean_jobs: np.ndarray
+    station_throughputs: np.ndarray
+    completion_times: np.ndarray
+    response_samples: np.ndarray
+    cycles_completed: int
+    pool_stats: tuple[PoolStats, ...] = ()
+
+    def pool(self, name: str) -> PoolStats:
+        """Statistics of a connection pool by name."""
+        for stats in self.pool_stats:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"unknown pool {name!r}")
+
+    def utilization_of(self, station: str) -> float:
+        try:
+            return float(self.utilizations[self.station_names.index(station)])
+        except ValueError:
+            raise KeyError(f"unknown station {station!r}") from None
+
+    def windowed_series(self, window: float) -> dict[str, np.ndarray]:
+        """Per-window throughput and mean response time over the whole run.
+
+        Returns ``{"time", "throughput", "response_time"}`` arrays — the
+        Grinder-Analyzer-style transient view of Fig. 1.  Windows with no
+        completions report NaN response time.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        edges = np.arange(0.0, self.duration + window, window)
+        counts, _ = np.histogram(self.completion_times, bins=edges)
+        sums, _ = np.histogram(
+            self.completion_times, bins=edges, weights=self.response_samples
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_rt = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return {
+            "time": edges[1:],
+            "throughput": counts / window,
+            "response_time": mean_rt,
+        }
+
+    def demand_estimates(self, servers: Sequence[int]) -> dict[str, float]:
+        """Service demands via the service-demand law ``D = U_total / X``.
+
+        ``servers`` supplies ``C_k`` per station (the result only stores
+        per-server utilization): total utilization is ``U_k * C_k`` and
+        ``D_k = U_k C_k / X`` — exactly the extraction the paper performs
+        on Tables 2-3.
+        """
+        if self.throughput <= 0:
+            raise ValueError("no completions in measurement window")
+        if len(servers) != len(self.station_names):
+            raise ValueError(
+                f"expected {len(self.station_names)} server counts, got {len(servers)}"
+            )
+        return {
+            name: float(u) * int(c) / self.throughput
+            for name, u, c in zip(self.station_names, self.utilizations, servers)
+        }
+
+
+def simulate_closed_network(
+    network: ClosedNetwork,
+    population: int,
+    duration: float,
+    warmup: float = 0.0,
+    seed: int = 0,
+    start_times: Sequence[float] | None = None,
+    service_shape=None,
+    pools: Sequence[ConnectionPool] | None = None,
+    think_shape=None,
+) -> SimulationResult:
+    """Run one closed-network simulation at a fixed population.
+
+    Parameters
+    ----------
+    network:
+        The model; varying demands are evaluated at ``population``.
+    population:
+        Number of circulating customers ``N``.
+    duration:
+        Simulated seconds; events past this horizon are discarded.
+    warmup:
+        Statistics (rates, utilizations, means) ignore ``[0, warmup)``;
+        raw cycle records keep everything.
+    seed:
+        Root seed for all random streams.
+    start_times:
+        Optional per-customer first-arrival times (ramp-up); defaults to
+        all zero.  Values beyond ``duration`` mean the customer never
+        starts.
+    service_shape:
+        Service-time distribution shape(s) — a
+        :class:`~repro.simulation.distributions.DistributionShape`
+        applied to every queueing station, or a mapping
+        ``station name -> shape`` (unlisted stations stay exponential).
+        ``None`` (default) is exponential everywhere — the product-form
+        case exact MVA assumes.  Think time is always exponential.
+    pools:
+        Optional :class:`~repro.simulation.software.ConnectionPool`
+        admission limits (software bottlenecks); per-pool statistics are
+        returned in ``SimulationResult.pool_stats``.
+    think_shape:
+        Optional distribution shape for the think time (its mean stays
+        the network's ``Z``).  Default exponential; the paper's related
+        work models realistic user wait-time distributions, and delay
+        stations are insensitive to the shape in product-form theory —
+        a property the tests verify empirically.
+
+    Returns
+    -------
+    SimulationResult
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if not 0 <= warmup < duration:
+        raise ValueError(f"warmup must lie in [0, duration), got {warmup}")
+
+    demands = network.demands_at(population)
+    station_defs = network.stations
+    if not any(d > 0 for d in demands) and network.think_time == 0:
+        raise ValueError("all demands and think time are zero: nothing to simulate")
+
+    def _shape_for(name: str):
+        if service_shape is None:
+            return None
+        if hasattr(service_shape, "sampler"):
+            return service_shape
+        return service_shape.get(name)
+
+    streams = RandomStreams(seed)
+    queues: list[SimQueue | None] = []
+    samplers = []
+    route: list[int] = []  # indices of stations with positive demand, in order
+    for idx, (st, d) in enumerate(zip(station_defs, demands)):
+        if st.kind == "delay":
+            # Extra delay stations fold into think time for the simulator.
+            queues.append(None)
+            samplers.append(None)
+            continue
+        queues.append(SimQueue(st.name, st.servers))
+        shape = _shape_for(st.name)
+        if shape is None:
+            samplers.append(streams.exponential_sampler(f"service:{st.name}", d))
+        else:
+            samplers.append(
+                shape.sampler(streams.get(f"service:{st.name}"), d)
+            )
+        if d > 0:
+            route.append(idx)
+    extra_delay = float(
+        sum(d for st, d in zip(station_defs, demands) if st.kind == "delay")
+    )
+    think_mean = network.think_time + extra_delay
+    think_station = SimDelay("think")
+    if think_mean <= 0:
+        think_sampler = None
+    elif think_shape is not None:
+        think_sampler = think_shape.sampler(streams.get("think"), think_mean)
+    else:
+        think_sampler = streams.exponential_sampler("think", think_mean)
+
+    # Per-customer state.
+    stage = np.full(population, -1, dtype=np.int64)  # index into route
+    cycle_start = np.zeros(population)
+
+    # Connection pools: map route positions to pool entry/exit, token
+    # state and waiting queues.  Pool stations must be contiguous along
+    # the route so "holding a token" is a well-defined span.
+    pool_specs = list(pools or [])
+    pool_entry: dict[int, int] = {}  # route position -> pool index
+    pool_exit: dict[int, int] = {}
+    pool_tokens: list[int] = []
+    pool_waiting: list[deque] = []
+    pool_wait_since: list[dict[int, float]] = []
+    pool_acquisitions: list[int] = []
+    pool_wait_total: list[float] = []
+    pool_max_waiting: list[int] = []
+    pool_busy_area: list[float] = []
+    pool_last_t: list[float] = []
+    route_names = [station_defs[idx].name for idx in route]
+    for p_idx, pool in enumerate(pool_specs):
+        positions = [i for i, name in enumerate(route_names) if name in pool.stations]
+        if not positions:
+            raise ValueError(
+                f"pool {pool.name!r} guards no routed station (all zero-demand?)"
+            )
+        if positions != list(range(positions[0], positions[-1] + 1)):
+            raise ValueError(
+                f"pool {pool.name!r}: guarded stations must be contiguous on the "
+                f"route, got positions {positions}"
+            )
+        if positions[0] in pool_entry or positions[-1] in pool_exit:
+            raise ValueError("pools may not overlap on the route")
+        pool_entry[positions[0]] = p_idx
+        pool_exit[positions[-1]] = p_idx
+        pool_tokens.append(pool.capacity)
+        pool_waiting.append(deque())
+        pool_wait_since.append({})
+        pool_acquisitions.append(0)
+        pool_wait_total.append(0.0)
+        pool_max_waiting.append(0)
+        pool_busy_area.append(0.0)
+        pool_last_t.append(0.0)
+
+    def _pool_advance(p_idx: int, t: float) -> None:
+        busy = pool_specs[p_idx].capacity - pool_tokens[p_idx]
+        pool_busy_area[p_idx] += busy * (t - pool_last_t[p_idx])
+        pool_last_t[p_idx] = t
+
+    events = EventList()
+    if start_times is None:
+        for cust in range(population):
+            events.schedule(0.0, _CUSTOMER_START, cust)
+    else:
+        if len(start_times) != population:
+            raise ValueError(
+                f"start_times must have length {population}, got {len(start_times)}"
+            )
+        for cust, t0 in enumerate(start_times):
+            if t0 < 0:
+                raise ValueError("start_times must be non-negative")
+            if t0 <= duration:
+                events.schedule(float(t0), _CUSTOMER_START, cust)
+
+    completion_times: list[float] = []
+    response_samples: list[float] = []
+    stats_reset_done = warmup == 0.0
+    now = 0.0
+
+    def begin_cycle(t: float, cust: int) -> None:
+        """Think completed (or first start): enter the first routed station."""
+        cycle_start[cust] = t
+        if route:
+            advance_to_position(t, cust, 0)
+        else:
+            finish_cycle(t, cust)
+
+    def enter_station(t: float, cust: int, st_idx: int) -> None:
+        q = queues[st_idx]
+        if q.arrive(t, cust):
+            events.schedule(t + samplers[st_idx](), _SERVICE_DONE, (st_idx, cust))
+
+    def advance_to_position(t: float, cust: int, pos: int) -> None:
+        """Move a customer to route position ``pos``, honouring pools."""
+        stage[cust] = pos
+        p_idx = pool_entry.get(pos)
+        if p_idx is not None:
+            _pool_advance(p_idx, t)
+            if pool_tokens[p_idx] > 0:
+                pool_tokens[p_idx] -= 1
+                pool_acquisitions[p_idx] += 1
+            else:
+                pool_waiting[p_idx].append((cust, pos))
+                pool_wait_since[p_idx][cust] = t
+                pool_max_waiting[p_idx] = max(
+                    pool_max_waiting[p_idx], len(pool_waiting[p_idx])
+                )
+                return
+        enter_station(t, cust, route[pos])
+
+    def release_pool(p_idx: int, t: float) -> None:
+        """Free a token; hand it straight to the head waiter if any."""
+        _pool_advance(p_idx, t)
+        if pool_waiting[p_idx]:
+            cust2, pos2 = pool_waiting[p_idx].popleft()
+            pool_wait_total[p_idx] += t - pool_wait_since[p_idx].pop(cust2)
+            pool_acquisitions[p_idx] += 1
+            enter_station(t, cust2, route[pos2])
+        else:
+            pool_tokens[p_idx] += 1
+
+    def finish_cycle(t: float, cust: int) -> None:
+        completion_times.append(t)
+        response_samples.append(t - cycle_start[cust])
+        stage[cust] = -1
+        if think_sampler is not None:
+            think_station.arrive(t)
+            events.schedule(t + think_sampler(), _THINK_DONE, cust)
+        else:
+            begin_cycle(t, cust)
+
+    while events:
+        if events.peek_time() > duration:
+            break
+        now, kind, payload = events.pop()
+        if not stats_reset_done and now >= warmup:
+            for q in queues:
+                if q is not None:
+                    q.reset_statistics(warmup)
+            think_station.reset_statistics(warmup)
+            for p_idx in range(len(pool_specs)):
+                _pool_advance(p_idx, warmup)
+                pool_acquisitions[p_idx] = 0
+                pool_wait_total[p_idx] = 0.0
+                pool_busy_area[p_idx] = 0.0
+                pool_max_waiting[p_idx] = len(pool_waiting[p_idx])
+            stats_reset_done = True
+        if kind == _CUSTOMER_START:
+            begin_cycle(now, payload)
+        elif kind == _THINK_DONE:
+            think_station.depart(now)
+            begin_cycle(now, payload)
+        else:  # _SERVICE_DONE
+            st_idx, cust = payload
+            next_cust = queues[st_idx].depart(now)
+            if next_cust is not None:
+                events.schedule(
+                    now + samplers[st_idx](), _SERVICE_DONE, (st_idx, next_cust)
+                )
+            done_pos = int(stage[cust])
+            exit_pool = pool_exit.get(done_pos)
+            if exit_pool is not None:
+                release_pool(exit_pool, now)
+            pos = done_pos + 1
+            if pos < len(route):
+                advance_to_position(now, cust, pos)
+            else:
+                finish_cycle(now, cust)
+
+    end = duration
+    comp = np.asarray(completion_times)
+    resp = np.asarray(response_samples)
+    in_window = comp >= warmup
+    window = end - warmup
+    cycles = int(in_window.sum())
+    throughput = cycles / window if window > 0 else 0.0
+    mean_resp = float(resp[in_window].mean()) if cycles else 0.0
+
+    utils = np.zeros(len(station_defs))
+    jobs = np.zeros(len(station_defs))
+    xput = np.zeros(len(station_defs))
+    for idx, q in enumerate(queues):
+        if q is None:
+            utils[idx] = 0.0
+            jobs[idx] = 0.0
+            xput[idx] = throughput
+            continue
+        utils[idx] = q.utilization(end)
+        jobs[idx] = q.mean_jobs(end)
+        xput[idx] = q.throughput(end)
+
+    pool_results = []
+    for p_idx, pool in enumerate(pool_specs):
+        _pool_advance(p_idx, end)
+        acq = pool_acquisitions[p_idx]
+        pool_results.append(
+            PoolStats(
+                name=pool.name,
+                capacity=pool.capacity,
+                acquisitions=acq,
+                mean_wait=pool_wait_total[p_idx] / acq if acq else 0.0,
+                max_waiting=pool_max_waiting[p_idx],
+                utilization=pool_busy_area[p_idx] / ((end - warmup) * pool.capacity),
+            )
+        )
+
+    return SimulationResult(
+        population=population,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        throughput=throughput,
+        response_time=mean_resp,
+        cycle_time=mean_resp + think_mean,
+        station_names=network.station_names,
+        utilizations=utils,
+        mean_jobs=jobs,
+        station_throughputs=xput,
+        completion_times=comp,
+        response_samples=resp,
+        cycles_completed=cycles,
+        pool_stats=tuple(pool_results),
+    )

@@ -1,0 +1,52 @@
+"""Future-event list for the discrete-event simulator.
+
+A thin, fast wrapper around :mod:`heapq` holding ``(time, seq, kind,
+payload)`` tuples.  The monotonically increasing sequence number breaks
+time ties deterministically (FIFO among simultaneous events), which
+keeps runs bit-reproducible across Python versions — heap order on
+equal keys is otherwise unspecified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+__all__ = ["EventList"]
+
+
+class EventList:
+    """Min-heap of timestamped events."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+
+    def schedule(self, time: float, kind: int, payload: Any = None) -> None:
+        """Insert an event; ``kind`` is an integer tag the simulator switches on."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, int, Any]:
+        """Remove and return the earliest ``(time, kind, payload)``."""
+        time, _seq, kind, payload = heapq.heappop(self._heap)
+        return time, kind, payload
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event (raises IndexError when empty)."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain_until(self, horizon: float) -> Iterator[tuple[float, int, Any]]:
+        """Yield events in order until the heap empties or passes ``horizon``."""
+        while self._heap and self._heap[0][0] <= horizon:
+            yield self.pop()

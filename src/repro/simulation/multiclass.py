@@ -1,0 +1,231 @@
+"""Multi-class closed-network simulation.
+
+Validation substrate for the multi-class solvers: each class has its own
+demand vector, think time and population, sharing the FCFS stations.
+(Class-dependent exponential service at FCFS stations is outside BCMP
+product form, so the solvers are approximations — this simulator is the
+ground truth they are scored against.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .events import EventList
+from .rng import RandomStreams
+from .stations import SimDelay, SimQueue
+
+__all__ = ["ClassSpec", "MultiClassSimResult", "simulate_multiclass"]
+
+_THINK_DONE = 0
+_SERVICE_DONE = 1
+_CUSTOMER_START = 2
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One customer class: population, think time and per-station demands."""
+
+    name: str
+    population: int
+    think_time: float
+    demands: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.population < 0:
+            raise ValueError(f"population must be non-negative, got {self.population}")
+        if self.think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        if any(d < 0 for d in self.demands.values()):
+            raise ValueError("demands must be non-negative")
+
+
+@dataclass(frozen=True)
+class MultiClassSimResult:
+    """Per-class and per-station steady-state measurements."""
+
+    class_names: tuple[str, ...]
+    station_names: tuple[str, ...]
+    throughput: np.ndarray  # per class
+    response_time: np.ndarray  # per class
+    cycle_time: np.ndarray  # per class
+    utilizations: np.ndarray  # per station (per-server)
+    completions: np.ndarray  # per class
+
+    @property
+    def total_throughput(self) -> float:
+        return float(self.throughput.sum())
+
+    def of_class(self, name: str) -> dict:
+        try:
+            ci = self.class_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown class {name!r}") from None
+        return {
+            "throughput": float(self.throughput[ci]),
+            "response_time": float(self.response_time[ci]),
+            "cycle_time": float(self.cycle_time[ci]),
+            "completions": int(self.completions[ci]),
+        }
+
+
+def simulate_multiclass(
+    station_names: Sequence[str],
+    servers: Mapping[str, int],
+    classes: Sequence[ClassSpec],
+    duration: float,
+    warmup: float = 0.0,
+    seed: int = 0,
+) -> MultiClassSimResult:
+    """Simulate a closed multi-class network at fixed per-class populations.
+
+    Routing is the same fixed station order for every class (a class with
+    zero demand at a station skips it); service times are exponential
+    with class-specific means.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not 0 <= warmup < duration:
+        raise ValueError("warmup must lie in [0, duration)")
+    names = tuple(station_names)
+    if not classes:
+        raise ValueError("need at least one class")
+    class_names = tuple(spec.name for spec in classes)
+    if len(set(class_names)) != len(class_names):
+        raise ValueError("duplicate class names")
+    total_pop = sum(spec.population for spec in classes)
+    if total_pop < 1:
+        raise ValueError("total population must be >= 1")
+
+    streams = RandomStreams(seed)
+    queues = [SimQueue(name, servers.get(name, 1)) for name in names]
+    think = SimDelay("think")
+
+    # per (class, station) samplers and per-class routes
+    samplers: list[list] = []
+    routes: list[list[int]] = []
+    think_samplers = []
+    for spec in classes:
+        row = []
+        route = []
+        for idx, st in enumerate(names):
+            d = float(spec.demands.get(st, 0.0))
+            row.append(
+                streams.exponential_sampler(f"svc:{spec.name}:{st}", d)
+            )
+            if d > 0:
+                route.append(idx)
+        samplers.append(row)
+        routes.append(route)
+        think_samplers.append(
+            streams.exponential_sampler(f"think:{spec.name}", spec.think_time)
+            if spec.think_time > 0
+            else None
+        )
+        if not route and spec.think_time == 0 and spec.population > 0:
+            raise ValueError(f"class {spec.name!r} has nothing to do")
+
+    # flatten customers: (class index, per-class position)
+    cust_class = []
+    for ci, spec in enumerate(classes):
+        cust_class.extend([ci] * spec.population)
+    cust_class = np.array(cust_class, dtype=int)
+    stage = np.full(total_pop, -1, dtype=int)
+    cycle_start = np.zeros(total_pop)
+
+    events = EventList()
+    for cust in range(total_pop):
+        events.schedule(0.0, _CUSTOMER_START, cust)
+
+    comp_t: list[float] = []
+    comp_class: list[int] = []
+    resp: list[float] = []
+    stats_reset = warmup == 0.0
+
+    def begin(t: float, cust: int) -> None:
+        ci = cust_class[cust]
+        stage[cust] = 0
+        cycle_start[cust] = t
+        route = routes[ci]
+        if route:
+            enter(t, cust, route[0])
+        else:
+            finish(t, cust)
+
+    def enter(t: float, cust: int, st_idx: int) -> None:
+        if queues[st_idx].arrive(t, cust):
+            draw = samplers[cust_class[cust]][st_idx]
+            events.schedule(t + draw(), _SERVICE_DONE, (st_idx, cust))
+
+    def finish(t: float, cust: int) -> None:
+        ci = cust_class[cust]
+        comp_t.append(t)
+        comp_class.append(ci)
+        resp.append(t - cycle_start[cust])
+        stage[cust] = -1
+        sampler = think_samplers[ci]
+        if sampler is not None:
+            think.arrive(t)
+            events.schedule(t + sampler(), _THINK_DONE, cust)
+        else:
+            begin(t, cust)
+
+    while events:
+        if events.peek_time() > duration:
+            break
+        now, kind, payload = events.pop()
+        if not stats_reset and now >= warmup:
+            for q in queues:
+                q.reset_statistics(warmup)
+            think.reset_statistics(warmup)
+            stats_reset = True
+        if kind == _CUSTOMER_START:
+            begin(now, payload)
+        elif kind == _THINK_DONE:
+            think.depart(now)
+            begin(now, payload)
+        else:
+            st_idx, cust = payload
+            nxt = queues[st_idx].depart(now)
+            if nxt is not None:
+                draw = samplers[cust_class[nxt]][st_idx]
+                events.schedule(now + draw(), _SERVICE_DONE, (st_idx, nxt))
+            ci = cust_class[cust]
+            pos = int(stage[cust]) + 1
+            route = routes[ci]
+            if pos < len(route):
+                stage[cust] = pos
+                enter(now, cust, route[pos])
+            else:
+                finish(now, cust)
+
+    comp_t_arr = np.asarray(comp_t)
+    comp_c_arr = np.asarray(comp_class, dtype=int)
+    resp_arr = np.asarray(resp)
+    window = duration - warmup
+    in_win = comp_t_arr >= warmup
+
+    n_classes = len(classes)
+    xput = np.zeros(n_classes)
+    rtime = np.zeros(n_classes)
+    counts = np.zeros(n_classes, dtype=int)
+    for ci in range(n_classes):
+        mask = in_win & (comp_c_arr == ci)
+        counts[ci] = int(mask.sum())
+        xput[ci] = counts[ci] / window
+        rtime[ci] = float(resp_arr[mask].mean()) if counts[ci] else 0.0
+
+    utils = np.array([q.utilization(duration) for q in queues])
+    think_z = np.array([spec.think_time for spec in classes])
+    return MultiClassSimResult(
+        class_names=class_names,
+        station_names=names,
+        throughput=xput,
+        response_time=rtime,
+        cycle_time=rtime + think_z,
+        utilizations=utils,
+        completions=counts,
+    )

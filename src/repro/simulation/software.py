@@ -1,0 +1,78 @@
+"""Software bottlenecks: connection pools / admission limits.
+
+The paper explicitly scopes these out ("software bottlenecks such as
+synchronization locks and connection pools ... are assumed to be tuned
+prior to performance analysis") — which makes them the natural
+*extension*: this module adds finite-capacity admission control to the
+simulated testbed so one can measure exactly what happens when a pool is
+NOT tuned, and show that hardware-only models (all the MVA variants)
+overpredict throughput once a software limit binds.
+
+A :class:`ConnectionPool` guards a contiguous span of the page route
+(typically one tier): a customer must hold one of ``capacity`` tokens
+from its first pool station through its last, and queues FIFO in the
+pool otherwise.  The resulting wait is *software* queueing invisible to
+utilization monitors — hardware looks idle while users wait, the classic
+mis-tuned-pool signature.
+
+Use via :func:`repro.simulation.simulate_closed_network` 's ``pools``
+argument; per-pool statistics come back in
+:class:`PoolStats`-valued ``SimulationResult.pool_stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ConnectionPool", "PoolStats"]
+
+
+@dataclass(frozen=True)
+class ConnectionPool:
+    """An admission limit over a set of stations.
+
+    Attributes
+    ----------
+    name:
+        Pool label (e.g. ``"db-connections"``).
+    capacity:
+        Maximum customers simultaneously inside the guarded stations.
+    stations:
+        Names of the guarded stations.  They must form a contiguous span
+        of the simulator's page route (one tier does); the simulator
+        validates this.
+    """
+
+    name: str
+    capacity: int
+    stations: tuple[str, ...]
+
+    def __init__(self, name: str, capacity: int, stations: Sequence[str]) -> None:
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        stations = tuple(stations)
+        if not stations:
+            raise ValueError("pool must guard at least one station")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "capacity", int(capacity))
+        object.__setattr__(self, "stations", stations)
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Steady-state statistics of one pool."""
+
+    name: str
+    capacity: int
+    acquisitions: int
+    mean_wait: float
+    max_waiting: int
+    utilization: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.capacity} tokens, "
+            f"{self.utilization:.0%} busy, mean wait {self.mean_wait * 1000:.1f} ms, "
+            f"max queue {self.max_waiting}"
+        )

@@ -1,0 +1,183 @@
+"""Simulated queueing stations.
+
+Each station tracks exactly the accounting the paper's monitors report:
+busy-server time (-> utilization, as vmstat/iostat would), completion
+counts (-> per-resource throughput, the forced-flow check) and sojourn
+times.  Service times are drawn by the owning simulator; stations only
+manage queue/server state so they stay unit-testable in isolation.
+
+``SimQueue`` is FCFS with ``C`` identical servers — the model of a
+multi-core CPU (C = cores) or a disk / network path (C = 1).
+``SimDelay`` is an infinite-server delay used for client think time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["SimQueue", "SimDelay"]
+
+
+class SimQueue:
+    """FCFS multi-server queue state machine.
+
+    The simulator calls :meth:`arrive` when a customer reaches the
+    station and :meth:`depart` when its service completes.  ``arrive``
+    returns ``True`` when the customer seized a server immediately (the
+    caller must then schedule its completion); otherwise the customer
+    waits and will be returned by a later ``depart`` for scheduling.
+
+    Time-integrated statistics are advanced lazily from the timestamps
+    of the calls, so no per-tick work is needed.
+    """
+
+    __slots__ = (
+        "name",
+        "servers",
+        "busy",
+        "waiting",
+        "completions",
+        "busy_time",
+        "queue_time_area",
+        "arrivals",
+        "_last_t",
+        "_stats_from",
+    )
+
+    def __init__(self, name: str, servers: int = 1) -> None:
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        self.name = name
+        self.servers = int(servers)
+        self.busy = 0
+        self.waiting: deque = deque()
+        self.completions = 0
+        self.arrivals = 0
+        self.busy_time = 0.0  # integral of busy servers dt (after _stats_from)
+        self.queue_time_area = 0.0  # integral of (waiting + busy) dt
+        self._last_t = 0.0
+        self._stats_from = 0.0
+
+    # -- internal accounting ---------------------------------------------------
+
+    def _advance(self, t: float) -> None:
+        if t > self._last_t:
+            dt = t - self._last_t
+            self.busy_time += self.busy * dt
+            self.queue_time_area += (self.busy + len(self.waiting)) * dt
+            self._last_t = t
+
+    def reset_statistics(self, t: float) -> None:
+        """Discard accumulated statistics (end of warm-up)."""
+        self._advance(t)
+        self.busy_time = 0.0
+        self.queue_time_area = 0.0
+        self.completions = 0
+        self.arrivals = 0
+        self._stats_from = t
+        self._last_t = t
+
+    # -- state transitions -------------------------------------------------------
+
+    def arrive(self, t: float, customer) -> bool:
+        """Customer arrives; True iff it starts service immediately."""
+        self._advance(t)
+        self.arrivals += 1
+        if self.busy < self.servers:
+            self.busy += 1
+            return True
+        self.waiting.append(customer)
+        return False
+
+    def depart(self, t: float):
+        """A service completes; returns the next waiting customer (or None).
+
+        The freed server is immediately handed to the head of the queue
+        when one exists — the caller schedules that customer's service
+        completion.
+        """
+        self._advance(t)
+        if self.busy <= 0:
+            raise RuntimeError(f"station {self.name!r}: depart with no busy server")
+        self.completions += 1
+        if self.waiting:
+            return self.waiting.popleft()
+        self.busy -= 1
+        return None
+
+    # -- reported metrics ----------------------------------------------------------
+
+    def utilization(self, now: float) -> float:
+        """Mean per-server utilization since the last statistics reset."""
+        self._advance(now)
+        elapsed = now - self._stats_from
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.servers)
+
+    def mean_jobs(self, now: float) -> float:
+        """Time-averaged number of jobs at the station (queue + service)."""
+        self._advance(now)
+        elapsed = now - self._stats_from
+        if elapsed <= 0:
+            return 0.0
+        return self.queue_time_area / elapsed
+
+    def throughput(self, now: float) -> float:
+        """Completion rate since the last statistics reset."""
+        elapsed = now - self._stats_from
+        if elapsed <= 0:
+            return 0.0
+        return self.completions / elapsed
+
+    @property
+    def jobs_present(self) -> int:
+        return self.busy + len(self.waiting)
+
+
+class SimDelay:
+    """Infinite-server delay station (think time).
+
+    Customers never queue; only completion counting and the
+    time-averaged population are tracked.
+    """
+
+    __slots__ = ("name", "present", "completions", "pop_area", "_last_t", "_stats_from")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.present = 0
+        self.completions = 0
+        self.pop_area = 0.0
+        self._last_t = 0.0
+        self._stats_from = 0.0
+
+    def _advance(self, t: float) -> None:
+        if t > self._last_t:
+            self.pop_area += self.present * (t - self._last_t)
+            self._last_t = t
+
+    def reset_statistics(self, t: float) -> None:
+        self._advance(t)
+        self.pop_area = 0.0
+        self.completions = 0
+        self._stats_from = t
+        self._last_t = t
+
+    def arrive(self, t: float) -> None:
+        self._advance(t)
+        self.present += 1
+
+    def depart(self, t: float) -> None:
+        self._advance(t)
+        if self.present <= 0:
+            raise RuntimeError(f"delay {self.name!r}: depart from empty station")
+        self.present -= 1
+        self.completions += 1
+
+    def mean_population(self, now: float) -> float:
+        self._advance(now)
+        elapsed = now - self._stats_from
+        if elapsed <= 0:
+            return 0.0
+        return self.pop_area / elapsed

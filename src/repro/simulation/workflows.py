@@ -1,0 +1,298 @@
+"""Page-level workflow simulation.
+
+The aggregate simulator (:mod:`repro.simulation.closednet`) folds a
+whole workflow into one average "page" — exactly what the MVA models
+see.  Real load tests, however, report *per-page* statistics: the VINS
+Renew-Policy workflow has 7 pages, JPetStore's shopping flow 14, and
+The Grinder prints a response-time row per page.
+
+:func:`simulate_workflow` runs the same closed network at page
+granularity: each customer cycles think -> page_1 -> think -> page_2 ->
+... with page ``p`` scaling every station's service demand by a weight
+``w_p`` (mean 1 across pages, so aggregate demands — and therefore the
+MVA view — are unchanged).  Per-page response-time distributions come
+out, enabling Grinder-style per-page reports and SLAs on individual
+pages.
+
+Note on exactness: page-dependent service at a FCFS station breaks the
+BCMP conditions (service must be class-independent exponential), so
+aggregate means can shift slightly relative to the aggregate simulator
+for strongly skewed weights.  The test suite pins the agreement for
+uniform weights (exact) and bounds the drift for the bundled
+applications' mild skews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.network import ClosedNetwork
+from .closednet import SimulationResult
+from .events import EventList
+from .rng import RandomStreams
+from .stations import SimDelay, SimQueue
+
+__all__ = ["PageStats", "WorkflowResult", "simulate_workflow"]
+
+_THINK_DONE = 0
+_SERVICE_DONE = 1
+_CUSTOMER_START = 2
+
+
+@dataclass(frozen=True)
+class PageStats:
+    """Steady-state statistics of one workflow page."""
+
+    name: str
+    weight: float
+    completions: int
+    mean_response_time: float
+    p95_response_time: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.completions} views, "
+            f"mean {self.mean_response_time * 1000:.0f} ms, "
+            f"p95 {self.p95_response_time * 1000:.0f} ms"
+        )
+
+
+@dataclass(frozen=True)
+class WorkflowResult:
+    """Aggregate metrics plus the per-page breakdown."""
+
+    aggregate: SimulationResult
+    pages: tuple[PageStats, ...]
+
+    @property
+    def page_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.pages)
+
+    def page(self, name: str) -> PageStats:
+        for p in self.pages:
+            if p.name == name:
+                return p
+        raise KeyError(f"unknown page {name!r}")
+
+    @property
+    def workflow_time(self) -> float:
+        """Mean wall time of one full workflow pass (pages + think gaps).
+
+        ``pages * (mean page response + think)`` — how long a virtual
+        user takes to complete the whole business transaction.
+        """
+        m = len(self.pages)
+        return m * self.aggregate.cycle_time
+
+
+def _normalize_weights(
+    page_weights: Mapping[str, float] | Sequence[float],
+) -> tuple[tuple[str, ...], np.ndarray]:
+    if isinstance(page_weights, Mapping):
+        names = tuple(page_weights)
+        w = np.array([page_weights[n] for n in names], dtype=float)
+    else:
+        w = np.asarray(list(page_weights), dtype=float)
+        names = tuple(f"page-{i + 1}" for i in range(w.size))
+    if w.size == 0:
+        raise ValueError("workflow needs at least one page")
+    if np.any(w <= 0):
+        raise ValueError("page weights must be positive")
+    # normalize to mean 1 so aggregate demands are preserved
+    return names, w * (w.size / w.sum())
+
+
+def simulate_workflow(
+    network: ClosedNetwork,
+    population: int,
+    page_weights: Mapping[str, float] | Sequence[float],
+    duration: float,
+    warmup: float = 0.0,
+    seed: int = 0,
+) -> WorkflowResult:
+    """Simulate a closed network at page granularity.
+
+    Parameters
+    ----------
+    network:
+        The application's network; demands are the *per-page averages*
+        (as everywhere else) and are evaluated at ``population``.
+    population:
+        Concurrent virtual users.
+    page_weights:
+        One positive weight per page (mapping name -> weight, or a
+        sequence).  Weights are rescaled to mean 1; page ``p``'s demand
+        at every station is ``w_p`` times the average page demand.
+    duration / warmup / seed:
+        As in :func:`repro.simulation.simulate_closed_network`.
+
+    Returns
+    -------
+    WorkflowResult
+        Aggregate :class:`SimulationResult` (throughput in pages/second,
+        response time per page — directly comparable with the MVA view)
+        plus per-page statistics.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if not 0 <= warmup < duration:
+        raise ValueError(f"warmup must lie in [0, duration), got {warmup}")
+    page_names, weights = _normalize_weights(page_weights)
+    n_pages = weights.size
+
+    demands = network.demands_at(population)
+    station_defs = network.stations
+
+    streams = RandomStreams(seed)
+    queues: list[SimQueue | None] = []
+    samplers: list[list] = []  # [station][page] -> draw()
+    route: list[int] = []
+    for idx, (st, d) in enumerate(zip(station_defs, demands)):
+        if st.kind == "delay":
+            queues.append(None)
+            samplers.append([])
+            continue
+        queues.append(SimQueue(st.name, st.servers))
+        samplers.append(
+            [
+                streams.exponential_sampler(
+                    f"service:{st.name}:p{p}", d * weights[p]
+                )
+                for p in range(n_pages)
+            ]
+        )
+        if d > 0:
+            route.append(idx)
+    extra_delay = float(
+        sum(d for st, d in zip(station_defs, demands) if st.kind == "delay")
+    )
+    think_mean = network.think_time + extra_delay
+    think_station = SimDelay("think")
+    think_sampler = (
+        streams.exponential_sampler("think", think_mean) if think_mean > 0 else None
+    )
+
+    stage = np.full(population, -1, dtype=np.int64)
+    page_of = np.zeros(population, dtype=np.int64)  # next page index per user
+    cycle_start = np.zeros(population)
+
+    events = EventList()
+    for cust in range(population):
+        events.schedule(0.0, _CUSTOMER_START, cust)
+
+    completion_times: list[float] = []
+    response_samples: list[float] = []
+    completion_pages: list[int] = []
+    stats_reset_done = warmup == 0.0
+
+    def begin_page(t: float, cust: int) -> None:
+        stage[cust] = 0
+        cycle_start[cust] = t
+        if route:
+            enter_station(t, cust, route[0])
+        else:
+            finish_page(t, cust)
+
+    def enter_station(t: float, cust: int, st_idx: int) -> None:
+        if queues[st_idx].arrive(t, cust):
+            draw = samplers[st_idx][page_of[cust]]
+            events.schedule(t + draw(), _SERVICE_DONE, (st_idx, cust))
+
+    def finish_page(t: float, cust: int) -> None:
+        completion_times.append(t)
+        response_samples.append(t - cycle_start[cust])
+        completion_pages.append(int(page_of[cust]))
+        page_of[cust] = (page_of[cust] + 1) % n_pages
+        stage[cust] = -1
+        if think_sampler is not None:
+            think_station.arrive(t)
+            events.schedule(t + think_sampler(), _THINK_DONE, cust)
+        else:
+            begin_page(t, cust)
+
+    while events:
+        if events.peek_time() > duration:
+            break
+        now, kind, payload = events.pop()
+        if not stats_reset_done and now >= warmup:
+            for q in queues:
+                if q is not None:
+                    q.reset_statistics(warmup)
+            think_station.reset_statistics(warmup)
+            stats_reset_done = True
+        if kind == _CUSTOMER_START:
+            begin_page(now, payload)
+        elif kind == _THINK_DONE:
+            think_station.depart(now)
+            begin_page(now, payload)
+        else:
+            st_idx, cust = payload
+            next_cust = queues[st_idx].depart(now)
+            if next_cust is not None:
+                draw = samplers[st_idx][page_of[next_cust]]
+                events.schedule(now + draw(), _SERVICE_DONE, (st_idx, next_cust))
+            pos = int(stage[cust]) + 1
+            if pos < len(route):
+                stage[cust] = pos
+                enter_station(now, cust, route[pos])
+            else:
+                finish_page(now, cust)
+
+    comp = np.asarray(completion_times)
+    resp = np.asarray(response_samples)
+    pages_arr = np.asarray(completion_pages)
+    in_window = comp >= warmup
+    window = duration - warmup
+    cycles = int(in_window.sum())
+    throughput = cycles / window if window > 0 else 0.0
+    mean_resp = float(resp[in_window].mean()) if cycles else 0.0
+
+    utils = np.zeros(len(station_defs))
+    jobs = np.zeros(len(station_defs))
+    xput = np.zeros(len(station_defs))
+    for idx, q in enumerate(queues):
+        if q is None:
+            xput[idx] = throughput
+            continue
+        utils[idx] = q.utilization(duration)
+        jobs[idx] = q.mean_jobs(duration)
+        xput[idx] = q.throughput(duration)
+
+    aggregate = SimulationResult(
+        population=population,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        throughput=throughput,
+        response_time=mean_resp,
+        cycle_time=mean_resp + think_mean,
+        station_names=network.station_names,
+        utilizations=utils,
+        mean_jobs=jobs,
+        station_throughputs=xput,
+        completion_times=comp,
+        response_samples=resp,
+        cycles_completed=cycles,
+    )
+
+    page_stats = []
+    for p, name in enumerate(page_names):
+        mask = in_window & (pages_arr == p)
+        samples = resp[mask]
+        page_stats.append(
+            PageStats(
+                name=name,
+                weight=float(weights[p]),
+                completions=int(mask.sum()),
+                mean_response_time=float(samples.mean()) if samples.size else 0.0,
+                p95_response_time=(
+                    float(np.percentile(samples, 95)) if samples.size else 0.0
+                ),
+            )
+        )
+    return WorkflowResult(aggregate=aggregate, pages=tuple(page_stats))

@@ -1,0 +1,53 @@
+"""Load-test design-point selection strategies (Section 8).
+
+The paper's recommendation: place the few load tests a budget allows at
+Chebyshev positions over the concurrency range, rather than uniformly
+or at ad-hoc ("random") points, because splines through Chebyshev
+samples avoid Runge oscillation (Figs. 14-15).  The alternative
+strategies exist to reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..interpolate.chebyshev import concurrency_test_points
+
+__all__ = ["design_points", "STRATEGIES"]
+
+STRATEGIES = ("chebyshev", "uniform", "random")
+
+
+def design_points(
+    n: int,
+    low: int,
+    high: int,
+    strategy: str = "chebyshev",
+    seed: int = 0,
+    minimum_gap: int = 1,
+) -> np.ndarray:
+    """Pick ``n`` integer concurrency levels in ``[low, high]``.
+
+    ``"chebyshev"`` uses eq. 17 node placement; ``"uniform"`` equal
+    spacing including both endpoints; ``"random"`` a seeded sorted
+    uniform draw (the arbitrary-points baseline of Fig. 15).  All
+    strategies return strictly increasing levels.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    if n < 2:
+        raise ValueError(f"need at least 2 design points, got {n}")
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    if strategy == "chebyshev":
+        return concurrency_test_points(n, low, high, minimum_gap=minimum_gap)
+    if strategy == "uniform":
+        pts = np.unique(np.rint(np.linspace(low, high, n)).astype(int))
+        return pts
+    rng = np.random.default_rng(seed)
+    # Random interior points plus pinned endpoints, so extrapolation
+    # clamping does not dominate the comparison unfairly.
+    interior = rng.choice(
+        np.arange(low + 1, high), size=max(n - 2, 0), replace=False
+    )
+    return np.unique(np.concatenate(([low], np.sort(interior), [high])))

@@ -1,0 +1,120 @@
+"""The Fig. 17 end-to-end prediction workflow.
+
+The paper's recommended practice for accurate performance prediction:
+
+1. **Design** — generate the load-testing concurrency points from
+   Chebyshev Nodes over the range of interest (Section 8);
+2. **Measure** — run load tests at those points and extract service
+   demands with the service-demand law (Section 4);
+3. **Predict** — spline-interpolate the demand samples and feed them to
+   MVASD to obtain throughput and cycle time over the whole range
+   (Section 6).
+
+:func:`predict_performance` executes the three steps against the
+simulated testbed and returns a :class:`PipelineReport`; its
+:meth:`~PipelineReport.validate` scores the prediction against an
+independent dense measurement sweep — the "compare with measured load
+testing data" loop the paper closes in Figs. 6/7/16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.deviation import DeviationReport, deviation_against_sweep
+from ..apps.base import Application
+from ..core.mvasd import mvasd
+from ..core.results import MVAResult
+from ..interpolate.demand_model import DemandTable
+from ..loadtest.runner import LoadTestSweep, run_sweep
+from .chebydesign import design_points
+
+__all__ = ["PipelineReport", "predict_performance"]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Everything the Fig. 17 workflow produced."""
+
+    application: str
+    design: np.ndarray
+    sweep: LoadTestSweep
+    demand_table: DemandTable
+    prediction: MVAResult
+
+    def validate(
+        self,
+        reference: LoadTestSweep,
+        stations_for_utilization: Sequence[str] = (),
+    ) -> DeviationReport:
+        """Eq. 15 deviations of the prediction against a reference sweep."""
+        return deviation_against_sweep(
+            self.prediction,
+            reference,
+            stations_for_utilization=stations_for_utilization,
+        )
+
+    def predicted_at(self, level: int) -> dict:
+        """Scalar prediction snapshot at one concurrency level."""
+        return self.prediction.at(level)
+
+
+def predict_performance(
+    application: Application,
+    n_design_points: int = 5,
+    max_population: int | None = None,
+    concurrency_range: tuple[int, int] | None = None,
+    strategy: str = "chebyshev",
+    duration: float = 200.0,
+    seed: int = 0,
+    demand_kind: str = "cubic",
+    single_server: bool = False,
+) -> PipelineReport:
+    """Run the three-step workflow of Fig. 17.
+
+    Parameters
+    ----------
+    application:
+        The application under test.
+    n_design_points:
+        Number of load tests the budget allows (the paper shows 3
+        Chebyshev points already predict well — Fig. 16).
+    max_population:
+        Population range of the final prediction (default: top of the
+        concurrency range).
+    concurrency_range:
+        ``(low, high)`` test range; defaults to
+        ``(1, application.max_tested_concurrency)``.
+    strategy:
+        Design strategy — ``"chebyshev"`` (recommended), ``"uniform"``
+        or ``"random"``.
+    duration:
+        Simulated seconds per load test.
+    seed:
+        Reproducibility seed for tests and design randomness.
+    demand_kind:
+        Spline family for step 3.
+    single_server:
+        Use the normalized single-server MVASD variant (ablation).
+    """
+    low, high = concurrency_range or (1, application.max_tested_concurrency)
+    design = design_points(n_design_points, low, high, strategy=strategy, seed=seed)
+    sweep = run_sweep(application, levels=[int(d) for d in design], duration=duration, seed=seed)
+    table = sweep.demand_table(kind=demand_kind)
+    n_max = int(max_population) if max_population is not None else high
+    prediction = mvasd(
+        application.network,
+        n_max,
+        demand_functions=table.functions(),
+        single_server=single_server,
+    )
+    return PipelineReport(
+        application=application.name,
+        design=design,
+        sweep=sweep,
+        demand_table=table,
+        prediction=prediction,
+    )

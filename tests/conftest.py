@@ -1,0 +1,98 @@
+"""Shared fixtures.
+
+Expensive artefacts (load-test sweeps, dense reference solves) are
+session-scoped and built on small, fast configurations — short DES
+durations and scaled-down population ranges — chosen so the qualitative
+structure (bottlenecks, saturation, demand decay) survives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import Application, Datapool, DemandProfile, three_tier_network
+from repro.core import ClosedNetwork, Station
+from repro.loadtest import run_sweep
+
+
+@pytest.fixture
+def two_station_net() -> ClosedNetwork:
+    """Tiny single-server network with think time (hand-checkable)."""
+    return ClosedNetwork(
+        [Station("cpu", 0.05), Station("disk", 0.08)], think_time=1.0
+    )
+
+
+@pytest.fixture
+def multiserver_net() -> ClosedNetwork:
+    """4-core CPU bottleneck plus a disk — the Fig. 3 configuration."""
+    return ClosedNetwork(
+        [Station("cpu", 0.4, servers=4), Station("disk", 0.05)], think_time=1.0
+    )
+
+
+@pytest.fixture
+def manycore_net() -> ClosedNetwork:
+    """16-core bottleneck — the numerically hard case."""
+    return ClosedNetwork(
+        [Station("cpu", 0.15, servers=16), Station("disk", 0.01)], think_time=1.0
+    )
+
+
+@pytest.fixture
+def varying_net() -> ClosedNetwork:
+    """Network whose CPU demand decays with concurrency."""
+    cpu = DemandProfile.exp_decay(0.4, 0.25, 50.0)
+    return ClosedNetwork(
+        [Station("cpu", cpu, servers=4), Station("disk", 0.05)], think_time=1.0
+    )
+
+
+def _mini_app(name: str = "MiniApp") -> Application:
+    """A scaled-down three-tier application for fast end-to-end tests.
+
+    Saturates (db.disk) around N~35 so short sweeps cover the whole
+    throughput curve.
+    """
+    profiles = {
+        "load.cpu": DemandProfile.exp_decay(0.030, 0.024, 30.0),
+        "load.disk": DemandProfile.exp_decay(0.012, 0.009, 30.0),
+        "load.net_tx": DemandProfile.exp_decay(0.004, 0.003, 30.0),
+        "load.net_rx": DemandProfile.exp_decay(0.004, 0.003, 30.0),
+        "app.cpu": DemandProfile.exp_decay(0.120, 0.090, 30.0),
+        "app.disk": DemandProfile.exp_decay(0.008, 0.006, 30.0),
+        "app.net_tx": DemandProfile.exp_decay(0.005, 0.004, 30.0),
+        "app.net_rx": DemandProfile.exp_decay(0.005, 0.004, 30.0),
+        "db.cpu": DemandProfile.exp_decay(0.150, 0.110, 30.0),
+        "db.disk": DemandProfile.exp_decay(0.065, 0.050, 30.0),
+        "db.net_tx": DemandProfile.exp_decay(0.004, 0.003, 30.0),
+        "db.net_rx": DemandProfile.exp_decay(0.004, 0.003, 30.0),
+    }
+    network = three_tier_network(profiles, think_time=1.0, cpu_cores=4, name=name)
+    return Application(
+        name=name,
+        network=network,
+        workflow="mini",
+        pages=3,
+        datapool=Datapool(records=1000),
+        max_tested_concurrency=60,
+        default_sample_levels=(1, 5, 10, 20, 35, 50),
+    )
+
+
+@pytest.fixture
+def mini_app() -> Application:
+    return _mini_app()
+
+
+@pytest.fixture(scope="session")
+def mini_sweep():
+    """A measured sweep over the mini application (shared across tests)."""
+    return run_sweep(_mini_app(), duration=80.0, seed=11)
+
+
+def assert_monotone_nondecreasing(arr, rel_slack: float = 0.0) -> None:
+    arr = np.asarray(arr, dtype=float)
+    drops = np.diff(arr) < -rel_slack * np.abs(arr[:-1])
+    assert not drops.any(), f"sequence decreases at indices {np.nonzero(drops)[0]}"

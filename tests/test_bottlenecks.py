@@ -1,0 +1,104 @@
+"""Bottleneck ranking, migration, upgrade leverage."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bottlenecks import (
+    bottleneck_migration,
+    bottleneck_ranking,
+    upgrade_leverage,
+)
+from repro.apps import DemandProfile
+from repro.core import ClosedNetwork, Station
+
+
+@pytest.fixture
+def net():
+    return ClosedNetwork(
+        [
+            Station("cpu", 0.4, servers=8),    # 0.05/server, ceiling 20
+            Station("disk", 0.08),             # ceiling 12.5  <- primary
+            Station("net", 0.06),              # ceiling 16.7  <- secondary
+        ],
+        think_time=1.0,
+    )
+
+
+class TestRanking:
+    def test_orders_by_per_server_demand(self, net):
+        r = bottleneck_ranking(net)
+        assert r.primary == "disk"
+        assert r.secondary == "net"
+        assert r.stations[-1] == "cpu"
+
+    def test_system_ceiling(self, net):
+        r = bottleneck_ranking(net)
+        assert r.system_ceiling == pytest.approx(12.5)
+
+    def test_criticality_relative_to_primary(self, net):
+        r = bottleneck_ranking(net)
+        assert r.criticality("disk") == 1.0
+        assert r.criticality("net") == pytest.approx(0.06 / 0.08)
+        with pytest.raises(KeyError):
+            r.criticality("gpu")
+
+    def test_delay_stations_excluded(self):
+        net = ClosedNetwork(
+            [Station("cpu", 0.1), Station("lag", 9.0, kind="delay")]
+        )
+        r = bottleneck_ranking(net)
+        assert r.stations == ("cpu",)
+
+    def test_table_renders(self, net):
+        assert "disk" in bottleneck_ranking(net).table()
+
+    def test_no_queueing_stations(self):
+        net = ClosedNetwork([Station("lag", 1.0, kind="delay")])
+        with pytest.raises(ValueError):
+            bottleneck_ranking(net)
+
+
+class TestMigration:
+    def test_static_network_never_migrates(self, net):
+        path = bottleneck_migration(net, [1, 100, 1000])
+        assert all(name == "disk" for _, name in path)
+
+    def test_varying_demands_can_migrate(self):
+        # disk demand decays fast; cpu demand decays slowly -> the
+        # bottleneck migrates from disk to cpu as concurrency grows.
+        net = ClosedNetwork(
+            [
+                Station("cpu", DemandProfile.exp_decay(0.09, 0.085, 500.0)),
+                Station("disk", DemandProfile.exp_decay(0.20, 0.04, 50.0)),
+            ],
+            think_time=1.0,
+        )
+        path = bottleneck_migration(net, [1, 50, 200, 500])
+        names = [name for _, name in path]
+        assert names[0] == "disk"
+        assert names[-1] == "cpu"
+
+    def test_empty_levels_rejected(self, net):
+        with pytest.raises(ValueError):
+            bottleneck_migration(net, [])
+
+
+class TestUpgradeLeverage:
+    def test_bottleneck_upgrade_pays(self, net):
+        gains = upgrade_leverage(net, speedup=2.0)
+        # disk x2 -> new ceiling min(20, 25, 16.7) = 16.7 -> gain 1.33
+        assert gains["disk"] == pytest.approx(16.7 / 12.5, rel=0.01)
+
+    def test_non_bottleneck_upgrade_buys_nothing(self, net):
+        gains = upgrade_leverage(net, speedup=2.0)
+        assert gains["cpu"] == pytest.approx(1.0)
+        assert gains["net"] == pytest.approx(1.0)
+
+    def test_gain_capped_by_migration(self, net):
+        # even a 10x disk leaves the net ceiling in charge
+        gains = upgrade_leverage(net, speedup=10.0)
+        assert gains["disk"] == pytest.approx(16.7 / 12.5, rel=0.01)
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            upgrade_leverage(net, speedup=1.0)

@@ -1,0 +1,80 @@
+"""Asymptotic and balanced-job bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    asymptotic_bounds,
+    balanced_job_bounds,
+    exact_multiserver_mva,
+    exact_mva,
+    mvasd,
+)
+
+
+class TestAsymptoticBounds:
+    def test_exact_mva_inside_envelope(self, two_station_net):
+        b = asymptotic_bounds(two_station_net, 150)
+        r = exact_mva(two_station_net, 150)
+        assert np.all(r.throughput <= b.throughput_upper * (1 + 1e-9))
+        assert np.all(r.throughput >= b.throughput_lower * (1 - 1e-9))
+        assert np.all(r.cycle_time >= b.cycle_time_lower * (1 - 1e-9))
+        assert np.all(r.cycle_time <= b.cycle_time_upper * (1 + 1e-9))
+
+    def test_multiserver_inside_envelope(self, manycore_net):
+        b = asymptotic_bounds(manycore_net, 300)
+        r = exact_multiserver_mva(manycore_net, 300)
+        assert np.all(r.throughput <= b.throughput_upper * (1 + 1e-9))
+        assert np.all(r.throughput >= b.throughput_lower * (1 - 1e-9))
+
+    def test_knee(self, two_station_net):
+        b = asymptotic_bounds(two_station_net, 10)
+        assert b.knee == pytest.approx((0.13 + 1.0) / 0.08)
+
+    def test_upper_bound_capped_at_bottleneck(self, two_station_net):
+        b = asymptotic_bounds(two_station_net, 500)
+        assert b.throughput_upper[-1] == pytest.approx(1 / 0.08)
+
+    def test_multiserver_uses_per_server_demand(self, multiserver_net):
+        b = asymptotic_bounds(multiserver_net, 500)
+        # bottleneck is cpu at 0.4/4 = 0.1 per server -> cap 10/s
+        assert b.throughput_upper[-1] == pytest.approx(10.0)
+
+
+class TestBalancedJobBounds:
+    def test_tighter_than_asymptotic(self, two_station_net):
+        a = asymptotic_bounds(two_station_net, 100)
+        bjb = balanced_job_bounds(two_station_net, 100)
+        assert np.all(bjb.throughput_upper <= a.throughput_upper + 1e-12)
+        assert np.all(bjb.throughput_lower >= a.throughput_lower - 1e-12)
+
+    def test_exact_inside_bjb(self, two_station_net):
+        bjb = balanced_job_bounds(two_station_net, 100)
+        r = exact_mva(two_station_net, 100)
+        assert np.all(r.throughput <= bjb.throughput_upper * (1 + 1e-9))
+        assert np.all(r.throughput >= bjb.throughput_lower * (1 - 1e-9))
+
+    def test_balanced_network_bounds_are_tight(self):
+        from repro.core import ClosedNetwork, Station
+
+        net = ClosedNetwork([Station(f"s{i}", 0.2) for i in range(3)], think_time=0.0)
+        bjb = balanced_job_bounds(net, 40)
+        r = exact_mva(net, 40)
+        # For a perfectly balanced network both BJB branches coincide
+        # with the exact solution.
+        np.testing.assert_allclose(r.throughput, bjb.throughput_upper, rtol=1e-9)
+        np.testing.assert_allclose(r.throughput, bjb.throughput_lower, rtol=1e-9)
+
+    def test_mvasd_within_envelope_of_largest_demand(self, varying_net):
+        # Evaluate the envelope at n=1 (largest demands along the decay).
+        b = asymptotic_bounds(varying_net, 200, demand_level=1.0)
+        r = mvasd(varying_net, 200)
+        # Decaying demands can only raise throughput above the frozen
+        # lower bound; the lower envelope must still hold.
+        assert np.all(r.throughput >= b.throughput_lower * (1 - 1e-9))
+
+    def test_rejects_bad_population(self, two_station_net):
+        with pytest.raises(ValueError):
+            asymptotic_bounds(two_station_net, 0)
+        with pytest.raises(ValueError):
+            balanced_job_bounds(two_station_net, 0)

@@ -1,0 +1,46 @@
+"""Design-point strategies."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import design_points
+
+
+class TestDesignPoints:
+    def test_chebyshev_matches_interpolate_module(self):
+        from repro.interpolate import concurrency_test_points
+
+        np.testing.assert_array_equal(
+            design_points(5, 1, 300, strategy="chebyshev"),
+            concurrency_test_points(5, 1, 300),
+        )
+
+    def test_uniform_includes_endpoints(self):
+        pts = design_points(5, 1, 100, strategy="uniform")
+        assert pts[0] == 1 and pts[-1] == 100
+        assert np.all(np.diff(pts) > 0)
+
+    def test_random_pins_endpoints(self):
+        pts = design_points(6, 1, 100, strategy="random", seed=4)
+        assert pts[0] == 1 and pts[-1] == 100
+        assert np.all(np.diff(pts) > 0)
+
+    def test_random_is_seeded(self):
+        a = design_points(6, 1, 100, strategy="random", seed=4)
+        b = design_points(6, 1, 100, strategy="random", seed=4)
+        np.testing.assert_array_equal(a, b)
+        c = design_points(6, 1, 100, strategy="random", seed=5)
+        assert not np.array_equal(a, c)
+
+    def test_all_strategies_in_range(self):
+        for strat in ("chebyshev", "uniform", "random"):
+            pts = design_points(7, 3, 50, strategy=strat, seed=0)
+            assert pts.min() >= 3 and pts.max() <= 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strategy"):
+            design_points(5, 1, 100, strategy="grid")
+        with pytest.raises(ValueError, match="at least 2"):
+            design_points(1, 1, 100)
+        with pytest.raises(ValueError, match="low < high"):
+            design_points(3, 100, 100)

@@ -1,0 +1,103 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListApps:
+    def test_lists_both_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "vins" in out and "jpetstore" in out
+
+
+class TestSolve:
+    def test_single_server(self, capsys):
+        code = main(
+            ["solve", "--demands", "0.05,0.08", "--think", "1", "--population", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact-mva" in out
+        assert "12.5" in out  # saturation at 1/0.08
+
+    def test_multiserver(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--demands", "0.4,0.05",
+                "--servers", "4,1",
+                "--think", "1",
+                "--population", "60",
+            ]
+        )
+        assert code == 0
+        assert "exact-multiserver-mva" in capsys.readouterr().out
+
+    def test_mismatched_servers(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--demands", "0.1,0.2", "--servers", "1", "--population", "5"])
+
+    def test_bad_number_list(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--demands", "a,b", "--population", "5"])
+
+
+class TestSweep:
+    def test_runs_small_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--app", "jpetstore",
+                "--levels", "1,10",
+                "--duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "JPetStore" in out
+        assert "Database Server CPU" in out
+
+
+class TestPredict:
+    def test_runs_workflow(self, capsys):
+        code = main(
+            [
+                "predict",
+                "--app", "jpetstore",
+                "--nodes", "3",
+                "--max-population", "60",
+                "--duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Design points" in out
+        assert "MVASD prediction" in out
+
+
+class TestParser:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--app", "nope", "--duration", "10"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCompare:
+    def test_runs_comparison(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--app", "jpetstore",
+                "--mva-levels", "14,70",
+                "--max-population", "80",
+                "--duration", "15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MVASD" in out and "Best model" in out

@@ -1,0 +1,116 @@
+"""Closed-network DES — including agreement with exact theory."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClosedNetwork, Station, exact_multiserver_mva, exact_mva
+from repro.simulation import simulate_closed_network
+
+
+class TestMechanics:
+    def test_result_shapes(self, two_station_net):
+        sim = simulate_closed_network(two_station_net, 5, duration=50.0, seed=0)
+        assert sim.utilizations.shape == (2,)
+        assert sim.station_names == ("cpu", "disk")
+        assert sim.cycles_completed == len(sim.completion_times[sim.completion_times >= 0])
+
+    def test_deterministic_given_seed(self, two_station_net):
+        a = simulate_closed_network(two_station_net, 5, duration=50.0, seed=3)
+        b = simulate_closed_network(two_station_net, 5, duration=50.0, seed=3)
+        assert a.throughput == b.throughput
+        np.testing.assert_array_equal(a.completion_times, b.completion_times)
+
+    def test_different_seeds_differ(self, two_station_net):
+        a = simulate_closed_network(two_station_net, 5, duration=50.0, seed=3)
+        b = simulate_closed_network(two_station_net, 5, duration=50.0, seed=4)
+        assert a.throughput != b.throughput
+
+    def test_warmup_discards_stats(self, two_station_net):
+        sim = simulate_closed_network(two_station_net, 5, duration=60.0, warmup=20.0, seed=0)
+        in_window = sim.completion_times >= 20.0
+        assert sim.cycles_completed == int(in_window.sum())
+
+    def test_cycle_time_is_response_plus_think(self, two_station_net):
+        sim = simulate_closed_network(two_station_net, 5, duration=50.0, seed=0)
+        assert sim.cycle_time == pytest.approx(sim.response_time + 1.0)
+
+    def test_start_times_delay_ramp(self, two_station_net):
+        eager = simulate_closed_network(two_station_net, 4, duration=40.0, seed=0)
+        staggered = simulate_closed_network(
+            two_station_net, 4, duration=40.0, seed=0, start_times=[0, 10, 20, 30]
+        )
+        assert staggered.cycles_completed < eager.cycles_completed
+
+    def test_zero_demand_station_skipped(self):
+        net = ClosedNetwork(
+            [Station("cpu", 0.05), Station("ghost", 0.0)], think_time=0.5
+        )
+        sim = simulate_closed_network(net, 3, duration=40.0, seed=0)
+        assert sim.utilizations[1] == 0.0
+        assert sim.throughput > 0
+
+    def test_delay_station_folds_into_think(self):
+        base = ClosedNetwork([Station("cpu", 0.05)], think_time=1.0)
+        lagged = ClosedNetwork(
+            [Station("cpu", 0.05), Station("lag", 0.5, kind="delay")], think_time=0.5
+        )
+        a = simulate_closed_network(base, 6, duration=80.0, seed=1)
+        b = simulate_closed_network(lagged, 6, duration=80.0, seed=1)
+        # identical total delay -> statistically identical throughput
+        assert b.throughput == pytest.approx(a.throughput, rel=0.1)
+
+    def test_validation(self, two_station_net):
+        with pytest.raises(ValueError, match="population"):
+            simulate_closed_network(two_station_net, 0, duration=10.0)
+        with pytest.raises(ValueError, match="duration"):
+            simulate_closed_network(two_station_net, 1, duration=0.0)
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_closed_network(two_station_net, 1, duration=10.0, warmup=10.0)
+        with pytest.raises(ValueError, match="start_times"):
+            simulate_closed_network(two_station_net, 2, duration=10.0, start_times=[0.0])
+
+    def test_windowed_series(self, two_station_net):
+        sim = simulate_closed_network(two_station_net, 5, duration=60.0, seed=0)
+        w = sim.windowed_series(10.0)
+        assert len(w["time"]) == len(w["throughput"]) == len(w["response_time"])
+        # total completions reconstructable from windows
+        assert w["throughput"].sum() * 10.0 == pytest.approx(len(sim.completion_times), abs=1)
+
+    def test_demand_estimates_roundtrip(self, two_station_net):
+        sim = simulate_closed_network(two_station_net, 8, duration=200.0, warmup=20.0, seed=0)
+        est = sim.demand_estimates([1, 1])
+        assert est["cpu"] == pytest.approx(0.05, rel=0.1)
+        assert est["disk"] == pytest.approx(0.08, rel=0.1)
+
+
+class TestAgreementWithTheory:
+    """Product-form networks: DES must match exact MVA (solver validation)."""
+
+    def test_single_server_network(self, two_station_net):
+        mva = exact_mva(two_station_net, 10)
+        xs = [
+            simulate_closed_network(two_station_net, 10, duration=300.0, warmup=30.0, seed=s).throughput
+            for s in (1, 2, 3)
+        ]
+        assert np.mean(xs) == pytest.approx(mva.throughput[-1], rel=0.03)
+
+    def test_multiserver_network(self, multiserver_net):
+        mva = exact_multiserver_mva(multiserver_net, 25)
+        xs = [
+            simulate_closed_network(multiserver_net, 25, duration=300.0, warmup=30.0, seed=s).throughput
+            for s in (1, 2, 3)
+        ]
+        assert np.mean(xs) == pytest.approx(mva.throughput[-1], rel=0.03)
+
+    def test_utilization_matches(self, multiserver_net):
+        mva = exact_multiserver_mva(multiserver_net, 20)
+        sim = simulate_closed_network(multiserver_net, 20, duration=400.0, warmup=40.0, seed=2)
+        np.testing.assert_allclose(sim.utilizations, mva.utilizations[-1], rtol=0.05)
+
+    def test_varying_demand_evaluated_at_population(self, varying_net):
+        # The DES must use demand(N), not demand(1).
+        sim = simulate_closed_network(varying_net, 100, duration=300.0, warmup=30.0, seed=1)
+        d_at_100 = varying_net.demands_at(100)
+        frozen = varying_net.with_demands(list(d_at_100))
+        mva = exact_multiserver_mva(frozen, 100)
+        assert sim.throughput == pytest.approx(mva.throughput[-1], rel=0.04)

@@ -1,0 +1,64 @@
+"""Model-comparison harness (Tables 4-5)."""
+
+import pytest
+
+from repro.analysis import compare_models
+
+
+@pytest.fixture(scope="module")
+def comparison(mini_sweep):
+    return compare_models(
+        mini_sweep,
+        max_population=50,
+        mva_levels=(1, 10, 35),
+        include_throughput_axis=True,
+        include_approximate=True,
+    )
+
+
+class TestCompareModels:
+    def test_all_expected_models_present(self, comparison):
+        names = set(comparison.results)
+        assert {
+            "MVASD",
+            "MVASD: Single-Server",
+            "MVASD: Throughput-Axis",
+            "MVA 1",
+            "MVA 10",
+            "MVA 35",
+            "ApproxMVA 1",
+        } <= names
+
+    def test_deviations_for_every_model(self, comparison):
+        assert set(comparison.deviations) == set(comparison.results)
+        for report in comparison.deviations.values():
+            assert report["throughput"] >= 0
+            assert report["cycle_time"] >= 0
+
+    def test_paper_shape_mvasd_beats_every_mva_i(self, comparison):
+        # The headline claim of Tables 4-5.
+        mvasd_dev = comparison.deviations["MVASD"]["throughput"]
+        for level in (1, 10, 35):
+            assert mvasd_dev <= comparison.deviations[f"MVA {level}"]["throughput"]
+
+    def test_best_returns_minimum(self, comparison):
+        best = comparison.best("throughput")
+        best_dev = comparison.deviations[best]["throughput"]
+        assert all(
+            best_dev <= rep["throughput"] for rep in comparison.deviations.values()
+        )
+
+    def test_table_rendering(self, comparison):
+        text = comparison.table()
+        assert "MVASD" in text
+        assert "Deviation (%)" in text
+        assert "MiniApp" in text
+
+    def test_unswept_mva_level_rejected(self, mini_sweep):
+        with pytest.raises(KeyError, match="was not swept"):
+            compare_models(mini_sweep, mva_levels=(7,))
+
+    def test_default_levels_and_population(self, mini_sweep):
+        cmp_ = compare_models(mini_sweep)
+        assert cmp_.max_population == 50
+        assert any(name.startswith("MVA ") for name in cmp_.results)

@@ -1,0 +1,109 @@
+"""Log-domain Buzen convolution solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClosedNetwork, Station, exact_mva
+from repro.core.convolution import (
+    convolution_mva,
+    log_convolve,
+    log_station_coefficients,
+)
+
+
+class TestLogStationCoefficients:
+    def test_single_server_is_geometric(self):
+        lf = log_station_coefficients(0.5, 1, 4)
+        np.testing.assert_allclose(np.exp(lf), [1, 0.5, 0.25, 0.125, 0.0625])
+
+    def test_multiserver_divides_by_min_j_c(self):
+        lf = log_station_coefficients(1.0, 2, 3)
+        # f = [1, 1/1, 1/(1*2), 1/(1*2*2)]
+        np.testing.assert_allclose(np.exp(lf), [1, 1, 0.5, 0.25])
+
+    def test_delay_is_poisson_like(self):
+        lf = log_station_coefficients(2.0, 1, 3, kind="delay")
+        np.testing.assert_allclose(np.exp(lf), [1, 2, 2, 4 / 3])
+
+    def test_zero_demand_is_identity(self):
+        lf = log_station_coefficients(0.0, 1, 3)
+        assert lf[0] == 0.0
+        assert np.all(np.isinf(lf[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_station_coefficients(-1.0, 1, 3)
+        with pytest.raises(ValueError):
+            log_station_coefficients(1.0, 0, 3)
+
+
+class TestLogConvolve:
+    def test_matches_linear_convolution(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.1, 2.0, 8)
+        b = rng.uniform(0.1, 2.0, 8)
+        out = np.exp(log_convolve(np.log(a), np.log(b)))
+        expected = np.convolve(a, b)[:8]
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            log_convolve(np.zeros(3), np.zeros(4))
+
+
+class TestConvolutionMVA:
+    def test_matches_exact_mva_single_server(self, two_station_net):
+        conv = convolution_mva(two_station_net, 80)
+        mva = exact_mva(two_station_net, 80)
+        np.testing.assert_allclose(conv.throughput, mva.throughput, rtol=1e-9)
+        np.testing.assert_allclose(conv.response_time, mva.response_time, rtol=1e-9)
+
+    def test_queue_lengths_match_exact_mva(self, two_station_net):
+        conv = convolution_mva(two_station_net, 60)
+        mva = exact_mva(two_station_net, 60)
+        np.testing.assert_allclose(
+            conv.queue_lengths, mva.queue_lengths, rtol=1e-8, atol=1e-12
+        )
+
+    def test_known_16_core_values(self, manycore_net):
+        # Verified independently against DES (93.91 +/- 0.03 at N=120).
+        conv = convolution_mva(manycore_net, 140)
+        assert conv.throughput[119] == pytest.approx(93.94, rel=2e-3)
+        assert conv.throughput[99] == pytest.approx(82.90, rel=2e-3)
+
+    def test_multiserver_queue_lengths_conserve_jobs(self, manycore_net):
+        conv = convolution_mva(manycore_net, 100)
+        thinking = conv.throughput * 1.0
+        np.testing.assert_allclose(
+            conv.queue_lengths.sum(axis=1) + thinking,
+            conv.populations,
+            rtol=1e-9,
+        )
+
+    def test_station_detail_false_keeps_system_metrics(self, manycore_net):
+        full = convolution_mva(manycore_net, 100, station_detail=True)
+        lean = convolution_mva(manycore_net, 100, station_detail=False)
+        np.testing.assert_allclose(full.throughput, lean.throughput, rtol=1e-12)
+        np.testing.assert_allclose(full.utilizations, lean.utilizations, rtol=1e-12)
+
+    def test_zero_think_time(self):
+        net = ClosedNetwork([Station("a", 0.2), Station("b", 0.1)], think_time=0.0)
+        conv = convolution_mva(net, 30)
+        mva = exact_mva(net, 30)
+        np.testing.assert_allclose(conv.throughput, mva.throughput, rtol=1e-9)
+
+    def test_delay_station(self):
+        net = ClosedNetwork(
+            [Station("cpu", 0.1), Station("lag", 0.7, kind="delay")], think_time=0.5
+        )
+        conv = convolution_mva(net, 40)
+        mva = exact_mva(net, 40)
+        np.testing.assert_allclose(conv.throughput, mva.throughput, rtol=1e-9)
+
+    def test_utilization_never_exceeds_one(self, manycore_net):
+        conv = convolution_mva(manycore_net, 300)
+        assert conv.utilizations.max() <= 1 + 1e-9
+
+    def test_rejects_bad_population(self, two_station_net):
+        with pytest.raises(ValueError):
+            convolution_mva(two_station_net, 0)

@@ -1,0 +1,178 @@
+"""From-scratch cubic splines."""
+
+import numpy as np
+import pytest
+
+from repro.interpolate import CubicSpline
+
+
+@pytest.fixture
+def demand_like_data():
+    x = np.array([1.0, 14, 28, 70, 140, 168, 210])
+    y = 0.05 + 0.1 * np.exp(-x / 80.0)
+    return x, y
+
+
+class TestInterpolationProperty:
+    def test_passes_through_knots(self, demand_like_data):
+        x, y = demand_like_data
+        for bc in ("natural", "not-a-knot"):
+            s = CubicSpline(x, y, bc=bc)
+            np.testing.assert_allclose(s(x), y, rtol=1e-10)
+
+    def test_clamped_passes_through_knots(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y, bc="clamped", end_slopes=(0.0, 0.0))
+        np.testing.assert_allclose(s(x), y, rtol=1e-10)
+
+    def test_scalar_in_scalar_out(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y)
+        assert isinstance(s(50.0), float)
+        assert s(np.array([50.0, 60.0])).shape == (2,)
+
+    def test_reproduces_cubic_polynomial_with_notaknot(self):
+        # Not-a-knot on >= 4 points reproduces any cubic exactly.
+        x = np.array([0.0, 1.0, 2.5, 3.0, 4.5])
+        y = 2 - x + 0.5 * x**2 - 0.25 * x**3
+        s = CubicSpline(x, y, bc="not-a-knot", extrapolation="cubic")
+        xq = np.linspace(0, 4.5, 31)
+        np.testing.assert_allclose(s(xq), 2 - xq + 0.5 * xq**2 - 0.25 * xq**3, atol=1e-10)
+
+    def test_reproduces_line_with_natural(self):
+        x = np.array([0.0, 1.0, 3.0, 5.0])
+        y = 3 * x + 1
+        s = CubicSpline(x, y)  # straight line has zero curvature: natural fits
+        xq = np.linspace(0, 5, 11)
+        np.testing.assert_allclose(s(xq), 3 * xq + 1, atol=1e-10)
+
+    def test_natural_boundary_second_derivative_zero(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y, bc="natural")
+        assert s(x[0], deriv=2) == pytest.approx(0.0, abs=1e-12)
+        assert s(x[-1], deriv=2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_clamped_end_slopes_honoured(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y, bc="clamped", end_slopes=(-0.001, 0.0))
+        assert s(x[0], deriv=1) == pytest.approx(-0.001, abs=1e-10)
+        assert s(x[-1], deriv=1) == pytest.approx(0.0, abs=1e-10)
+
+    def test_matches_scipy_natural(self, demand_like_data):
+        from scipy.interpolate import CubicSpline as SciPySpline
+
+        x, y = demand_like_data
+        ours = CubicSpline(x, y, bc="natural", extrapolation="cubic")
+        ref = SciPySpline(x, y, bc_type="natural")
+        xq = np.linspace(x[0], x[-1], 101)
+        np.testing.assert_allclose(ours(xq), ref(xq), rtol=1e-9)
+
+    def test_matches_scipy_notaknot(self, demand_like_data):
+        from scipy.interpolate import CubicSpline as SciPySpline
+
+        x, y = demand_like_data
+        ours = CubicSpline(x, y, bc="not-a-knot", extrapolation="cubic")
+        ref = SciPySpline(x, y, bc_type="not-a-knot")
+        xq = np.linspace(x[0], x[-1], 101)
+        np.testing.assert_allclose(ours(xq), ref(xq), rtol=1e-8)
+
+
+class TestDerivatives:
+    def test_first_derivative_finite_difference(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y)
+        xq = np.linspace(5, 200, 23)
+        h = 1e-6
+        fd = (s(xq + h) - s(xq - h)) / (2 * h)
+        np.testing.assert_allclose(s(xq, deriv=1), fd, rtol=1e-4, atol=1e-9)
+
+    def test_c2_continuity_at_knots(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y)
+        eps = 1e-9
+        for xi in x[1:-1]:
+            for d in (0, 1, 2):
+                left = s(xi - eps, deriv=d)
+                right = s(xi + eps, deriv=d)
+                assert left == pytest.approx(right, abs=1e-4)
+
+    def test_third_derivative_piecewise_constant(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y)
+        assert s(20.0, deriv=3) == pytest.approx(s(25.0, deriv=3), rel=1e-9)
+
+    def test_invalid_deriv_order(self, demand_like_data):
+        x, y = demand_like_data
+        with pytest.raises(ValueError, match="deriv"):
+            CubicSpline(x, y)(5.0, deriv=4)
+
+
+class TestExtrapolation:
+    def test_clamp_pegs_boundary_values(self, demand_like_data):
+        # The paper's eq. 14 behaviour.
+        x, y = demand_like_data
+        s = CubicSpline(x, y, extrapolation="clamp")
+        assert s(-100.0) == pytest.approx(y[0])
+        assert s(1e6) == pytest.approx(y[-1])
+        assert s(-5.0, deriv=1) == 0.0
+
+    def test_linear_extension(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y, extrapolation="linear")
+        slope_hi = s(x[-1], deriv=1)
+        assert s(x[-1] + 10) == pytest.approx(y[-1] + 10 * slope_hi, rel=1e-9)
+
+    def test_cubic_extension_continues_polynomial(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y, extrapolation="cubic")
+        # smooth across the boundary: values just in/out nearly equal
+        assert s(x[-1] - 1e-9) == pytest.approx(s(x[-1] + 1e-9), abs=1e-6)
+
+
+class TestDegenerateInputs:
+    def test_single_point_constant(self):
+        s = CubicSpline([5.0], [2.0])
+        assert s(0.0) == 2.0
+        assert s(100.0) == 2.0
+        assert s(5.0, deriv=1) == 0.0
+
+    def test_two_points_linear(self):
+        s = CubicSpline([0.0, 2.0], [1.0, 3.0])
+        assert s(1.0) == pytest.approx(2.0)
+        assert s(0.5, deriv=1) == pytest.approx(1.0)
+
+    def test_three_points(self):
+        s = CubicSpline([0.0, 1.0, 2.0], [0.0, 1.0, 4.0])
+        np.testing.assert_allclose(s([0.0, 1.0, 2.0]), [0, 1, 4], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            CubicSpline([0.0, 0.0, 1.0], [1, 2, 3])
+        with pytest.raises(ValueError, match="equal length"):
+            CubicSpline([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError, match="bc"):
+            CubicSpline([0.0, 1.0], [1.0, 2.0], bc="periodic")
+        with pytest.raises(ValueError, match="end_slopes"):
+            CubicSpline([0.0, 1.0], [1.0, 2.0], bc="clamped")
+        with pytest.raises(ValueError, match="extrapolation"):
+            CubicSpline([0.0, 1.0], [1.0, 2.0], extrapolation="wild")
+        with pytest.raises(ValueError, match="at least one"):
+            CubicSpline([], [])
+
+
+class TestScilabInterp:
+    def test_eq13_tuple(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y)
+        yq, yq1, yq2, yq3 = s.interp(50.0)
+        assert yq == pytest.approx(s(50.0))
+        assert yq1 == pytest.approx(s(50.0, deriv=1))
+        assert yq2 == pytest.approx(s(50.0, deriv=2))
+        assert yq3 == pytest.approx(s(50.0, deriv=3))
+
+    def test_array_form(self, demand_like_data):
+        x, y = demand_like_data
+        s = CubicSpline(x, y)
+        out = s.interp(np.array([10.0, 60.0]))
+        assert len(out) == 4
+        assert out[0].shape == (2,)

@@ -1,0 +1,72 @@
+"""Synthetic datapool generation."""
+
+import pytest
+
+from repro.apps import Datapool, synthetic_records
+
+
+class TestSyntheticRecords:
+    def test_deterministic(self):
+        a = list(synthetic_records(5, "customer", seed=1))
+        b = list(synthetic_records(5, "customer", seed=1))
+        assert a == b
+
+    def test_seed_changes_content(self):
+        a = list(synthetic_records(5, "customer", seed=1))
+        b = list(synthetic_records(5, "customer", seed=2))
+        assert a != b
+
+    def test_customer_schema(self):
+        rec = next(synthetic_records(1, "customer"))
+        assert set(rec) == {"customer_id", "name", "vehicle", "policy_value", "premium"}
+        assert rec["policy_value"] >= 50_000
+
+    def test_item_schema(self):
+        rec = next(synthetic_records(1, "item"))
+        assert set(rec) == {"item_id", "category", "name", "unit_price", "stock"}
+
+    def test_count(self):
+        assert len(list(synthetic_records(100, "item"))) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(synthetic_records(-1))
+        with pytest.raises(ValueError):
+            list(synthetic_records(1, kind="order"))
+
+
+class TestDatapool:
+    def test_size_accounting(self):
+        pool = Datapool(records=1000, bytes_per_record=500)
+        assert pool.size_bytes == 500_000
+        assert pool.size_gb == pytest.approx(0.0005)
+
+    def test_paper_scale_vins(self):
+        # 13M customers at ~770 B/row ~ 10 GB, the paper's datapool.
+        pool = Datapool(records=13_000_000, bytes_per_record=770)
+        assert pool.size_gb == pytest.approx(10.0, rel=0.01)
+
+    def test_generate_prefix(self):
+        pool = Datapool(records=10)
+        assert len(list(pool.generate(3))) == 3
+        assert len(list(pool.generate())) == 10
+        assert len(list(pool.generate(100))) == 10  # capped at pool size
+
+    def test_cache_miss_factor_limits(self):
+        pool = Datapool(records=1000, bytes_per_record=1000)  # 1 MB
+        assert pool.cache_miss_factor(0.0) == pytest.approx(1.0)
+        assert pool.cache_miss_factor(10e6) == pytest.approx(0.0)
+        assert pool.cache_miss_factor(0.5e6) == pytest.approx(0.5)
+
+    def test_cache_miss_monotone_in_cache(self):
+        pool = Datapool(records=1000, bytes_per_record=1000)
+        misses = [pool.cache_miss_factor(c) for c in (0, 2e5, 5e5, 9e5, 2e6)]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Datapool(records=0)
+        with pytest.raises(ValueError):
+            Datapool(records=1, bytes_per_record=0)
+        with pytest.raises(ValueError):
+            Datapool(records=1).cache_miss_factor(-1.0)

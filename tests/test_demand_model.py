@@ -1,0 +1,126 @@
+"""ServiceDemandModel / DemandTable."""
+
+import numpy as np
+import pytest
+
+from repro.interpolate import DemandTable, ServiceDemandModel
+
+
+@pytest.fixture
+def samples():
+    levels = np.array([1.0, 14, 28, 70, 140, 210])
+    demands = 0.08 + 0.08 * np.exp(-levels / 60.0)
+    return levels, demands
+
+
+class TestServiceDemandModel:
+    def test_interpolates_through_samples(self, samples):
+        levels, demands = samples
+        m = ServiceDemandModel(levels, demands)
+        np.testing.assert_allclose(m(levels), demands, rtol=1e-9)
+
+    def test_clamped_outside_range(self, samples):
+        levels, demands = samples
+        m = ServiceDemandModel(levels, demands)
+        assert m(0.0) == pytest.approx(demands[0])
+        assert m(10_000.0) == pytest.approx(demands[-1])
+
+    def test_never_negative(self):
+        # A wiggly spline through near-zero data must clip at 0.
+        m = ServiceDemandModel([1, 2, 3, 4, 5], [0.0, 0.5, 0.0, 0.5, 0.0])
+        q = np.linspace(1, 5, 101)
+        assert np.all(m(q) >= 0)
+
+    def test_sorts_unsorted_input(self):
+        m = ServiceDemandModel([30, 1, 10], [0.1, 0.3, 0.2])
+        assert m(1.0) == pytest.approx(0.3)
+        assert m(30.0) == pytest.approx(0.1)
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            ServiceDemandModel([1, 1, 2], [0.1, 0.1, 0.2])
+
+    def test_negative_demands_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ServiceDemandModel([1, 2], [0.1, -0.2])
+
+    def test_kind_constant_is_mean(self, samples):
+        levels, demands = samples
+        m = ServiceDemandModel(levels, demands, kind="constant")
+        assert m(50.0) == pytest.approx(demands.mean())
+
+    def test_kind_linear(self):
+        m = ServiceDemandModel([0, 10], [0.0, 1.0], kind="linear")
+        assert m(5.0) == pytest.approx(0.5)
+
+    def test_kind_smoothing(self, samples):
+        levels, demands = samples
+        m = ServiceDemandModel(levels, demands, kind="smoothing", lam=0.0)
+        np.testing.assert_allclose(m(levels), demands, atol=1e-8)
+
+    def test_single_sample_behaves_constant(self):
+        m = ServiceDemandModel([10.0], [0.2])
+        assert m(1.0) == 0.2
+        assert m(100.0) == 0.2
+        assert m.slope(50.0) == 0.0
+
+    def test_two_samples_fall_back_to_linear(self):
+        m = ServiceDemandModel([0.0, 10.0], [0.0, 1.0], kind="cubic")
+        assert m(5.0) == pytest.approx(0.5)
+
+    def test_slope_negative_for_decaying_demand(self, samples):
+        levels, demands = samples
+        m = ServiceDemandModel(levels, demands)
+        assert m.slope(30.0) < 0
+
+    def test_resampled_reads_off_the_model(self, samples):
+        levels, demands = samples
+        dense = ServiceDemandModel(levels, demands)
+        sparse = dense.resampled([1, 100, 210])
+        assert sparse.levels.size == 3
+        np.testing.assert_allclose(sparse(np.array([1.0, 210.0])),
+                                   dense(np.array([1.0, 210.0])), rtol=1e-9)
+
+    def test_invalid_kind_and_axis(self, samples):
+        levels, demands = samples
+        with pytest.raises(ValueError, match="kind"):
+            ServiceDemandModel(levels, demands, kind="quintic")
+        with pytest.raises(ValueError, match="axis"):
+            ServiceDemandModel(levels, demands, axis="users")
+
+
+class TestDemandTable:
+    def test_fit_and_lookup(self, samples):
+        levels, demands = samples
+        table = DemandTable.fit(levels, {"cpu": demands, "disk": demands * 0.1})
+        at50 = table.demands_at(50.0)
+        assert set(at50) == {"cpu", "disk"}
+        assert at50["disk"] == pytest.approx(at50["cpu"] * 0.1, rel=0.05)
+
+    def test_functions_are_callables(self, samples):
+        levels, demands = samples
+        table = DemandTable.fit(levels, {"cpu": demands})
+        fn = table.functions()["cpu"]
+        assert fn(1.0) == pytest.approx(demands[0], rel=1e-6)
+
+    def test_axis_mismatch_rejected(self, samples):
+        levels, demands = samples
+        m_conc = ServiceDemandModel(levels, demands, axis="concurrency")
+        with pytest.raises(ValueError, match="axis"):
+            DemandTable(models={"cpu": m_conc}, axis="throughput")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DemandTable(models={})
+
+    def test_resampled_all_stations(self, samples):
+        levels, demands = samples
+        table = DemandTable.fit(levels, {"cpu": demands, "disk": demands * 0.5})
+        sparse = table.resampled([1, 70, 210])
+        assert all(m.levels.size == 3 for m in sparse.models.values())
+
+    def test_with_kind_refits(self, samples):
+        levels, demands = samples
+        table = DemandTable.fit(levels, {"cpu": demands})
+        const = table.with_kind("constant")
+        assert const.models["cpu"](5.0) == pytest.approx(demands.mean())

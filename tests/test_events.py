@@ -1,0 +1,54 @@
+"""Future-event list."""
+
+import pytest
+
+from repro.simulation import EventList
+
+
+class TestEventList:
+    def test_orders_by_time(self):
+        ev = EventList()
+        ev.schedule(3.0, 1, "c")
+        ev.schedule(1.0, 1, "a")
+        ev.schedule(2.0, 1, "b")
+        assert [ev.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        ev = EventList()
+        for tag in ("first", "second", "third"):
+            ev.schedule(1.0, 0, tag)
+        assert [ev.pop()[2] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek_does_not_remove(self):
+        ev = EventList()
+        ev.schedule(5.0, 0)
+        assert ev.peek_time() == 5.0
+        assert len(ev) == 1
+
+    def test_len_and_bool(self):
+        ev = EventList()
+        assert not ev
+        ev.schedule(1.0, 0)
+        assert ev and len(ev) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventList().schedule(-0.1, 0)
+
+    def test_drain_until_horizon(self):
+        ev = EventList()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            ev.schedule(t, 0, t)
+        drained = [p for _, _, p in ev.drain_until(2.5)]
+        assert drained == [1.0, 2.0]
+        assert len(ev) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventList().pop()
+
+    def test_kind_and_payload_roundtrip(self):
+        ev = EventList()
+        ev.schedule(1.5, 7, {"x": 1})
+        t, kind, payload = ev.pop()
+        assert (t, kind, payload) == (1.5, 7, {"x": 1})

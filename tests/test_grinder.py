@@ -1,0 +1,79 @@
+"""Grinder-style load-test driver."""
+
+import numpy as np
+import pytest
+
+from repro.loadtest import GrinderProperties, LoadTest, steady_state_window
+
+
+class TestLoadTest:
+    def test_fire_reports_throughput(self, mini_app):
+        run = LoadTest(mini_app).fire(virtual_users=5, seed=0, duration=60.0)
+        assert run.tps > 0
+        assert run.pages_served > 0
+        assert run.virtual_users == 5
+        assert run.mean_cycle_time == pytest.approx(run.mean_response_time + 1.0)
+
+    def test_default_users_from_properties(self, mini_app):
+        props = GrinderProperties(processes=2, threads=3, duration_ms=60_000)
+        run = LoadTest(mini_app, properties=props).fire(seed=0)
+        assert run.virtual_users == 6
+
+    def test_warmup_after_ramp(self, mini_app):
+        props = GrinderProperties(
+            processes=4, threads=1, duration_ms=80_000,
+            process_increment=1, process_increment_interval_ms=5_000,
+        )
+        run = LoadTest(mini_app, properties=props).fire(seed=0)
+        assert run.warmup >= 15.0  # ramp end at 15s
+
+    def test_ramp_longer_than_duration_rejected(self, mini_app):
+        props = GrinderProperties(
+            processes=10, threads=1, duration_ms=10_000,
+            process_increment=1, process_increment_interval_ms=5_000,
+        )
+        with pytest.raises(ValueError, match="ramp-up"):
+            LoadTest(mini_app, properties=props).fire(seed=0)
+
+    def test_summary_line(self, mini_app):
+        run = LoadTest(mini_app).fire(virtual_users=3, seed=0, duration=40.0)
+        line = run.summary_line()
+        assert "MiniApp" in line and "3 users" in line
+
+    def test_windowed_transients(self, mini_app):
+        run = LoadTest(mini_app).fire(virtual_users=5, seed=0, duration=60.0)
+        w = run.windowed(10.0)
+        assert len(w["throughput"]) >= 5
+
+    def test_invalid_warmup_fraction(self, mini_app):
+        with pytest.raises(ValueError):
+            LoadTest(mini_app, warmup_fraction=0.95)
+
+    def test_invalid_users(self, mini_app):
+        with pytest.raises(ValueError):
+            LoadTest(mini_app).fire(virtual_users=0)
+
+
+class TestSteadyStateWindow:
+    def test_stationary_series_settles_immediately(self):
+        t = np.linspace(0, 100, 400)
+        v = np.full_like(t, 5.0)
+        assert steady_state_window(t, v, window=10.0) == pytest.approx(0.0)
+
+    def test_ramp_then_flat(self):
+        t = np.linspace(0, 100, 1000)
+        v = np.where(t < 30, t / 30 * 5.0, 5.0)
+        cut = steady_state_window(t, v, window=10.0)
+        assert 15.0 <= cut <= 40.0
+
+    def test_never_settling_returns_late_window(self):
+        t = np.linspace(0, 100, 500)
+        v = t  # linear growth forever
+        cut = steady_state_window(t, v, window=10.0, tolerance=0.01)
+        assert cut >= 80.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_state_window([1.0], [1.0], window=0.0)
+        with pytest.raises(ValueError):
+            steady_state_window([1.0, 2.0], [1.0], window=1.0)

@@ -1,0 +1,126 @@
+"""Interval MVA prediction bands."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClosedNetwork, Station, exact_multiserver_mva, exact_mva
+from repro.core.interval_mva import band_from_estimates, interval_mva
+from repro.loadtest.inference import DemandEstimate
+
+
+@pytest.fixture
+def net():
+    return ClosedNetwork(
+        [Station("cpu", 0.05, servers=2), Station("disk", 0.08)], think_time=1.0
+    )
+
+
+class TestMonotonicity:
+    """The theoretical basis: MVA is monotone in every demand."""
+
+    @given(
+        data=st.data(),
+        k=st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_increasing_one_demand_decreases_throughput(self, data, k):
+        demands = data.draw(
+            st.lists(st.floats(0.02, 0.3), min_size=k, max_size=k)
+        )
+        bump_idx = data.draw(st.integers(0, k - 1))
+        bump = data.draw(st.floats(0.01, 0.2))
+        net = ClosedNetwork(
+            [Station(f"s{i}", d) for i, d in enumerate(demands)], think_time=1.0
+        )
+        base = exact_mva(net, 25)
+        bumped_demands = list(demands)
+        bumped_demands[bump_idx] += bump
+        bumped = exact_mva(net, 25, demands=bumped_demands)
+        assert np.all(bumped.throughput <= base.throughput + 1e-12)
+        assert np.all(bumped.cycle_time >= base.cycle_time - 1e-12)
+
+
+class TestIntervalMVA:
+    def test_degenerate_intervals_collapse_band(self, net):
+        band = interval_mva(net, 40, {"cpu": (0.05, 0.05), "disk": (0.08, 0.08)})
+        np.testing.assert_allclose(band.throughput_low, band.throughput_high, rtol=1e-12)
+        assert np.all(band.throughput_width() < 1e-12)
+
+    def test_band_ordering(self, net):
+        band = interval_mva(net, 40, {"cpu": (0.04, 0.06), "disk": (0.07, 0.09)})
+        assert np.all(band.throughput_low <= band.throughput_high)
+        assert np.all(band.cycle_time_low <= band.cycle_time_high)
+
+    def test_interior_point_inside_band(self, net):
+        band = interval_mva(net, 40, {"cpu": (0.04, 0.06), "disk": (0.07, 0.09)})
+        mid = exact_multiserver_mva(net, 40, demands=[0.05, 0.08], station_detail=False)
+        assert band.contains(mid)
+
+    def test_random_interior_vectors_inside_band(self, net):
+        rng = np.random.default_rng(0)
+        band = interval_mva(net, 30, {"cpu": (0.04, 0.06), "disk": (0.07, 0.09)})
+        for _ in range(10):
+            d = [rng.uniform(0.04, 0.06), rng.uniform(0.07, 0.09)]
+            r = exact_multiserver_mva(net, 30, demands=d, station_detail=False)
+            assert band.contains(r)
+
+    def test_unlisted_station_uses_point_demand(self, net):
+        band = interval_mva(net, 20, {"disk": (0.07, 0.09)})
+        assert band.throughput_high[0] == pytest.approx(
+            exact_multiserver_mva(net, 1, demands=[0.05, 0.07]).throughput[0]
+        )
+
+    def test_at_accessor(self, net):
+        band = interval_mva(net, 20, {"disk": (0.07, 0.09)})
+        snap = band.at(10)
+        assert snap["throughput"][0] <= snap["throughput"][1]
+        with pytest.raises(KeyError):
+            band.at(21)
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError, match="invalid interval"):
+            interval_mva(net, 10, {"cpu": (0.06, 0.04)})
+        with pytest.raises(ValueError, match="invalid interval"):
+            interval_mva(net, 10, {"cpu": (-0.01, 0.04)})
+        with pytest.raises(ValueError):
+            interval_mva(net, 0, {})
+
+
+class TestBandFromEstimates:
+    def _estimate(self, station, demand, stderr):
+        return DemandEstimate(
+            station=station,
+            demand=demand,
+            idle_util=0.0,
+            stderr=stderr,
+            r_squared=0.99,
+            observations=20,
+        )
+
+    def test_wider_stderr_wider_band(self, net):
+        tight = band_from_estimates(
+            net,
+            {
+                "cpu": self._estimate("cpu", 0.05, 0.001),
+                "disk": self._estimate("disk", 0.08, 0.001),
+            },
+            30,
+        )
+        loose = band_from_estimates(
+            net,
+            {
+                "cpu": self._estimate("cpu", 0.05, 0.01),
+                "disk": self._estimate("disk", 0.08, 0.01),
+            },
+            30,
+        )
+        assert loose.throughput_width().max() > tight.throughput_width().max()
+
+    def test_negative_ci_clipped(self, net):
+        band = band_from_estimates(
+            net, {"cpu": self._estimate("cpu", 0.001, 0.01)}, 10
+        )
+        # optimistic corner uses demand 0 for cpu: X(1) = 1/(Z + 0 + 0.08)
+        assert band.throughput_high[0] == pytest.approx(1 / 1.08, rel=1e-6)

@@ -1,0 +1,101 @@
+"""Operational laws (eqs. 1-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import laws
+
+
+class TestUtilizationLaw:
+    def test_scalar(self):
+        assert laws.utilization(10.0, 0.05) == pytest.approx(0.5)
+
+    def test_array_broadcast(self):
+        u = laws.utilization(np.array([1.0, 2.0]), 0.25)
+        np.testing.assert_allclose(u, [0.25, 0.5])
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError, match="throughput"):
+            laws.utilization(-1.0, 0.1)
+
+    def test_inverse_throughput(self):
+        assert laws.throughput_from_utilization(0.5, 0.05) == pytest.approx(10.0)
+
+    def test_inverse_service_time(self):
+        assert laws.service_time_from_utilization(0.5, 10.0) == pytest.approx(0.05)
+
+    def test_inverse_rejects_zero_service_time(self):
+        with pytest.raises(ValueError, match="service_time"):
+            laws.throughput_from_utilization(0.5, 0.0)
+
+
+class TestForcedFlow:
+    def test_forced_flow(self):
+        assert laws.forced_flow(10.0, 7) == pytest.approx(70.0)
+
+    def test_visit_count_inverse(self):
+        assert laws.visit_count(70.0, 10.0) == pytest.approx(7.0)
+
+    def test_roundtrip(self):
+        x, v = 12.5, 3.0
+        assert laws.visit_count(laws.forced_flow(x, v), x) == pytest.approx(v)
+
+
+class TestServiceDemandLaw:
+    def test_visits_times_service(self):
+        assert laws.service_demand(7, 0.01) == pytest.approx(0.07)
+
+    def test_from_utilization(self):
+        # The Tables 2-3 extraction path: D = U / X.
+        assert laws.service_demand_from_utilization(0.93, 100.0) == pytest.approx(0.0093)
+
+    def test_both_forms_agree(self):
+        v, s, x = 4.0, 0.02, 25.0
+        u = laws.utilization(laws.forced_flow(x, v), s)
+        assert laws.service_demand(v, s) == pytest.approx(
+            laws.service_demand_from_utilization(u, x)
+        )
+
+
+class TestLittlesLaw:
+    def test_population(self):
+        assert laws.littles_law_population(10.0, 0.5, 1.0) == pytest.approx(15.0)
+
+    def test_throughput(self):
+        assert laws.littles_law_throughput(15, 0.5, 1.0) == pytest.approx(10.0)
+
+    def test_response_time(self):
+        assert laws.littles_law_response_time(15, 10.0, 1.0) == pytest.approx(0.5)
+
+    def test_three_way_consistency(self):
+        n = laws.littles_law_population(8.0, 0.25, 1.0)
+        assert laws.littles_law_throughput(n, 0.25, 1.0) == pytest.approx(8.0)
+        assert laws.littles_law_response_time(n, 8.0, 1.0) == pytest.approx(0.25)
+
+    def test_zero_cycle_time_rejected(self):
+        with pytest.raises(ValueError):
+            laws.littles_law_throughput(5, 0.0, 0.0)
+
+
+class TestBottleneckBounds:
+    def test_throughput_bound(self):
+        assert laws.bottleneck_throughput_bound([0.1, 0.25, 0.05]) == pytest.approx(4.0)
+
+    def test_all_zero_demands_unbounded(self):
+        assert laws.bottleneck_throughput_bound([0.0, 0.0]) == np.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            laws.bottleneck_throughput_bound([])
+
+    def test_response_lower_bound_light_load(self):
+        # At N=1 the bound is the zero-contention sum of demands.
+        assert laws.response_time_lower_bound(1, [0.1, 0.2], 1.0) == pytest.approx(0.3)
+
+    def test_response_lower_bound_heavy_load(self):
+        # At large N the N*Dmax - Z branch dominates.
+        assert laws.response_time_lower_bound(100, [0.1, 0.2], 1.0) == pytest.approx(19.0)
+
+    def test_knee_location(self):
+        # knee = (sum(D) + Z) / Dmax
+        assert laws.asymptotic_knee([0.1, 0.2], 1.0) == pytest.approx(1.3 / 0.2)

@@ -1,0 +1,75 @@
+"""Exact load-dependent MVA."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClosedNetwork,
+    Station,
+    exact_load_dependent_mva,
+    exact_mva,
+    multiserver_rates,
+)
+
+
+class TestMultiserverRates:
+    def test_rate_law(self):
+        mu = multiserver_rates(0.5, 3)
+        assert mu(1) == pytest.approx(2.0)
+        assert mu(2) == pytest.approx(4.0)
+        assert mu(3) == pytest.approx(6.0)
+        assert mu(10) == pytest.approx(6.0)  # capped at C servers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiserver_rates(0.0, 3)
+        with pytest.raises(ValueError):
+            multiserver_rates(0.5, 0)
+
+
+class TestExactLoadDependent:
+    def test_reduces_to_exact_mva_for_single_servers(self, two_station_net):
+        ld = exact_load_dependent_mva(two_station_net, 60)
+        ex = exact_mva(two_station_net, 60)
+        np.testing.assert_allclose(ld.throughput, ex.throughput, rtol=1e-10)
+        np.testing.assert_allclose(ld.queue_lengths, ex.queue_lengths, rtol=1e-8, atol=1e-12)
+
+    def test_littles_law(self, multiserver_net):
+        ld = exact_load_dependent_mva(multiserver_net, 80)
+        assert ld.littles_law_residual().max() < 1e-12
+
+    def test_final_marginals_sum_to_one(self, multiserver_net):
+        ld = exact_load_dependent_mva(multiserver_net, 40)
+        p = ld.marginal_probabilities["cpu"][0]
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(p >= -1e-12)
+
+    def test_custom_rate_function(self):
+        # A "disk" whose service rate doubles once 2+ jobs are queued
+        # (elevator scheduling): faster than the fixed-rate disk.
+        net = ClosedNetwork([Station("disk", 0.1)], think_time=1.0)
+        fast = exact_load_dependent_mva(
+            net, 30, rates={"disk": lambda j: (1 if j == 1 else 2) / 0.1}
+        )
+        slow = exact_load_dependent_mva(net, 30)
+        assert fast.throughput[-1] > slow.throughput[-1]
+
+    def test_custom_rates_must_be_positive(self):
+        net = ClosedNetwork([Station("disk", 0.1)], think_time=1.0)
+        with pytest.raises(ValueError, match="positive"):
+            exact_load_dependent_mva(net, 5, rates={"disk": lambda j: 0.0})
+
+    def test_delay_station_passthrough(self):
+        net = ClosedNetwork(
+            [Station("cpu", 0.2), Station("lag", 1.5, kind="delay")], think_time=0.0
+        )
+        ld = exact_load_dependent_mva(net, 30)
+        ex = exact_mva(net, 30)
+        np.testing.assert_allclose(ld.throughput, ex.throughput, rtol=1e-10)
+
+    def test_matches_convolution_at_c4(self, multiserver_net):
+        from repro.core.convolution import convolution_mva
+
+        ld = exact_load_dependent_mva(multiserver_net, 120)
+        conv = convolution_mva(multiserver_net, 120)
+        np.testing.assert_allclose(ld.throughput, conv.throughput, rtol=1e-8)

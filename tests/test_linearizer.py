@@ -1,0 +1,78 @@
+"""Linearizer approximate MVA."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClosedNetwork, Station, exact_multiserver_mva, exact_mva, schweitzer_amva
+from repro.core.linearizer import linearizer_amva, linearizer_multiserver_mva
+
+
+class TestLinearizer:
+    def test_exact_at_n1(self, two_station_net):
+        r = linearizer_amva(two_station_net, 1)
+        assert r.throughput[0] == pytest.approx(1 / 1.13, rel=1e-7)
+
+    def test_close_to_exact(self, two_station_net):
+        lin = linearizer_amva(two_station_net, 60)
+        ex = exact_mva(two_station_net, 60)
+        rel = np.abs(lin.throughput - ex.throughput) / ex.throughput
+        assert rel.max() < 0.01
+
+    def test_more_accurate_than_schweitzer(self):
+        # Randomized networks: Linearizer's worst error must beat
+        # Schweitzer's on average (its raison d'etre).
+        rng = np.random.default_rng(5)
+        wins = 0
+        trials = 8
+        for t in range(trials):
+            k = rng.integers(2, 5)
+            d = rng.uniform(0.02, 0.3, k)
+            z = rng.uniform(0.0, 2.0)
+            net = ClosedNetwork(
+                [Station(f"s{i}", d[i]) for i in range(k)], think_time=z
+            )
+            ex = exact_mva(net, 40)
+            lin = linearizer_amva(net, 40)
+            sch = schweitzer_amva(net, 40)
+            err_lin = np.abs(lin.throughput - ex.throughput).max()
+            err_sch = np.abs(sch.throughput - ex.throughput).max()
+            if err_lin <= err_sch + 1e-12:
+                wins += 1
+        assert wins >= trials - 1
+
+    def test_littles_law(self, two_station_net):
+        r = linearizer_amva(two_station_net, 40)
+        assert r.littles_law_residual().max() < 1e-8
+
+    def test_saturation_limit(self, two_station_net):
+        r = linearizer_amva(two_station_net, 500)
+        assert r.throughput[-1] == pytest.approx(1 / 0.08, rel=1e-2)
+
+    def test_demand_override(self, two_station_net):
+        r = linearizer_amva(two_station_net, 5, demands=[0.5, 0.01])
+        assert r.response_time[0] == pytest.approx(0.51, rel=1e-6)
+
+    def test_validation(self, two_station_net):
+        with pytest.raises(ValueError):
+            linearizer_amva(two_station_net, 0)
+
+
+class TestLinearizerMultiserver:
+    def test_limits(self, multiserver_net):
+        r = linearizer_multiserver_mva(multiserver_net, 300)
+        assert r.response_time[0] == pytest.approx(0.45, rel=1e-6)
+        assert r.throughput[-1] == pytest.approx(10.0, rel=1e-2)
+
+    def test_beats_schweitzer_seidmann(self, multiserver_net):
+        from repro.core import approximate_multiserver_mva
+
+        ex = exact_multiserver_mva(multiserver_net, 80)
+        lin = linearizer_multiserver_mva(multiserver_net, 80)
+        sch = approximate_multiserver_mva(multiserver_net, 80)
+        err_lin = np.abs(lin.throughput - ex.throughput).max()
+        err_sch = np.abs(sch.throughput - ex.throughput).max()
+        assert err_lin <= err_sch + 1e-9
+
+    def test_original_station_names(self, multiserver_net):
+        r = linearizer_multiserver_mva(multiserver_net, 10)
+        assert r.station_names == multiserver_net.station_names

@@ -1,0 +1,87 @@
+"""Fritsch-Carlson monotone interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.interpolate import MonotoneCubicSpline, ServiceDemandModel
+
+
+@pytest.fixture
+def decaying():
+    x = np.array([1.0, 14, 28, 70, 140, 210])
+    y = 0.05 + 0.1 * np.exp(-x / 60.0)
+    return x, y
+
+
+class TestMonotoneCubicSpline:
+    def test_interpolates_knots(self, decaying):
+        x, y = decaying
+        s = MonotoneCubicSpline(x, y)
+        np.testing.assert_allclose(s(x), y, rtol=1e-12)
+
+    def test_monotone_between_monotone_data(self, decaying):
+        x, y = decaying
+        s = MonotoneCubicSpline(x, y)
+        dense = s(np.linspace(1, 210, 1000))
+        assert np.all(np.diff(dense) <= 1e-12)
+
+    def test_matches_scipy_pchip_shape(self, decaying):
+        from scipy.interpolate import PchipInterpolator
+
+        x, y = decaying
+        ours = MonotoneCubicSpline(x, y)
+        ref = PchipInterpolator(x, y)
+        q = np.linspace(1, 210, 101)
+        # different boundary rules allowed; interiors must agree closely
+        np.testing.assert_allclose(ours(q), ref(q), rtol=0.02)
+
+    def test_no_overshoot_at_plateau(self):
+        # step-like data: classical splines overshoot, PCHIP must not.
+        x = np.array([0.0, 1, 2, 3, 4, 5])
+        y = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+        s = MonotoneCubicSpline(x, y)
+        dense = s(np.linspace(0, 5, 500))
+        assert dense.min() >= -1e-12
+        assert dense.max() <= 1 + 1e-12
+
+    def test_local_extremum_gets_zero_tangent(self):
+        s = MonotoneCubicSpline([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        assert s.tangents[1] == 0.0
+
+    def test_clamped_extrapolation(self, decaying):
+        x, y = decaying
+        s = MonotoneCubicSpline(x, y)
+        assert s(-5.0) == pytest.approx(y[0])
+        assert s(1e5) == pytest.approx(y[-1])
+        assert s(1e5, deriv=1) == 0.0
+
+    def test_first_derivative_consistent(self, decaying):
+        x, y = decaying
+        s = MonotoneCubicSpline(x, y)
+        q = np.linspace(5, 200, 17)
+        h = 1e-6
+        fd = (s(q + h) - s(q - h)) / (2 * h)
+        np.testing.assert_allclose(s(q, deriv=1), fd, rtol=1e-4, atol=1e-9)
+
+    def test_degenerate_sizes(self):
+        s1 = MonotoneCubicSpline([2.0], [5.0])
+        assert s1(0.0) == 5.0
+        s2 = MonotoneCubicSpline([0.0, 1.0], [1.0, 3.0])
+        assert s2(0.5) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonotoneCubicSpline([1.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            MonotoneCubicSpline([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            MonotoneCubicSpline([1.0, 2.0], [1.0, 2.0])(1.5, deriv=2)
+
+
+class TestPchipDemandModel:
+    def test_kind_pchip(self, decaying):
+        x, y = decaying
+        m = ServiceDemandModel(x, y, kind="pchip")
+        np.testing.assert_allclose(m(x), y, rtol=1e-9)
+        dense = m(np.linspace(1, 210, 300))
+        assert np.all(np.diff(dense) <= 1e-12)

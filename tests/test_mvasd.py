@@ -1,0 +1,112 @@
+"""Algorithm 3 — MVASD."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClosedNetwork, Station, exact_multiserver_mva, mvasd
+from repro.interpolate import ServiceDemandModel
+
+
+class TestMVASDBasics:
+    def test_constant_demands_reduce_to_algorithm2(self, multiserver_net):
+        r3 = mvasd(multiserver_net, 150)
+        r2 = exact_multiserver_mva(multiserver_net, 150, method="recursion")
+        np.testing.assert_allclose(r3.throughput, r2.throughput, rtol=1e-9)
+
+    def test_demands_used_follow_the_curve(self, varying_net):
+        r = mvasd(varying_net, 100)
+        cpu_col = varying_net.station_names.index("cpu")
+        used = r.demands_used[:, cpu_col]
+        expected = 0.25 + 0.15 * np.exp(-r.populations / 50.0)
+        np.testing.assert_allclose(used, expected, rtol=1e-9)
+
+    def test_decreasing_demand_raises_ceiling(self, varying_net):
+        frozen_at_1 = exact_multiserver_mva(varying_net, 300, demand_level=1.0)
+        adaptive = mvasd(varying_net, 300)
+        # With demand decaying toward 0.25, the adaptive model must exceed
+        # the frozen-at-1 model's saturation throughput (4/0.4 = 10/s).
+        assert adaptive.throughput[-1] > frozen_at_1.throughput[-1]
+        assert adaptive.throughput[-1] == pytest.approx(4 / 0.25, rel=0.02)
+
+    def test_littles_law(self, varying_net):
+        r = mvasd(varying_net, 100)
+        assert r.littles_law_residual().max() < 1e-12
+
+    def test_explicit_demand_functions_mapping(self, multiserver_net):
+        fns = {"cpu": lambda n: 0.4, "disk": lambda n: 0.05}
+        r = mvasd(multiserver_net, 20, demand_functions=fns)
+        assert r.response_time[0] == pytest.approx(0.45)
+
+    def test_missing_function_rejected(self, multiserver_net):
+        with pytest.raises(ValueError, match="missing demand functions"):
+            mvasd(multiserver_net, 10, demand_functions={"cpu": lambda n: 0.4})
+
+    def test_sequence_demand_functions(self, multiserver_net):
+        r = mvasd(multiserver_net, 10, demand_functions=[lambda n: 0.4, lambda n: 0.05])
+        assert r.response_time[0] == pytest.approx(0.45)
+
+    def test_wrong_length_sequence_rejected(self, multiserver_net):
+        with pytest.raises(ValueError, match="expected 2"):
+            mvasd(multiserver_net, 10, demand_functions=[lambda n: 0.4])
+
+    def test_negative_interpolated_demand_rejected(self, multiserver_net):
+        fns = {"cpu": lambda n: -0.1, "disk": lambda n: 0.05}
+        with pytest.raises(ValueError, match="negative"):
+            mvasd(multiserver_net, 5, demand_functions=fns)
+
+    def test_spline_model_plugs_in(self, multiserver_net):
+        model = ServiceDemandModel([1, 10, 50], [0.5, 0.4, 0.3])
+        fns = {"cpu": model, "disk": lambda n: 0.05}
+        r = mvasd(multiserver_net, 60, demand_functions=fns)
+        cpu_col = 0
+        assert r.demands_used[0, cpu_col] == pytest.approx(0.5, rel=1e-6)
+        # Past the last sample the eq. 14 clamp holds the plateau.
+        assert r.demands_used[-1, cpu_col] == pytest.approx(0.3, rel=1e-6)
+
+    def test_invalid_axis(self, multiserver_net):
+        with pytest.raises(ValueError, match="demand_axis"):
+            mvasd(multiserver_net, 5, demand_axis="users")
+
+
+class TestSingleServerVariant:
+    def test_solver_name(self, varying_net):
+        assert mvasd(varying_net, 10, single_server=True).solver == "mvasd-single-server"
+
+    def test_underestimates_contention_vs_multiserver(self, varying_net):
+        ss = mvasd(varying_net, 60, single_server=True)
+        ms = mvasd(varying_net, 60)
+        # Normalized single-server sees less queueing at light-mid load.
+        assert ss.throughput[10] >= ms.throughput[10]
+
+    def test_same_saturation_limit(self, varying_net):
+        ss = mvasd(varying_net, 400, single_server=True)
+        ms = mvasd(varying_net, 400)
+        assert ss.throughput[-1] == pytest.approx(ms.throughput[-1], rel=0.02)
+
+    def test_no_marginals_recorded(self, varying_net):
+        assert mvasd(varying_net, 10, single_server=True).marginal_probabilities is None
+
+
+class TestThroughputAxis:
+    def test_constant_curves_match_population_axis(self, multiserver_net):
+        fns = {"cpu": lambda x: 0.4, "disk": lambda x: 0.05}
+        pop = mvasd(multiserver_net, 80, demand_functions=fns)
+        thr = mvasd(multiserver_net, 80, demand_functions=fns, demand_axis="throughput")
+        np.testing.assert_allclose(pop.throughput, thr.throughput, rtol=1e-6)
+
+    def test_fixed_point_consistency(self, multiserver_net):
+        # demand defined on throughput axis: d(X) = 0.25 + 0.15 exp(-X/5)
+        fns = {
+            "cpu": lambda x: 0.25 + 0.15 * np.exp(-x / 5.0),
+            "disk": lambda x: 0.05,
+        }
+        r = mvasd(multiserver_net, 100, demand_functions=fns, demand_axis="throughput")
+        # The demand the solver used must equal the curve at the solved X.
+        cpu_used = r.demands_used[:, 0]
+        expected = 0.25 + 0.15 * np.exp(-r.throughput / 5.0)
+        np.testing.assert_allclose(cpu_used, expected, rtol=1e-6)
+
+    def test_solver_name(self, multiserver_net):
+        fns = {"cpu": lambda x: 0.4, "disk": lambda x: 0.05}
+        r = mvasd(multiserver_net, 5, demand_functions=fns, demand_axis="throughput")
+        assert r.solver == "mvasd-throughput"

@@ -1,0 +1,67 @@
+"""Fig. 17 end-to-end workflow."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import predict_performance
+
+
+@pytest.fixture(scope="module")
+def report(mini_sweep):
+    return predict_performance(
+        mini_sweep.application,
+        n_design_points=4,
+        max_population=50,
+        concurrency_range=(1, 50),
+        duration=60.0,
+        seed=1,
+    )
+
+
+class TestPredictPerformance:
+    def test_design_points_are_chebyshev(self, report):
+        from repro.workflow import design_points
+
+        np.testing.assert_array_equal(
+            report.design, design_points(4, 1, 50, strategy="chebyshev")
+        )
+
+    def test_sweep_ran_at_design_points(self, report):
+        np.testing.assert_array_equal(report.sweep.levels, report.design)
+
+    def test_prediction_covers_range(self, report):
+        assert report.prediction.max_population == 50
+        assert report.prediction.solver == "mvasd"
+
+    def test_validates_against_independent_sweep(self, report, mini_sweep):
+        dev = report.validate(mini_sweep)
+        # 4 Chebyshev tests are enough to predict the full curve well.
+        assert dev["throughput"] < 10.0
+        assert dev["cycle_time"] < 10.0
+
+    def test_predicted_at_level(self, report):
+        snap = report.predicted_at(20)
+        assert snap["population"] == 20
+        assert snap["throughput"] > 0
+
+    def test_single_server_variant(self, mini_sweep):
+        rep = predict_performance(
+            mini_sweep.application,
+            n_design_points=3,
+            concurrency_range=(1, 50),
+            duration=40.0,
+            seed=2,
+            single_server=True,
+        )
+        assert rep.prediction.solver == "mvasd-single-server"
+
+    def test_uniform_strategy(self, mini_sweep):
+        rep = predict_performance(
+            mini_sweep.application,
+            n_design_points=3,
+            concurrency_range=(1, 50),
+            strategy="uniform",
+            duration=40.0,
+            seed=2,
+        )
+        assert rep.design[0] == 1 and rep.design[-1] == 50

@@ -1,0 +1,75 @@
+"""Demand profiles."""
+
+import numpy as np
+import pytest
+
+from repro.apps import DemandProfile
+
+
+class TestFactories:
+    def test_constant(self):
+        p = DemandProfile.constant(0.1)
+        assert p(1) == 0.1
+        assert p(1000) == 0.1
+
+    def test_exp_decay_limits(self):
+        p = DemandProfile.exp_decay(0.4, 0.2, 50.0)
+        assert p(0) == pytest.approx(0.4)
+        assert p(10_000) == pytest.approx(0.2, rel=1e-6)
+
+    def test_exp_decay_monotone_decreasing(self):
+        p = DemandProfile.exp_decay(0.4, 0.2, 50.0)
+        n = np.arange(1, 500)
+        assert np.all(np.diff(p(n)) < 0)
+
+    def test_power_decay(self):
+        p = DemandProfile.power_decay(0.5, 0.1, exponent=1.0)
+        assert p(1) == pytest.approx(0.5)
+        assert p(4) == pytest.approx(0.2)
+
+    def test_array_and_scalar(self):
+        p = DemandProfile.exp_decay(0.4, 0.2, 50.0)
+        assert isinstance(p(5.0), float)
+        assert p(np.array([1.0, 2.0])).shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandProfile.constant(-0.1)
+        with pytest.raises(ValueError):
+            DemandProfile.exp_decay(0.4, 0.2, 0.0)
+        with pytest.raises(ValueError):
+            DemandProfile.power_decay(0.4, 0.2, exponent=0.0)
+
+
+class TestCombinators:
+    def test_bump_peaks_at_center(self):
+        base = DemandProfile.constant(0.1)
+        p = base.with_bump(center=100, width=10, amplitude=0.05)
+        assert p(100) == pytest.approx(0.15)
+        assert p(100) > p(80) > p(50)
+        assert p(1) == pytest.approx(0.1, rel=1e-4)
+
+    def test_negative_bump_is_dip(self):
+        p = DemandProfile.constant(0.1).with_bump(50, 5, -0.02)
+        assert p(50) == pytest.approx(0.08)
+
+    def test_bump_never_negative_output(self):
+        p = DemandProfile.constant(0.01).with_bump(50, 5, -0.5)
+        assert p(50) == 0.0  # clipped
+
+    def test_scaled(self):
+        p = DemandProfile.constant(0.1).scaled(2.0)
+        assert p(1) == pytest.approx(0.2)
+
+    def test_floor(self):
+        p = DemandProfile.exp_decay(0.4, 0.0, 10.0).floor(0.05)
+        assert p(10_000) == pytest.approx(0.05)
+
+    def test_validation(self):
+        base = DemandProfile.constant(0.1)
+        with pytest.raises(ValueError):
+            base.with_bump(10, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            base.scaled(-1.0)
+        with pytest.raises(ValueError):
+            base.floor(-0.1)

@@ -1,0 +1,105 @@
+"""GrinderProperties configuration."""
+
+import pytest
+
+from repro.loadtest import GrinderProperties
+
+
+class TestVirtualUsers:
+    def test_product(self):
+        p = GrinderProperties(processes=4, threads=25, agents=2)
+        assert p.virtual_users == 200
+
+    def test_with_concurrency_scales(self):
+        p = GrinderProperties(processes=2, threads=10, agents=1)
+        p2 = p.with_concurrency(60)
+        assert p2.virtual_users == 60
+        assert p2.agents == 1
+
+    def test_with_concurrency_indivisible_agents(self):
+        p = GrinderProperties(agents=3)
+        with pytest.raises(ValueError, match="divisible"):
+            p.with_concurrency(10)
+
+    def test_with_concurrency_small_target(self):
+        p = GrinderProperties(processes=4, threads=25)
+        assert p.with_concurrency(1).virtual_users == 1
+
+
+class TestStartTimes:
+    def test_all_at_once_without_ramp(self):
+        p = GrinderProperties(processes=2, threads=3)
+        times = p.start_times(seed=0)
+        assert len(times) == 6
+        assert max(times) == 0.0
+
+    def test_process_increment_batches(self):
+        p = GrinderProperties(
+            processes=4,
+            threads=2,
+            process_increment=2,
+            process_increment_interval_ms=10_000,
+        )
+        times = p.start_times(seed=0)
+        # first 2 processes (4 threads) at 0, next 2 at 10s
+        assert times[0] == 0.0 and times[3] == 0.0
+        assert times[4] == 10.0 and times[-1] == 10.0
+
+    def test_initial_sleep_jitter(self):
+        p = GrinderProperties(processes=1, threads=50, initial_sleep_time_ms=5000)
+        times = p.start_times(seed=1)
+        assert 0.0 <= min(times) and max(times) <= 5.0
+        assert max(times) > 0.0
+
+    def test_deterministic_per_seed(self):
+        p = GrinderProperties(processes=1, threads=5, initial_sleep_time_ms=1000)
+        assert p.start_times(seed=2) == p.start_times(seed=2)
+
+
+class TestPropertiesFileRoundTrip:
+    def test_serialize_parse(self):
+        p = GrinderProperties(
+            processes=3, threads=7, runs=100, duration_ms=120_000,
+            initial_sleep_time_ms=500, process_increment=1,
+        )
+        text = p.to_properties()
+        q = GrinderProperties.from_properties(text)
+        assert q == p
+
+    def test_parse_comments_and_colons(self):
+        text = """
+# a comment
+! another
+grinder.processes : 5
+grinder.threads = 9
+"""
+        p = GrinderProperties.from_properties(text)
+        assert (p.processes, p.threads) == (5, 9)
+
+    def test_parse_bad_value(self):
+        with pytest.raises(ValueError, match="grinder.threads"):
+            GrinderProperties.from_properties("grinder.threads = many")
+
+    def test_unknown_keys_ignored(self):
+        p = GrinderProperties.from_properties("grinder.script = x.py\ngrinder.logDirectory = /tmp")
+        assert p.script == "x.py"
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "grinder.properties"
+        path.write_text("grinder.processes = 2\ngrinder.threads = 4\n")
+        p = GrinderProperties.load(path, agents=3)
+        assert p.virtual_users == 24
+
+
+class TestValidation:
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            GrinderProperties(processes=0)
+        with pytest.raises(ValueError):
+            GrinderProperties(threads=0)
+        with pytest.raises(ValueError):
+            GrinderProperties(duration_ms=0)
+        with pytest.raises(ValueError):
+            GrinderProperties(sleep_time_variation=2.0)
+        with pytest.raises(ValueError):
+            GrinderProperties(runs=-1)

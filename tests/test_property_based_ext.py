@@ -1,0 +1,158 @@
+"""Property-based tests for the extension substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.whatif import SLA, Scenario, max_users_within_sla
+from repro.core import ClosedNetwork, Station, erlang_b, erlang_c, mvasd
+from repro.core.multiclass_amva import bard_schweitzer
+from repro.interpolate import MonotoneCubicSpline
+
+
+class TestErlangProperties:
+    @given(
+        servers=st.integers(1, 40),
+        load=st.floats(0.0, 200.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_probabilities_in_unit_interval(self, servers, load):
+        b = erlang_b(servers, load)
+        c = erlang_c(servers, load)
+        assert 0.0 <= b <= 1.0
+        assert 0.0 <= c <= 1.0
+
+    @given(
+        servers=st.integers(1, 20),
+        load=st.floats(0.01, 19.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delay_prob_at_least_blocking_prob(self, servers, load):
+        # Erlang-C >= Erlang-B at the same (C, a): a delayed system queues
+        # every customer a loss system would have blocked.
+        if load >= servers:
+            return
+        assert erlang_c(servers, load) >= erlang_b(servers, load) - 1e-12
+
+    @given(servers=st.integers(1, 20), load=st.floats(0.01, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_more_servers_reduce_blocking(self, servers, load):
+        assert erlang_b(servers + 1, load) <= erlang_b(servers, load) + 1e-12
+
+
+class TestMonotoneProperties:
+    @given(
+        data=st.data(),
+        n=st.integers(3, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_data_gives_monotone_interpolant(self, data, n):
+        xs = np.cumsum(
+            np.array(data.draw(st.lists(st.floats(0.1, 10.0), min_size=n, max_size=n)))
+        )
+        steps = np.array(
+            data.draw(st.lists(st.floats(0.0, 5.0), min_size=n - 1, max_size=n - 1))
+        )
+        ys = np.concatenate([[0.0], np.cumsum(steps)])  # non-decreasing
+        s = MonotoneCubicSpline(xs, ys)
+        dense = s(np.linspace(xs[0], xs[-1], 400))
+        assert np.all(np.diff(dense) >= -1e-9 * max(1.0, abs(ys[-1])))
+
+    @given(data=st.data(), n=st.integers(2, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_range_bounded_by_data(self, data, n):
+        xs = np.cumsum(
+            np.array(data.draw(st.lists(st.floats(0.1, 10.0), min_size=n, max_size=n)))
+        )
+        ys = np.array(data.draw(st.lists(st.floats(-50, 50), min_size=n, max_size=n)))
+        s = MonotoneCubicSpline(xs, ys)
+        dense = s(np.linspace(xs[0] - 5, xs[-1] + 5, 300))
+        lo, hi = ys.min(), ys.max()
+        span = max(hi - lo, 1.0)
+        assert dense.min() >= lo - 1e-9 * span
+        assert dense.max() <= hi + 1e-9 * span
+
+
+class TestWhatIfProperties:
+    @given(
+        demands=st.lists(st.floats(0.01, 0.3), min_size=2, max_size=4),
+        sla_ct=st.floats(0.5, 20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_users_is_maximal(self, demands, sla_ct):
+        net = ClosedNetwork(
+            [Station(f"s{i}", d) for i, d in enumerate(demands)], think_time=1.0
+        )
+        result = mvasd(net, 60)
+        sla = SLA(max_cycle_time=sla_ct)
+        users = max_users_within_sla(result, sla)
+        if users > 0:
+            assert result.cycle_time[users - 1] <= sla_ct
+        if users < 60:
+            # the very next level must violate (cycle time is monotone here)
+            assert result.cycle_time[users] > sla_ct
+
+    @given(
+        factor=st.floats(0.1, 1.0),
+        demands=st.lists(st.floats(0.05, 0.3), min_size=2, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_speeding_up_never_hurts(self, factor, demands):
+        net = ClosedNetwork(
+            [Station(f"s{i}", d) for i, d in enumerate(demands)], think_time=1.0
+        )
+        fns = {f"s{i}": (lambda n, _d=d: _d) for i, d in enumerate(demands)}
+        base = mvasd(net, 30, demand_functions=fns)
+        scn = Scenario("faster", demand_scale={"s0": factor})
+        new_net, new_fns = scn.apply(net, fns)
+        fast = mvasd(new_net, 30, demand_functions=new_fns)
+        assert np.all(fast.throughput >= base.throughput - 1e-9)
+
+
+class TestBardSchweitzerProperties:
+    @given(
+        data=st.data(),
+        k=st.integers(1, 4),
+        c=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_littles_law_per_class(self, data, k, c):
+        demands = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.floats(0.01, 0.3), min_size=c, max_size=c),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+        )
+        pops = data.draw(st.lists(st.integers(0, 10), min_size=c, max_size=c))
+        if sum(pops) == 0:
+            return
+        z = data.draw(st.lists(st.floats(0.1, 3.0), min_size=c, max_size=c))
+        x, r, q = bard_schweitzer(demands, pops, z)
+        for ci in range(c):
+            if pops[ci] > 0:
+                assert x[ci] * (r[ci] + z[ci]) == pytest.approx(pops[ci], rel=1e-6)
+
+    @given(
+        data=st.data(),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_queues_account_for_all_customers(self, data, k):
+        demands = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.floats(0.01, 0.3), min_size=2, max_size=2),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+        )
+        pops = [data.draw(st.integers(1, 8)), data.draw(st.integers(1, 8))]
+        z = [1.0, 0.5]
+        x, r, q = bard_schweitzer(demands, pops, z)
+        thinking = (x * np.array(z)).sum()
+        assert q.sum() + thinking == pytest.approx(sum(pops), rel=1e-6)

@@ -1,0 +1,81 @@
+"""Replicated sweeps and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.loadtest.replication import (
+    ReplicatedMeasurement,
+    ReplicatedSweep,
+    run_replicated_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def replicated(request):
+    import tests.conftest as c
+
+    return run_replicated_sweep(
+        c._mini_app(), replications=3, levels=[1, 10, 35], duration=60.0, seed=5
+    )
+
+
+class TestReplicatedSweep:
+    def test_shapes(self, replicated):
+        assert replicated.replications == 3
+        np.testing.assert_array_equal(replicated.levels, [1, 10, 35])
+
+    def test_replications_differ(self, replicated):
+        xs = [s.throughput for s in replicated.sweeps]
+        assert not np.array_equal(xs[0], xs[1])
+
+    def test_ci_covers_replication_means(self, replicated):
+        for metric in ("throughput", "cycle_time"):
+            for m in replicated.measurements(metric):
+                lo, hi = m.interval
+                assert lo <= m.mean <= hi
+                assert m.half_width >= 0
+
+    def test_mean_sweep_values(self, replicated):
+        means = replicated.mean_sweep_values("throughput")
+        stacked = np.vstack([s.throughput for s in replicated.sweeps])
+        np.testing.assert_allclose(means, stacked.mean(axis=0))
+
+    def test_noise_floor_dominated_by_light_load(self, replicated):
+        # single-user runs see few completions -> the widest interval;
+        # loaded levels are precise to ~10 % even with 3 short replications
+        ms = replicated.measurements("throughput")
+        assert ms[0].relative_half_width == max(m.relative_half_width for m in ms)
+        assert all(m.relative_half_width < 0.15 for m in ms[1:])
+        assert replicated.noise_floor("throughput") == ms[0].relative_half_width
+
+    def test_unknown_metric(self, replicated):
+        with pytest.raises(ValueError, match="metric"):
+            replicated.measurements("latency")
+
+    def test_representative_is_live_sweep(self, replicated):
+        rep = replicated.representative()
+        assert rep is replicated.sweeps[0]
+        table = rep.demand_table()  # usable downstream
+        assert table.stations()
+
+    def test_validation(self, mini_app):
+        with pytest.raises(ValueError, match="replications"):
+            run_replicated_sweep(mini_app, replications=1, duration=20.0)
+
+    def test_mismatched_grids_rejected(self, replicated, mini_app):
+        from repro.loadtest import run_sweep
+
+        other = run_sweep(mini_app, levels=[1, 10], duration=20.0, seed=1)
+        with pytest.raises(ValueError, match="grid"):
+            ReplicatedSweep(
+                application=mini_app,
+                levels=replicated.levels,
+                sweeps=(replicated.sweeps[0], other),
+            )
+
+
+class TestMeasurement:
+    def test_relative_half_width(self):
+        m = ReplicatedMeasurement(level=10, mean=20.0, half_width=1.0, replications=3)
+        assert m.relative_half_width == pytest.approx(0.05)
+        assert m.interval == (19.0, 21.0)

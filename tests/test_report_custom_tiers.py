@@ -1,0 +1,68 @@
+"""Report rendering for non-canonical tier layouts (regression coverage)."""
+
+import pytest
+
+from repro.apps import Application, Datapool, DemandProfile
+from repro.core import ClosedNetwork, Station
+from repro.loadtest import run_sweep, utilization_table_text
+
+
+@pytest.fixture(scope="module")
+def custom_tier_sweep():
+    # Two non-standard tiers: "api" and "db" (no load/app pair).
+    stations = []
+    for tier, cpu_d, disk_d in (("api", 0.06, 0.004), ("db", 0.04, 0.03)):
+        stations += [
+            Station(f"{tier}.cpu", DemandProfile.constant(cpu_d), servers=2),
+            Station(f"{tier}.disk", DemandProfile.constant(disk_d)),
+            Station(f"{tier}.net_tx", DemandProfile.constant(0.002)),
+            Station(f"{tier}.net_rx", DemandProfile.constant(0.002)),
+        ]
+    net = ClosedNetwork(stations, think_time=1.0, name="custom")
+    app = Application(
+        name="CustomTiers",
+        network=net,
+        workflow="api",
+        pages=2,
+        datapool=Datapool(records=10),
+        max_tested_concurrency=30,
+        default_sample_levels=(1, 10, 25),
+    )
+    return run_sweep(app, duration=40.0, seed=2)
+
+
+class TestCustomTierReport:
+    def test_renders_without_keyerror(self, custom_tier_sweep):
+        text = utilization_table_text(custom_tier_sweep)
+        assert "Api Server" in text  # custom tier gets a title-cased label
+        assert "Database Server" in text  # "db" keeps its canonical label
+
+    def test_canonical_tiers_absent(self, custom_tier_sweep):
+        text = utilization_table_text(custom_tier_sweep)
+        assert "Load Server" not in text
+
+    def test_row_per_level(self, custom_tier_sweep):
+        text = utilization_table_text(custom_tier_sweep)
+        data_lines = [l for l in text.splitlines() if l and l.lstrip()[0].isdigit()]
+        assert len(data_lines) == 3
+
+    def test_mixed_with_canonical_orders_canonical_first(self):
+        # a sweep with "db" (canonical) and "cache" (custom): db first
+        stations = [
+            Station("db.cpu", 0.02),
+            Station("cache.cpu", 0.01),
+        ]
+        net = ClosedNetwork(stations, think_time=0.5, name="mix")
+        app = Application(
+            name="Mix",
+            network=net,
+            workflow="w",
+            pages=1,
+            datapool=Datapool(records=1),
+            max_tested_concurrency=10,
+            default_sample_levels=(1, 5),
+        )
+        sweep = run_sweep(app, duration=30.0, seed=0)
+        text = utilization_table_text(sweep)
+        header = text.splitlines()[2]
+        assert header.index("Database Server") < header.index("Cache Server")

@@ -1,0 +1,64 @@
+"""MVAResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_mva
+
+
+@pytest.fixture
+def result(two_station_net):
+    return exact_mva(two_station_net, 30)
+
+
+class TestMVAResult:
+    def test_cycle_time_adds_think(self, result):
+        np.testing.assert_allclose(result.cycle_time, result.response_time + 1.0)
+
+    def test_at_snapshot(self, result):
+        snap = result.at(10)
+        assert snap["population"] == 10
+        assert snap["throughput"] == pytest.approx(result.throughput[9])
+        assert set(snap["utilizations"]) == {"cpu", "disk"}
+
+    def test_at_missing_population(self, result):
+        with pytest.raises(KeyError):
+            result.at(31)
+
+    def test_interpolation(self, result):
+        x = result.interpolate_throughput([1.5])
+        assert result.throughput[0] < x[0] < result.throughput[1]
+        ct = result.interpolate_cycle_time([1.0, 30.0])
+        assert ct[0] == pytest.approx(result.cycle_time[0])
+
+    def test_station_lookup(self, result):
+        np.testing.assert_array_equal(
+            result.utilization_of("disk"), result.utilizations[:, 1]
+        )
+        np.testing.assert_array_equal(
+            result.queue_length_of("cpu"), result.queue_lengths[:, 0]
+        )
+        with pytest.raises(KeyError):
+            result.utilization_of("gpu")
+
+    def test_summary_mentions_solver(self, result):
+        assert "exact-mva" in result.summary()
+
+    def test_shape_validation(self, result):
+        from repro.core.results import MVAResult
+
+        with pytest.raises(ValueError, match="shape"):
+            MVAResult(
+                populations=result.populations,
+                throughput=result.throughput[:-1],
+                response_time=result.response_time,
+                queue_lengths=result.queue_lengths,
+                residence_times=result.residence_times,
+                utilizations=result.utilizations,
+                station_names=result.station_names,
+                think_time=1.0,
+                solver="x",
+            )
+
+    def test_max_population(self, result):
+        assert result.max_population == 30

@@ -1,0 +1,62 @@
+"""Seeded random streams."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).get("service:cpu").random(8)
+        b = RandomStreams(42).get("service:cpu").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        s = RandomStreams(42)
+        a = s.get("service:cpu").random(8)
+        b = s.get("service:disk").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_irrelevant(self):
+        s1 = RandomStreams(7)
+        _ = s1.get("a").random(100)
+        x1 = s1.get("b").random(5)
+        s2 = RandomStreams(7)
+        x2 = s2.get("b").random(5)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_get_is_cached(self):
+        s = RandomStreams(0)
+        assert s.get("x") is s.get("x")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(-1)
+
+
+class TestExponentialSampler:
+    def test_mean_converges(self):
+        draw = RandomStreams(1).exponential_sampler("svc", 0.25)
+        samples = np.array([draw() for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(0.25, rel=0.05)
+        assert np.all(samples >= 0)
+
+    def test_zero_mean_constant_zero(self):
+        draw = RandomStreams(1).exponential_sampler("svc", 0.0)
+        assert draw() == 0.0
+
+    def test_block_refill_preserves_distribution(self):
+        # Force multiple refills with a tiny block.
+        draw = RandomStreams(5).exponential_sampler("svc", 1.0, block=7)
+        samples = np.array([draw() for _ in range(2_000)])
+        assert samples.mean() == pytest.approx(1.0, rel=0.1)
+
+    def test_deterministic_across_instances(self):
+        d1 = RandomStreams(9).exponential_sampler("svc", 0.5)
+        d2 = RandomStreams(9).exponential_sampler("svc", 0.5)
+        assert [d1() for _ in range(10)] == [d2() for _ in range(10)]
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).exponential_sampler("svc", -0.1)

@@ -1,0 +1,92 @@
+"""Measurement archives and demand-table JSON round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import mvasd
+from repro.loadtest.serialize import (
+    MeasurementArchive,
+    archive_sweep,
+    demand_table_from_dict,
+    demand_table_to_dict,
+)
+
+
+class TestDemandTableRoundTrip:
+    def test_roundtrip_preserves_curves(self, mini_sweep):
+        table = mini_sweep.demand_table()
+        data = demand_table_to_dict(table)
+        rebuilt = demand_table_from_dict(json.loads(json.dumps(data)))
+        probe = np.linspace(1, 60, 17)
+        for name, model in table.models.items():
+            np.testing.assert_allclose(rebuilt.models[name](probe), model(probe), rtol=1e-12)
+
+    def test_kind_and_axis_preserved(self, mini_sweep):
+        table = mini_sweep.demand_table(kind="pchip", axis="throughput")
+        rebuilt = demand_table_from_dict(demand_table_to_dict(table))
+        assert rebuilt.axis == "throughput"
+        assert all(m.kind == "pchip" for m in rebuilt.models.values())
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            demand_table_from_dict({"schema": 99})
+
+
+class TestMeasurementArchive:
+    def test_archive_fields(self, mini_sweep):
+        arc = archive_sweep(mini_sweep)
+        assert arc.application == "MiniApp"
+        np.testing.assert_array_equal(arc.levels, mini_sweep.levels)
+        np.testing.assert_allclose(arc.throughput, mini_sweep.throughput)
+
+    def test_json_roundtrip(self, mini_sweep, tmp_path):
+        arc = archive_sweep(mini_sweep)
+        path = tmp_path / "campaign.json"
+        arc.save(path)
+        loaded = MeasurementArchive.load(path)
+        np.testing.assert_allclose(loaded.cycle_time, arc.cycle_time)
+        np.testing.assert_allclose(
+            loaded.demand_samples["db.disk"], arc.demand_samples["db.disk"]
+        )
+
+    def test_archived_demand_table_drives_mvasd(self, mini_sweep, tmp_path):
+        # The whole point: predict from an archived campaign months later.
+        arc = archive_sweep(mini_sweep)
+        path = tmp_path / "campaign.json"
+        arc.save(path)
+        loaded = MeasurementArchive.load(path)
+        table = loaded.demand_table()
+        result = mvasd(
+            mini_sweep.application.network, 50, demand_functions=table.functions()
+        )
+        live = mvasd(
+            mini_sweep.application.network,
+            50,
+            demand_functions=mini_sweep.demand_table().functions(),
+        )
+        np.testing.assert_allclose(result.throughput, live.throughput, rtol=1e-9)
+
+    def test_throughput_axis_table(self, mini_sweep):
+        arc = archive_sweep(mini_sweep)
+        table = arc.demand_table(axis="throughput")
+        assert table.axis == "throughput"
+        with pytest.raises(ValueError):
+            arc.demand_table(axis="users")
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="throughput"):
+            MeasurementArchive(
+                application="x",
+                workflow="w",
+                levels=np.array([1, 2]),
+                throughput=np.array([1.0]),
+                response_time=np.array([0.1, 0.2]),
+                cycle_time=np.array([1.1, 1.2]),
+                demand_samples={},
+            )
+
+    def test_schema_check(self):
+        with pytest.raises(ValueError, match="schema"):
+            MeasurementArchive.from_dict({"schema": 0})

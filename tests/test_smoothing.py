@@ -1,0 +1,104 @@
+"""Smoothing splines (eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.interpolate import CubicSpline, SmoothingSpline, smoothing_matrices
+
+
+@pytest.fixture
+def noisy_decay():
+    rng = np.random.default_rng(3)
+    x = np.linspace(1, 200, 15)
+    truth = 0.05 + 0.1 * np.exp(-x / 80.0)
+    return x, truth + rng.normal(0, 0.004, x.size), truth
+
+
+class TestSmoothingMatrices:
+    def test_shapes(self):
+        x = np.linspace(0, 1, 6)
+        q, r = smoothing_matrices(x)
+        assert q.shape == (6, 4)
+        assert r.shape == (4, 4)
+
+    def test_r_symmetric_positive_definite(self):
+        x = np.array([0.0, 0.5, 1.5, 2.0, 4.0])
+        _, r = smoothing_matrices(x)
+        np.testing.assert_allclose(r, r.T)
+        assert np.all(np.linalg.eigvalsh(r) > 0)
+
+    def test_q_annihilates_linears(self):
+        # Second differences of a linear function vanish: Q^T l = 0.
+        x = np.array([0.0, 1.0, 2.5, 3.0, 5.0])
+        q, _ = smoothing_matrices(x)
+        line = 3 * x + 2
+        np.testing.assert_allclose(q.T @ line, 0, atol=1e-12)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            smoothing_matrices(np.array([0.0, 1.0]))
+
+
+class TestSmoothingSpline:
+    def test_lambda_zero_interpolates(self, noisy_decay):
+        x, y, _ = noisy_decay
+        s = SmoothingSpline(x, y, lam=0.0)
+        np.testing.assert_allclose(s(x), y, atol=1e-8)
+
+    def test_lambda_zero_equals_natural_spline(self, noisy_decay):
+        x, y, _ = noisy_decay
+        s = SmoothingSpline(x, y, lam=0.0)
+        ref = CubicSpline(x, y, bc="natural")
+        xq = np.linspace(x[0], x[-1], 53)
+        np.testing.assert_allclose(s(xq), ref(xq), atol=1e-7)
+
+    def test_large_lambda_tends_to_line(self, noisy_decay):
+        x, y, _ = noisy_decay
+        s = SmoothingSpline(x, y, lam=1e9)
+        # Roughness (integral of h''^2) must be ~0 -> straight line fit.
+        assert s.roughness < 1e-8
+        coeffs = np.polyfit(x, y, 1)
+        np.testing.assert_allclose(s(x), np.polyval(coeffs, x), atol=1e-3)
+
+    def test_roughness_decreases_with_lambda(self, noisy_decay):
+        x, y, _ = noisy_decay
+        lams = [0.0, 10.0, 1e3, 1e6]
+        rough = [SmoothingSpline(x, y, lam=l).roughness for l in lams]
+        assert all(a >= b - 1e-12 for a, b in zip(rough, rough[1:]))
+
+    def test_rss_increases_with_lambda(self, noisy_decay):
+        x, y, _ = noisy_decay
+        lams = [0.0, 10.0, 1e3, 1e6]
+        rss = [SmoothingSpline(x, y, lam=l).residual_sum_of_squares for l in lams]
+        assert all(a <= b + 1e-12 for a, b in zip(rss, rss[1:]))
+
+    def test_moderate_smoothing_beats_interpolation_on_noise(self, noisy_decay):
+        x, y, truth = noisy_decay
+        raw = SmoothingSpline(x, y, lam=0.0)
+        smooth = SmoothingSpline(x, y, lam=50.0)
+        xq = np.linspace(x[0], x[-1], 101)
+        truth_q = 0.05 + 0.1 * np.exp(-xq / 80.0)
+        err_raw = np.abs(raw(xq) - truth_q).mean()
+        err_smooth = np.abs(smooth(xq) - truth_q).mean()
+        assert err_smooth < err_raw
+
+    def test_objective_value(self, noisy_decay):
+        x, y, _ = noisy_decay
+        s = SmoothingSpline(x, y, lam=5.0)
+        assert s.objective() == pytest.approx(
+            s.residual_sum_of_squares + 5.0 * s.roughness
+        )
+
+    def test_clamped_extrapolation_default(self, noisy_decay):
+        x, y, _ = noisy_decay
+        s = SmoothingSpline(x, y, lam=1.0)
+        assert s(x[-1] + 500) == pytest.approx(s(x[-1]), rel=1e-9)
+
+    def test_validation(self, noisy_decay):
+        x, y, _ = noisy_decay
+        with pytest.raises(ValueError, match="non-negative"):
+            SmoothingSpline(x, y, lam=-1.0)
+        with pytest.raises(ValueError, match="at least 3"):
+            SmoothingSpline([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="increasing"):
+            SmoothingSpline([0.0, 0.0, 1.0], [1, 2, 3])

@@ -1,0 +1,109 @@
+"""Simulated station state machines."""
+
+import pytest
+
+from repro.simulation import SimDelay, SimQueue
+
+
+class TestSimQueue:
+    def test_immediate_service_when_free(self):
+        q = SimQueue("cpu", servers=2)
+        assert q.arrive(0.0, "a") is True
+        assert q.arrive(0.0, "b") is True
+        assert q.busy == 2
+
+    def test_queues_when_full(self):
+        q = SimQueue("cpu", servers=1)
+        q.arrive(0.0, "a")
+        assert q.arrive(0.0, "b") is False
+        assert q.jobs_present == 2
+
+    def test_depart_hands_server_to_waiter(self):
+        q = SimQueue("cpu", servers=1)
+        q.arrive(0.0, "a")
+        q.arrive(0.0, "b")
+        nxt = q.depart(1.0)
+        assert nxt == "b"
+        assert q.busy == 1  # still busy, serving b
+
+    def test_depart_frees_server_when_idle_queue(self):
+        q = SimQueue("cpu", servers=1)
+        q.arrive(0.0, "a")
+        assert q.depart(1.0) is None
+        assert q.busy == 0
+
+    def test_fifo_order(self):
+        q = SimQueue("cpu", servers=1)
+        q.arrive(0.0, "a")
+        for c in ("b", "c", "d"):
+            q.arrive(0.0, c)
+        assert q.depart(1.0) == "b"
+        assert q.depart(2.0) == "c"
+        assert q.depart(3.0) == "d"
+
+    def test_utilization_integral(self):
+        q = SimQueue("cpu", servers=2)
+        q.arrive(0.0, "a")          # 1 busy on [0, 4]
+        q.arrive(2.0, "b")          # 2 busy on [2, 4]
+        q.depart(4.0)
+        q.depart(4.0)
+        # busy-server area = 1*2 + 2*2 = 6 over 4s with 2 servers -> 0.75
+        assert q.utilization(4.0) == pytest.approx(0.75)
+
+    def test_mean_jobs_integral(self):
+        q = SimQueue("cpu", servers=1)
+        q.arrive(0.0, "a")
+        q.arrive(0.0, "b")          # 2 jobs on [0, 2]
+        q.depart(2.0)               # 1 job on [2, 4]
+        q.depart(4.0)
+        assert q.mean_jobs(4.0) == pytest.approx(1.5)
+
+    def test_throughput(self):
+        q = SimQueue("cpu", servers=1)
+        for t in (0.0, 1.0, 2.0):
+            q.arrive(t, t)
+        q.depart(1.0), q.depart(2.0), q.depart(3.0)
+        assert q.throughput(10.0) == pytest.approx(0.3)
+
+    def test_reset_statistics(self):
+        q = SimQueue("cpu", servers=1)
+        q.arrive(0.0, "a")
+        q.depart(5.0)
+        q.reset_statistics(5.0)
+        assert q.completions == 0
+        assert q.utilization(10.0) == pytest.approx(0.0)
+
+    def test_depart_on_idle_raises(self):
+        with pytest.raises(RuntimeError, match="no busy server"):
+            SimQueue("cpu").depart(1.0)
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            SimQueue("cpu", servers=0)
+
+
+class TestSimDelay:
+    def test_population_tracking(self):
+        d = SimDelay("think")
+        d.arrive(0.0)
+        d.arrive(0.0)        # 2 present on [0, 3]
+        d.depart(3.0)        # 1 present on [3, 6]
+        assert d.mean_population(6.0) == pytest.approx(1.5)
+
+    def test_completions(self):
+        d = SimDelay("think")
+        d.arrive(0.0)
+        d.depart(1.0)
+        assert d.completions == 1
+
+    def test_depart_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            SimDelay("think").depart(1.0)
+
+    def test_reset(self):
+        d = SimDelay("think")
+        d.arrive(0.0)
+        d.depart(2.0)
+        d.reset_statistics(2.0)
+        assert d.completions == 0
+        assert d.mean_population(4.0) == pytest.approx(0.0)

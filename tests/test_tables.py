@@ -1,0 +1,45 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(("A", "Bee"), [(1, 2.5), (10, 0.333)])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "A"
+        assert "2.50" in out and "0.33" in out
+
+    def test_title_adds_header(self):
+        out = format_table(("x",), [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_precision(self):
+        out = format_table(("x",), [(1.23456,)], precision=4)
+        assert "1.2346" in out
+
+    def test_none_renders_empty(self):
+        out = format_table(("x", "y"), [(1, None)])
+        assert out.splitlines()[-1].split("|")[1].strip() == ""
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [(1,)])
+
+    def test_column_alignment(self):
+        out = format_table(("name", "v"), [("long-name-here", 1), ("x", 22)])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        out = format_series("N", [1, 2], {"X": [0.5, 1.0], "R": [1.0, 2.0]})
+        assert "N" in out.splitlines()[0]
+        assert "0.500" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            format_series("N", [1, 2], {"X": [0.5]})

@@ -1,0 +1,57 @@
+"""Thomas tridiagonal solver."""
+
+import numpy as np
+import pytest
+
+from repro.interpolate import solve_tridiagonal
+
+
+def _dense(lower, diag, upper):
+    n = len(diag)
+    a = np.zeros((n, n))
+    a[np.arange(n), np.arange(n)] = diag
+    a[np.arange(1, n), np.arange(n - 1)] = lower
+    a[np.arange(n - 1), np.arange(1, n)] = upper
+    return a
+
+
+class TestThomas:
+    def test_matches_dense_solve(self):
+        rng = np.random.default_rng(7)
+        for n in (2, 3, 5, 20, 100):
+            diag = rng.uniform(2.0, 4.0, n)
+            lower = rng.uniform(-1.0, 1.0, n - 1)
+            upper = rng.uniform(-1.0, 1.0, n - 1)
+            rhs = rng.normal(size=n)
+            x = solve_tridiagonal(lower, diag, upper, rhs)
+            expected = np.linalg.solve(_dense(lower, diag, upper), rhs)
+            np.testing.assert_allclose(x, expected, rtol=1e-10)
+
+    def test_one_by_one(self):
+        x = solve_tridiagonal([], [2.0], [], [6.0])
+        np.testing.assert_allclose(x, [3.0])
+
+    def test_identity(self):
+        x = solve_tridiagonal(np.zeros(3), np.ones(4), np.zeros(3), [1, 2, 3, 4])
+        np.testing.assert_allclose(x, [1, 2, 3, 4])
+
+    def test_inputs_not_mutated(self):
+        lower = np.array([1.0, 1.0])
+        diag = np.array([4.0, 4.0, 4.0])
+        upper = np.array([1.0, 1.0])
+        rhs = np.array([1.0, 2.0, 3.0])
+        solve_tridiagonal(lower, diag, upper, rhs)
+        np.testing.assert_array_equal(diag, [4.0, 4.0, 4.0])
+        np.testing.assert_array_equal(rhs, [1.0, 2.0, 3.0])
+
+    def test_singular_pivot_rejected(self):
+        with pytest.raises(ValueError, match="singular"):
+            solve_tridiagonal([0.0], [0.0, 1.0], [0.0], [1.0, 1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="off-diagonals"):
+            solve_tridiagonal([1.0, 2.0], [1.0, 1.0], [1.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="rhs"):
+            solve_tridiagonal([1.0], [1.0, 1.0], [1.0], [1.0])
+        with pytest.raises(ValueError, match="empty"):
+            solve_tridiagonal([], [], [], [])

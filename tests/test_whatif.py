@@ -1,0 +1,155 @@
+"""What-if scenarios and SLA capacity planning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.whatif import (
+    SLA,
+    Scenario,
+    evaluate_scenarios,
+    max_users_within_sla,
+    outcomes_table,
+)
+from repro.core import ClosedNetwork, Station, mvasd
+
+
+@pytest.fixture
+def net():
+    return ClosedNetwork(
+        [Station("cpu", 0.08, servers=4), Station("disk", 0.05)], think_time=1.0
+    )
+
+
+@pytest.fixture
+def fns():
+    return {"cpu": lambda n: 0.08, "disk": lambda n: 0.05}
+
+
+class TestSLA:
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError, match="at least one bound"):
+            SLA()
+
+    def test_positive_bounds(self):
+        with pytest.raises(ValueError):
+            SLA(max_cycle_time=-1.0)
+
+    def test_mask_cycle_time(self, net, fns):
+        result = mvasd(net, 100, demand_functions=fns)
+        sla = SLA(max_cycle_time=2.0)
+        mask = sla.satisfied_mask(result)
+        assert mask[0]
+        assert not mask[-1]
+
+    def test_mask_utilization(self, net, fns):
+        result = mvasd(net, 100, demand_functions=fns)
+        sla = SLA(max_utilization=0.5)
+        mask = sla.satisfied_mask(result)
+        # utilization passes 50% well before N=100 (disk Xmax=20/s)
+        assert mask[0] and not mask[-1]
+
+    def test_describe(self):
+        text = SLA(max_cycle_time=2.0, max_utilization=0.8).describe()
+        assert "R+Z <= 2s" in text and "80%" in text
+
+
+class TestMaxUsers:
+    def test_contiguous_prefix(self, net, fns):
+        result = mvasd(net, 100, demand_functions=fns)
+        users = max_users_within_sla(result, SLA(max_cycle_time=2.0))
+        # X_max = 1/0.05 = 20/s; R+Z = 2 at N ~ 40
+        assert 30 <= users <= 50
+        assert result.cycle_time[users - 1] <= 2.0
+        assert result.cycle_time[users] > 2.0
+
+    def test_zero_when_never_met(self, net, fns):
+        result = mvasd(net, 10, demand_functions=fns)
+        assert max_users_within_sla(result, SLA(max_cycle_time=0.01)) == 0
+
+    def test_full_range_when_always_met(self, net, fns):
+        result = mvasd(net, 10, demand_functions=fns)
+        assert max_users_within_sla(result, SLA(max_cycle_time=100.0)) == 10
+
+
+class TestScenario:
+    def test_demand_scale(self, net, fns):
+        scn = Scenario("fast-disk", demand_scale={"disk": 0.5})
+        new_net, new_fns = scn.apply(net, fns)
+        assert new_fns["disk"](1) == pytest.approx(0.025)
+        assert new_fns["cpu"](1) == pytest.approx(0.08)
+
+    def test_server_override(self, net, fns):
+        scn = Scenario("more-cores", servers={"cpu": 8})
+        new_net, _ = scn.apply(net, fns)
+        assert new_net["cpu"].servers == 8
+        assert net["cpu"].servers == 4  # original untouched
+
+    def test_think_time_override(self, net, fns):
+        scn = Scenario("impatient", think_time=0.2)
+        new_net, _ = scn.apply(net, fns)
+        assert new_net.think_time == 0.2
+
+    def test_unknown_station_rejected(self, net, fns):
+        with pytest.raises(KeyError, match="gpu"):
+            Scenario("x", demand_scale={"gpu": 0.5}).apply(net, fns)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("x", demand_scale={"cpu": -1.0})
+        with pytest.raises(ValueError):
+            Scenario("x", servers={"cpu": 0})
+        with pytest.raises(ValueError):
+            Scenario("x", think_time=-1.0)
+
+
+class TestEvaluateScenarios:
+    def test_baseline_always_included(self, net, fns):
+        out = evaluate_scenarios(net, fns, [], max_population=50)
+        assert list(out) == ["baseline"]
+
+    def test_upgrading_bottleneck_helps(self, net, fns):
+        # disk (Xmax 20) is the bottleneck; cpu (4/0.08 = 50) is not.
+        out = evaluate_scenarios(
+            net,
+            fns,
+            [
+                Scenario("fast-disk", demand_scale={"disk": 0.5}),
+                Scenario("more-cores", servers={"cpu": 8}),
+            ],
+            max_population=200,
+            sla=SLA(max_cycle_time=3.0),
+        )
+        base = out["baseline"]
+        assert out["fast-disk"].peak_throughput > base.peak_throughput * 1.5
+        assert out["more-cores"].peak_throughput == pytest.approx(
+            base.peak_throughput, rel=0.02
+        )
+        assert out["fast-disk"].max_users > base.max_users
+
+    def test_sla_met_at(self, net, fns):
+        out = evaluate_scenarios(
+            net, fns, [], max_population=100, sla=SLA(max_cycle_time=2.0)
+        )
+        base = out["baseline"]
+        assert base.sla_met_at(10)
+        assert not base.sla_met_at(100)
+
+    def test_outcomes_table_renders(self, net, fns):
+        out = evaluate_scenarios(
+            net,
+            fns,
+            [Scenario("fast-disk", demand_scale={"disk": 0.5})],
+            max_population=60,
+            sla=SLA(max_cycle_time=2.0),
+        )
+        text = outcomes_table(out)
+        assert "baseline" in text and "fast-disk" in text
+        assert "max users in SLA" in text
+
+
+class TestOutcomesTableNoSLA:
+    def test_renders_without_sla(self, net, fns):
+        out = evaluate_scenarios(net, fns, [], max_population=20)
+        text = outcomes_table(out)
+        assert "baseline" in text
+        assert "max users in SLA" not in text
