@@ -1,0 +1,154 @@
+"""PERF-01 — batched kernels vs per-scenario loops, parallel vs serial DES.
+
+Times the two legs of the :mod:`repro.engine` execution layer on
+paper-sized workloads and records the results in ``BENCH_perf01.json``
+at the repo root:
+
+* **Batched MVASD** — a 64-scenario what-if grid (demand scalings of
+  the JPetStore spline demand curves) solved by
+  :func:`~repro.engine.batched.batched_mvasd` in one recursion vs the
+  per-scenario scalar :func:`~repro.core.mvasd.mvasd` loop.  The
+  batched kernel must be >= 5x faster and agree to 1e-10.
+* **Parallel DES replications** — ``run_replicated_sweep`` with 1, 2
+  and 4 workers.  Results must be bit-identical across worker counts;
+  wall-clock scaling is recorded always and asserted near-linear only
+  when the host actually has the cores (CI containers are often
+  single-core, where a fork-join pool cannot speed anything up).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mvasd import mvasd, precompute_demand_matrix
+from repro.engine import batched_mvasd
+from repro.loadtest.replication import run_replicated_sweep
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf01.json"
+
+N_SCENARIOS = 64
+MAX_POPULATION = 280
+REPLICATIONS = 4
+WORKER_COUNTS = (1, 2, 4)
+
+
+class _Scaled:
+    """Picklable demand-curve scaling (the per-scenario loop's input)."""
+
+    def __init__(self, fn, factor: float) -> None:
+        self.fn = fn
+        self.factor = factor
+
+    def __call__(self, level):
+        return self.fn(level) * self.factor
+
+
+def test_perf01_batched_mvasd_and_parallel_des(jps_app, jps_sweep, emit):
+    table = jps_sweep.demand_table(kind="cubic")
+    network = jps_app.network
+    fns = [table.models[name] for name in network.station_names]
+    scales = np.linspace(0.7, 1.3, N_SCENARIOS)
+
+    # -- leg 1: batched kernel vs per-scenario loop ---------------------------
+    t0 = time.perf_counter()
+    loop_results = [
+        mvasd(
+            network,
+            MAX_POPULATION,
+            demand_functions=[_Scaled(f, s) for f in fns],
+        )
+        for s in scales
+    ]
+    t_loop = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    base_matrix = precompute_demand_matrix(fns, MAX_POPULATION)
+    matrices = base_matrix[None, :, :] * scales[:, None, None]
+    batched = batched_mvasd(network, MAX_POPULATION, matrices)
+    t_batched = time.perf_counter() - t0
+
+    max_diff = max(
+        float(np.abs(batched.throughput[i] - r.throughput).max())
+        for i, r in enumerate(loop_results)
+    )
+    speedup = t_loop / t_batched
+
+    # -- leg 2: DES replication scaling ---------------------------------------
+    levels = (1, 26, 51)
+    duration = 60.0
+    des = {}
+    reference = None
+    for workers in WORKER_COUNTS:
+        t0 = time.perf_counter()
+        replicated = run_replicated_sweep(
+            jps_app,
+            replications=REPLICATIONS,
+            levels=levels,
+            duration=duration,
+            seed=31,
+            workers=workers,
+        )
+        elapsed = time.perf_counter() - t0
+        values = np.vstack([s.throughput for s in replicated.sweeps])
+        if reference is None:
+            reference = values
+        bit_identical = bool(np.array_equal(values, reference))
+        des[workers] = {"seconds": elapsed, "bit_identical": bit_identical}
+    for workers in WORKER_COUNTS[1:]:
+        des[workers]["speedup"] = des[1]["seconds"] / des[workers]["seconds"]
+
+    cores = os.cpu_count() or 1
+    payload = {
+        "bench": "perf01_batch_speedup",
+        "host_cpu_cores": cores,
+        "batched_mvasd": {
+            "scenarios": N_SCENARIOS,
+            "max_population": MAX_POPULATION,
+            "stations": len(network),
+            "loop_seconds": round(t_loop, 4),
+            "batched_seconds": round(t_batched, 4),
+            "speedup": round(speedup, 2),
+            "max_abs_throughput_diff": max_diff,
+        },
+        "des_replications": {
+            "replications": REPLICATIONS,
+            "levels": list(levels),
+            "duration": duration,
+            "workers": {
+                str(w): {k: (round(v, 4) if isinstance(v, float) else v)
+                         for k, v in stats.items()}
+                for w, stats in des.items()
+            },
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "PERF-01 — engine throughput",
+        f"Batched MVASD: {N_SCENARIOS} scenarios x N={MAX_POPULATION}, "
+        f"K={len(network)} stations",
+        f"  per-scenario loop: {t_loop:.3f}s   batched kernel: {t_batched:.3f}s   "
+        f"speedup: {speedup:.1f}x   max |dX|: {max_diff:.2e}",
+        f"DES replications (R={REPLICATIONS}, host cores: {cores}):",
+    ]
+    for workers, stats in des.items():
+        extra = f"   speedup {stats['speedup']:.2f}x" if "speedup" in stats else ""
+        lines.append(
+            f"  workers={workers}: {stats['seconds']:.2f}s   "
+            f"bit-identical: {stats['bit_identical']}{extra}"
+        )
+    emit("\n".join(lines))
+
+    assert max_diff <= 1e-10, "batched kernel diverged from the scalar solver"
+    assert speedup >= 5.0, f"batched speedup {speedup:.1f}x below the 5x floor"
+    assert all(stats["bit_identical"] for stats in des.values())
+    if cores >= 4:
+        # Near-linear: 4 workers must buy at least ~2.4x on a 4-core host.
+        assert des[4]["speedup"] >= 2.4, (
+            f"4-worker speedup {des[4]['speedup']:.2f}x not near-linear"
+        )

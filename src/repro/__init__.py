@@ -22,6 +22,8 @@ Subpackages
 -----------
 ``repro.core``
     MVA solver family (Algorithms 1-3 and baselines/extensions).
+``repro.engine``
+    Batched solver kernels and the parallel sweep executor.
 ``repro.interpolate``
     Cubic/smoothing splines, Chebyshev design, demand models.
 ``repro.simulation``
@@ -61,6 +63,15 @@ from .core import (
     mvasd,
     schweitzer_amva,
 )
+from .engine import (
+    BatchedMVAResult,
+    ScenarioGrid,
+    batched_exact_mva,
+    batched_mvasd,
+    batched_schweitzer_amva,
+    parallel_map,
+    spawn_seeds,
+)
 from .interpolate import (
     CubicSpline,
     DemandTable,
@@ -76,12 +87,18 @@ from .loadtest import (
     run_sweep,
 )
 from .simulation import SimulationResult, simulate_closed_network
-from .workflow import PipelineReport, design_points, predict_performance
+from .workflow import (
+    PipelineReport,
+    design_points,
+    predict_performance,
+    predict_performance_grid,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Application",
+    "BatchedMVAResult",
     "ClosedNetwork",
     "CubicSpline",
     "DemandProfile",
@@ -93,11 +110,15 @@ __all__ = [
     "MVAResult",
     "ModelComparison",
     "PipelineReport",
+    "ScenarioGrid",
     "ServiceDemandModel",
     "SimulationResult",
     "SmoothingSpline",
     "Station",
     "approximate_multiserver_mva",
+    "batched_exact_mva",
+    "batched_mvasd",
+    "batched_schweitzer_amva",
     "chebyshev_nodes",
     "compare_models",
     "concurrency_test_points",
@@ -110,10 +131,13 @@ __all__ = [
     "jpetstore_application",
     "mean_percent_deviation",
     "mvasd",
+    "parallel_map",
     "predict_performance",
+    "predict_performance_grid",
     "run_sweep",
     "schweitzer_amva",
     "simulate_closed_network",
+    "spawn_seeds",
     "vins_application",
     "__version__",
 ]

@@ -169,26 +169,44 @@ def max_users_within_sla(result: MVAResult, sla: SLA) -> int:
     return int(result.populations[breaks[0] - 1]) if breaks[0] > 0 else 0
 
 
+def _scenario_task(scenario: Scenario, payload) -> MVAResult:
+    """Solve one what-if scenario in a (possibly forked) worker."""
+    network, demand_functions, max_population = payload
+    net, fns = scenario.apply(network, demand_functions)
+    return mvasd(net, max_population, demand_functions=fns)
+
+
 def evaluate_scenarios(
     network: ClosedNetwork,
     demand_functions: Mapping[str, DemandFn],
     scenarios: Sequence[Scenario],
     max_population: int,
     sla: SLA | None = None,
+    workers: int | None = 1,
 ) -> dict[str, ScenarioOutcome]:
     """Solve every scenario with MVASD and score it against the SLA.
 
     A ``"baseline"`` scenario (no rewrites) is always included first.
+    With ``workers > 1`` the scenario solves fan out over a process pool
+    (:func:`repro.engine.sweep.parallel_map`); each scenario is an
+    independent deterministic solve, so the outcome is identical to the
+    serial run.
     """
+    from ..engine.sweep import parallel_map  # runtime import: engine layering
+
     if max_population < 1:
         raise ValueError("max_population must be >= 1")
     all_scenarios = [Scenario("baseline")] + [
         s for s in scenarios if s.name != "baseline"
     ]
+    results = parallel_map(
+        _scenario_task,
+        all_scenarios,
+        workers=workers,
+        payload=(network, demand_functions, max_population),
+    )
     outcomes: dict[str, ScenarioOutcome] = {}
-    for scenario in all_scenarios:
-        net, fns = scenario.apply(network, demand_functions)
-        result = mvasd(net, max_population, demand_functions=fns)
+    for scenario, result in zip(all_scenarios, results):
         users = max_users_within_sla(result, sla) if sla is not None else None
         outcomes[scenario.name] = ScenarioOutcome(
             scenario=scenario, result=result, sla=sla, max_users=users

@@ -4,11 +4,17 @@ Exposes the library's main flows without writing Python::
 
     python -m repro list-apps
     python -m repro sweep   --app vins --levels 1,51,203 --duration 120
+    python -m repro sweep   --app vins --replications 4 --workers 4
     python -m repro predict --app jpetstore --nodes 5 --max-population 280
     python -m repro compare --app jpetstore --mva-levels 28,140
     python -m repro solve   --demands 0.05,0.08 --servers 4,1 --think 1 --population 100
+    python -m repro sweep-grid --demands 0.05,0.08 --servers 4,1 --think 1 \
+        --population 100 --scales 0.5,0.75,1.0,1.25
 
 Every command prints the same ASCII tables the benches produce.
+``sweep --replications R --workers W`` fans R independent load tests
+over W processes (bit-identical to serial); ``sweep-grid`` solves a
+whole scenario grid in one batched kernel call (:mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -61,9 +67,41 @@ def _cmd_list_apps(_args) -> int:
 
 def _cmd_sweep(args) -> int:
     app = _get_app(args.app)
-    sweep = run_sweep(
-        app, levels=args.levels, duration=args.duration, seed=args.seed
-    )
+    if args.replications > 1:
+        from .analysis.tables import format_table
+        from .loadtest.replication import run_replicated_sweep
+
+        replicated = run_replicated_sweep(
+            app,
+            replications=args.replications,
+            levels=args.levels,
+            duration=args.duration,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        rows = [
+            (m.level, f"{m.mean:.2f} ± {m.half_width:.2f}",
+             f"{c.mean:.3f} ± {c.half_width:.3f}")
+            for m, c in zip(
+                replicated.measurements("throughput"),
+                replicated.measurements("cycle_time"),
+            )
+        ]
+        print(
+            format_table(
+                ["Users", "X (pages/s, 95% CI)", "R+Z (s, 95% CI)"],
+                rows,
+                title=(
+                    f"{app.name} — {replicated.replications} replications, "
+                    f"noise floor {replicated.noise_floor('throughput'):.1%}"
+                ),
+            )
+        )
+        sweep = replicated.representative()
+    else:
+        sweep = run_sweep(
+            app, levels=args.levels, duration=args.duration, seed=args.seed
+        )
     print(sweep_summary_text(sweep))
     print()
     print(utilization_table_text(sweep))
@@ -143,6 +181,63 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_sweep_grid(args) -> int:
+    from .analysis.tables import format_table
+    from .engine import (
+        ScenarioGrid,
+        batched_exact_mva,
+        batched_mvasd,
+        batched_schweitzer_amva,
+    )
+
+    demands = np.asarray(args.demands, dtype=float)
+    servers = args.servers or [1] * len(demands)
+    if len(servers) != len(demands):
+        raise SystemExit("--servers must match --demands in length")
+    stations = [
+        Station(f"station-{i}", d, servers=c)
+        for i, (d, c) in enumerate(zip(demands, servers))
+    ]
+    net = ClosedNetwork(stations, think_time=args.think)
+
+    grid = ScenarioGrid.product(
+        demand_scale=args.scales, think_time=args.think_times or [args.think]
+    )
+    combos = grid.combinations()
+    scales = np.array([c["demand_scale"] for c in combos])
+    thinks = np.array([c["think_time"] for c in combos])
+    stack = scales[:, None] * demands[None, :]
+
+    n = args.population
+    if args.solver == "amva":
+        result = batched_schweitzer_amva(net, n, stack, think_times=thinks)
+    elif args.solver == "mvasd" or (
+        args.solver == "auto" and any(c > 1 for c in servers)
+    ):
+        matrices = np.broadcast_to(stack[:, None, :], (len(combos), n, len(demands)))
+        result = batched_mvasd(net, n, matrices, think_times=thinks)
+    else:
+        result = batched_exact_mva(net, n, stack, think_times=thinks)
+
+    rows = [
+        (
+            label,
+            round(float(result.peak_throughput()[i]), 3),
+            round(float(result.cycle_time[i, -1]), 4),
+            f"{float(result.utilizations[i, -1].max()):.0%}",
+        )
+        for i, label in enumerate(grid.labels())
+    ]
+    print(
+        format_table(
+            ["Scenario", "X_max (/s)", f"R+Z @ N={n} (s)", "peak util"],
+            rows,
+            title=f"{result.solver}: {len(combos)} scenarios solved in one batch",
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated concurrency levels (default: the app's)")
     p.add_argument("--duration", type=float, default=150.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replications", type=int, default=1,
+                   help="run R independent replications with confidence intervals")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for replications (default serial)")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("predict", help="run the Fig. 17 design->measure->predict workflow")
@@ -188,6 +287,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--think", type=float, default=0.0)
     p.add_argument("--population", type=int, required=True)
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser(
+        "sweep-grid",
+        help="solve a scenario grid (demand scalings x think times) in one batched kernel",
+    )
+    p.add_argument("--demands", type=_parse_float_list, required=True,
+                   help="comma-separated base station demands (seconds)")
+    p.add_argument("--servers", type=_parse_int_list, default=None,
+                   help="comma-separated server counts (default all 1)")
+    p.add_argument("--think", type=float, default=0.0)
+    p.add_argument("--population", type=int, required=True)
+    p.add_argument("--scales", type=_parse_float_list, default=[1.0],
+                   help="demand-scaling axis of the grid (e.g. 0.5,0.75,1.0,1.25)")
+    p.add_argument("--think-times", type=_parse_float_list, default=None,
+                   help="think-time axis of the grid (default: just --think)")
+    p.add_argument("--solver", choices=("auto", "mva", "amva", "mvasd"), default="auto")
+    p.set_defaults(fn=_cmd_sweep_grid)
     return parser
 
 

@@ -150,7 +150,10 @@ class MultiServerState:
     def marginals(self, upto: int | None = None) -> np.ndarray:
         """``p(0..upto-1)`` at the last updated level (default: C values)."""
         count = self.servers if upto is None else int(upto)
-        return self._p[:count].copy()
+        out = np.zeros(count)
+        take = min(count, self._p.shape[0])
+        out[:take] = self._p[:take]
+        return out
 
     def correction_factor(self) -> float:
         """The paper's ``F_k`` evaluated from the exact marginals."""

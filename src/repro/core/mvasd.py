@@ -41,7 +41,7 @@ from .multiserver import MultiServerState
 from .network import ClosedNetwork
 from .results import MVAResult
 
-__all__ = ["mvasd"]
+__all__ = ["mvasd", "precompute_demand_matrix"]
 
 DemandFn = Callable[[float], float]
 
@@ -81,6 +81,50 @@ def _demands_at(fns: Sequence[DemandFn], level: float) -> np.ndarray:
     if np.any(d < 0):
         raise ValueError(f"negative interpolated demand at level {level}: {d}")
     return d
+
+
+def precompute_demand_matrix(
+    fns: Sequence[DemandFn],
+    max_population: int,
+    levels: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evaluate every demand curve over the whole population grid up front.
+
+    Returns the ``(N, K)`` matrix ``SS_k^n`` for ``n = 1..N`` (or over an
+    explicit ``levels`` grid).  Curves that accept array input — fitted
+    :class:`~repro.interpolate.demand_model.ServiceDemandModel` splines,
+    :class:`~repro.apps.profiles.DemandProfile` shapes — are evaluated in
+    one vectorized call per station; anything else falls back to a
+    per-level loop.  This replaces the K Python calls per recursion level
+    inside :func:`mvasd` with a single upfront sweep, which is what makes
+    the batched kernels in :mod:`repro.engine` profitable.
+    """
+    if levels is None:
+        if max_population < 1:
+            raise ValueError(f"max_population must be >= 1, got {max_population}")
+        levels = np.arange(1, max_population + 1, dtype=float)
+    else:
+        levels = np.asarray(levels, dtype=float)
+    cols = []
+    for f in fns:
+        col = None
+        try:
+            out = np.asarray(f(levels), dtype=float)
+            if out.shape == levels.shape:
+                col = out
+        except Exception:
+            col = None
+        if col is None:
+            col = np.array([float(f(lvl)) for lvl in levels])
+        cols.append(col)
+    matrix = np.stack(cols, axis=1)
+    if np.any(matrix < 0):
+        bad = np.argwhere(matrix < 0)[0]
+        raise ValueError(
+            f"negative interpolated demand at level {levels[bad[0]]:g} "
+            f"(station index {bad[1]})"
+        )
+    return matrix
 
 
 def mvasd(
@@ -129,6 +173,14 @@ def mvasd(
     stations = network.stations
     servers = network.servers()
 
+    # Population-axis demands depend only on n, so the whole SS_k^n matrix
+    # is computable before the recursion starts (vectorized per station).
+    demand_matrix = (
+        precompute_demand_matrix(fns, max_population)
+        if demand_axis == "population"
+        else None
+    )
+
     q = np.zeros(k)
     states = (
         None
@@ -172,7 +224,7 @@ def mvasd(
     for i, n in enumerate(pops):
         n = int(n)
         if demand_axis == "population":
-            d = _demands_at(fns, float(n))
+            d = demand_matrix[i]
             r_k, r_total = level_step(n, d)
             x = n / (r_total + z)
         else:

@@ -1,0 +1,42 @@
+"""High-throughput execution layer for solver and simulation sweeps.
+
+Two complementary strategies for the repo's ubiquitous
+grid-of-scenarios pattern:
+
+``repro.engine.batched``
+    Vectorized NumPy kernels that advance S scenarios through one MVA /
+    AMVA / MVASD population recursion at once — demand stacks of shape
+    ``(S, K)`` or ``(S, N, K)``, per-level work amortized over the whole
+    grid.  Results match the scalar solvers to 1e-10.
+``repro.engine.sweep``
+    Fork-join execution of independent tasks (DES replications,
+    pipeline validations, what-if solves): :class:`ScenarioGrid`
+    builders, an ordered :func:`parallel_map` over a process pool with a
+    serial fallback, and :func:`spawn_seeds` for worker-count-invariant
+    seeding.
+
+See ``benchmarks/bench_perf01_batch_speedup.py`` for the measured
+speedups and the `repro sweep-grid` CLI subcommand for the command-line
+surface.
+"""
+
+from .batched import (
+    BatchedMVAResult,
+    batched_exact_mva,
+    batched_mvasd,
+    batched_schweitzer_amva,
+    demand_matrix_stack,
+)
+from .sweep import ScenarioGrid, parallel_map, resolve_workers, spawn_seeds
+
+__all__ = [
+    "BatchedMVAResult",
+    "ScenarioGrid",
+    "batched_exact_mva",
+    "batched_mvasd",
+    "batched_schweitzer_amva",
+    "demand_matrix_stack",
+    "parallel_map",
+    "resolve_workers",
+    "spawn_seeds",
+]

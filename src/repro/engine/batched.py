@@ -1,0 +1,469 @@
+"""Batched MVA-family kernels — one recursion, S scenarios.
+
+Every sweep artifact in this repo (deviation tables, what-if grids, the
+Fig. 6/7/16 validation loops, the ablation benches) solves the *same*
+recursion over a grid of demand vectors, demand scalings or think
+times.  Solving the grid one scenario at a time leaves almost all of the
+work in Python-level loop overhead: at every population level the
+scalar solvers touch K stations with K-element arrays, so the NumPy
+call overhead dominates the arithmetic.
+
+The kernels here instead advance **all S scenarios together** through
+the population recursion: demands come in as a stack of shape
+``(S, K)`` (constant-demand solvers) or ``(S, N, K)`` (MVASD demand
+matrices, precomputed once via
+:func:`repro.core.mvasd.precompute_demand_matrix`), and every update is
+an array operation over the scenario axis.  The per-level Python cost
+is then paid once per level instead of once per level *per scenario*,
+which is where the order-of-magnitude speedups of
+``benchmarks/bench_perf01_batch_speedup.py`` come from.
+
+The batched kernels perform the same floating-point operations in the
+same order as their scalar counterparts (elementwise across the
+scenario axis), so trajectories agree with
+:func:`repro.core.mva.exact_mva`, :func:`repro.core.amva.schweitzer_amva`
+and :func:`repro.core.mvasd.mvasd` to rounding — the equivalence suite
+pins them to within 1e-10.
+
+Scenarios must share the network *topology* (station kinds, server
+counts) — that is what makes the recursion batchable — but may differ
+in demands and think times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.mvasd import DemandFn, precompute_demand_matrix
+from ..core.network import ClosedNetwork
+from ..core.results import MVAResult
+
+__all__ = [
+    "BatchedMVAResult",
+    "batched_exact_mva",
+    "batched_schweitzer_amva",
+    "batched_mvasd",
+    "demand_matrix_stack",
+]
+
+# Mirrors of the scalar Schweitzer fixed-point controls (amva.py).
+_MAX_ITER = 10_000
+_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class BatchedMVAResult:
+    """Trajectories of S scenarios solved in one batched recursion.
+
+    The arrays carry a leading scenario axis on top of the scalar
+    :class:`~repro.core.results.MVAResult` layout: ``throughput`` is
+    ``(S, N)``, the per-station trajectories are ``(S, N, K)``.
+    :meth:`scenario` slices one scenario back out as a plain
+    :class:`MVAResult` for downstream code that expects the scalar
+    container.
+    """
+
+    populations: np.ndarray
+    throughput: np.ndarray
+    response_time: np.ndarray
+    queue_lengths: np.ndarray
+    residence_times: np.ndarray
+    utilizations: np.ndarray
+    station_names: tuple[str, ...]
+    think_times: np.ndarray
+    solver: str
+    demands_used: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        s, n, k = self.n_scenarios, len(self.populations), len(self.station_names)
+        for attr in ("throughput", "response_time"):
+            if getattr(self, attr).shape != (s, n):
+                raise ValueError(f"{attr} must have shape ({s}, {n})")
+        for attr in ("queue_lengths", "residence_times", "utilizations"):
+            if getattr(self, attr).shape != (s, n, k):
+                raise ValueError(f"{attr} must have shape ({s}, {n}, {k})")
+        if self.think_times.shape != (s,):
+            raise ValueError(f"think_times must have shape ({s},)")
+        if self.demands_used is not None and self.demands_used.shape != (s, n, k):
+            raise ValueError(f"demands_used must have shape ({s}, {n}, {k})")
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.throughput.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    @property
+    def cycle_time(self) -> np.ndarray:
+        """``R^n + Z`` per scenario, shape ``(S, N)``."""
+        return self.response_time + self.think_times[:, None]
+
+    def peak_throughput(self) -> np.ndarray:
+        """Max throughput over the population sweep, per scenario ``(S,)``."""
+        return self.throughput.max(axis=1)
+
+    def scenario(self, index: int) -> MVAResult:
+        """One scenario's trajectories as a scalar :class:`MVAResult`."""
+        s = self.n_scenarios
+        if not -s <= index < s:
+            raise IndexError(f"scenario index {index} out of range for {s} scenarios")
+        return MVAResult(
+            populations=self.populations,
+            throughput=self.throughput[index],
+            response_time=self.response_time[index],
+            queue_lengths=self.queue_lengths[index],
+            residence_times=self.residence_times[index],
+            utilizations=self.utilizations[index],
+            station_names=self.station_names,
+            think_time=float(self.think_times[index]),
+            solver=self.solver,
+            demands_used=(
+                np.array(self.demands_used[index])
+                if self.demands_used is not None
+                else None
+            ),
+        )
+
+
+def _demand_stack(network: ClosedNetwork, demands) -> np.ndarray:
+    """Validate and shape a ``(S, K)`` stack of constant demand vectors."""
+    arr = np.asarray(demands, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != len(network):
+        raise ValueError(
+            f"expected a (S, {len(network)}) demand stack, got shape {arr.shape}"
+        )
+    if np.any(arr < 0):
+        raise ValueError("demands must be non-negative")
+    return arr
+
+
+def _think_stack(network: ClosedNetwork, think_times, s: int) -> np.ndarray:
+    """Per-scenario think times ``(S,)`` (default: the network's)."""
+    if think_times is None:
+        return np.full(s, network.think_time)
+    z = np.asarray(think_times, dtype=float)
+    if z.ndim == 0:
+        z = np.full(s, float(z))
+    if z.shape != (s,):
+        raise ValueError(f"expected {s} think times, got shape {z.shape}")
+    if np.any(z < 0):
+        raise ValueError("think times must be non-negative")
+    return z
+
+
+def demand_matrix_stack(
+    demand_functions: Sequence[Sequence[DemandFn]],
+    max_population: int,
+) -> np.ndarray:
+    """Precompute the ``(S, N, K)`` demand-matrix stack for S scenarios.
+
+    ``demand_functions`` holds one per-station callable sequence per
+    scenario (all the same length K); each is evaluated once over the
+    whole population grid via
+    :func:`~repro.core.mvasd.precompute_demand_matrix`.
+    """
+    matrices = [
+        precompute_demand_matrix(fns, max_population) for fns in demand_functions
+    ]
+    if not matrices:
+        raise ValueError("need at least one scenario")
+    return np.stack(matrices, axis=0)
+
+
+def batched_exact_mva(
+    network: ClosedNetwork,
+    max_population: int,
+    demands,
+    think_times=None,
+) -> BatchedMVAResult:
+    """Exact single-server MVA (Algorithm 1) over a stack of scenarios.
+
+    Parameters
+    ----------
+    network:
+        Shared topology (station kinds; servers are ignored exactly as in
+        the scalar :func:`~repro.core.mva.exact_mva`).
+    max_population:
+        Largest population ``N``; results cover ``n = 1..N``.
+    demands:
+        ``(S, K)`` array — one constant demand vector per scenario.  A
+        single ``(K,)`` vector is treated as ``S = 1``.
+    think_times:
+        Optional per-scenario think times ``(S,)`` (default: the
+        network's ``Z`` for every scenario).
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    d = _demand_stack(network, demands)
+    s, k = d.shape
+    z = _think_stack(network, think_times, s)
+    is_queue = np.array([st.kind == "queue" for st in network.stations])
+    servers = network.servers().astype(float)
+
+    pops = np.arange(1, max_population + 1)
+    n_levels = max_population
+    xs = np.empty((s, n_levels))
+    rs = np.empty((s, n_levels))
+    qs = np.empty((s, n_levels, k))
+    rks = np.empty((s, n_levels, k))
+    utils = np.empty((s, n_levels, k))
+
+    q = np.zeros((s, k))
+    for i, n in enumerate(pops):
+        r_k = np.where(is_queue, d * (1.0 + q), d)
+        r_total = r_k.sum(axis=1)
+        x = n / (r_total + z)
+        q = x[:, None] * r_k
+        xs[:, i] = x
+        rs[:, i] = r_total
+        qs[:, i] = q
+        rks[:, i] = r_k
+        utils[:, i] = x[:, None] * d / servers
+
+    return BatchedMVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_times=z,
+        solver="batched-exact-mva",
+        demands_used=np.broadcast_to(d[:, None, :], (s, n_levels, k)),
+    )
+
+
+def batched_schweitzer_amva(
+    network: ClosedNetwork,
+    max_population: int,
+    demands,
+    think_times=None,
+) -> BatchedMVAResult:
+    """Schweitzer approximate MVA over a stack of scenarios.
+
+    Each population level is a fixed point per scenario; scenarios are
+    iterated together and *frozen* individually as soon as their own
+    convergence criterion (identical to the scalar solver's) fires, so
+    every scenario sees exactly the iterates the scalar
+    :func:`~repro.core.amva.schweitzer_amva` would produce.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    d = _demand_stack(network, demands)
+    s, k = d.shape
+    z = _think_stack(network, think_times, s)
+    is_queue = np.array([st.kind == "queue" for st in network.stations])
+    servers = network.servers().astype(float)
+
+    pops = np.arange(1, max_population + 1)
+    n_levels = max_population
+    xs = np.empty((s, n_levels))
+    rs = np.empty((s, n_levels))
+    qs = np.empty((s, n_levels, k))
+    rks = np.empty((s, n_levels, k))
+    utils = np.empty((s, n_levels, k))
+
+    q = np.full((s, k), 1.0 / k)
+    x = np.empty(s)
+    r_k = np.empty((s, k))
+    for i, n in enumerate(pops):
+        n = int(n)
+        active = np.arange(s)
+        for _ in range(_MAX_ITER):
+            qa = q[active]
+            da = d[active]
+            q_arr = (n - 1.0) / n * qa
+            r = np.where(is_queue, da * (1.0 + q_arr), da)
+            xa = n / (r.sum(axis=1) + z[active])
+            q_new = xa[:, None] * r
+            x[active] = xa
+            r_k[active] = r
+            q[active] = q_new
+            converged = (
+                np.abs(q_new - qa).max(axis=1)
+                <= _TOL * np.maximum(1.0, q_new.max(axis=1))
+            )
+            active = active[~converged]
+            if active.size == 0:
+                break
+        xs[:, i] = x
+        rs[:, i] = r_k.sum(axis=1)
+        qs[:, i] = q
+        rks[:, i] = r_k
+        utils[:, i] = x[:, None] * d / servers
+
+    return BatchedMVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_times=z,
+        solver="batched-schweitzer-amva",
+        demands_used=np.broadcast_to(d[:, None, :], (s, n_levels, k)),
+    )
+
+
+class _BatchedMultiServerState:
+    """S parallel copies of :class:`repro.core.multiserver.MultiServerState`.
+
+    Carries the full marginal vectors ``p(j | n)`` of one multi-server
+    station for all S scenarios as a ``(S, N+1)`` array and applies the
+    scalar class's residence/update/renormalize steps elementwise along
+    the scenario axis — same operations, same order, so the trajectories
+    match the scalar recursion to rounding.
+    """
+
+    __slots__ = ("servers", "_p", "_weights", "_level")
+
+    def __init__(self, servers: int, max_population: int, n_scenarios: int) -> None:
+        self.servers = int(servers)
+        self._p = np.zeros((n_scenarios, max_population + 1))
+        self._p[:, 0] = 1.0  # empty network, every scenario
+        js = np.arange(1, max_population + 1, dtype=float)
+        self._weights = js / np.minimum(js, self.servers)
+        self._level = 0
+
+    def residence(self, n: int, demand: np.ndarray) -> np.ndarray:
+        """``R_k`` per scenario at population ``n``; ``demand`` is ``(S,)``."""
+        if n != self._level + 1:
+            raise ValueError(
+                f"out-of-order recursion: expected n={self._level + 1}, got {n}"
+            )
+        return demand * (self._weights[:n] * self._p[:, :n]).sum(axis=1)
+
+    def update(self, n: int, x: np.ndarray, demand: np.ndarray) -> None:
+        """Advance all scenarios' marginals once ``X^n`` ``(S,)`` is known."""
+        if n != self._level + 1:
+            raise ValueError(
+                f"out-of-order recursion: expected n={self._level + 1}, got {n}"
+            )
+        mu_scale = x * demand
+        js = np.arange(1, n + 1, dtype=float)
+        new_tail = (mu_scale[:, None] / np.minimum(js, self.servers)) * self._p[:, :n]
+        self._p[:, 1 : n + 1] = new_tail
+        self._p[:, 0] = np.maximum(0.0, 1.0 - new_tail.sum(axis=1))
+        total = self._p[:, : n + 1].sum(axis=1)
+        positive = total > 0
+        self._p[positive, : n + 1] /= total[positive, None]
+        self._level = n
+
+
+def batched_mvasd(
+    network: ClosedNetwork,
+    max_population: int,
+    demand_matrices,
+    single_server: bool = False,
+    think_times=None,
+) -> BatchedMVAResult:
+    """MVASD (Algorithm 3, population axis) over a stack of scenarios.
+
+    Parameters
+    ----------
+    network:
+        Shared topology; server counts drive the multi-server
+        correction exactly as in :func:`~repro.core.mvasd.mvasd`.
+    max_population:
+        Largest population ``N``.
+    demand_matrices:
+        ``(S, N, K)`` stack of precomputed ``SS_k^n`` matrices — build
+        with :func:`demand_matrix_stack` or by scaling one
+        :func:`~repro.core.mvasd.precompute_demand_matrix` output.  A
+        single ``(N, K)`` matrix is treated as ``S = 1``.
+    single_server:
+        The Fig. 8 normalized single-server baseline.
+    think_times:
+        Optional per-scenario think times ``(S,)``.
+
+    Notes
+    -----
+    Only ``demand_axis="population"`` is batchable (the demand matrix is
+    known before the recursion); for the Section-7 throughput-axis fixed
+    point use the scalar :func:`~repro.core.mvasd.mvasd` per scenario.
+    Marginal-probability histories are not recorded in batched mode.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    matrices = np.asarray(demand_matrices, dtype=float)
+    if matrices.ndim == 2:
+        matrices = matrices[None, :, :]
+    k = len(network)
+    if matrices.ndim != 3 or matrices.shape[1:] != (max_population, k):
+        raise ValueError(
+            f"expected a (S, {max_population}, {k}) demand-matrix stack, "
+            f"got shape {matrices.shape}"
+        )
+    if np.any(matrices < 0):
+        raise ValueError("demand matrices must be non-negative")
+    s = matrices.shape[0]
+    z = _think_stack(network, think_times, s)
+    stations = network.stations
+    servers = network.servers().astype(float)
+
+    states = (
+        None
+        if single_server
+        else [
+            _BatchedMultiServerState(st.servers, max_population, s)
+            if st.kind == "queue"
+            else None
+            for st in stations
+        ]
+    )
+
+    pops = np.arange(1, max_population + 1)
+    n_levels = max_population
+    xs = np.empty((s, n_levels))
+    rs = np.empty((s, n_levels))
+    qs = np.empty((s, n_levels, k))
+    rks = np.empty((s, n_levels, k))
+    utils = np.empty((s, n_levels, k))
+
+    q = np.zeros((s, k))
+    r_k = np.empty((s, k))
+    for i, n in enumerate(pops):
+        n = int(n)
+        d = matrices[:, i, :]
+        for idx, st in enumerate(stations):
+            col = d[:, idx]
+            if st.kind == "delay":
+                r_k[:, idx] = col
+            elif single_server:
+                r_k[:, idx] = (col / st.servers) * (1.0 + q[:, idx])
+            else:
+                r_k[:, idx] = states[idx].residence(n, col)
+        r_total = r_k.sum(axis=1)
+        x = n / (r_total + z)
+        q = x[:, None] * r_k
+        if not single_server:
+            for idx, st in enumerate(stations):
+                if st.kind == "queue":
+                    states[idx].update(n, x, d[:, idx])
+        xs[:, i] = x
+        rs[:, i] = r_total
+        qs[:, i] = q
+        rks[:, i] = r_k
+        utils[:, i] = x[:, None] * d / servers
+
+    solver = "batched-mvasd-single-server" if single_server else "batched-mvasd"
+    return BatchedMVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_times=z,
+        solver=solver,
+        demands_used=matrices,
+    )

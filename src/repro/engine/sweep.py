@@ -1,0 +1,172 @@
+"""Fork-join execution of scenario grids.
+
+The batched kernels (:mod:`repro.engine.batched`) cover sweeps whose
+scenarios share one recursion; everything else in the repo — DES
+replications, Fig. 17 pipeline validations, what-if grids — is an
+*embarrassingly parallel* collection of independent Python tasks.  This
+module supplies the fork-join layer for those:
+
+* :class:`ScenarioGrid` — a declarative cartesian-product builder for
+  parameter grids (the multi-load-point pattern of queue_flex's
+  ``parallel/`` wrapper);
+* :func:`parallel_map` — an ordered ``ProcessPoolExecutor`` map with a
+  serial fallback (``workers=1``, a single task, pools unavailable, or
+  unpicklable tasks) so callers never need two code paths;
+* :func:`spawn_seeds` (re-exported from :mod:`repro.simulation.rng`) —
+  deterministic per-task seed derivation via
+  ``numpy.random.SeedSequence.spawn``, computed *before* any task is
+  dispatched so results are bit-identical regardless of worker count.
+
+Determinism contract: a caller that derives all stochastic inputs from
+:func:`spawn_seeds` and maps a pure task function over them gets the
+same results for every ``workers`` value — the executor only changes
+*where* tasks run, never *what* they compute.
+
+Implementation note: tasks are shipped to workers by pickle, but large
+unpicklable context (e.g. an :class:`~repro.apps.base.Application`,
+whose demand profiles are closures) can ride along as the ``payload``
+argument — it is published to a module global before the pool forks, so
+children inherit it through the process image instead of the pipe.  On
+platforms without ``fork`` the payload path transparently degrades to
+serial execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..simulation.rng import spawn_seeds
+
+__all__ = ["ScenarioGrid", "parallel_map", "resolve_workers", "spawn_seeds"]
+
+#: Fork-inherited context for the currently running :func:`parallel_map`.
+_PAYLOAD: Any = None
+
+
+def _invoke(fn: Callable, item: Any):
+    """Worker-side trampoline: re-attach the fork-inherited payload."""
+    return fn(item, _PAYLOAD)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` request: ``None`` means one per CPU core."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    workers: int | None = 1,
+    payload: Any = None,
+) -> list:
+    """Apply ``fn(item, payload)`` to every item, results in input order.
+
+    With ``workers > 1`` the items are fanned out over a
+    ``ProcessPoolExecutor`` (fork start method, so ``payload`` is
+    inherited by the children without pickling); with ``workers=1``, a
+    single item, or when process pools are unusable (no ``fork`` start
+    method, unpicklable tasks/results, sandboxed environments) the map
+    runs serially in-process.  ``fn`` must be a module-level callable and
+    each ``item``/result picklable for the parallel path; the serial
+    fallback has no such requirement.
+
+    The function itself introduces no nondeterminism: task inputs are
+    fixed before dispatch and outputs are reassembled in input order, so
+    any ``workers`` value produces identical results for pure tasks.
+    """
+    global _PAYLOAD
+    items = list(items)
+    n_workers = min(resolve_workers(workers), len(items))
+    if n_workers <= 1:
+        return [fn(item, payload) for item in items]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return [fn(item, payload) for item in items]
+    _PAYLOAD = payload
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
+            futures = [pool.submit(_invoke, fn, item) for item in items]
+            return [future.result() for future in futures]
+    except (pickle.PicklingError, AttributeError, TypeError, OSError):
+        # Unpicklable task/result or a broken pool: recompute serially.
+        return [fn(item, payload) for item in items]
+    finally:
+        _PAYLOAD = None
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A cartesian product of named parameter axes.
+
+    Build with :meth:`product`, iterate to get one ``dict`` per
+    scenario in row-major order (last axis fastest — stable across
+    runs, so grid indices are reproducible identifiers)::
+
+        grid = ScenarioGrid.product(
+            demand_scale=(0.75, 1.0, 1.25),
+            think_time=(0.5, 1.0),
+        )
+        len(grid)        # 6
+        list(grid)[0]    # {"demand_scale": 0.75, "think_time": 0.5}
+
+    The grid is purely declarative — feed the combinations to
+    :func:`parallel_map`, to the batched kernels (via a demand-stack
+    builder), or to :func:`repro.analysis.whatif.evaluate_scenarios`.
+    """
+
+    axes: tuple[tuple[str, tuple], ...]
+
+    @classmethod
+    def product(cls, **axes: Sequence) -> "ScenarioGrid":
+        """Grid from keyword axes; each value is the axis's points."""
+        if not axes:
+            raise ValueError("need at least one axis")
+        normalized = []
+        for name, values in axes.items():
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no points")
+            normalized.append((name, values))
+        return cls(axes=tuple(normalized))
+
+    @classmethod
+    def from_scenarios(cls, scenarios: Sequence[Mapping]) -> list[dict]:
+        """Normalize an explicit scenario list (no product) to dicts."""
+        return [dict(sc) for sc in scenarios]
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def __len__(self) -> int:
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def __iter__(self):
+        names = self.axis_names
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            yield dict(zip(names, combo))
+
+    def combinations(self) -> list[dict]:
+        """All scenarios as a list (row-major order)."""
+        return list(self)
+
+    def labels(self) -> list[str]:
+        """One compact ``axis=value`` label per scenario, same order."""
+        return [
+            ", ".join(f"{name}={value}" for name, value in combo.items())
+            for combo in self
+        ]

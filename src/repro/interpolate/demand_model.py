@@ -34,6 +34,40 @@ _KINDS = ("cubic", "not-a-knot", "smoothing", "pchip", "linear", "constant")
 _AXES = ("concurrency", "throughput")
 
 
+class _ConstantCurve:
+    """Sample-mean demand curve (picklable, vectorized)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, q, deriv: int = 0):
+        q = np.asarray(q, dtype=float)
+        if deriv:
+            return np.zeros_like(q)
+        return np.full_like(q, self.value)
+
+
+class _LinearCurve:
+    """Piecewise-linear interpolation with clamped ends (picklable, vectorized)."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.x = x
+        self.y = y
+
+    def __call__(self, q, deriv: int = 0):
+        q = np.asarray(q, dtype=float)
+        if deriv:
+            slopes = np.diff(self.y) / np.diff(self.x)
+            idx = np.clip(np.searchsorted(self.x, q, side="right") - 1, 0, self.x.size - 2)
+            inside = (q > self.x[0]) & (q < self.x[-1])
+            return np.where(inside, slopes[idx], 0.0)
+        return np.interp(q, self.x, self.y)
+
+
 class ServiceDemandModel:
     """A demand-vs-load curve fitted through measured samples.
 
@@ -90,10 +124,9 @@ class ServiceDemandModel:
     def _build(self):
         x, y = self.levels, self.demands
         if self.kind == "constant" or x.size == 1:
-            mean = float(y.mean())
-            return lambda q: np.full_like(np.asarray(q, dtype=float), mean)
+            return _ConstantCurve(float(y.mean()))
         if self.kind == "linear" or x.size == 2:
-            return lambda q: np.interp(np.asarray(q, dtype=float), x, y)
+            return _LinearCurve(x, y)
         if self.kind == "smoothing" and x.size >= 3:
             return SmoothingSpline(x, y, lam=self.lam, extrapolation="clamp")
         if self.kind == "pchip":
@@ -104,13 +137,17 @@ class ServiceDemandModel:
     def __call__(self, level):
         """Interpolated demand at ``level`` — clipped to be non-negative.
 
-        Scalar in, scalar out; array in, array out.
+        Scalar in, scalar out; array in, array out (same shape).  The
+        array path is a single vectorized spline evaluation — no
+        per-level Python round-trips — which is what the demand-matrix
+        precomputation of :func:`repro.core.mvasd.precompute_demand_matrix`
+        and the batched kernels in :mod:`repro.engine` rely on.
         """
         q = np.asarray(level, dtype=float)
         out = np.maximum(np.atleast_1d(np.asarray(self._fn(q), dtype=float)), 0.0)
         if q.ndim == 0:
             return float(out[0])
-        return out
+        return out.reshape(q.shape)
 
     def slope(self, level):
         """First derivative of the fitted curve (0 for constant/outside range)."""
@@ -187,6 +224,19 @@ class DemandTable:
     def demands_at(self, level: float) -> dict[str, float]:
         """Interpolated demand of every station at one level."""
         return {name: model(level) for name, model in self.models.items()}
+
+    def demand_matrix(self, levels: Sequence[float]) -> np.ndarray:
+        """Every station's demand over a whole level grid, shape ``(N, K)``.
+
+        Columns follow :meth:`stations` order.  Each station's curve is
+        evaluated once, vectorized — the demand-matrix precomputation the
+        batched MVASD kernel (:func:`repro.engine.batched.batched_mvasd`)
+        consumes directly.
+        """
+        grid = np.asarray(levels, dtype=float)
+        if grid.ndim != 1 or grid.size == 0:
+            raise ValueError("levels must be a non-empty 1-D grid")
+        return np.stack([model(grid) for model in self.models.values()], axis=1)
 
     def resampled(self, levels: Sequence[float]) -> "DemandTable":
         """Refit every station on new design points (Chebyshev benches)."""

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from ..apps.base import Application
+from ..simulation.rng import spawn_seeds
 from .runner import LoadTestSweep, run_sweep
 
 __all__ = ["ReplicatedMeasurement", "ReplicatedSweep", "run_replicated_sweep"]
@@ -104,19 +105,47 @@ class ReplicatedSweep:
         return self.sweeps[0]
 
 
+def _replication_task(task, application: Application):
+    """Run one replication in a (possibly forked) worker.
+
+    The application rides along as the fork-inherited payload; only the
+    picklable pieces of the sweep travel back (the parent re-attaches
+    the live application object).
+    """
+    levels, duration, seed = task
+    sweep = run_sweep(application, levels=levels, duration=duration, seed=seed)
+    return sweep.levels, sweep.runs
+
+
 def run_replicated_sweep(
     application: Application,
     replications: int = 3,
     levels: Sequence[int] | None = None,
     duration: float = 200.0,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> ReplicatedSweep:
-    """Run R independent sweeps with derived seeds."""
+    """Run R independent sweeps with SeedSequence-derived seeds.
+
+    Per-replication seeds are spawned from ``seed`` via
+    :func:`repro.simulation.rng.spawn_seeds` *before* any work is
+    dispatched, so the result is bit-identical for every ``workers``
+    value — ``workers > 1`` fans the replications out over a process
+    pool (:func:`repro.engine.sweep.parallel_map`), ``workers=None``
+    uses one worker per CPU core.
+    """
+    from ..engine.sweep import parallel_map  # runtime import: engine builds on loadtest
+
     if replications < 2:
         raise ValueError("need at least 2 replications")
+    level_key = tuple(int(l) for l in levels) if levels is not None else None
+    tasks = [
+        (level_key, duration, s) for s in spawn_seeds(seed, replications)
+    ]
+    pieces = parallel_map(_replication_task, tasks, workers=workers, payload=application)
     sweeps = tuple(
-        run_sweep(application, levels=levels, duration=duration, seed=seed + 7919 * r)
-        for r in range(replications)
+        LoadTestSweep(application=application, levels=lvls, runs=runs)
+        for lvls, runs in pieces
     )
     return ReplicatedSweep(
         application=application, levels=sweeps[0].levels.copy(), sweeps=sweeps

@@ -17,7 +17,7 @@ from .distributions import (
 )
 from .events import EventList
 from .multiclass import ClassSpec, MultiClassSimResult, simulate_multiclass
-from .rng import RandomStreams
+from .rng import RandomStreams, spawn_seeds
 from .software import ConnectionPool, PoolStats
 from .stations import SimDelay, SimQueue
 from .workflows import PageStats, WorkflowResult, simulate_workflow
@@ -36,6 +36,7 @@ __all__ = [
     "MultiClassSimResult",
     "PageStats",
     "RandomStreams",
+    "spawn_seeds",
     "SimDelay",
     "SimQueue",
     "SimulationResult",

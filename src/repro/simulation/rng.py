@@ -14,7 +14,25 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "spawn_seeds"]
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from one root seed.
+
+    Uses ``numpy.random.SeedSequence.spawn``, so the children are
+    statistically independent of each other and of the root stream, and
+    the derivation depends only on ``(seed, count index)`` — never on
+    which process or worker consumes a child.  Parallel replications
+    seeded this way are therefore bit-identical to their serial
+    counterparts regardless of worker count or scheduling order.
+    """
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    children = np.random.SeedSequence(int(seed)).spawn(count)
+    return [int(child.generate_state(1, np.uint32)[0]) for child in children]
 
 
 class RandomStreams:
@@ -49,6 +67,17 @@ class RandomStreams:
             gen = np.random.default_rng(child)
             self._generators[name] = gen
         return gen
+
+    def spawn(self, count: int) -> list["RandomStreams"]:
+        """``count`` independent child stream families (parallel replications).
+
+        Each child is a full :class:`RandomStreams` rooted at a
+        :func:`spawn_seeds`-derived seed, so a replication running in a
+        worker process draws exactly the same variates it would draw
+        serially — the per-name streams inside each child stay isolated
+        from the siblings'.
+        """
+        return [RandomStreams(s) for s in spawn_seeds(self.seed, count)]
 
     def exponential_sampler(self, name: str, mean: float, block: int = 1024):
         """A fast callable drawing exponential variates with the given mean.

@@ -1,6 +1,12 @@
 """End-to-end prediction workflow (Fig. 17) and test-point design."""
 
 from .chebydesign import STRATEGIES, design_points
-from .pipeline import PipelineReport, predict_performance
+from .pipeline import PipelineReport, predict_performance, predict_performance_grid
 
-__all__ = ["PipelineReport", "STRATEGIES", "design_points", "predict_performance"]
+__all__ = [
+    "PipelineReport",
+    "STRATEGIES",
+    "design_points",
+    "predict_performance",
+    "predict_performance_grid",
+]

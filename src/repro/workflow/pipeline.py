@@ -20,7 +20,7 @@ testing data" loop the paper closes in Figs. 6/7/16.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from ..interpolate.demand_model import DemandTable
 from ..loadtest.runner import LoadTestSweep, run_sweep
 from .chebydesign import design_points
 
-__all__ = ["PipelineReport", "predict_performance"]
+__all__ = ["PipelineReport", "predict_performance", "predict_performance_grid"]
 
 
 @dataclass(frozen=True)
@@ -118,3 +118,53 @@ def predict_performance(
         demand_table=table,
         prediction=prediction,
     )
+
+
+def _pipeline_task(variant: Mapping, payload):
+    """One workflow run in a worker; returns only picklable pieces."""
+    application, common = payload
+    kwargs = {**common, **variant}
+    report = predict_performance(application, **kwargs)
+    return (
+        report.design,
+        report.sweep.levels,
+        report.sweep.runs,
+        report.demand_table,
+        report.prediction,
+    )
+
+
+def predict_performance_grid(
+    application: Application,
+    variants: Sequence[Mapping],
+    workers: int | None = 1,
+    **common,
+) -> list[PipelineReport]:
+    """Run the Fig. 17 workflow for many configurations, fork-join style.
+
+    ``variants`` holds one keyword-override mapping per run (e.g. a
+    :class:`repro.engine.ScenarioGrid` over ``n_design_points`` and
+    ``strategy``), merged over the shared ``common`` keyword arguments
+    of :func:`predict_performance`.  Reports come back in variant order;
+    ``workers > 1`` distributes the runs over a process pool, with
+    results identical to the serial execution (each variant fixes its
+    own seed inputs up front).
+    """
+    from ..engine.sweep import parallel_map  # runtime import: engine layering
+
+    variants = [dict(v) for v in variants]
+    if not variants:
+        raise ValueError("need at least one variant")
+    pieces = parallel_map(
+        _pipeline_task, variants, workers=workers, payload=(application, common)
+    )
+    return [
+        PipelineReport(
+            application=application.name,
+            design=design,
+            sweep=LoadTestSweep(application=application, levels=levels, runs=runs),
+            demand_table=table,
+            prediction=prediction,
+        )
+        for design, levels, runs, table, prediction in pieces
+    ]

@@ -59,6 +59,84 @@ class TestSweep:
         assert "JPetStore" in out
         assert "Database Server CPU" in out
 
+    def test_replicated_sweep_with_workers(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--app", "jpetstore",
+                "--levels", "1,10",
+                "--duration", "20",
+                "--replications", "2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replications" in out
+        assert "95% CI" in out
+        assert "±" in out
+
+
+class TestSweepGrid:
+    def test_batched_grid_single_server(self, capsys):
+        code = main(
+            [
+                "sweep-grid",
+                "--demands", "0.05,0.08",
+                "--think", "1",
+                "--population", "40",
+                "--scales", "0.5,1.0,1.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios solved in one batch" in out
+        assert "demand_scale=0.5" in out
+        assert "exact-mva" in out
+
+    def test_grid_with_think_axis_and_multiserver(self, capsys):
+        code = main(
+            [
+                "sweep-grid",
+                "--demands", "0.05,0.08",
+                "--servers", "4,1",
+                "--think", "1",
+                "--population", "40",
+                "--scales", "0.8,1.2",
+                "--think-times", "0.5,2.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios solved in one batch" in out
+        assert "think_time=0.5" in out and "think_time=2.0" in out
+        assert "mvasd" in out
+
+    def test_explicit_amva_solver(self, capsys):
+        code = main(
+            [
+                "sweep-grid",
+                "--demands", "0.05,0.08",
+                "--think", "1",
+                "--population", "30",
+                "--scales", "1.0",
+                "--solver", "amva",
+            ]
+        )
+        assert code == 0
+        assert "schweitzer" in capsys.readouterr().out
+
+    def test_mismatched_servers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep-grid",
+                    "--demands", "0.1,0.2",
+                    "--servers", "1",
+                    "--population", "5",
+                ]
+            )
+
 
 class TestPredict:
     def test_runs_workflow(self, capsys):

@@ -89,6 +89,40 @@ class TestServiceDemandModel:
             ServiceDemandModel(levels, demands, axis="users")
 
 
+class TestVectorizedCall:
+    @pytest.mark.parametrize("kind", ["cubic", "pchip", "linear", "constant", "smoothing"])
+    def test_array_call_matches_scalar_loop(self, samples, kind):
+        levels, demands = samples
+        model = ServiceDemandModel(levels, demands, kind=kind)
+        query = np.linspace(0.5, 250.0, 40)
+        vectorized = model(query)
+        assert vectorized.shape == query.shape
+        scalars = np.array([float(model(float(q))) for q in query])
+        np.testing.assert_array_equal(vectorized, scalars)
+
+    def test_scalar_call_stays_scalar(self, samples):
+        levels, demands = samples
+        model = ServiceDemandModel(levels, demands)
+        assert np.isscalar(model(10.0)) or np.ndim(model(10.0)) == 0
+
+    def test_array_shape_preserved(self, samples):
+        levels, demands = samples
+        model = ServiceDemandModel(levels, demands)
+        grid = np.arange(1.0, 13.0).reshape(3, 4)
+        assert model(grid).shape == (3, 4)
+
+    @pytest.mark.parametrize("kind", ["cubic", "pchip", "linear", "constant", "smoothing"])
+    def test_model_is_picklable(self, samples, kind):
+        import pickle
+
+        levels, demands = samples
+        model = ServiceDemandModel(levels, demands, kind=kind)
+        clone = pickle.loads(pickle.dumps(model))
+        query = np.linspace(1.0, 210.0, 17)
+        np.testing.assert_array_equal(clone(query), model(query))
+        assert clone.slope(35.0) == pytest.approx(model.slope(35.0))
+
+
 class TestDemandTable:
     def test_fit_and_lookup(self, samples):
         levels, demands = samples
@@ -124,3 +158,12 @@ class TestDemandTable:
         table = DemandTable.fit(levels, {"cpu": demands})
         const = table.with_kind("constant")
         assert const.models["cpu"](5.0) == pytest.approx(demands.mean())
+
+    def test_demand_matrix_matches_per_station_calls(self, samples):
+        levels, demands = samples
+        table = DemandTable.fit(levels, {"cpu": demands, "disk": demands * 0.5})
+        query = np.arange(1.0, 31.0)
+        matrix = table.demand_matrix(query)
+        assert matrix.shape == (30, 2)
+        for j, name in enumerate(table.stations()):
+            np.testing.assert_array_equal(matrix[:, j], table.models[name](query))

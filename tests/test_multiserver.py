@@ -15,6 +15,7 @@ from repro.core.multiserver import (
     multiserver_step,
     update_marginals,
 )
+from repro.core.mvasd import mvasd
 
 
 class TestConvolutionBackend:
@@ -147,6 +148,20 @@ class TestMultiServerState:
             MultiServerState(0, 10)
         with pytest.raises(ValueError):
             MultiServerState(4, 0)
+
+    def test_marginals_pad_when_servers_exceed_population(self):
+        # p(j) = 0 for j > N; marginals() must still return C entries.
+        st = MultiServerState(3, 1)
+        st.residence(1, 0.25)
+        st.update(1, 4.0, 0.25)
+        probs = st.marginals()
+        assert probs.shape == (3,)
+        np.testing.assert_allclose(probs, [0.0, 1.0, 0.0])
+
+    def test_mvasd_with_servers_exceeding_population(self):
+        net = ClosedNetwork([Station("pool", 0.0, servers=3)], think_time=0.0)
+        result = mvasd(net, 1, demand_functions=[lambda n: 0.25])
+        assert result.throughput[0] == pytest.approx(4.0)
 
 
 class TestPaperLiteralTruncatedForm:

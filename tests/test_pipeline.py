@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workflow import predict_performance
+from repro.workflow import predict_performance, predict_performance_grid
 
 
 @pytest.fixture(scope="module")
@@ -65,3 +65,51 @@ class TestPredictPerformance:
             seed=2,
         )
         assert rep.design[0] == 1 and rep.design[-1] == 50
+
+
+class TestPredictPerformanceGrid:
+    VARIANTS = [
+        {"n_design_points": 3, "strategy": "uniform"},
+        {"n_design_points": 4, "strategy": "chebyshev"},
+    ]
+    COMMON = dict(concurrency_range=(1, 50), duration=40.0, seed=2)
+
+    def test_reports_in_variant_order(self, mini_sweep):
+        reports = predict_performance_grid(
+            mini_sweep.application, self.VARIANTS, **self.COMMON
+        )
+        assert len(reports) == 2
+        assert len(reports[0].design) == 3 and len(reports[1].design) == 4
+        for report, variant in zip(reports, self.VARIANTS):
+            single = predict_performance(
+                mini_sweep.application, **{**self.COMMON, **variant}
+            )
+            np.testing.assert_array_equal(report.design, single.design)
+            np.testing.assert_array_equal(
+                report.prediction.throughput, single.prediction.throughput
+            )
+
+    def test_parallel_matches_serial(self, mini_sweep):
+        serial = predict_performance_grid(
+            mini_sweep.application, self.VARIANTS, workers=1, **self.COMMON
+        )
+        parallel = predict_performance_grid(
+            mini_sweep.application, self.VARIANTS, workers=2, **self.COMMON
+        )
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.sweep.throughput, b.sweep.throughput)
+            np.testing.assert_array_equal(
+                a.prediction.throughput, b.prediction.throughput
+            )
+
+    def test_reports_usable_downstream(self, mini_sweep):
+        reports = predict_performance_grid(
+            mini_sweep.application, self.VARIANTS[:1], workers=2, **self.COMMON
+        )
+        # Reassembled sweeps carry the live application again.
+        assert reports[0].sweep.application is mini_sweep.application
+        assert reports[0].predicted_at(20)["throughput"] > 0
+
+    def test_empty_variants_rejected(self, mini_sweep):
+        with pytest.raises(ValueError, match="variant"):
+            predict_performance_grid(mini_sweep.application, [], **self.COMMON)

@@ -147,6 +147,25 @@ class TestEvaluateScenarios:
         assert "max users in SLA" in text
 
 
+class TestParallelEvaluation:
+    def test_workers_match_serial(self, net, fns):
+        scenarios = [
+            Scenario("fast-disk", demand_scale={"disk": 0.5}),
+            Scenario("more-cores", servers={"cpu": 8}),
+            Scenario("patient-users", think_time=2.0),
+        ]
+        serial = evaluate_scenarios(net, fns, scenarios, max_population=80, workers=1)
+        parallel = evaluate_scenarios(net, fns, scenarios, max_population=80, workers=2)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            np.testing.assert_array_equal(
+                serial[name].result.throughput, parallel[name].result.throughput
+            )
+            np.testing.assert_array_equal(
+                serial[name].result.queue_lengths, parallel[name].result.queue_lengths
+            )
+
+
 class TestOutcomesTableNoSLA:
     def test_renders_without_sla(self, net, fns):
         out = evaluate_scenarios(net, fns, [], max_population=20)
