@@ -36,6 +36,8 @@ Subpackages
     The Fig. 17 design->measure->predict pipeline.
 ``repro.analysis``
     Eq. 15 deviations and Tables-4/5 comparisons.
+``repro.solvers``
+    Unified solver registry and the ``solve(scenario)`` facade.
 """
 
 from .analysis import (
@@ -87,6 +89,18 @@ from .loadtest import (
     run_sweep,
 )
 from .simulation import SimulationResult, simulate_closed_network
+from .solvers import (
+    Scenario,
+    SolverSpec,
+    WorkloadClass,
+    capability_matrix,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+    solve_stack,
+    solver_names,
+)
 from .workflow import (
     PipelineReport,
     design_points,
@@ -110,15 +124,19 @@ __all__ = [
     "MVAResult",
     "ModelComparison",
     "PipelineReport",
+    "Scenario",
     "ScenarioGrid",
     "ServiceDemandModel",
     "SimulationResult",
     "SmoothingSpline",
+    "SolverSpec",
     "Station",
+    "WorkloadClass",
     "approximate_multiserver_mva",
     "batched_exact_mva",
     "batched_mvasd",
     "batched_schweitzer_amva",
+    "capability_matrix",
     "chebyshev_nodes",
     "compare_models",
     "concurrency_test_points",
@@ -128,15 +146,21 @@ __all__ = [
     "exact_multiclass_mva",
     "exact_multiserver_mva",
     "exact_mva",
+    "get_solver",
     "jpetstore_application",
+    "list_solvers",
     "mean_percent_deviation",
     "mvasd",
     "parallel_map",
     "predict_performance",
     "predict_performance_grid",
+    "register_solver",
     "run_sweep",
     "schweitzer_amva",
     "simulate_closed_network",
+    "solve",
+    "solve_stack",
+    "solver_names",
     "spawn_seeds",
     "vins_application",
     "__version__",

@@ -22,7 +22,14 @@ import numpy as np
 from ..core.network import ClosedNetwork
 from .tables import format_table
 
-__all__ = ["BottleneckRanking", "bottleneck_ranking", "bottleneck_migration", "upgrade_leverage"]
+__all__ = [
+    "BottleneckRanking",
+    "SolvedBottleneckRanking",
+    "bottleneck_ranking",
+    "bottleneck_migration",
+    "solved_bottleneck_ranking",
+    "upgrade_leverage",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,74 @@ def bottleneck_ranking(network: ClosedNetwork, level: float = 1.0) -> Bottleneck
         stations=tuple(e[0] for e in entries),
         per_server_demands=np.array([e[1] for e in entries]),
         throughput_ceilings=np.array([e[2] for e in entries]),
+    )
+
+
+@dataclass(frozen=True)
+class SolvedBottleneckRanking:
+    """Stations ordered by solved utilization at one population."""
+
+    population: int
+    solver: str
+    stations: tuple[str, ...]  # most utilized first
+    utilizations: np.ndarray  # same order
+
+    @property
+    def primary(self) -> str:
+        return self.stations[0]
+
+    def headroom(self, station: str) -> float:
+        """Remaining utilization headroom ``1 - U`` for a station."""
+        try:
+            idx = self.stations.index(station)
+        except ValueError:
+            raise KeyError(f"unknown station {station!r}") from None
+        return float(1.0 - self.utilizations[idx])
+
+    def table(self) -> str:
+        rows = [
+            (name, f"{u:.1%}")
+            for name, u in zip(self.stations, self.utilizations)
+        ]
+        return format_table(
+            ("Station", "Utilization"),
+            rows,
+            title=f"Solved bottleneck ranking at N={self.population} ({self.solver})",
+        )
+
+
+def solved_bottleneck_ranking(
+    network: ClosedNetwork,
+    max_population: int,
+    method: str = "auto",
+) -> SolvedBottleneckRanking:
+    """Rank stations by *solved* utilization at the top population.
+
+    :func:`bottleneck_ranking` orders stations by demand arithmetic
+    (``D_k / C_k``), which identifies the bottleneck only at saturation;
+    this variant actually solves the model through
+    :func:`repro.solvers.solve` and ranks queueing stations by their
+    predicted utilization at ``N = max_population`` — the Tables 2-3
+    observation ("93 % disk utilization, hence the bottleneck") done
+    with model numbers instead of asymptotics.
+    """
+    from ..solvers import Scenario, solve
+
+    result = solve(Scenario(network, max_population), method=method)
+    utils = result.utilizations[-1]
+    entries = []
+    for idx, st in enumerate(network.stations):
+        if st.kind != "queue":
+            continue
+        entries.append((st.name, float(utils[idx])))
+    if not entries:
+        raise ValueError("network has no queueing stations")
+    entries.sort(key=lambda e: e[1], reverse=True)
+    return SolvedBottleneckRanking(
+        population=int(max_population),
+        solver=result.solver,
+        stations=tuple(e[0] for e in entries),
+        utilizations=np.array([e[1] for e in entries]),
     )
 
 

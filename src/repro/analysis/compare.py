@@ -20,11 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..core.amva import approximate_multiserver_mva
-from ..core.multiserver import exact_multiserver_mva
-from ..core.mvasd import mvasd
 from ..core.results import MVAResult
 from ..loadtest.runner import LoadTestSweep, extract_demands
+from ..solvers import Scenario, solve
 from .deviation import DeviationReport, deviation_against_sweep
 from .tables import format_table
 
@@ -95,16 +93,16 @@ def compare_models(
 
     results: dict[str, MVAResult] = {}
     table = sweep.demand_table(kind=demand_kind)
-    results["MVASD"] = mvasd(network, n_max, demand_functions=table.functions())
+    fitted = Scenario(network, n_max, demand_functions=table.functions())
+    results["MVASD"] = solve(fitted, method="mvasd")
 
     if include_single_server:
-        results["MVASD: Single-Server"] = mvasd(
-            network, n_max, demand_functions=table.functions(), single_server=True
-        )
+        results["MVASD: Single-Server"] = solve(fitted, method="mvasd", single_server=True)
     if include_throughput_axis:
         xtable = sweep.demand_table(kind=demand_kind, axis="throughput")
-        results["MVASD: Throughput-Axis"] = mvasd(
-            network, n_max, demand_functions=xtable.functions(),
+        results["MVASD: Throughput-Axis"] = solve(
+            Scenario(network, n_max, demand_functions=xtable.functions()),
+            method="mvasd",
             demand_axis="throughput",
         )
 
@@ -113,16 +111,18 @@ def compare_models(
         if level not in by_level:
             raise KeyError(f"MVA level {level} was not swept (have {sorted(by_level)})")
         demands_at = extract_demands(by_level[level], app)
-        vector = [demands_at[name] for name in network.station_names]
+        frozen = Scenario(
+            network,
+            n_max,
+            demands=[demands_at[name] for name in network.station_names],
+        )
         # Deviation scoring only needs system-level trajectories; skip the
         # per-station complement convolutions (O(K N^2) each).
-        results[f"MVA {level}"] = exact_multiserver_mva(
-            network, n_max, demands=vector, station_detail=False
+        results[f"MVA {level}"] = solve(
+            frozen, method="exact-multiserver-mva", station_detail=False
         )
         if include_approximate:
-            results[f"ApproxMVA {level}"] = approximate_multiserver_mva(
-                network, n_max, demands=vector
-            )
+            results[f"ApproxMVA {level}"] = solve(frozen, method="approx-multiserver-mva")
 
     deviations = {
         name: deviation_against_sweep(result, sweep)

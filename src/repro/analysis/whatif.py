@@ -17,9 +17,10 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..core.mvasd import mvasd
 from ..core.network import ClosedNetwork, Station
 from ..core.results import MVAResult
+from ..solvers import Scenario as SolverScenario
+from ..solvers import solve
 from .tables import format_table
 
 __all__ = [
@@ -173,7 +174,8 @@ def _scenario_task(scenario: Scenario, payload) -> MVAResult:
     """Solve one what-if scenario in a (possibly forked) worker."""
     network, demand_functions, max_population = payload
     net, fns = scenario.apply(network, demand_functions)
-    return mvasd(net, max_population, demand_functions=fns)
+    solver_scenario = SolverScenario(net, max_population, demand_functions=fns)
+    return solve(solver_scenario, method="mvasd")
 
 
 def evaluate_scenarios(

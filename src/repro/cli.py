@@ -27,8 +27,18 @@ import numpy as np
 
 from .analysis import compare_models, format_series
 from .apps import jpetstore_application, vins_application
-from .core import ClosedNetwork, Station, exact_multiserver_mva, exact_mva
+from .core import ClosedNetwork, Station
 from .loadtest import run_sweep, sweep_summary_text, utilization_table_text
+from .solvers import (
+    Scenario,
+    SolverInputError,
+    capability_matrix,
+    get_solver,
+    list_solvers,
+    solve,
+    solve_stack,
+    solver_names,
+)
 from .workflow import predict_performance
 
 __all__ = ["main"]
@@ -152,7 +162,7 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_solve(args) -> int:
+def _adhoc_network(args) -> ClosedNetwork:
     demands = args.demands
     servers = args.servers or [1] * len(demands)
     if len(servers) != len(demands):
@@ -161,11 +171,41 @@ def _cmd_solve(args) -> int:
         Station(f"station-{i}", d, servers=c)
         for i, (d, c) in enumerate(zip(demands, servers))
     ]
-    net = ClosedNetwork(stations, think_time=args.think)
-    solver = exact_mva if all(c == 1 for c in servers) else exact_multiserver_mva
-    result = solver(net, args.population)
-    print(result.summary())
+    return ClosedNetwork(stations, think_time=args.think)
+
+
+def _cmd_solve(args) -> int:
+    net = _adhoc_network(args)
+    scenario = Scenario(net, args.population)
+    try:
+        result = solve(scenario, method=args.method)
+    except SolverInputError as exc:
+        raise SystemExit(str(exc)) from None
     levels = np.unique(np.linspace(1, args.population, 12).round().astype(int))
+    spec = get_solver(args.method) if args.method != "auto" else None
+    if spec is not None and spec.returns == "bounds":
+        from .analysis.tables import format_table
+
+        idx = levels - 1
+        rows = [
+            (
+                int(n),
+                round(float(result.throughput_lower[i]), 3),
+                round(float(result.throughput_upper[i]), 3),
+                round(float(result.cycle_time_lower[i]), 4),
+                round(float(result.cycle_time_upper[i]), 4),
+            )
+            for n, i in zip(levels, idx)
+        ]
+        print(
+            format_table(
+                ["N", "X lower", "X upper", "R+Z lower", "R+Z upper"],
+                rows,
+                title=f"{args.method} envelope (knee N* = {result.knee:.1f})",
+            )
+        )
+        return 0
+    print(result.summary())
     print()
     print(
         format_series(
@@ -181,44 +221,36 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_solvers(_args) -> int:
+    print(capability_matrix())
+    print()
+    for spec in list_solvers():
+        if spec.legacy:
+            print(f"  {spec.name}: wraps {spec.legacy}")
+    return 0
+
+
+#: Back-compat aliases for historical ``--solver`` spellings.
+_SOLVER_ALIASES = {"mva": "exact-mva", "amva": "schweitzer-amva"}
+
+
 def _cmd_sweep_grid(args) -> int:
     from .analysis.tables import format_table
-    from .engine import (
-        ScenarioGrid,
-        batched_exact_mva,
-        batched_mvasd,
-        batched_schweitzer_amva,
-    )
+    from .engine import ScenarioGrid
 
-    demands = np.asarray(args.demands, dtype=float)
-    servers = args.servers or [1] * len(demands)
-    if len(servers) != len(demands):
-        raise SystemExit("--servers must match --demands in length")
-    stations = [
-        Station(f"station-{i}", d, servers=c)
-        for i, (d, c) in enumerate(zip(demands, servers))
-    ]
-    net = ClosedNetwork(stations, think_time=args.think)
-
+    net = _adhoc_network(args)
     grid = ScenarioGrid.product(
         demand_scale=args.scales, think_time=args.think_times or [args.think]
     )
     combos = grid.combinations()
-    scales = np.array([c["demand_scale"] for c in combos])
-    thinks = np.array([c["think_time"] for c in combos])
-    stack = scales[:, None] * demands[None, :]
+    base = Scenario(net, args.population)
+    method = _SOLVER_ALIASES.get(args.solver, args.solver)
+    try:
+        result = solve_stack(grid.scenarios(base), method=method)
+    except SolverInputError as exc:
+        raise SystemExit(str(exc)) from None
 
     n = args.population
-    if args.solver == "amva":
-        result = batched_schweitzer_amva(net, n, stack, think_times=thinks)
-    elif args.solver == "mvasd" or (
-        args.solver == "auto" and any(c > 1 for c in servers)
-    ):
-        matrices = np.broadcast_to(stack[:, None, :], (len(combos), n, len(demands)))
-        result = batched_mvasd(net, n, matrices, think_times=thinks)
-    else:
-        result = batched_exact_mva(net, n, stack, think_times=thinks)
-
     rows = [
         (
             label,
@@ -279,14 +311,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_compare)
 
-    p = sub.add_parser("solve", help="solve an ad-hoc closed network with exact MVA")
+    p = sub.add_parser("solve", help="solve an ad-hoc closed network with any registered solver")
     p.add_argument("--demands", type=_parse_float_list, required=True,
                    help="comma-separated station demands (seconds)")
     p.add_argument("--servers", type=_parse_int_list, default=None,
                    help="comma-separated server counts (default all 1)")
     p.add_argument("--think", type=float, default=0.0)
     p.add_argument("--population", type=int, required=True)
+    p.add_argument("--method", choices=("auto", *solver_names()), default="auto",
+                   help="registered solver name (default: cheapest capable)")
     p.set_defaults(fn=_cmd_solve)
+
+    sub.add_parser(
+        "solvers", help="list registered solvers with their capability flags"
+    ).set_defaults(fn=_cmd_solvers)
 
     p = sub.add_parser(
         "sweep-grid",
@@ -302,7 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="demand-scaling axis of the grid (e.g. 0.5,0.75,1.0,1.25)")
     p.add_argument("--think-times", type=_parse_float_list, default=None,
                    help="think-time axis of the grid (default: just --think)")
-    p.add_argument("--solver", choices=("auto", "mva", "amva", "mvasd"), default="auto")
+    p.add_argument(
+        "--solver",
+        choices=("auto", *sorted(_SOLVER_ALIASES), *solver_names()),
+        default="auto",
+        help="registered solver name ('mva'/'amva' remain as aliases)",
+    )
     p.set_defaults(fn=_cmd_sweep_grid)
     return parser
 

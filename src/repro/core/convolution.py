@@ -113,7 +113,7 @@ def convolution_mva(
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _resolve_demands(network, demands, demand_level)
+    d = _resolve_demands(network, demands, demand_level, solver="convolution")
     k = len(network)
     z = network.think_time
     stations = network.stations

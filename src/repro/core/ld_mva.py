@@ -85,7 +85,7 @@ def exact_load_dependent_mva(
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _resolve_demands(network, demands, demand_level)
+    d = _resolve_demands(network, demands, demand_level, solver="ld-mva")
     k = len(network)
     z = network.think_time
     stations = network.stations

@@ -106,7 +106,7 @@ def linearizer_amva(
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _resolve_demands(network, demands, demand_level)
+    d = _resolve_demands(network, demands, demand_level, solver="linearizer")
     k = len(network)
     z = network.think_time
     is_queue = np.array([st.kind == "queue" for st in network.stations])

@@ -258,7 +258,7 @@ def exact_multiserver_mva(
             demands_used=result.demands_used,
         )
 
-    d = _resolve_demands(network, demands, demand_level)
+    d = _resolve_demands(network, demands, demand_level, solver="exact-multiserver-mva")
     k = len(network)
     z = network.think_time
     stations = network.stations

@@ -34,24 +34,22 @@ from .results import MVAResult
 __all__ = ["exact_mva"]
 
 
-def _resolve_demands(network: ClosedNetwork, demands, level: float) -> np.ndarray:
+def _resolve_demands(
+    network: ClosedNetwork, demands, level: float, solver: str = "mva"
+) -> np.ndarray:
     """Fixed demand vector for a constant-demand solve.
 
+    Delegates to the shared validator in :mod:`repro.solvers.validation`
+    (deferred import — ``repro.solvers`` pulls the core solver modules in
+    at registration time, so a module-level import here would cycle).
     ``demands`` overrides the network's demands; otherwise varying
     demands are frozen at population ``level`` — this is the paper's
     ``MVA i`` construction (service demands measured at concurrency
     ``i`` fed to a constant-demand solver).
     """
-    if demands is not None:
-        arr = np.asarray(demands, dtype=float)
-        if arr.shape != (len(network),):
-            raise ValueError(
-                f"expected {len(network)} demands, got shape {arr.shape}"
-            )
-        if np.any(arr < 0):
-            raise ValueError("demands must be non-negative")
-        return arr
-    return network.demands_at(level)
+    from ..solvers.validation import resolve_demands
+
+    return resolve_demands(network, demands, level, solver=solver)
 
 
 def exact_mva(
@@ -86,7 +84,7 @@ def exact_mva(
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
 
-    d = _resolve_demands(network, demands, demand_level)
+    d = _resolve_demands(network, demands, demand_level, solver="exact-mva")
     k = len(network)
     z = network.think_time
     is_queue = np.array([st.kind == "queue" for st in network.stations])

@@ -55,25 +55,14 @@ def _resolve_demand_functions(
     network: ClosedNetwork,
     demand_functions: Mapping[str, DemandFn] | Sequence[DemandFn] | None,
 ) -> list[DemandFn]:
-    """One callable per station, in station order."""
-    if demand_functions is None:
-        fns: list[DemandFn] = []
-        for st in network.stations:
-            if callable(st.demand):
-                fns.append(st.demand)
-            else:
-                value = float(st.demand)
-                fns.append(lambda _n, _v=value: _v)
-        return fns
-    if isinstance(demand_functions, Mapping):
-        missing = set(network.station_names) - set(demand_functions)
-        if missing:
-            raise ValueError(f"missing demand functions for stations: {sorted(missing)}")
-        return [demand_functions[name] for name in network.station_names]
-    fns = list(demand_functions)
-    if len(fns) != len(network):
-        raise ValueError(f"expected {len(network)} demand functions, got {len(fns)}")
-    return fns
+    """One callable per station, in station order.
+
+    Delegates to the shared validator in :mod:`repro.solvers.validation`
+    (deferred import to avoid the registration-time cycle).
+    """
+    from ..solvers.validation import resolve_demand_functions
+
+    return resolve_demand_functions(network, demand_functions, solver="mvasd")
 
 
 def _demands_at(fns: Sequence[DemandFn], level: float) -> np.ndarray:

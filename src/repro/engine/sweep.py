@@ -170,3 +170,24 @@ class ScenarioGrid:
             ", ".join(f"{name}={value}" for name, value in combo.items())
             for combo in self
         ]
+
+    def scenarios(self, base) -> list:
+        """Materialize the grid as solver :class:`~repro.solvers.Scenario`\\ s.
+
+        Each combination is applied to ``base`` via
+        :meth:`~repro.solvers.scenario.Scenario.with_overrides`, so the
+        grid axes must be override axes (``demand_scale``, ``think_time``,
+        ``max_population``).  The resulting stack feeds
+        :func:`repro.solvers.solve_stack` directly::
+
+            grid = ScenarioGrid.product(demand_scale=(0.8, 1.0, 1.2))
+            batch = solve_stack(grid.scenarios(Scenario(net, 100)))
+        """
+        supported = {"demand_scale", "think_time", "max_population"}
+        unknown = set(self.axis_names) - supported
+        if unknown:
+            raise ValueError(
+                f"scenario grid axes {sorted(unknown)} are not Scenario "
+                f"override axes; supported: {sorted(supported)}"
+            )
+        return [base.with_overrides(**combo) for combo in self]

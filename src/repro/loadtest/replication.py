@@ -104,6 +104,42 @@ class ReplicatedSweep:
         """The first replication — for APIs that need a live sweep."""
         return self.sweeps[0]
 
+    def predictions(
+        self,
+        max_population: int | None = None,
+        method: str = "mvasd",
+        demand_kind: str = "cubic",
+    ):
+        """One model prediction per replication, solved as one batch.
+
+        Fits a demand table from each replication's measurements and
+        solves all R resulting scenarios through
+        :func:`repro.solvers.solve_stack` — they share the station
+        topology, so varying-demand methods run in a single batched
+        engine kernel.  The spread of the returned
+        :class:`~repro.engine.batched.BatchedMVAResult` across its
+        scenario axis is the model-prediction uncertainty induced by
+        measurement noise, directly comparable to :meth:`noise_floor`.
+        """
+        # Deferred import: repro.solvers pulls in repro.core, which
+        # reaches back into loadtest via interval_mva.
+        from ..solvers import Scenario, solve_stack
+
+        n_max = (
+            int(max_population)
+            if max_population is not None
+            else int(self.levels[-1])
+        )
+        scenarios = [
+            Scenario(
+                self.application.network,
+                n_max,
+                demand_functions=sweep.demand_table(kind=demand_kind).functions(),
+            )
+            for sweep in self.sweeps
+        ]
+        return solve_stack(scenarios, method=method)
+
 
 def _replication_task(task, application: Application):
     """Run one replication in a (possibly forked) worker.

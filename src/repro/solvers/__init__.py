@@ -1,0 +1,77 @@
+"""Unified solver registry and ``solve()`` facade.
+
+This package is the one place the repo decides *which* MVA-family
+algorithm runs a performance model:
+
+* :mod:`~repro.solvers.validation` — shared input checks (leaf module;
+  also used by the core solvers themselves);
+* :mod:`~repro.solvers.scenario` — the frozen, validated
+  :class:`Scenario` every solver consumes;
+* :mod:`~repro.solvers.registry` — decorator-based plugin registry of
+  :class:`SolverSpec` entries with capability flags;
+* :mod:`~repro.solvers.facade` — :func:`solve` / :func:`solve_stack`
+  with capability-ranked auto-selection and batched-kernel routing;
+* :mod:`~repro.solvers.builtin` — registrations of the built-in family
+  (exact MVA, multi-server MVA, MVASD, AMVA variants, convolution,
+  bounds, interval and multi-class solvers).
+
+Typical use::
+
+    from repro.solvers import Scenario, solve
+
+    result = solve(Scenario(network, max_population=200))   # method="auto"
+    result = solve(Scenario(network, 200), method="mvasd")
+    batch = solve([scenario_a, scenario_b], backend="batched")
+"""
+
+from .validation import (  # noqa: F401  (re-exports)
+    SolverInputError,
+    resolve_demand_functions,
+    resolve_demands,
+    validate_population,
+)
+from .scenario import Scenario, WorkloadClass  # noqa: F401
+from .registry import (  # noqa: F401
+    CAPABILITY_FLAGS,
+    DuplicateSolverError,
+    SolverSpec,
+    UnknownSolverError,
+    capability_matrix,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
+    unregister_solver,
+)
+from .facade import (  # noqa: F401
+    EXACT_POPULATION_LIMIT,
+    SolverCapabilityError,
+    auto_method,
+    solve,
+    solve_stack,
+)
+from . import builtin  # noqa: F401  (registers the built-in solvers)
+
+__all__ = [
+    "CAPABILITY_FLAGS",
+    "DuplicateSolverError",
+    "EXACT_POPULATION_LIMIT",
+    "Scenario",
+    "SolverCapabilityError",
+    "SolverInputError",
+    "SolverSpec",
+    "UnknownSolverError",
+    "WorkloadClass",
+    "auto_method",
+    "capability_matrix",
+    "get_solver",
+    "list_solvers",
+    "register_solver",
+    "resolve_demand_functions",
+    "resolve_demands",
+    "solve",
+    "solve_stack",
+    "solver_names",
+    "unregister_solver",
+    "validate_population",
+]

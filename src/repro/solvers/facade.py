@@ -1,0 +1,274 @@
+"""The single entry point: ``solve(scenario, method="auto", backend="auto")``.
+
+The facade turns solver choice into a policy:
+
+* **validation** happens once, in :class:`~repro.solvers.scenario.Scenario`
+  — no per-solver re-checking of demand vectors and population counts;
+* **auto-selection** walks the paper's Algorithm 1 → 2 → 3 hierarchy:
+  exact single-server MVA for constant-demand single-server networks,
+  the exact multi-server solver when stations have cores, MVASD when
+  demands vary with concurrency — falling back to the approximate
+  (Schweitzer / Seidmann) family only when the population is too large
+  for the exact recursions to be worth it;
+* **backend routing** sends stacks of scenarios through the batched
+  :mod:`repro.engine` kernels when the selected method has one, and
+  transparently falls back to a scalar loop (stacked into the same
+  :class:`~repro.engine.batched.BatchedMVAResult` container) when it
+  does not.
+
+``solve`` accepts a single :class:`Scenario` (returns the solver's
+native result — a canonical :class:`~repro.core.results.MVAResult` for
+trajectory methods) or a sequence of scenarios (delegates to
+:func:`solve_stack`, returns a :class:`BatchedMVAResult`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..engine.batched import (
+    BatchedMVAResult,
+    batched_exact_mva,
+    batched_mvasd,
+    batched_schweitzer_amva,
+)
+from .registry import SolverSpec, get_solver
+from .scenario import Scenario
+from .validation import SolverInputError
+
+__all__ = [
+    "SolverCapabilityError",
+    "auto_method",
+    "solve",
+    "solve_stack",
+]
+
+#: Above this population the auto-selector trades the exact recursions
+#: for the approximate family (the "AMVA fallback" of the hierarchy).
+EXACT_POPULATION_LIMIT = 50_000
+
+#: Largest population lattice ``prod_c (N_c + 1)`` the exact multi-class
+#: recursion is attempted on before falling back to the Bard-Schweitzer
+#: mix sweep.
+EXACT_MULTICLASS_LATTICE_LIMIT = 250_000
+
+
+class SolverCapabilityError(SolverInputError):
+    """The scenario needs a capability the chosen solver does not have."""
+
+
+def auto_method(
+    scenario: Scenario,
+    exact_limit: int = EXACT_POPULATION_LIMIT,
+) -> str:
+    """Cheapest capable registry method for ``scenario``.
+
+    Mirrors the paper's algorithm hierarchy: exact MVA (Algorithm 1)
+    for constant-demand single-server networks, the exact multi-server
+    recursion (Algorithm 2) once stations have cores, MVASD
+    (Algorithm 3) as soon as demands vary with concurrency.  Past
+    ``exact_limit`` customers the constant-demand paths fall back to the
+    approximate family.
+    """
+    if scenario.is_multiclass:
+        if scenario.has_varying_demands:
+            return "multiclass-mvasd"
+        lattice = 1
+        for cls in scenario.classes:
+            lattice *= cls.population + 1
+        if lattice <= EXACT_MULTICLASS_LATTICE_LIMIT:
+            return "exact-multiclass"
+        return "multiclass-mvasd"
+    if scenario.has_varying_demands:
+        return "mvasd"
+    if scenario.is_multiserver:
+        if scenario.max_population <= exact_limit:
+            return "exact-multiserver-mva"
+        return "approx-multiserver-mva"
+    if scenario.max_population <= exact_limit:
+        return "exact-mva"
+    return "schweitzer-amva"
+
+
+def _resolve_spec(scenario: Scenario, method: str) -> SolverSpec:
+    spec = get_solver(auto_method(scenario) if method == "auto" else method)
+    if scenario.is_multiclass and not spec.multiclass:
+        raise SolverCapabilityError(
+            f"{spec.name}: scenario has customer classes but the solver is "
+            f"single-class; use a multiclass-capable method "
+            f"(or method='auto')"
+        )
+    if spec.multiclass and not scenario.is_multiclass:
+        raise SolverCapabilityError(
+            f"{spec.name}: multi-class solver needs a scenario with classes"
+        )
+    return spec
+
+
+def solve(
+    scenario: Scenario | Sequence[Scenario],
+    method: str = "auto",
+    backend: str = "auto",
+    **options: Any,
+):
+    """Solve one scenario (or a stack) with a registered method.
+
+    Parameters
+    ----------
+    scenario:
+        A validated :class:`Scenario`, or a sequence of them (routed to
+        :func:`solve_stack`).
+    method:
+        Registry name, or ``"auto"`` for the capability-based selection
+        of :func:`auto_method`.
+    backend:
+        ``"auto"`` (scalar for one scenario, batched for stacks when the
+        method has a kernel), ``"scalar"``, or ``"batched"`` (force the
+        engine kernel; errors if the method has none).
+    **options:
+        Forwarded to the solver adapter (e.g. ``single_server=True`` or
+        ``demand_axis="throughput"`` for ``mvasd``,
+        ``station_detail=False`` for the convolution-backed solvers,
+        ``demand_intervals=...`` for ``interval-mva``).
+    """
+    if not isinstance(scenario, Scenario):
+        return solve_stack(scenario, method=method, backend=backend, **options)
+    if backend not in ("auto", "scalar", "batched"):
+        raise SolverInputError(
+            f"backend must be 'auto', 'scalar' or 'batched', got {backend!r}"
+        )
+    spec = _resolve_spec(scenario, method)
+    if backend == "batched":
+        stacked = solve_stack([scenario], method=spec.name, backend="batched", **options)
+        return stacked.scenario(0)
+    return spec.solve(scenario, **options)
+
+
+def _check_stackable(scenarios: Sequence[Scenario]) -> None:
+    first = scenarios[0]
+    topo = (
+        first.network.station_names,
+        tuple(st.kind for st in first.network.stations),
+        tuple(st.servers for st in first.network.stations),
+    )
+    for sc in scenarios[1:]:
+        other = (
+            sc.network.station_names,
+            tuple(st.kind for st in sc.network.stations),
+            tuple(st.servers for st in sc.network.stations),
+        )
+        if other != topo:
+            raise SolverInputError(
+                "solve_stack: scenarios must share the station topology "
+                "(names, kinds, server counts)"
+            )
+        if sc.max_population != first.max_population:
+            raise SolverInputError(
+                "solve_stack: scenarios must share max_population "
+                f"({sc.max_population} != {first.max_population})"
+            )
+        if sc.is_multiclass:
+            raise SolverInputError("solve_stack: multi-class scenarios are not stackable")
+    if first.is_multiclass:
+        raise SolverInputError("solve_stack: multi-class scenarios are not stackable")
+
+
+def _auto_stack_method(scenarios: Sequence[Scenario]) -> str:
+    if any(sc.has_varying_demands for sc in scenarios):
+        return "mvasd"
+    if any(sc.is_multiserver for sc in scenarios):
+        # The only multi-server-faithful batched kernel is MVASD's
+        # (constant demands are just a flat demand matrix).
+        return "mvasd"
+    return "exact-mva"
+
+
+def _run_batched_kernel(
+    spec: SolverSpec, scenarios: Sequence[Scenario], **options: Any
+) -> BatchedMVAResult:
+    network = scenarios[0].resolved_network()
+    n = scenarios[0].max_population
+    think = np.array([sc.think for sc in scenarios])
+    kernel = spec.batched_kernel
+    if kernel == "exact-mva":
+        stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
+        return batched_exact_mva(network, n, stack, think_times=think)
+    if kernel == "schweitzer-amva":
+        stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
+        return batched_schweitzer_amva(network, n, stack, think_times=think)
+    if kernel == "mvasd":
+        matrices = np.stack([sc.resolved_demand_matrix(spec.name) for sc in scenarios])
+        return batched_mvasd(
+            network,
+            n,
+            matrices,
+            single_server=bool(options.get("single_server", False)),
+            think_times=think,
+        )
+    raise SolverInputError(
+        f"{spec.name}: unknown batched kernel {kernel!r}"
+    )  # pragma: no cover - registration error
+
+
+def _stack_scalar_results(
+    spec: SolverSpec, scenarios: Sequence[Scenario], **options: Any
+) -> BatchedMVAResult:
+    results = [spec.solve(sc, **options) for sc in scenarios]
+    demands = [r.demands_used for r in results]
+    return BatchedMVAResult(
+        populations=results[0].populations,
+        throughput=np.stack([r.throughput for r in results]),
+        response_time=np.stack([r.response_time for r in results]),
+        queue_lengths=np.stack([r.queue_lengths for r in results]),
+        residence_times=np.stack([r.residence_times for r in results]),
+        utilizations=np.stack([r.utilizations for r in results]),
+        station_names=results[0].station_names,
+        think_times=np.array([r.think_time for r in results]),
+        solver=f"stacked-{spec.name}",
+        demands_used=None if any(d is None for d in demands) else np.stack(demands),
+    )
+
+
+def solve_stack(
+    scenarios: Sequence[Scenario],
+    method: str = "auto",
+    backend: str = "auto",
+    **options: Any,
+) -> BatchedMVAResult:
+    """Solve a stack of topology-sharing scenarios in one shot.
+
+    With ``backend="auto"`` the stack goes through the method's
+    :mod:`repro.engine` kernel when it has one (one batched recursion
+    for all scenarios); methods without a kernel are solved scenario by
+    scenario and stacked into the same result container, so callers
+    never branch on the backend.  ``backend="batched"`` insists on a
+    kernel; ``backend="scalar"`` forces the per-scenario loop.
+    """
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise SolverInputError("solve_stack: need at least one scenario")
+    for sc in scenarios:
+        if not isinstance(sc, Scenario):
+            raise SolverInputError(
+                f"solve_stack: expected Scenario instances, got {type(sc).__name__}"
+            )
+    _check_stackable(scenarios)
+    if backend not in ("auto", "scalar", "batched"):
+        raise SolverInputError(
+            f"backend must be 'auto', 'scalar' or 'batched', got {backend!r}"
+        )
+    name = _auto_stack_method(scenarios) if method == "auto" else method
+    spec = get_solver(name)
+    if spec.returns != "trajectory":
+        raise SolverCapabilityError(
+            f"{spec.name}: only trajectory solvers can be stacked"
+        )
+    if backend == "batched" and spec.batched_kernel is None:
+        raise SolverCapabilityError(
+            f"{spec.name}: no batched kernel registered for this method"
+        )
+    if backend != "scalar" and spec.batched_kernel is not None:
+        return _run_batched_kernel(spec, scenarios, **options)
+    return _stack_scalar_results(spec, scenarios, **options)

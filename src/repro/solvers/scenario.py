@@ -1,0 +1,346 @@
+"""The canonical solver input: a frozen, pre-validated :class:`Scenario`.
+
+Every solver in the registry consumes the same description of the
+problem — network topology, target population, demand model and think
+time — instead of each entry point inventing its own keyword soup.  A
+scenario is validated **once**, on construction; adapters then read the
+representation they need (:meth:`Scenario.fixed_demands` for
+constant-demand solvers, :meth:`Scenario.demand_fns` /
+:meth:`Scenario.resolved_demand_matrix` for the varying-demand family).
+
+Demands can be supplied four ways, at most one of which may be given
+explicitly (otherwise the network's own station demands apply):
+
+* ``demands`` — a fixed per-station vector (the paper's ``MVA i``
+  construction when the network itself varies);
+* ``demand_functions`` — per-station curves ``n -> seconds`` (fitted
+  :class:`~repro.interpolate.demand_model.ServiceDemandModel` splines,
+  profile callables, plain lambdas);
+* ``demand_matrix`` — a precomputed ``(N, K)`` array of ``SS_k^n``
+  samples, the representation the batched kernels consume directly;
+* ``classes`` — a multi-class workload mix (:class:`WorkloadClass`),
+  which replaces the single-class demand description entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.network import ClosedNetwork
+from .validation import (
+    SolverInputError,
+    resolve_demand_functions,
+    resolve_demands,
+    validate_population,
+)
+
+__all__ = ["Scenario", "WorkloadClass"]
+
+DemandFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class WorkloadClass:
+    """One customer class of a multi-class scenario.
+
+    Attributes
+    ----------
+    name:
+        Class label, e.g. ``"registration"``.
+    population:
+        Number of customers of this class (for mix-sweep solvers the
+        populations act as relative mix weights).
+    demands:
+        ``station name -> demand`` where each demand is a constant or a
+        callable of the *total* population (``SS_{k,c}^n``).
+    think_time:
+        Per-class think time ``Z_c``.
+    """
+
+    name: str
+    population: int
+    demands: Mapping[str, float | DemandFn] = field(default_factory=dict)
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population < 0:
+            raise SolverInputError(
+                f"class {self.name!r}: population must be non-negative, "
+                f"got {self.population}"
+            )
+        if self.think_time < 0:
+            raise SolverInputError(
+                f"class {self.name!r}: think_time must be non-negative, "
+                f"got {self.think_time}"
+            )
+        for station, demand in self.demands.items():
+            if not callable(demand) and float(demand) < 0:
+                raise SolverInputError(
+                    f"class {self.name!r}: demand for {station!r} must be "
+                    f"non-negative, got {demand}"
+                )
+
+    @property
+    def has_varying_demands(self) -> bool:
+        return any(callable(d) for d in self.demands.values())
+
+    def demand_vector(self, station_names: Sequence[str], level: float) -> np.ndarray:
+        """Per-station demands of this class evaluated at ``level``."""
+        out = np.empty(len(station_names))
+        for i, name in enumerate(station_names):
+            try:
+                spec = self.demands[name]
+            except KeyError:
+                raise SolverInputError(
+                    f"class {self.name!r}: missing demands for station {name!r}"
+                ) from None
+            out[i] = float(spec(level)) if callable(spec) else float(spec)
+        if np.any(out < 0):
+            raise SolverInputError(
+                f"class {self.name!r}: negative demand at level {level:g}"
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified solve request.
+
+    Attributes
+    ----------
+    network:
+        Closed-network topology (stations, server counts, think time).
+    max_population:
+        Largest population ``N``; trajectory solvers cover ``n = 1..N``.
+    demands:
+        Optional fixed per-station demand vector.
+    demand_functions:
+        Optional per-station demand curves (mapping by station name or
+        sequence in station order).
+    demand_matrix:
+        Optional precomputed ``(N, K)`` demand samples ``SS_k^n``.
+    demand_level:
+        Level at which varying demands are frozen when a constant-demand
+        solver runs this scenario.
+    think_time:
+        Optional override of the network's think time ``Z``.
+    classes:
+        Optional multi-class structure; when given, the single-class
+        demand fields must be absent.
+    """
+
+    network: ClosedNetwork
+    max_population: int
+    demands: tuple[float, ...] | None = None
+    demand_functions: Mapping[str, DemandFn] | Sequence[DemandFn] | None = None
+    demand_matrix: np.ndarray | None = None
+    demand_level: float = 1.0
+    think_time: float | None = None
+    classes: tuple[WorkloadClass, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "max_population", validate_population(self.max_population, solver="scenario")
+        )
+        sources = [
+            name
+            for name, value in (
+                ("demands", self.demands),
+                ("demand_functions", self.demand_functions),
+                ("demand_matrix", self.demand_matrix),
+                ("classes", self.classes),
+            )
+            if value is not None
+        ]
+        if len(sources) > 1:
+            raise SolverInputError(
+                f"scenario: give at most one demand source, got {sources}"
+            )
+        if self.demands is not None:
+            arr = resolve_demands(self.network, self.demands, solver="scenario")
+            object.__setattr__(self, "demands", tuple(float(v) for v in arr))
+        if self.demand_functions is not None:
+            # Validate coverage/length now; adapters re-resolve per solver.
+            resolve_demand_functions(self.network, self.demand_functions, solver="scenario")
+        if self.demand_matrix is not None:
+            matrix = np.asarray(self.demand_matrix, dtype=float)
+            expected = (self.max_population, len(self.network))
+            if matrix.shape != expected:
+                raise SolverInputError(
+                    f"scenario: demand_matrix must have shape {expected}, "
+                    f"got {matrix.shape}"
+                )
+            if np.any(matrix < 0):
+                raise SolverInputError("scenario: demand_matrix must be non-negative")
+            matrix = matrix.copy()
+            matrix.setflags(write=False)
+            object.__setattr__(self, "demand_matrix", matrix)
+        if self.think_time is not None and self.think_time < 0:
+            raise SolverInputError(
+                f"scenario: think_time must be non-negative, got {self.think_time}"
+            )
+        if self.classes is not None:
+            classes = tuple(self.classes)
+            if not classes:
+                raise SolverInputError("scenario: classes must be non-empty when given")
+            names = [c.name for c in classes]
+            if len(set(names)) != len(names):
+                raise SolverInputError(f"scenario: duplicate class names in {names}")
+            if sum(c.population for c in classes) < 1:
+                raise SolverInputError("scenario: total class population must be >= 1")
+            object.__setattr__(self, "classes", classes)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def station_names(self) -> tuple[str, ...]:
+        return self.network.station_names
+
+    @property
+    def is_multiclass(self) -> bool:
+        return self.classes is not None
+
+    @property
+    def is_multiserver(self) -> bool:
+        """Any queueing station with more than one server?"""
+        return any(st.servers > 1 for st in self.network.stations if st.kind == "queue")
+
+    @property
+    def has_varying_demands(self) -> bool:
+        """Does the demand model change with concurrency?"""
+        if self.classes is not None:
+            return any(c.has_varying_demands for c in self.classes)
+        if self.demands is not None:
+            return False
+        if self.demand_functions is not None or self.demand_matrix is not None:
+            return True
+        return self.network.has_varying_demands
+
+    @property
+    def think(self) -> float:
+        """The effective think time ``Z`` of this scenario."""
+        return self.network.think_time if self.think_time is None else float(self.think_time)
+
+    def resolved_network(self) -> ClosedNetwork:
+        """The network with any think-time override applied."""
+        if self.think_time is None:
+            return self.network
+        return self.network.with_think_time(float(self.think_time))
+
+    # -- demand views -------------------------------------------------------
+
+    def fixed_demands(self, solver: str = "scenario") -> np.ndarray:
+        """The constant ``(K,)`` demand vector a fixed-demand solver sees.
+
+        Varying demand models are frozen at ``demand_level`` (matrix
+        scenarios at the nearest sampled level).
+        """
+        if self.is_multiclass:
+            raise SolverInputError(
+                f"{solver}: multi-class scenarios have no single-class demand vector"
+            )
+        if self.demands is not None:
+            return np.asarray(self.demands, dtype=float)
+        if self.demand_matrix is not None:
+            row = min(max(int(round(self.demand_level)), 1), self.max_population) - 1
+            return np.asarray(self.demand_matrix[row], dtype=float)
+        if self.demand_functions is not None:
+            fns = resolve_demand_functions(self.network, self.demand_functions, solver=solver)
+            return np.array([float(f(self.demand_level)) for f in fns])
+        return resolve_demands(self.network, None, self.demand_level, solver=solver)
+
+    def demand_fns(self, solver: str = "scenario") -> list[DemandFn]:
+        """Per-station demand curves ``n -> seconds`` in station order."""
+        if self.is_multiclass:
+            raise SolverInputError(
+                f"{solver}: multi-class scenarios have no single-class demand curves"
+            )
+        if self.demands is not None:
+            return [lambda _n, _v=float(v): _v for v in self.demands]
+        if self.demand_matrix is not None:
+            levels = np.arange(1, self.max_population + 1, dtype=float)
+            return [
+                lambda n, _lv=levels, _col=np.asarray(self.demand_matrix[:, i]): np.interp(
+                    n, _lv, _col
+                )
+                for i in range(self.demand_matrix.shape[1])
+            ]
+        return resolve_demand_functions(self.network, self.demand_functions, solver=solver)
+
+    def resolved_demand_matrix(self, solver: str = "scenario") -> np.ndarray:
+        """The full ``(N, K)`` demand samples ``SS_k^n`` for ``n = 1..N``."""
+        if self.demand_matrix is not None:
+            return np.asarray(self.demand_matrix)
+        if self.demands is not None:
+            return np.tile(
+                np.asarray(self.demands, dtype=float), (self.max_population, 1)
+            )
+        from ..core.mvasd import precompute_demand_matrix
+
+        return precompute_demand_matrix(self.demand_fns(solver), self.max_population)
+
+    # -- derivation ---------------------------------------------------------
+
+    def with_overrides(
+        self,
+        demand_scale: float | None = None,
+        think_time: float | None = None,
+        max_population: int | None = None,
+    ) -> "Scenario":
+        """A variant of this scenario with simple axis overrides.
+
+        ``demand_scale`` multiplies the whole demand model (the
+        resolved matrix for varying scenarios, the fixed vector
+        otherwise) — the common what-if axis of the sweep grids.
+        """
+        if self.is_multiclass:
+            raise SolverInputError(
+                "scenario: with_overrides does not support multi-class scenarios"
+            )
+        n = self.max_population if max_population is None else int(max_population)
+        think = self.think if think_time is None else float(think_time)
+        if demand_scale is None:
+            if self.has_varying_demands:
+                return Scenario(
+                    network=self.network,
+                    max_population=n,
+                    demand_matrix=self.resolved_demand_matrix()[:n]
+                    if n <= self.max_population
+                    else None,
+                    demand_functions=None if n <= self.max_population else self.demand_functions,
+                    demand_level=self.demand_level,
+                    think_time=think,
+                )
+            return Scenario(
+                network=self.network,
+                max_population=n,
+                demands=self.demands,
+                demand_level=self.demand_level,
+                think_time=think,
+            )
+        scale = float(demand_scale)
+        if scale < 0:
+            raise SolverInputError(f"scenario: demand_scale must be non-negative, got {scale}")
+        if self.has_varying_demands:
+            base = self.resolved_demand_matrix()
+            if n > self.max_population:
+                raise SolverInputError(
+                    "scenario: cannot extend a demand matrix beyond its sampled range"
+                )
+            return Scenario(
+                network=self.network,
+                max_population=n,
+                demand_matrix=base[:n] * scale,
+                demand_level=self.demand_level,
+                think_time=think,
+            )
+        return Scenario(
+            network=self.network,
+            max_population=n,
+            demands=tuple(scale * v for v in self.fixed_demands()),
+            demand_level=self.demand_level,
+            think_time=think,
+        )

@@ -1,0 +1,108 @@
+"""Shared input validation for every solver in the registry.
+
+Before this layer existed each solver module carried its own copy of the
+demand-resolution logic (``_resolve_demands`` in :mod:`repro.core.mva`,
+``_resolve_demand_functions`` in :mod:`repro.core.mvasd`, the stack
+validators in :mod:`repro.engine.batched`).  The facade validates once,
+here, and every error message names the solver that rejected the input —
+``"mvasd: expected 4 demands, got shape (3,)"`` instead of an anonymous
+traceback out of a NumPy helper.
+
+The functions duck-type the network argument (``len``, ``stations``,
+``station_names``, ``demands_at``) so this module stays a leaf: it
+imports nothing from :mod:`repro.core` and can therefore be used *by*
+the core solver modules without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SolverInputError",
+    "resolve_demands",
+    "resolve_demand_functions",
+    "validate_population",
+]
+
+DemandFn = Callable[[float], float]
+
+
+class SolverInputError(ValueError):
+    """A solver rejected its inputs (subclass of :class:`ValueError`)."""
+
+
+def validate_population(max_population: int, *, solver: str = "solver") -> int:
+    """Check and normalize a ``max_population`` argument."""
+    n = int(max_population)
+    if n != max_population or n < 1:
+        raise SolverInputError(
+            f"{solver}: max_population must be a positive integer, "
+            f"got {max_population!r}"
+        )
+    return n
+
+
+def resolve_demands(
+    network,
+    demands: Sequence[float] | None,
+    level: float = 1.0,
+    *,
+    solver: str = "solver",
+) -> np.ndarray:
+    """Fixed demand vector for a constant-demand solve.
+
+    ``demands`` overrides the network's demands; otherwise varying
+    demands are frozen at population ``level`` — the paper's ``MVA i``
+    construction (service demands measured at concurrency ``i`` fed to a
+    constant-demand solver).  Errors name the requesting ``solver``.
+    """
+    if demands is not None:
+        arr = np.asarray(demands, dtype=float)
+        if arr.shape != (len(network),):
+            raise SolverInputError(
+                f"{solver}: expected {len(network)} demands, got shape {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise SolverInputError(f"{solver}: demands must be non-negative")
+        return arr
+    return network.demands_at(level)
+
+
+def resolve_demand_functions(
+    network,
+    demand_functions: Mapping[str, DemandFn] | Sequence[DemandFn] | None,
+    *,
+    solver: str = "solver",
+) -> list[DemandFn]:
+    """One demand callable per station, in station order.
+
+    ``None`` falls back to the network's own demands (callables pass
+    through, constants become constant functions); a mapping is keyed by
+    station name and must cover every station; a sequence must match the
+    station count.
+    """
+    if demand_functions is None:
+        fns: list[DemandFn] = []
+        for st in network.stations:
+            if callable(st.demand):
+                fns.append(st.demand)
+            else:
+                value = float(st.demand)
+                fns.append(lambda _n, _v=value: _v)
+        return fns
+    if isinstance(demand_functions, Mapping):
+        missing = set(network.station_names) - set(demand_functions)
+        if missing:
+            raise SolverInputError(
+                f"{solver}: missing demand functions for stations: {sorted(missing)}"
+            )
+        return [demand_functions[name] for name in network.station_names]
+    fns = list(demand_functions)
+    if len(fns) != len(network):
+        raise SolverInputError(
+            f"{solver}: expected {len(network)} demand functions, got {len(fns)}"
+        )
+    return fns

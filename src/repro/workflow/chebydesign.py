@@ -13,7 +13,7 @@ import numpy as np
 
 from ..interpolate.chebyshev import concurrency_test_points
 
-__all__ = ["design_points", "STRATEGIES"]
+__all__ = ["design_points", "knee_guided_design_points", "STRATEGIES"]
 
 STRATEGIES = ("chebyshev", "uniform", "random")
 
@@ -51,3 +51,39 @@ def design_points(
         np.arange(low + 1, high), size=max(n - 2, 0), replace=False
     )
     return np.unique(np.concatenate(([low], np.sort(interior), [high])))
+
+
+def knee_guided_design_points(
+    network,
+    n: int,
+    low: int,
+    high: int,
+    minimum_gap: int = 1,
+) -> np.ndarray:
+    """Chebyshev design points re-centred on the asymptotic knee ``N*``.
+
+    The operating-point regions that matter most to the spline fit are
+    the rise and the saturation shoulder around the knee
+    ``N* = (Z + sum D_k) / max D_k`` (eq. 6).  This helper solves the
+    asymptotic-bounds model through the :func:`repro.solvers.solve`
+    facade, then splits the budget between ``[low, knee]`` and
+    ``[knee, high]`` proportionally to each side's width, guaranteeing
+    at least two points on the rising side when the knee is interior.
+    Falls back to plain :func:`design_points` when the knee is outside
+    the test range.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 design points, got {n}")
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    from ..solvers import Scenario, solve
+
+    bounds = solve(Scenario(network, high), method="bounds")
+    knee = int(np.clip(np.rint(bounds.knee), low, high))
+    if knee <= low + minimum_gap or knee >= high - minimum_gap or n < 4:
+        return design_points(n, low, high, strategy="chebyshev", minimum_gap=minimum_gap)
+    n_rise = max(2, int(np.rint(n * (knee - low) / (high - low))))
+    n_rise = min(n_rise, n - 2)
+    rise = concurrency_test_points(n_rise, low, knee, minimum_gap=minimum_gap)
+    shoulder = concurrency_test_points(n - n_rise, knee, high, minimum_gap=minimum_gap)
+    return np.unique(np.concatenate((rise, shoulder)))

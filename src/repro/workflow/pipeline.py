@@ -26,10 +26,10 @@ import numpy as np
 
 from ..analysis.deviation import DeviationReport, deviation_against_sweep
 from ..apps.base import Application
-from ..core.mvasd import mvasd
 from ..core.results import MVAResult
 from ..interpolate.demand_model import DemandTable
 from ..loadtest.runner import LoadTestSweep, run_sweep
+from ..solvers import Scenario, solve
 from .chebydesign import design_points
 
 __all__ = ["PipelineReport", "predict_performance", "predict_performance_grid"]
@@ -105,12 +105,10 @@ def predict_performance(
     sweep = run_sweep(application, levels=[int(d) for d in design], duration=duration, seed=seed)
     table = sweep.demand_table(kind=demand_kind)
     n_max = int(max_population) if max_population is not None else high
-    prediction = mvasd(
-        application.network,
-        n_max,
-        demand_functions=table.functions(),
-        single_server=single_server,
+    scenario = Scenario(
+        application.network, n_max, demand_functions=table.functions()
     )
+    prediction = solve(scenario, method="mvasd", single_server=single_server)
     return PipelineReport(
         application=application.name,
         design=design,

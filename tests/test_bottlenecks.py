@@ -102,3 +102,33 @@ class TestUpgradeLeverage:
     def test_validation(self, net):
         with pytest.raises(ValueError):
             upgrade_leverage(net, speedup=1.0)
+
+
+class TestSolvedRanking:
+    def test_primary_matches_demand_ranking_at_saturation(self, net):
+        from repro.analysis.bottlenecks import solved_bottleneck_ranking
+
+        r = solved_bottleneck_ranking(net, 100)
+        assert r.primary == "disk"
+        assert r.utilizations[0] > 0.95
+        assert np.all(np.diff(r.utilizations) <= 1e-12)
+
+    def test_headroom_and_unknown_station(self, net):
+        from repro.analysis.bottlenecks import solved_bottleneck_ranking
+
+        r = solved_bottleneck_ranking(net, 50)
+        assert 0.0 <= r.headroom("cpu") <= 1.0
+        with pytest.raises(KeyError):
+            r.headroom("nope")
+
+    def test_explicit_method_recorded(self, net):
+        from repro.analysis.bottlenecks import solved_bottleneck_ranking
+
+        r = solved_bottleneck_ranking(net, 30, method="schweitzer-amva")
+        assert r.solver == "schweitzer-amva"
+
+    def test_table_renders(self, net):
+        from repro.analysis.bottlenecks import solved_bottleneck_ranking
+
+        text = solved_bottleneck_ranking(net, 40).table()
+        assert "disk" in text and "%" in text

@@ -44,3 +44,40 @@ class TestDesignPoints:
             design_points(1, 1, 100)
         with pytest.raises(ValueError, match="low < high"):
             design_points(3, 100, 100)
+
+
+class TestKneeGuidedDesign:
+    def _net(self):
+        from repro.core import ClosedNetwork, Station
+
+        return ClosedNetwork(
+            [Station("web", 0.02), Station("db", 0.08)], think_time=1.0
+        )
+
+    def test_concentrates_points_below_the_knee(self):
+        from repro.workflow.chebydesign import knee_guided_design_points
+
+        net = self._net()  # knee N* = (1 + 0.1) / 0.08 = 13.75
+        pts = knee_guided_design_points(net, 8, 1, 100)
+        assert pts[0] >= 1 and pts[-1] <= 100
+        assert np.all(np.diff(pts) > 0)
+        # at least two points on the rising side of the knee
+        assert np.sum(pts <= 14) >= 2
+
+    def test_falls_back_to_chebyshev_when_knee_outside_range(self):
+        from repro.workflow.chebydesign import knee_guided_design_points
+
+        net = self._net()
+        pts = knee_guided_design_points(net, 5, 20, 100)  # knee < low
+        np.testing.assert_array_equal(
+            pts, design_points(5, 20, 100, strategy="chebyshev")
+        )
+
+    def test_validation(self):
+        from repro.workflow.chebydesign import knee_guided_design_points
+
+        net = self._net()
+        with pytest.raises(ValueError, match="at least 2"):
+            knee_guided_design_points(net, 1, 1, 100)
+        with pytest.raises(ValueError, match="low < high"):
+            knee_guided_design_points(net, 4, 50, 50)

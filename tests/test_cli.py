@@ -43,6 +43,55 @@ class TestSolve:
         with pytest.raises(SystemExit):
             main(["solve", "--demands", "a,b", "--population", "5"])
 
+    def test_explicit_method(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--demands", "0.05,0.08",
+                "--think", "1",
+                "--population", "30",
+                "--method", "linearizer",
+            ]
+        )
+        assert code == 0
+        assert "linearizer" in capsys.readouterr().out
+
+    def test_bounds_method_prints_envelope(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--demands", "0.05,0.08",
+                "--think", "1",
+                "--population", "30",
+                "--method", "bounds",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "knee" in out
+        assert "X upper" in out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve",
+                    "--demands", "0.05",
+                    "--population", "5",
+                    "--method", "nope",
+                ]
+            )
+
+
+class TestSolversListing:
+    def test_lists_capability_matrix(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "exact-mva" in out
+        assert "mvasd" in out
+        assert "varying demands" in out
+        assert "wraps repro.core.mvasd.mvasd" in out
+
 
 class TestSweep:
     def test_runs_small_sweep(self, capsys):
@@ -136,6 +185,22 @@ class TestSweepGrid:
                     "--population", "5",
                 ]
             )
+
+    def test_registry_solver_name_accepted(self, capsys):
+        code = main(
+            [
+                "sweep-grid",
+                "--demands", "0.05,0.08",
+                "--think", "1",
+                "--population", "20",
+                "--scales", "0.9,1.1",
+                "--solver", "linearizer",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stacked-linearizer" in out
+        assert "2 scenarios solved in one batch" in out
 
 
 class TestPredict:

@@ -119,3 +119,30 @@ class TestMeasurement:
         m = ReplicatedMeasurement(level=10, mean=20.0, half_width=1.0, replications=3)
         assert m.relative_half_width == pytest.approx(0.05)
         assert m.interval == (19.0, 21.0)
+
+
+class TestPredictions:
+    def test_one_prediction_per_replication_in_one_batch(self, replicated):
+        batch = replicated.predictions(max_population=40)
+        assert batch.solver == "batched-mvasd"
+        assert batch.throughput.shape == (3, 40)
+        # replications differ, so their fitted models must too
+        assert not np.array_equal(batch.throughput[0], batch.throughput[1])
+
+    def test_defaults_to_top_swept_level(self, replicated):
+        batch = replicated.predictions()
+        assert batch.throughput.shape[1] == int(replicated.levels[-1])
+
+    def test_matches_per_replication_pipeline_solves(self, replicated):
+        from repro.solvers import Scenario, solve
+
+        batch = replicated.predictions(max_population=30)
+        ref = solve(
+            Scenario(
+                replicated.application.network,
+                30,
+                demand_functions=replicated.sweeps[0].demand_table(kind="cubic").functions(),
+            ),
+            method="mvasd",
+        )
+        np.testing.assert_allclose(batch.throughput[0], ref.throughput, atol=1e-10)
