@@ -1,0 +1,171 @@
+"""PERF-02 — warm-cache what-if sweeps and process-sharded scenario grids.
+
+Times the two PR-4 execution-path layers on capacity-planning-sized
+workloads and records the results in ``BENCH_perf02.json`` at the repo
+root:
+
+* **Warm-cache what-if sweep** — the same what-if variant set evaluated
+  twice against one :class:`~repro.solvers.SolverCache`; the second
+  pass must be all cache hits and produce identical trajectories.
+* **Process-sharded grid** — a 10⁴-scenario MVASD demand-scaling grid
+  solved by the in-process ``batched`` backend vs the
+  ``process-sharded`` backend; trajectories must agree to ≤1e-10.
+
+Assertions gate on *parity* (cached results identical, sharded ≤1e-10
+from batched, hits recorded), never on wall-clock — CI containers are
+often single-core, where the fork-join fan-out cannot win.  Timings are
+recorded in the JSON for the EXPERIMENTS.md walkthrough.
+
+``REPRO_BENCH_QUICK=1`` shrinks the grid for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.network import ClosedNetwork, Station
+from repro.analysis.whatif import Scenario as WhatIfScenario
+from repro.analysis.whatif import evaluate_scenarios
+from repro.solvers import Scenario, SolverCache, solve_stack
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf02.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Sharded-grid shape: S scenarios x N population levels, K=3 stations.
+GRID_SCENARIOS = 512 if QUICK else 10_000
+MAX_POPULATION = 100 if QUICK else 150
+
+#: What-if sweep shape.
+WHATIF_VARIANTS = 12 if QUICK else 24
+WHATIF_POPULATION = 120 if QUICK else 300
+
+
+def _three_tier() -> ClosedNetwork:
+    return ClosedNetwork(
+        [
+            Station("web", demand=0.04, servers=4),
+            Station("app", demand=0.06, servers=2),
+            Station("db", demand=0.05),
+        ],
+        think_time=1.0,
+    )
+
+
+def test_perf02_warm_cache_and_sharded_grid(emit):
+    network = _three_tier()
+
+    # -- leg 1: warm-cache what-if sweep --------------------------------------
+    fns = {
+        "web": lambda n: 0.04 + 0.00005 * n,
+        "app": lambda n: 0.06 + 0.00002 * n,
+        "db": lambda n: 0.05,
+    }
+    variants = [
+        WhatIfScenario(f"scale-{i}", demand_scale={"db": 0.6 + 0.05 * i})
+        for i in range(WHATIF_VARIANTS)
+    ]
+    cache = SolverCache(maxsize=4 * WHATIF_VARIANTS)
+
+    t0 = time.perf_counter()
+    cold = evaluate_scenarios(
+        network, fns, variants, WHATIF_POPULATION, workers=1, cache=cache
+    )
+    t_cold = time.perf_counter() - t0
+    stats_cold = cache.stats()
+
+    t0 = time.perf_counter()
+    warm = evaluate_scenarios(
+        network, fns, variants, WHATIF_POPULATION, workers=1, cache=cache
+    )
+    t_warm = time.perf_counter() - t0
+    stats_warm = cache.stats()
+
+    warm_hits = stats_warm.hits - stats_cold.hits
+    warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    max_warm_diff = max(
+        float(np.abs(warm[name].result.throughput - cold[name].result.throughput).max())
+        for name in cold
+    )
+
+    # -- leg 2: process-sharded scenario grid ---------------------------------
+    scales = np.linspace(0.7, 1.3, GRID_SCENARIOS)
+    base = Scenario(network, MAX_POPULATION).resolved_demand_matrix()
+    scenarios = [
+        Scenario(network, MAX_POPULATION, demand_matrix=base * s) for s in scales
+    ]
+
+    t0 = time.perf_counter()
+    batched = solve_stack(scenarios, method="mvasd", backend="batched", cache=None)
+    t_batched = time.perf_counter() - t0
+
+    workers = os.cpu_count() or 1
+    t0 = time.perf_counter()
+    sharded = solve_stack(
+        scenarios,
+        method="mvasd",
+        backend="process-sharded",
+        workers=workers,
+        cache=None,
+    )
+    t_sharded = time.perf_counter() - t0
+
+    max_shard_diff = float(np.abs(sharded.throughput - batched.throughput).max())
+    shard_speedup = t_batched / t_sharded if t_sharded > 0 else float("inf")
+
+    cores = os.cpu_count() or 1
+    payload = {
+        "bench": "perf02_cache_shard",
+        "quick_mode": QUICK,
+        "host_cpu_cores": cores,
+        "warm_cache_whatif": {
+            "variants": WHATIF_VARIANTS,
+            "max_population": WHATIF_POPULATION,
+            "cold_seconds": round(t_cold, 4),
+            "warm_seconds": round(t_warm, 4),
+            "warm_speedup": round(warm_speedup, 1),
+            "warm_hits": warm_hits,
+            "max_abs_throughput_diff": max_warm_diff,
+        },
+        "sharded_grid": {
+            "scenarios": GRID_SCENARIOS,
+            "max_population": MAX_POPULATION,
+            "stations": len(network),
+            "workers": workers,
+            "batched_seconds": round(t_batched, 4),
+            "sharded_seconds": round(t_sharded, 4),
+            "sharded_vs_batched_speedup": round(shard_speedup, 2),
+            "max_abs_throughput_diff": max_shard_diff,
+            "backend_labels": [batched.backend, sharded.backend],
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "\n".join(
+            [
+                "PERF-02 — cache + sharded execution",
+                f"Warm-cache what-if: {WHATIF_VARIANTS + 1} scenarios x "
+                f"N={WHATIF_POPULATION}",
+                f"  cold: {t_cold:.3f}s   warm: {t_warm:.4f}s   "
+                f"speedup: {warm_speedup:.0f}x   hits: {warm_hits}   "
+                f"max |dX|: {max_warm_diff:.2e}",
+                f"Sharded grid: {GRID_SCENARIOS} scenarios x N={MAX_POPULATION}, "
+                f"K={len(network)} (host cores: {cores})",
+                f"  batched: {t_batched:.3f}s   sharded({workers}w): {t_sharded:.3f}s   "
+                f"ratio: {shard_speedup:.2f}x   max |dX|: {max_shard_diff:.2e}",
+            ]
+        )
+    )
+
+    # Parity gates only — timing is recorded, never asserted.
+    assert warm_hits >= WHATIF_VARIANTS + 1, "warm pass was not served from the cache"
+    assert max_warm_diff == 0.0, "cached results diverged from the cold solve"
+    assert max_shard_diff <= 1e-10, "sharded backend diverged from the batched kernel"
+    assert batched.backend == "batched"
+    assert sharded.backend == "process-sharded"

@@ -22,7 +22,7 @@ from typing import Sequence
 
 from ..core.results import MVAResult
 from ..loadtest.runner import LoadTestSweep, extract_demands
-from ..solvers import Scenario, solve
+from ..solvers import USE_DEFAULT_CACHE, Scenario, solve
 from .deviation import DeviationReport, deviation_against_sweep
 from .tables import format_table
 
@@ -64,6 +64,7 @@ def compare_models(
     include_throughput_axis: bool = False,
     include_approximate: bool = False,
     demand_kind: str = "cubic",
+    cache=USE_DEFAULT_CACHE,
 ) -> ModelComparison:
     """Run the full Tables-4/5 comparison for one sweep.
 
@@ -80,6 +81,10 @@ def compare_models(
         Toggle the optional baselines.
     demand_kind:
         Interpolation family for the MVASD demand table.
+    cache:
+        Solver result cache for every ``solve`` call (default: the
+        process-global cache, so re-running the comparison on the same
+        sweep is free); ``None`` bypasses.
     """
     app = sweep.application
     network = app.network
@@ -94,16 +99,19 @@ def compare_models(
     results: dict[str, MVAResult] = {}
     table = sweep.demand_table(kind=demand_kind)
     fitted = Scenario(network, n_max, demand_functions=table.functions())
-    results["MVASD"] = solve(fitted, method="mvasd")
+    results["MVASD"] = solve(fitted, method="mvasd", cache=cache)
 
     if include_single_server:
-        results["MVASD: Single-Server"] = solve(fitted, method="mvasd", single_server=True)
+        results["MVASD: Single-Server"] = solve(
+            fitted, method="mvasd", single_server=True, cache=cache
+        )
     if include_throughput_axis:
         xtable = sweep.demand_table(kind=demand_kind, axis="throughput")
         results["MVASD: Throughput-Axis"] = solve(
             Scenario(network, n_max, demand_functions=xtable.functions()),
             method="mvasd",
             demand_axis="throughput",
+            cache=cache,
         )
 
     by_level = {int(lvl): run for lvl, run in zip(sweep.levels, sweep.runs)}
@@ -119,10 +127,12 @@ def compare_models(
         # Deviation scoring only needs system-level trajectories; skip the
         # per-station complement convolutions (O(K N^2) each).
         results[f"MVA {level}"] = solve(
-            frozen, method="exact-multiserver-mva", station_detail=False
+            frozen, method="exact-multiserver-mva", station_detail=False, cache=cache
         )
         if include_approximate:
-            results[f"ApproxMVA {level}"] = solve(frozen, method="approx-multiserver-mva")
+            results[f"ApproxMVA {level}"] = solve(
+                frozen, method="approx-multiserver-mva", cache=cache
+            )
 
     deviations = {
         name: deviation_against_sweep(result, sweep)

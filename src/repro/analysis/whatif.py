@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.network import ClosedNetwork, Station
 from ..core.results import MVAResult
+from ..solvers import USE_DEFAULT_CACHE
 from ..solvers import Scenario as SolverScenario
 from ..solvers import solve
 from .tables import format_table
@@ -172,10 +173,10 @@ def max_users_within_sla(result: MVAResult, sla: SLA) -> int:
 
 def _scenario_task(scenario: Scenario, payload) -> MVAResult:
     """Solve one what-if scenario in a (possibly forked) worker."""
-    network, demand_functions, max_population = payload
+    network, demand_functions, max_population, cache = payload
     net, fns = scenario.apply(network, demand_functions)
     solver_scenario = SolverScenario(net, max_population, demand_functions=fns)
-    return solve(solver_scenario, method="mvasd")
+    return solve(solver_scenario, method="mvasd", cache=cache)
 
 
 def evaluate_scenarios(
@@ -185,6 +186,7 @@ def evaluate_scenarios(
     max_population: int,
     sla: SLA | None = None,
     workers: int | None = 1,
+    cache=USE_DEFAULT_CACHE,
 ) -> dict[str, ScenarioOutcome]:
     """Solve every scenario with MVASD and score it against the SLA.
 
@@ -192,7 +194,11 @@ def evaluate_scenarios(
     With ``workers > 1`` the scenario solves fan out over a process pool
     (:func:`repro.engine.sweep.parallel_map`); each scenario is an
     independent deterministic solve, so the outcome is identical to the
-    serial run.
+    serial run.  Repeated evaluations of the same variants (iterating on
+    an SLA, re-rendering a capacity plan) are served from the solver
+    result cache; pass ``cache=None`` to force recomputation.  Cache
+    hits recorded in forked workers stay in the workers — run with
+    ``workers=1`` when warm-cache reuse matters more than the fan-out.
     """
     from ..engine.sweep import parallel_map  # runtime import: engine layering
 
@@ -205,7 +211,7 @@ def evaluate_scenarios(
         _scenario_task,
         all_scenarios,
         workers=workers,
-        payload=(network, demand_functions, max_population),
+        payload=(network, demand_functions, max_population, cache),
     )
     outcomes: dict[str, ScenarioOutcome] = {}
     for scenario, result in zip(all_scenarios, results):

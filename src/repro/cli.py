@@ -10,11 +10,15 @@ Exposes the library's main flows without writing Python::
     python -m repro solve   --demands 0.05,0.08 --servers 4,1 --think 1 --population 100
     python -m repro sweep-grid --demands 0.05,0.08 --servers 4,1 --think 1 \
         --population 100 --scales 0.5,0.75,1.0,1.25
+    python -m repro sweep-grid ... --backend process-sharded --workers 8
+    python -m repro cache --demo
 
 Every command prints the same ASCII tables the benches produce.
 ``sweep --replications R --workers W`` fans R independent load tests
 over W processes (bit-identical to serial); ``sweep-grid`` solves a
-whole scenario grid in one batched kernel call (:mod:`repro.engine`).
+whole scenario grid through a selectable execution backend (batched
+kernel or process-sharded fan-out, :mod:`repro.engine`); ``cache``
+inspects the process-global solver result cache.
 """
 
 from __future__ import annotations
@@ -246,7 +250,12 @@ def _cmd_sweep_grid(args) -> int:
     base = Scenario(net, args.population)
     method = _SOLVER_ALIASES.get(args.solver, args.solver)
     try:
-        result = solve_stack(grid.scenarios(base), method=method)
+        result = solve_stack(
+            grid.scenarios(base),
+            method=method,
+            backend=args.backend,
+            workers=args.workers,
+        )
     except SolverInputError as exc:
         raise SystemExit(str(exc)) from None
 
@@ -264,9 +273,40 @@ def _cmd_sweep_grid(args) -> int:
         format_table(
             ["Scenario", "X_max (/s)", f"R+Z @ N={n} (s)", "peak util"],
             rows,
-            title=f"{result.solver}: {len(combos)} scenarios solved in one batch",
+            title=(
+                f"{result.solver}: {len(combos)} scenarios solved in one batch "
+                f"[{result.backend}]"
+            ),
         )
     )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .analysis.tables import format_table
+    from .solvers import SolverCache, cache_stats, default_cache, set_default_cache
+
+    if args.maxsize is not None:
+        set_default_cache(SolverCache(maxsize=args.maxsize))
+    if args.clear:
+        default_cache().clear()
+    if args.demo:
+        net = ClosedNetwork(
+            [Station("web", demand=0.02), Station("db", demand=0.05)], think_time=1.0
+        )
+        scenario = Scenario(net, max_population=50)
+        solve(scenario)  # cold: computes and stores
+        solve(scenario)  # warm: served from the cache
+    s = cache_stats()
+    rows = [
+        ("entries", f"{s.size}/{s.maxsize}"),
+        ("hits", s.hits),
+        ("misses", s.misses),
+        ("hit rate", f"{s.hit_rate:.0%}"),
+        ("evictions", s.evictions),
+        ("uncacheable", s.uncacheable),
+    ]
+    print(format_table(["Counter", "Value"], rows, title="solver result cache"))
     return 0
 
 
@@ -346,7 +386,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="registered solver name ('mva'/'amva' remain as aliases)",
     )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "serial", "batched", "process-sharded"),
+        default="auto",
+        help="execution backend (auto: batched kernel, sharded for large grids)",
+    )
+    p.add_argument("--workers", type=int, default=None,
+                   help="process count for the sharded backend (default: one per core)")
     p.set_defaults(fn=_cmd_sweep_grid)
+
+    p = sub.add_parser(
+        "cache", help="inspect or manage the process-global solver result cache"
+    )
+    p.add_argument("--clear", action="store_true", help="drop all entries and counters")
+    p.add_argument("--maxsize", type=int, default=None,
+                   help="install a fresh cache with this capacity")
+    p.add_argument("--demo", action="store_true",
+                   help="solve a small scenario twice to demonstrate a warm hit")
+    p.set_defaults(fn=_cmd_cache)
     return parser
 
 

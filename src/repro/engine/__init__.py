@@ -20,6 +20,14 @@ speedups and the `repro sweep-grid` CLI subcommand for the command-line
 surface.
 """
 
+from .backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    ProcessShardedBackend,
+    SerialBackend,
+    backend_names,
+    get_backend,
+)
 from .batched import (
     BatchedMVAResult,
     batched_exact_mva,
@@ -30,12 +38,18 @@ from .batched import (
 from .sweep import ScenarioGrid, parallel_map, resolve_workers, spawn_seeds
 
 __all__ = [
+    "BatchedBackend",
     "BatchedMVAResult",
+    "ExecutionBackend",
+    "ProcessShardedBackend",
     "ScenarioGrid",
+    "SerialBackend",
+    "backend_names",
     "batched_exact_mva",
     "batched_mvasd",
     "batched_schweitzer_amva",
     "demand_matrix_stack",
+    "get_backend",
     "parallel_map",
     "resolve_workers",
     "spawn_seeds",

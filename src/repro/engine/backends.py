@@ -1,0 +1,217 @@
+"""Pluggable execution backends for ``solve_stack``.
+
+The facade decides *what* to solve (method selection, validation,
+caching); a backend decides *how* the stack is executed:
+
+``serial``
+    The per-scenario scalar loop, stacked into one
+    :class:`~repro.engine.batched.BatchedMVAResult`.  Works for every
+    trajectory method; the fallback when no batched kernel exists.
+``batched``
+    One vectorized :mod:`repro.engine.batched` recursion advancing all
+    scenarios together.  Requires the method to register a
+    ``batched_kernel``.
+``process-sharded``
+    Splits the stack into contiguous sub-stacks, solves each in a
+    :func:`repro.engine.sweep.parallel_map` worker process (each worker
+    runs the method's best in-process backend), and reassembles the
+    parts into a single result.  The scenario list rides to the workers
+    as the fork-inherited payload, so scenarios with unpicklable demand
+    callables shard fine; only the chunk *bounds* and the result arrays
+    cross the process boundary.
+
+All three produce trajectories that agree to ≤1e-10 — the parity suite
+in ``tests/test_backends.py`` pins serial vs batched vs sharded for
+every registered method with a kernel.
+
+This module must not import :mod:`repro.solvers` at module scope (the
+solvers package imports the engine); worker entry points import the
+facade lazily.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from .batched import (
+    BatchedMVAResult,
+    batched_exact_mva,
+    batched_mvasd,
+    batched_schweitzer_amva,
+)
+from .sweep import parallel_map, resolve_workers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
+    from ..solvers.registry import SolverSpec
+    from ..solvers.scenario import Scenario
+
+__all__ = [
+    "BatchedBackend",
+    "ExecutionBackend",
+    "ProcessShardedBackend",
+    "SerialBackend",
+    "backend_names",
+    "get_backend",
+]
+
+
+class ExecutionBackend(Protocol):
+    """How a stack of topology-sharing scenarios gets executed."""
+
+    name: str
+
+    def run(
+        self,
+        spec: "SolverSpec",
+        scenarios: Sequence["Scenario"],
+        options: Mapping[str, Any],
+    ) -> BatchedMVAResult:
+        """Solve every scenario with ``spec`` and stack the trajectories."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """Per-scenario scalar loop, stacked into one batched container."""
+
+    name = "serial"
+
+    def run(self, spec, scenarios, options):
+        results = [spec.solve(sc, **options) for sc in scenarios]
+        demands = [r.demands_used for r in results]
+        return BatchedMVAResult(
+            populations=results[0].populations,
+            throughput=np.stack([r.throughput for r in results]),
+            response_time=np.stack([r.response_time for r in results]),
+            queue_lengths=np.stack([r.queue_lengths for r in results]),
+            residence_times=np.stack([r.residence_times for r in results]),
+            utilizations=np.stack([r.utilizations for r in results]),
+            station_names=results[0].station_names,
+            think_times=np.array([r.think_time for r in results]),
+            # The concrete scalar label ("stacked-linearizer-amva", not the
+            # registry alias) — cache keys and bench reports depend on it.
+            solver=f"stacked-{results[0].solver}",
+            demands_used=None if any(d is None for d in demands) else np.stack(demands),
+            backend=self.name,
+        )
+
+
+class BatchedBackend:
+    """One vectorized engine recursion for the whole stack."""
+
+    name = "batched"
+
+    def run(self, spec, scenarios, options):
+        from ..solvers.validation import SolverInputError
+
+        network = scenarios[0].resolved_network()
+        n = scenarios[0].max_population
+        think = np.array([sc.think for sc in scenarios])
+        kernel = spec.batched_kernel
+        if kernel == "exact-mva":
+            stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
+            result = batched_exact_mva(network, n, stack, think_times=think)
+        elif kernel == "schweitzer-amva":
+            stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
+            result = batched_schweitzer_amva(network, n, stack, think_times=think)
+        elif kernel == "mvasd":
+            matrices = np.stack([sc.resolved_demand_matrix(spec.name) for sc in scenarios])
+            result = batched_mvasd(
+                network,
+                n,
+                matrices,
+                single_server=bool(options.get("single_server", False)),
+                think_times=think,
+            )
+        else:  # pragma: no cover - registration error
+            raise SolverInputError(f"{spec.name}: unknown batched kernel {kernel!r}")
+        from dataclasses import replace
+
+        return replace(result, backend=self.name)
+
+
+def _solve_shard(bounds, payload):
+    """Worker entry point: solve one contiguous slice of the shared stack.
+
+    ``payload`` (method name, child backend, the full scenario list,
+    options) is fork-inherited, so only the ``(start, stop)`` bounds and
+    the result arrays are ever pickled.
+    """
+    from ..solvers.facade import solve_stack
+
+    method, child_backend, scenarios, options = payload
+    start, stop = bounds
+    return solve_stack(
+        scenarios[start:stop],
+        method=method,
+        backend=child_backend,
+        cache=None,
+        **options,
+    )
+
+
+def _concat_results(parts: Sequence[BatchedMVAResult], backend: str) -> BatchedMVAResult:
+    """Reassemble sharded sub-stack results along the scenario axis."""
+    first = parts[0]
+    demands = [p.demands_used for p in parts]
+    return BatchedMVAResult(
+        populations=first.populations,
+        throughput=np.concatenate([p.throughput for p in parts]),
+        response_time=np.concatenate([p.response_time for p in parts]),
+        queue_lengths=np.concatenate([p.queue_lengths for p in parts]),
+        residence_times=np.concatenate([p.residence_times for p in parts]),
+        utilizations=np.concatenate([p.utilizations for p in parts]),
+        station_names=first.station_names,
+        think_times=np.concatenate([p.think_times for p in parts]),
+        solver=first.solver,
+        demands_used=None if any(d is None for d in demands) else np.concatenate(demands),
+        backend=backend,
+    )
+
+
+class ProcessShardedBackend:
+    """Contiguous sub-stacks fanned out over :func:`parallel_map` workers."""
+
+    name = "process-sharded"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers
+
+    def run(self, spec, scenarios, options):
+        n_scenarios = len(scenarios)
+        n_shards = min(resolve_workers(self.workers), n_scenarios)
+        child_backend = "batched" if spec.batched_kernel else "serial"
+        edges = np.linspace(0, n_scenarios, n_shards + 1).astype(int)
+        bounds = [
+            (int(edges[i]), int(edges[i + 1]))
+            for i in range(n_shards)
+            if edges[i] < edges[i + 1]
+        ]
+        parts = parallel_map(
+            _solve_shard,
+            bounds,
+            workers=n_shards,
+            payload=(spec.name, child_backend, list(scenarios), dict(options)),
+        )
+        return _concat_results(parts, self.name)
+
+
+def backend_names() -> tuple[str, ...]:
+    """The selectable execution backends, cheapest-to-set-up first."""
+    return ("serial", "batched", "process-sharded")
+
+
+def get_backend(name: str, workers: int | None = None) -> ExecutionBackend:
+    """An :class:`ExecutionBackend` instance by name.
+
+    ``workers`` only affects ``process-sharded``; the in-process
+    backends ignore it.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "batched":
+        return BatchedBackend()
+    if name == "process-sharded":
+        return ProcessShardedBackend(workers=workers)
+    raise ValueError(f"unknown backend {name!r}; known: {backend_names()}")

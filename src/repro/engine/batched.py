@@ -76,6 +76,10 @@ class BatchedMVAResult:
     think_times: np.ndarray
     solver: str
     demands_used: np.ndarray | None = None
+    #: Execution backend that produced this result ("serial", "batched",
+    #: "process-sharded"), stamped by the solve_stack facade; ``None`` for
+    #: results built by calling a kernel directly.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         s, n, k = self.n_scenarios, len(self.populations), len(self.station_names)

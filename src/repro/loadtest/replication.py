@@ -109,6 +109,9 @@ class ReplicatedSweep:
         max_population: int | None = None,
         method: str = "mvasd",
         demand_kind: str = "cubic",
+        backend: str = "auto",
+        workers: int | None = None,
+        cache="default",
     ):
         """One model prediction per replication, solved as one batch.
 
@@ -116,13 +119,19 @@ class ReplicatedSweep:
         solves all R resulting scenarios through
         :func:`repro.solvers.solve_stack` — they share the station
         topology, so varying-demand methods run in a single batched
-        engine kernel.  The spread of the returned
-        :class:`~repro.engine.batched.BatchedMVAResult` across its
-        scenario axis is the model-prediction uncertainty induced by
-        measurement noise, directly comparable to :meth:`noise_floor`.
+        engine kernel (``backend``/``workers`` select the execution
+        backend for very large replication counts).  Re-requesting the
+        same predictions is served from the solver result cache
+        (``cache="default"``; pass ``None`` to bypass).  The spread of
+        the returned :class:`~repro.engine.batched.BatchedMVAResult`
+        across its scenario axis is the model-prediction uncertainty
+        induced by measurement noise, directly comparable to
+        :meth:`noise_floor`.
         """
         # Deferred import: repro.solvers pulls in repro.core, which
-        # reaches back into loadtest via interval_mva.
+        # reaches back into loadtest via interval_mva.  (That is also
+        # why cache defaults to the string "default" rather than the
+        # USE_DEFAULT_CACHE sentinel — the sentinel lives in solvers.)
         from ..solvers import Scenario, solve_stack
 
         n_max = (
@@ -138,7 +147,9 @@ class ReplicatedSweep:
             )
             for sweep in self.sweeps
         ]
-        return solve_stack(scenarios, method=method)
+        return solve_stack(
+            scenarios, method=method, backend=backend, workers=workers, cache=cache
+        )
 
 
 def _replication_task(task, application: Application):

@@ -31,6 +31,15 @@ from .validation import (  # noqa: F401  (re-exports)
     validate_population,
 )
 from .scenario import Scenario, WorkloadClass  # noqa: F401
+from .cache import (  # noqa: F401
+    USE_DEFAULT_CACHE,
+    CacheStats,
+    SolverCache,
+    cache_stats,
+    default_cache,
+    resolve_cache,
+    set_default_cache,
+)
 from .registry import (  # noqa: F401
     CAPABILITY_FLAGS,
     DuplicateSolverError,
@@ -54,21 +63,28 @@ from . import builtin  # noqa: F401  (registers the built-in solvers)
 
 __all__ = [
     "CAPABILITY_FLAGS",
+    "CacheStats",
     "DuplicateSolverError",
     "EXACT_POPULATION_LIMIT",
     "Scenario",
+    "SolverCache",
     "SolverCapabilityError",
     "SolverInputError",
     "SolverSpec",
+    "USE_DEFAULT_CACHE",
     "UnknownSolverError",
     "WorkloadClass",
     "auto_method",
+    "cache_stats",
     "capability_matrix",
+    "default_cache",
     "get_solver",
     "list_solvers",
     "register_solver",
+    "resolve_cache",
     "resolve_demand_functions",
     "resolve_demands",
+    "set_default_cache",
     "solve",
     "solve_stack",
     "solver_names",

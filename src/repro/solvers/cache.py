@@ -1,0 +1,259 @@
+"""Content-addressed result cache behind the :func:`repro.solvers.solve` facade.
+
+Capacity-planning studies are sweeps of thousands of near-identical
+model evaluations: what-if grids re-solve the same baseline, comparison
+tables run every method on one scenario, pipelines re-predict the
+scenario they just calibrated.  Since PR 2 every one of those calls
+funnels through ``solve()``/``solve_stack()``, a single LRU keyed on
+:meth:`Scenario.fingerprint` + method + canonicalized options makes the
+repeats free.
+
+The cache is strictly a memoization layer: a hit returns the *same*
+result object a miss produced, so every NumPy array stored in a result
+is frozen (``writeable=False``) on insertion — mutating a cached result
+would silently corrupt every later hit.
+
+``resolve_cache`` accepts four spellings so call sites with different
+import constraints can all opt in:
+
+* the :data:`USE_DEFAULT_CACHE` sentinel (the default) — process-global
+  cache;
+* ``None`` — bypass caching entirely;
+* a :class:`SolverCache` instance — private cache, e.g. per-test;
+* the string ``"default"`` — for modules (``loadtest.replication``)
+  that cannot import :mod:`repro.solvers` at module scope without a
+  cycle and therefore cannot name the sentinel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, fields, is_dataclass
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "SolverCache",
+    "USE_DEFAULT_CACHE",
+    "cache_stats",
+    "canonical_options",
+    "default_cache",
+    "resolve_cache",
+    "set_default_cache",
+]
+
+DEFAULT_MAXSIZE = 256
+
+
+class _UseDefault:
+    """Sentinel distinguishing "use the global cache" from ``cache=None``."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "USE_DEFAULT_CACHE"
+
+
+USE_DEFAULT_CACHE = _UseDefault()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of a :class:`SolverCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    uncacheable: int = 0
+    size: int = 0
+    maxsize: int = DEFAULT_MAXSIZE
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def canonical_options(options: Mapping[str, object]) -> tuple | None:
+    """Hashable canonical form of a solver-options mapping.
+
+    Returns ``None`` when any value cannot be canonicalized (callables,
+    arbitrary objects) — the caller must then treat the request as
+    uncacheable rather than risk a false hit.  Floats are canonicalized
+    the same way fingerprints are (``-0.0`` folds onto ``+0.0``), arrays
+    hash by shape + canonical bytes, mappings by sorted key.
+    """
+    try:
+        return tuple(
+            (str(k), _canonical_value(v)) for k, v in sorted(options.items())
+        )
+    except _Uncacheable:
+        return None
+
+
+class _Uncacheable(Exception):
+    pass
+
+
+def _canonical_value(value):
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        return value + 0.0
+    if isinstance(value, np.generic):
+        return _canonical_value(value.item())
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(np.asarray(value, dtype=np.float64)) + 0.0
+        if np.isnan(arr).any():
+            arr = np.where(np.isnan(arr), np.float64("nan"), arr)
+        return ("ndarray", arr.shape, arr.tobytes())
+    if isinstance(value, Mapping):
+        return (
+            "mapping",
+            tuple((str(k), _canonical_value(v)) for k, v in sorted(value.items())),
+        )
+    if isinstance(value, Sequence):
+        return ("sequence", tuple(_canonical_value(v) for v in value))
+    raise _Uncacheable(value)
+
+
+def _freeze(value) -> None:
+    """Recursively mark every ndarray reachable from ``value`` read-only."""
+    if isinstance(value, np.ndarray):
+        try:
+            value.setflags(write=False)
+        except ValueError:
+            pass  # view of a buffer we do not own; base is what matters
+        return
+    if is_dataclass(value) and not isinstance(value, type):
+        for f in fields(value):
+            _freeze(getattr(value, f.name))
+        return
+    if isinstance(value, Mapping):
+        for v in value.values():
+            _freeze(v)
+        return
+    if isinstance(value, (list, tuple, set)):
+        for v in value:
+            _freeze(v)
+
+
+class SolverCache:
+    """Thread-safe LRU of solver results keyed on content-addressed requests.
+
+    Keys are built by the facade from ``(kind, fingerprint(s), method,
+    backend, canonical options)``; values are the solver-result objects
+    themselves, frozen on insertion.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._uncacheable = 0
+
+    def get(self, key):
+        """The cached result for ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, result) -> None:
+        """Insert ``result``, freezing its arrays; evicts LRU entries."""
+        _freeze(result)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = result
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def note_uncacheable(self) -> None:
+        """Count a request the facade could not build a key for."""
+        with self._lock:
+            self._uncacheable += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = self._misses = self._evictions = self._uncacheable = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                uncacheable=self._uncacheable,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"SolverCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses}, evictions={s.evictions})"
+        )
+
+
+_default_cache = SolverCache()
+_default_lock = threading.Lock()
+
+
+def default_cache() -> SolverCache:
+    """The process-global cache ``solve()`` uses when none is passed."""
+    return _default_cache
+
+
+def set_default_cache(cache: SolverCache) -> SolverCache:
+    """Replace the process-global cache; returns the previous one."""
+    global _default_cache
+    if not isinstance(cache, SolverCache):
+        raise TypeError(f"expected a SolverCache, got {type(cache).__name__}")
+    with _default_lock:
+        previous = _default_cache
+        _default_cache = cache
+    return previous
+
+
+def cache_stats(cache: SolverCache | None = None) -> CacheStats:
+    """Counters of ``cache`` (the process-global cache by default)."""
+    return (cache if cache is not None else _default_cache).stats()
+
+
+def resolve_cache(cache) -> SolverCache | None:
+    """Map a user-facing ``cache=`` argument to a cache instance or ``None``."""
+    if cache is USE_DEFAULT_CACHE or cache == "default":
+        return _default_cache
+    if cache is None or isinstance(cache, SolverCache):
+        return cache
+    raise TypeError(
+        "cache must be USE_DEFAULT_CACHE, None, a SolverCache, or 'default', "
+        f"got {cache!r}"
+    )

@@ -10,11 +10,19 @@ The facade turns solver choice into a policy:
   demands vary with concurrency — falling back to the approximate
   (Schweitzer / Seidmann) family only when the population is too large
   for the exact recursions to be worth it;
-* **backend routing** sends stacks of scenarios through the batched
-  :mod:`repro.engine` kernels when the selected method has one, and
-  transparently falls back to a scalar loop (stacked into the same
-  :class:`~repro.engine.batched.BatchedMVAResult` container) when it
-  does not.
+* **caching** memoizes results in a :class:`~repro.solvers.cache.SolverCache`
+  keyed on content-addressed request identity
+  (:meth:`Scenario.fingerprint` + method + backend + canonicalized
+  options).  ``cache=`` defaults to the process-global cache; pass
+  ``None`` to bypass or a private :class:`SolverCache` to isolate;
+* **backend routing** hands stacks to a pluggable
+  :mod:`repro.engine.backends` execution backend: ``batched`` engine
+  kernels when the method has one, a ``serial`` per-scenario loop when
+  it does not, and a ``process-sharded`` fan-out (contiguous sub-stacks
+  over :func:`~repro.engine.sweep.parallel_map` workers) that ``auto``
+  picks for large stacks.  Callers never branch on the backend — every
+  path returns the same :class:`~repro.engine.batched.BatchedMVAResult`,
+  stamped with the backend that produced it.
 
 ``solve`` accepts a single :class:`Scenario` (returns the solver's
 native result — a canonical :class:`~repro.core.results.MVAResult` for
@@ -24,17 +32,14 @@ trajectory methods) or a sequence of scenarios (delegates to
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Sequence
 
-import numpy as np
-
-from ..engine.batched import (
-    BatchedMVAResult,
-    batched_exact_mva,
-    batched_mvasd,
-    batched_schweitzer_amva,
-)
-from .registry import SolverSpec, get_solver
+from ..engine.backends import get_backend
+from ..engine.batched import BatchedMVAResult
+from ..engine.sweep import resolve_workers
+from .cache import USE_DEFAULT_CACHE, canonical_options, resolve_cache
+from .registry import SolverSpec, get_solver, list_solvers
 from .scenario import Scenario
 from .validation import SolverInputError
 
@@ -53,6 +58,13 @@ EXACT_POPULATION_LIMIT = 50_000
 #: recursion is attempted on before falling back to the Bard-Schweitzer
 #: mix sweep.
 EXACT_MULTICLASS_LATTICE_LIMIT = 250_000
+
+#: Stacks at least this large are process-sharded by ``backend="auto"``
+#: (when more than one worker is available).  Below it the fork +
+#: pickle-back overhead beats the per-scenario savings.
+AUTO_SHARD_THRESHOLD = 1024
+
+_STACK_BACKENDS = ("auto", "scalar", "serial", "batched", "process-sharded")
 
 
 class SolverCapabilityError(SolverInputError):
@@ -107,10 +119,51 @@ def _resolve_spec(scenario: Scenario, method: str) -> SolverSpec:
     return spec
 
 
+def _nearest_batched_method(spec: SolverSpec) -> str | None:
+    """The registered method with a kernel closest to ``spec``'s profile.
+
+    Scores capability agreement (multi-server fidelity weighs most, then
+    varying demands, then class structure / exactness), breaking ties by
+    cost — so ``linearizer`` points at ``schweitzer-amva`` and
+    ``exact-multiserver-mva`` at ``mvasd``.
+    """
+    candidates = [s for s in list_solvers() if s.batched_kernel and s.name != spec.name]
+    if not candidates:
+        return None
+
+    def score(cand: SolverSpec) -> tuple:
+        return (
+            4 * (cand.multiserver == spec.multiserver)
+            + 2 * (cand.varying_demands == spec.varying_demands)
+            + (cand.multiclass == spec.multiclass)
+            + (cand.exact == spec.exact),
+            -cand.cost,
+        )
+
+    return max(candidates, key=score).name
+
+
+def _cache_key(kind, fingerprints, spec, backend, options):
+    """Cache key for a request, or ``None`` when it is uncacheable.
+
+    ``demand_axis="throughput"`` evaluates demand curves off the integer
+    population grid that fingerprints sample, so equal fingerprints do
+    not guarantee equal results there — never cache it.
+    """
+    if options.get("demand_axis") == "throughput":
+        return None
+    opts = canonical_options(options)
+    if opts is None:
+        return None
+    return (kind, fingerprints, spec.name, backend, opts)
+
+
 def solve(
     scenario: Scenario | Sequence[Scenario],
     method: str = "auto",
     backend: str = "auto",
+    cache=USE_DEFAULT_CACHE,
+    workers: int | None = None,
     **options: Any,
 ):
     """Solve one scenario (or a stack) with a registered method.
@@ -125,8 +178,16 @@ def solve(
         of :func:`auto_method`.
     backend:
         ``"auto"`` (scalar for one scenario, batched for stacks when the
-        method has a kernel), ``"scalar"``, or ``"batched"`` (force the
-        engine kernel; errors if the method has none).
+        method has a kernel, process-sharded for large stacks),
+        ``"scalar"``/``"serial"``, ``"batched"`` (force the engine
+        kernel; errors if the method has none), or ``"process-sharded"``
+        (stacks only).
+    cache:
+        Where to memoize: the process-global
+        :func:`~repro.solvers.cache.default_cache` by default, ``None``
+        to bypass, or a private :class:`~repro.solvers.cache.SolverCache`.
+    workers:
+        Process count for the sharded backend (``None`` = one per core).
     **options:
         Forwarded to the solver adapter (e.g. ``single_server=True`` or
         ``demand_axis="throughput"`` for ``mvasd``,
@@ -134,16 +195,36 @@ def solve(
         ``demand_intervals=...`` for ``interval-mva``).
     """
     if not isinstance(scenario, Scenario):
-        return solve_stack(scenario, method=method, backend=backend, **options)
-    if backend not in ("auto", "scalar", "batched"):
+        return solve_stack(
+            scenario, method=method, backend=backend, cache=cache, workers=workers, **options
+        )
+    if backend not in ("auto", "scalar", "serial", "batched"):
         raise SolverInputError(
-            f"backend must be 'auto', 'scalar' or 'batched', got {backend!r}"
+            f"backend must be 'auto', 'scalar', 'serial' or 'batched' for a "
+            f"single scenario, got {backend!r}"
         )
     spec = _resolve_spec(scenario, method)
+    kind = "batched" if backend == "batched" else "scalar"
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = _cache_key("solve", (scenario.fingerprint(),), spec, kind, options)
+        if key is None:
+            store.note_uncacheable()
+        else:
+            hit = store.get(key)
+            if hit is not None:
+                return hit
     if backend == "batched":
-        stacked = solve_stack([scenario], method=spec.name, backend="batched", **options)
-        return stacked.scenario(0)
-    return spec.solve(scenario, **options)
+        stacked = solve_stack(
+            [scenario], method=spec.name, backend="batched", cache=None, **options
+        )
+        result = stacked.scenario(0)
+    else:
+        result = spec.solve(scenario, **options)
+    if store is not None and key is not None:
+        store.put(key, result)
+    return result
 
 
 def _check_stackable(scenarios: Sequence[Scenario]) -> None:
@@ -185,66 +266,51 @@ def _auto_stack_method(scenarios: Sequence[Scenario]) -> str:
     return "exact-mva"
 
 
-def _run_batched_kernel(
-    spec: SolverSpec, scenarios: Sequence[Scenario], **options: Any
-) -> BatchedMVAResult:
-    network = scenarios[0].resolved_network()
-    n = scenarios[0].max_population
-    think = np.array([sc.think for sc in scenarios])
-    kernel = spec.batched_kernel
-    if kernel == "exact-mva":
-        stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
-        return batched_exact_mva(network, n, stack, think_times=think)
-    if kernel == "schweitzer-amva":
-        stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
-        return batched_schweitzer_amva(network, n, stack, think_times=think)
-    if kernel == "mvasd":
-        matrices = np.stack([sc.resolved_demand_matrix(spec.name) for sc in scenarios])
-        return batched_mvasd(
-            network,
-            n,
-            matrices,
-            single_server=bool(options.get("single_server", False)),
-            think_times=think,
+def _resolve_backend(
+    spec: SolverSpec, n_scenarios: int, backend: str, workers: int | None
+) -> str:
+    """Map a ``backend=`` request to a concrete execution backend name."""
+    if backend not in _STACK_BACKENDS:
+        raise SolverInputError(
+            f"backend must be one of {_STACK_BACKENDS}, got {backend!r}"
         )
-    raise SolverInputError(
-        f"{spec.name}: unknown batched kernel {kernel!r}"
-    )  # pragma: no cover - registration error
-
-
-def _stack_scalar_results(
-    spec: SolverSpec, scenarios: Sequence[Scenario], **options: Any
-) -> BatchedMVAResult:
-    results = [spec.solve(sc, **options) for sc in scenarios]
-    demands = [r.demands_used for r in results]
-    return BatchedMVAResult(
-        populations=results[0].populations,
-        throughput=np.stack([r.throughput for r in results]),
-        response_time=np.stack([r.response_time for r in results]),
-        queue_lengths=np.stack([r.queue_lengths for r in results]),
-        residence_times=np.stack([r.residence_times for r in results]),
-        utilizations=np.stack([r.utilizations for r in results]),
-        station_names=results[0].station_names,
-        think_times=np.array([r.think_time for r in results]),
-        solver=f"stacked-{spec.name}",
-        demands_used=None if any(d is None for d in demands) else np.stack(demands),
-    )
+    if backend == "scalar":
+        backend = "serial"
+    if backend == "batched" and spec.batched_kernel is None:
+        nearest = _nearest_batched_method(spec)
+        hint = f"; nearest method with one: {nearest!r}" if nearest else ""
+        raise SolverCapabilityError(
+            f"{spec.name}: no batched kernel registered for this method{hint}"
+        )
+    if backend != "auto":
+        return backend
+    if n_scenarios >= AUTO_SHARD_THRESHOLD and resolve_workers(workers) > 1:
+        return "process-sharded"
+    if spec.batched_kernel is not None:
+        return "batched"
+    return "serial"
 
 
 def solve_stack(
     scenarios: Sequence[Scenario],
     method: str = "auto",
     backend: str = "auto",
+    cache=USE_DEFAULT_CACHE,
+    workers: int | None = None,
     **options: Any,
 ) -> BatchedMVAResult:
     """Solve a stack of topology-sharing scenarios in one shot.
 
     With ``backend="auto"`` the stack goes through the method's
     :mod:`repro.engine` kernel when it has one (one batched recursion
-    for all scenarios); methods without a kernel are solved scenario by
-    scenario and stacked into the same result container, so callers
+    for all scenarios), falls back to the ``serial`` per-scenario loop
+    when it does not, and fans out over ``process-sharded`` workers once
+    the stack reaches :data:`AUTO_SHARD_THRESHOLD` scenarios — callers
     never branch on the backend.  ``backend="batched"`` insists on a
-    kernel; ``backend="scalar"`` forces the per-scenario loop.
+    kernel; ``"serial"`` (alias ``"scalar"``) forces the per-scenario
+    loop; ``"process-sharded"`` forces the fan-out.  The result's
+    ``backend`` attribute records which one ran, and ``solver`` names
+    the concrete method (``stacked-<name>`` for serial runs).
     """
     scenarios = list(scenarios)
     if not scenarios:
@@ -255,20 +321,27 @@ def solve_stack(
                 f"solve_stack: expected Scenario instances, got {type(sc).__name__}"
             )
     _check_stackable(scenarios)
-    if backend not in ("auto", "scalar", "batched"):
-        raise SolverInputError(
-            f"backend must be 'auto', 'scalar' or 'batched', got {backend!r}"
-        )
     name = _auto_stack_method(scenarios) if method == "auto" else method
     spec = get_solver(name)
     if spec.returns != "trajectory":
         raise SolverCapabilityError(
             f"{spec.name}: only trajectory solvers can be stacked"
         )
-    if backend == "batched" and spec.batched_kernel is None:
-        raise SolverCapabilityError(
-            f"{spec.name}: no batched kernel registered for this method"
-        )
-    if backend != "scalar" and spec.batched_kernel is not None:
-        return _run_batched_kernel(spec, scenarios, **options)
-    return _stack_scalar_results(spec, scenarios, **options)
+    resolved = _resolve_backend(spec, len(scenarios), backend, workers)
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        fps = tuple(sc.fingerprint() for sc in scenarios)
+        key = _cache_key("stack", fps, spec, resolved, options)
+        if key is None:
+            store.note_uncacheable()
+        else:
+            hit = store.get(key)
+            if hit is not None:
+                return hit
+    result = get_backend(resolved, workers=workers).run(spec, scenarios, options)
+    if result.backend != resolved:
+        result = replace(result, backend=resolved)
+    if store is not None and key is not None:
+        store.put(key, result)
+    return result

@@ -205,7 +205,7 @@ def list_solvers() -> tuple[SolverSpec, ...]:
 def capability_matrix() -> str:
     """ASCII capability table of every registered solver (CLI listing)."""
     headers = ("Solver", *(flag.replace("_", " ") for flag in CAPABILITY_FLAGS),
-               "batched", "returns", "Summary")
+               "batched kernel", "returns", "Summary")
     rows = []
     for spec in list_solvers():
         rows.append(

@@ -20,10 +20,22 @@ explicitly (otherwise the network's own station demands apply):
   samples, the representation the batched kernels consume directly;
 * ``classes`` — a multi-class workload mix (:class:`WorkloadClass`),
   which replaces the single-class demand description entirely.
+
+Scenarios are **content-addressed**: :meth:`Scenario.fingerprint` hashes
+the canonical serialization of everything a solver can observe —
+topology, server counts, the resolved demand matrix (with float
+canonicalization so ``-0.0`` and ``NaN`` bit patterns cannot split
+equal scenarios), population, think time and class mix — and is the
+identity the :mod:`repro.solvers.cache` result cache keys on.  To keep
+fingerprints valid for the lifetime of a scenario, construction takes
+defensive copies of every mutable input (demand-function mappings,
+demand matrices) and the demand views hand out read-only arrays.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -40,6 +52,35 @@ from .validation import (
 __all__ = ["Scenario", "WorkloadClass"]
 
 DemandFn = Callable[[float], float]
+
+#: Bumped whenever the canonical serialization changes, so fingerprints
+#: from different layouts can never collide.
+_FINGERPRINT_VERSION = b"repro-scenario-v1"
+
+
+def _canonical_float_array(values) -> np.ndarray:
+    """Float64 array with one bit pattern per numeric value.
+
+    Adding ``0.0`` collapses ``-0.0`` onto ``+0.0``; every NaN payload is
+    replaced by the canonical quiet NaN.  The returned buffer is what
+    fingerprints hash, so two arrays that compare equal elementwise (NaN
+    aside) always serialize to the same bytes.
+    """
+    arr = np.ascontiguousarray(np.asarray(values, dtype=np.float64)) + 0.0
+    if np.isnan(arr).any():
+        arr = np.where(np.isnan(arr), np.float64("nan"), arr)
+    return arr
+
+
+def _hash_floats(h, values) -> None:
+    h.update(_canonical_float_array(values).tobytes())
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """Mark ``arr`` read-only (views of read-only bases already are)."""
+    if arr.flags.writeable:
+        arr.setflags(write=False)
+    return arr
 
 
 @dataclass(frozen=True)
@@ -66,6 +107,9 @@ class WorkloadClass:
     think_time: float = 0.0
 
     def __post_init__(self) -> None:
+        # Defensive copy: the caller keeping (and mutating) the original
+        # mapping must not change this class after construction.
+        object.__setattr__(self, "demands", dict(self.demands))
         if self.population < 0:
             raise SolverInputError(
                 f"class {self.name!r}: population must be non-negative, "
@@ -103,6 +147,31 @@ class WorkloadClass:
                 f"class {self.name!r}: negative demand at level {level:g}"
             )
         return out
+
+    def fingerprint(self, station_names: Sequence[str], max_population: int) -> str:
+        """Content hash of this class within a scenario's station order.
+
+        Constant demands hash as one vector; varying demands are sampled
+        over every total-population level ``1..max_population`` — exactly
+        the values a mix-sweep solver can observe.
+        """
+        h = hashlib.sha256()
+        h.update(_FINGERPRINT_VERSION)
+        h.update(b"workload-class\x00")
+        h.update(self.name.encode("utf-8"))
+        h.update(struct.pack("<q", int(self.population)))
+        _hash_floats(h, [self.think_time])
+        if self.has_varying_demands:
+            levels = np.stack(
+                [
+                    self.demand_vector(station_names, float(level))
+                    for level in range(1, int(max_population) + 1)
+                ]
+            )
+        else:
+            levels = self.demand_vector(station_names, 1.0)
+        _hash_floats(h, levels)
+        return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -165,6 +234,12 @@ class Scenario:
         if self.demand_functions is not None:
             # Validate coverage/length now; adapters re-resolve per solver.
             resolve_demand_functions(self.network, self.demand_functions, solver="scenario")
+            # Defensive copy: later mutation of the caller's mapping or
+            # sequence must not alias into this (fingerprinted) scenario.
+            if isinstance(self.demand_functions, Mapping):
+                object.__setattr__(self, "demand_functions", dict(self.demand_functions))
+            else:
+                object.__setattr__(self, "demand_functions", tuple(self.demand_functions))
         if self.demand_matrix is not None:
             matrix = np.asarray(self.demand_matrix, dtype=float)
             expected = (self.max_population, len(self.network))
@@ -236,21 +311,22 @@ class Scenario:
         """The constant ``(K,)`` demand vector a fixed-demand solver sees.
 
         Varying demand models are frozen at ``demand_level`` (matrix
-        scenarios at the nearest sampled level).
+        scenarios at the nearest sampled level).  The returned array is
+        read-only — derive variants through :meth:`with_overrides`.
         """
         if self.is_multiclass:
             raise SolverInputError(
                 f"{solver}: multi-class scenarios have no single-class demand vector"
             )
         if self.demands is not None:
-            return np.asarray(self.demands, dtype=float)
+            return _readonly(np.asarray(self.demands, dtype=float))
         if self.demand_matrix is not None:
             row = min(max(int(round(self.demand_level)), 1), self.max_population) - 1
-            return np.asarray(self.demand_matrix[row], dtype=float)
+            return _readonly(np.asarray(self.demand_matrix[row], dtype=float))
         if self.demand_functions is not None:
             fns = resolve_demand_functions(self.network, self.demand_functions, solver=solver)
-            return np.array([float(f(self.demand_level)) for f in fns])
-        return resolve_demands(self.network, None, self.demand_level, solver=solver)
+            return _readonly(np.array([float(f(self.demand_level)) for f in fns]))
+        return _readonly(resolve_demands(self.network, None, self.demand_level, solver=solver))
 
     def demand_fns(self, solver: str = "scenario") -> list[DemandFn]:
         """Per-station demand curves ``n -> seconds`` in station order."""
@@ -271,16 +347,63 @@ class Scenario:
         return resolve_demand_functions(self.network, self.demand_functions, solver=solver)
 
     def resolved_demand_matrix(self, solver: str = "scenario") -> np.ndarray:
-        """The full ``(N, K)`` demand samples ``SS_k^n`` for ``n = 1..N``."""
+        """The full ``(N, K)`` demand samples ``SS_k^n`` for ``n = 1..N``.
+
+        The returned array is read-only; copy before mutating.
+        """
         if self.demand_matrix is not None:
-            return np.asarray(self.demand_matrix)
+            return _readonly(np.asarray(self.demand_matrix))
         if self.demands is not None:
-            return np.tile(
-                np.asarray(self.demands, dtype=float), (self.max_population, 1)
+            return _readonly(
+                np.tile(np.asarray(self.demands, dtype=float), (self.max_population, 1))
             )
         from ..core.mvasd import precompute_demand_matrix
 
-        return precompute_demand_matrix(self.demand_fns(solver), self.max_population)
+        return _readonly(
+            precompute_demand_matrix(self.demand_fns(solver), self.max_population)
+        )
+
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything a solver can observe.
+
+        Two scenarios with the same fingerprint produce the same result
+        for any registered method: the hash covers topology (station
+        names, kinds, server counts, visits), population, effective
+        think time, the frozen ``demand_level``, and the demand model —
+        the resolved ``(N, K)`` matrix *and* the frozen single-level
+        vector for single-class scenarios, per-class digests for
+        multi-class ones.  Float bytes are canonicalized (``-0.0`` →
+        ``+0.0``, one NaN bit pattern) before hashing.  The network
+        *name* is deliberately excluded: it never reaches a solver, so
+        renamed copies share cache entries.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        h.update(_FINGERPRINT_VERSION)
+        for st in self.network.stations:
+            h.update(st.name.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(st.kind.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(struct.pack("<q", int(st.servers)))
+            _hash_floats(h, [st.visits])
+        h.update(struct.pack("<q", self.max_population))
+        _hash_floats(h, [self.think, self.demand_level])
+        if self.is_multiclass:
+            h.update(b"classes\x00")
+            for c in self.classes:
+                h.update(c.fingerprint(self.station_names, self.max_population).encode("ascii"))
+        else:
+            h.update(b"single-class\x00")
+            _hash_floats(h, self.resolved_demand_matrix("fingerprint"))
+            _hash_floats(h, self.fixed_demands("fingerprint"))
+        digest = h.hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     # -- derivation ---------------------------------------------------------
 

@@ -29,7 +29,7 @@ from ..apps.base import Application
 from ..core.results import MVAResult
 from ..interpolate.demand_model import DemandTable
 from ..loadtest.runner import LoadTestSweep, run_sweep
-from ..solvers import Scenario, solve
+from ..solvers import USE_DEFAULT_CACHE, Scenario, solve
 from .chebydesign import design_points
 
 __all__ = ["PipelineReport", "predict_performance", "predict_performance_grid"]
@@ -72,6 +72,7 @@ def predict_performance(
     seed: int = 0,
     demand_kind: str = "cubic",
     single_server: bool = False,
+    cache=USE_DEFAULT_CACHE,
 ) -> PipelineReport:
     """Run the three-step workflow of Fig. 17.
 
@@ -99,6 +100,9 @@ def predict_performance(
         Spline family for step 3.
     single_server:
         Use the normalized single-server MVASD variant (ablation).
+    cache:
+        Solver result cache for the final prediction (default: the
+        process-global cache); ``None`` bypasses.
     """
     low, high = concurrency_range or (1, application.max_tested_concurrency)
     design = design_points(n_design_points, low, high, strategy=strategy, seed=seed)
@@ -108,7 +112,7 @@ def predict_performance(
     scenario = Scenario(
         application.network, n_max, demand_functions=table.functions()
     )
-    prediction = solve(scenario, method="mvasd", single_server=single_server)
+    prediction = solve(scenario, method="mvasd", single_server=single_server, cache=cache)
     return PipelineReport(
         application=application.name,
         design=design,

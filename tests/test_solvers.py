@@ -350,7 +350,9 @@ class TestBatchedBackend:
     def test_scalar_fallback_for_kernel_less_method(self, single_server_net):
         sc = Scenario(single_server_net, 10)
         batch = solve_stack([sc, sc], method="linearizer")
-        assert batch.solver == "stacked-linearizer"
+        # The label names the concrete scalar solver, not the registry alias.
+        assert batch.solver == "stacked-linearizer-amva"
+        assert batch.backend == "serial"
         assert batch.throughput.shape == (2, 10)
         np.testing.assert_allclose(batch.throughput[0], batch.throughput[1])
 
