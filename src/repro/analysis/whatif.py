@@ -187,6 +187,7 @@ def evaluate_scenarios(
     sla: SLA | None = None,
     workers: int | None = 1,
     cache=USE_DEFAULT_CACHE,
+    timeout: float | None = None,
 ) -> dict[str, ScenarioOutcome]:
     """Solve every scenario with MVASD and score it against the SLA.
 
@@ -199,6 +200,8 @@ def evaluate_scenarios(
     result cache; pass ``cache=None`` to force recomputation.  Cache
     hits recorded in forked workers stay in the workers — run with
     ``workers=1`` when warm-cache reuse matters more than the fan-out.
+    ``timeout`` bounds each scenario solve's seconds in the pool;
+    crashed or timed-out workers are recomputed serially in the parent.
     """
     from ..engine.sweep import parallel_map  # runtime import: engine layering
 
@@ -212,6 +215,7 @@ def evaluate_scenarios(
         all_scenarios,
         workers=workers,
         payload=(network, demand_functions, max_population, cache),
+        timeout=timeout,
     )
     outcomes: dict[str, ScenarioOutcome] = {}
     for scenario, result in zip(all_scenarios, results):

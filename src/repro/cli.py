@@ -239,8 +239,11 @@ _SOLVER_ALIASES = {"mva": "exact-mva", "amva": "schweitzer-amva"}
 
 
 def _cmd_sweep_grid(args) -> int:
+    import contextlib
+
     from .analysis.tables import format_table
     from .engine import ScenarioGrid
+    from .engine.faults import FaultPlan, injected
 
     net = _adhoc_network(args)
     grid = ScenarioGrid.product(
@@ -249,23 +252,33 @@ def _cmd_sweep_grid(args) -> int:
     combos = grid.combinations()
     base = Scenario(net, args.population)
     method = _SOLVER_ALIASES.get(args.solver, args.solver)
+    plan_ctx = contextlib.nullcontext()
+    if args.inject_faults:
+        try:
+            plan_ctx = injected(FaultPlan.parse(args.inject_faults))
+        except ValueError as exc:
+            raise SystemExit(f"--inject-faults: {exc}") from None
     try:
-        result = solve_stack(
-            grid.scenarios(base),
-            method=method,
-            backend=args.backend,
-            workers=args.workers,
-        )
+        with plan_ctx:
+            result = solve_stack(
+                grid.scenarios(base),
+                method=method,
+                backend=args.backend,
+                workers=args.workers,
+                errors=args.errors,
+                checkpoint=args.checkpoint,
+            )
     except SolverInputError as exc:
         raise SystemExit(str(exc)) from None
 
     n = args.population
+    failed = set(result.failed_indices)
     rows = [
         (
             label,
-            round(float(result.peak_throughput()[i]), 3),
-            round(float(result.cycle_time[i, -1]), 4),
-            f"{float(result.utilizations[i, -1].max()):.0%}",
+            "FAILED" if i in failed else round(float(result.peak_throughput()[i]), 3),
+            "-" if i in failed else round(float(result.cycle_time[i, -1]), 4),
+            "-" if i in failed else f"{float(result.utilizations[i, -1].max()):.0%}",
         )
         for i, label in enumerate(grid.labels())
     ]
@@ -279,6 +292,11 @@ def _cmd_sweep_grid(args) -> int:
             ),
         )
     )
+    for f in result.failures:
+        print(
+            f"  failed scenario {f.index} [{f.solver}] "
+            f"after {f.retries} retries: {f.error}"
+        )
     return 0
 
 
@@ -388,12 +406,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("auto", "serial", "batched", "process-sharded"),
+        choices=("auto", "serial", "batched", "process-sharded", "resilient"),
         default="auto",
-        help="execution backend (auto: batched kernel, sharded for large grids)",
+        help="execution backend (auto: batched kernel, sharded for large grids; "
+             "resilient: sharded with retries + degradation)",
     )
     p.add_argument("--workers", type=int, default=None,
                    help="process count for the sharded backend (default: one per core)")
+    p.add_argument("--errors", choices=("raise", "isolate"), default="raise",
+                   help="isolate: failed scenarios become FAILED rows instead of aborting")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal completed shards here; re-running resumes after a crash")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan for resilience testing, e.g. "
+                        "'crash-worker@shard=0;raise-in-kernel@scenario=2'")
     p.set_defaults(fn=_cmd_sweep_grid)
 
     p = sub.add_parser(

@@ -67,6 +67,8 @@ def _resolve_demand_functions(
 
 def _demands_at(fns: Sequence[DemandFn], level: float) -> np.ndarray:
     d = np.array([float(f(level)) for f in fns])
+    if not np.isfinite(d).all():
+        raise ValueError(f"mvasd: non-finite interpolated demand at level {level}: {d}")
     if np.any(d < 0):
         raise ValueError(f"negative interpolated demand at level {level}: {d}")
     return d
@@ -107,6 +109,12 @@ def precompute_demand_matrix(
             col = np.array([float(f(lvl)) for lvl in levels])
         cols.append(col)
     matrix = np.stack(cols, axis=1)
+    if not np.isfinite(matrix).all():
+        bad = np.argwhere(~np.isfinite(matrix))[0]
+        raise ValueError(
+            f"mvasd: non-finite interpolated demand at level {levels[bad[0]]:g} "
+            f"(station index {bad[1]})"
+        )
     if np.any(matrix < 0):
         bad = np.argwhere(matrix < 0)[0]
         raise ValueError(

@@ -14,6 +14,13 @@ grid-of-scenarios pattern:
     builders, an ordered :func:`parallel_map` over a process pool with a
     serial fallback, and :func:`spawn_seeds` for worker-count-invariant
     seeding.
+``repro.engine.resilience`` / ``repro.engine.faults``
+    Fault tolerance for long sweeps: the :class:`ResilientBackend`
+    degradation chain (sharded → batched → serial) with bounded
+    :class:`RetryPolicy` retries, crash-safe :class:`SweepCheckpoint`
+    journals keyed on scenario fingerprints, per-scenario
+    :class:`ScenarioFailure` isolation, and the deterministic
+    :class:`FaultPlan` injection harness that proves the recovery paths.
 
 See ``benchmarks/bench_perf01_batch_speedup.py`` for the measured
 speedups and the `repro sweep-grid` CLI subcommand for the command-line
@@ -27,13 +34,22 @@ from .backends import (
     SerialBackend,
     backend_names,
     get_backend,
+    shard_bounds,
 )
 from .batched import (
     BatchedMVAResult,
+    ScenarioFailure,
     batched_exact_mva,
     batched_mvasd,
     batched_schweitzer_amva,
     demand_matrix_stack,
+)
+from .faults import Fault, FaultPlan, InjectedFault
+from .resilience import (
+    ResilientBackend,
+    RetryPolicy,
+    SweepCheckpoint,
+    solve_isolated,
 )
 from .sweep import ScenarioGrid, parallel_map, resolve_workers, spawn_seeds
 
@@ -41,9 +57,16 @@ __all__ = [
     "BatchedBackend",
     "BatchedMVAResult",
     "ExecutionBackend",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "ProcessShardedBackend",
+    "ResilientBackend",
+    "RetryPolicy",
+    "ScenarioFailure",
     "ScenarioGrid",
     "SerialBackend",
+    "SweepCheckpoint",
     "backend_names",
     "batched_exact_mva",
     "batched_mvasd",
@@ -52,5 +75,7 @@ __all__ = [
     "get_backend",
     "parallel_map",
     "resolve_workers",
+    "shard_bounds",
+    "solve_isolated",
     "spawn_seeds",
 ]

@@ -31,10 +31,13 @@ facade lazily.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from . import faults
 from .batched import (
     BatchedMVAResult,
     batched_exact_mva,
@@ -54,6 +57,8 @@ __all__ = [
     "SerialBackend",
     "backend_names",
     "get_backend",
+    "scenario_offset",
+    "shard_bounds",
 ]
 
 
@@ -78,7 +83,10 @@ class SerialBackend:
     name = "serial"
 
     def run(self, spec, scenarios, options):
-        results = [spec.solve(sc, **options) for sc in scenarios]
+        results = []
+        for i, sc in enumerate(scenarios):
+            faults.maybe_inject("kernel", scenario=_scenario_offset() + i)
+            results.append(spec.solve(sc, **options))
         demands = [r.demands_used for r in results]
         return BatchedMVAResult(
             populations=results[0].populations,
@@ -105,6 +113,13 @@ class BatchedBackend:
     def run(self, spec, scenarios, options):
         from ..solvers.validation import SolverInputError
 
+        if faults.active_plan() is not None:
+            # A poisoned scenario takes the whole vectorized recursion
+            # down with it — exactly the failure mode errors="isolate"
+            # and the resilient degradation chain exist to contain.
+            offset = _scenario_offset()
+            for i in range(len(scenarios)):
+                faults.maybe_inject("kernel", scenario=offset + i)
         network = scenarios[0].resolved_network()
         n = scenarios[0].max_population
         think = np.array([sc.think for sc in scenarios])
@@ -126,35 +141,82 @@ class BatchedBackend:
             )
         else:  # pragma: no cover - registration error
             raise SolverInputError(f"{spec.name}: unknown batched kernel {kernel!r}")
-        from dataclasses import replace
-
         return replace(result, backend=self.name)
+
+
+#: Global scenario index of the first scenario the current (sub-)stack
+#: solve covers — lets shard workers report fault/failure indices in the
+#: coordinates of the full stack.  Worker-local (set after fork) or
+#: save/restored around in-parent shard retries.
+_SCENARIO_OFFSET = 0
+
+
+def _scenario_offset() -> int:
+    return _SCENARIO_OFFSET
+
+
+@contextmanager
+def scenario_offset(start: int):
+    """Publish ``start`` as the stack offset for the enclosed solve."""
+    global _SCENARIO_OFFSET
+    previous = _SCENARIO_OFFSET
+    _SCENARIO_OFFSET = start
+    try:
+        yield
+    finally:
+        _SCENARIO_OFFSET = previous
+
+
+def shard_bounds(n_scenarios: int, workers: int | None) -> list[tuple[int, int, int]]:
+    """Contiguous ``(shard_index, start, stop)`` slices of a stack."""
+    n_shards = min(resolve_workers(workers), n_scenarios)
+    edges = np.linspace(0, n_scenarios, n_shards + 1).astype(int)
+    return [
+        (i, int(edges[i]), int(edges[i + 1]))
+        for i in range(n_shards)
+        if edges[i] < edges[i + 1]
+    ]
 
 
 def _solve_shard(bounds, payload):
     """Worker entry point: solve one contiguous slice of the shared stack.
 
     ``payload`` (method name, child backend, the full scenario list,
-    options) is fork-inherited, so only the ``(start, stop)`` bounds and
-    the result arrays are ever pickled.
+    options) is fork-inherited, so only the ``(shard, start, stop)``
+    bounds and the result arrays are ever pickled.  Also the injection
+    point for shard-level faults (worker crash, wedged worker) and the
+    place the shard's scenario offset is published so kernel-level
+    faults and failure records use full-stack indices.
     """
+    global _SCENARIO_OFFSET
     from ..solvers.facade import solve_stack
 
     method, child_backend, scenarios, options = payload
-    start, stop = bounds
-    return solve_stack(
-        scenarios[start:stop],
-        method=method,
-        backend=child_backend,
-        cache=None,
-        **options,
-    )
+    shard, start, stop = bounds
+    faults.maybe_inject("shard", shard=shard)
+    previous_offset = _SCENARIO_OFFSET
+    _SCENARIO_OFFSET = start
+    try:
+        return solve_stack(
+            scenarios[start:stop],
+            method=method,
+            backend=child_backend,
+            cache=None,
+            **options,
+        )
+    finally:
+        _SCENARIO_OFFSET = previous_offset
 
 
 def _concat_results(parts: Sequence[BatchedMVAResult], backend: str) -> BatchedMVAResult:
     """Reassemble sharded sub-stack results along the scenario axis."""
     first = parts[0]
     demands = [p.demands_used for p in parts]
+    failures = []
+    offset = 0
+    for p in parts:
+        failures.extend(replace(f, index=offset + f.index) for f in p.failures)
+        offset += p.n_scenarios
     return BatchedMVAResult(
         populations=first.populations,
         throughput=np.concatenate([p.throughput for p in parts]),
@@ -167,6 +229,7 @@ def _concat_results(parts: Sequence[BatchedMVAResult], backend: str) -> BatchedM
         solver=first.solver,
         demands_used=None if any(d is None for d in demands) else np.concatenate(demands),
         backend=backend,
+        failures=tuple(failures),
     )
 
 
@@ -179,19 +242,12 @@ class ProcessShardedBackend:
         self.workers = workers
 
     def run(self, spec, scenarios, options):
-        n_scenarios = len(scenarios)
-        n_shards = min(resolve_workers(self.workers), n_scenarios)
         child_backend = "batched" if spec.batched_kernel else "serial"
-        edges = np.linspace(0, n_scenarios, n_shards + 1).astype(int)
-        bounds = [
-            (int(edges[i]), int(edges[i + 1]))
-            for i in range(n_shards)
-            if edges[i] < edges[i + 1]
-        ]
+        bounds = shard_bounds(len(scenarios), self.workers)
         parts = parallel_map(
             _solve_shard,
             bounds,
-            workers=n_shards,
+            workers=len(bounds),
             payload=(spec.name, child_backend, list(scenarios), dict(options)),
         )
         return _concat_results(parts, self.name)
@@ -199,14 +255,16 @@ class ProcessShardedBackend:
 
 def backend_names() -> tuple[str, ...]:
     """The selectable execution backends, cheapest-to-set-up first."""
-    return ("serial", "batched", "process-sharded")
+    return ("serial", "batched", "process-sharded", "resilient")
 
 
-def get_backend(name: str, workers: int | None = None) -> ExecutionBackend:
+def get_backend(name: str, workers: int | None = None, **kwargs) -> ExecutionBackend:
     """An :class:`ExecutionBackend` instance by name.
 
-    ``workers`` only affects ``process-sharded``; the in-process
-    backends ignore it.
+    ``workers`` only affects ``process-sharded`` and ``resilient``; the
+    in-process backends ignore it.  ``kwargs`` (retry policy,
+    checkpoint, error mode) are forwarded to
+    :class:`~repro.engine.resilience.ResilientBackend`.
     """
     if name == "serial":
         return SerialBackend()
@@ -214,4 +272,8 @@ def get_backend(name: str, workers: int | None = None) -> ExecutionBackend:
         return BatchedBackend()
     if name == "process-sharded":
         return ProcessShardedBackend(workers=workers)
+    if name == "resilient":
+        from .resilience import ResilientBackend  # deferred: builds on this module
+
+        return ResilientBackend(workers=workers, **kwargs)
     raise ValueError(f"unknown backend {name!r}; known: {backend_names()}")

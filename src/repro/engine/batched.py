@@ -43,6 +43,7 @@ from ..core.results import MVAResult
 
 __all__ = [
     "BatchedMVAResult",
+    "ScenarioFailure",
     "batched_exact_mva",
     "batched_schweitzer_amva",
     "batched_mvasd",
@@ -52,6 +53,37 @@ __all__ = [
 # Mirrors of the scalar Schweitzer fixed-point controls (amva.py).
 _MAX_ITER = 10_000
 _TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class ScenarioFailure:
+    """One scenario a ``solve_stack(errors="isolate")`` run could not solve.
+
+    Carried on :attr:`BatchedMVAResult.failures` instead of aborting the
+    stack; the failed scenario's rows in the result arrays are NaN.
+
+    Attributes
+    ----------
+    index:
+        Position of the scenario in the solved stack.
+    fingerprint:
+        :meth:`Scenario.fingerprint` content hash, so the failure can be
+        matched to its scenario across runs (``"<unavailable>"`` when
+        the demand model is too broken to fingerprint).
+    solver:
+        Registry name of the method that rejected the scenario.
+    error:
+        ``"ExcType: message"`` of the final exception.
+    retries:
+        How many recovery attempts the execution layer made before
+        isolating the scenario.
+    """
+
+    index: int
+    fingerprint: str
+    solver: str
+    error: str
+    retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,9 +109,12 @@ class BatchedMVAResult:
     solver: str
     demands_used: np.ndarray | None = None
     #: Execution backend that produced this result ("serial", "batched",
-    #: "process-sharded"), stamped by the solve_stack facade; ``None`` for
-    #: results built by calling a kernel directly.
+    #: "process-sharded", "resilient"), stamped by the solve_stack facade;
+    #: ``None`` for results built by calling a kernel directly.
     backend: str | None = None
+    #: Scenarios isolated by ``solve_stack(errors="isolate")`` — their
+    #: rows in the trajectory arrays are NaN.  Empty for fault-free runs.
+    failures: tuple[ScenarioFailure, ...] = ()
 
     def __post_init__(self) -> None:
         s, n, k = self.n_scenarios, len(self.populations), len(self.station_names)
@@ -93,6 +128,17 @@ class BatchedMVAResult:
             raise ValueError(f"think_times must have shape ({s},)")
         if self.demands_used is not None and self.demands_used.shape != (s, n, k):
             raise ValueError(f"demands_used must have shape ({s}, {n}, {k})")
+        object.__setattr__(self, "failures", tuple(self.failures))
+        for f in self.failures:
+            if not 0 <= f.index < s:
+                raise ValueError(
+                    f"failure index {f.index} out of range for {s} scenarios"
+                )
+
+    @property
+    def failed_indices(self) -> tuple[int, ...]:
+        """Stack positions of the isolated scenarios, ascending."""
+        return tuple(sorted(f.index for f in self.failures))
 
     @property
     def n_scenarios(self) -> int:
@@ -133,17 +179,25 @@ class BatchedMVAResult:
         )
 
 
-def _demand_stack(network: ClosedNetwork, demands) -> np.ndarray:
+def _demand_stack(network: ClosedNetwork, demands, solver: str = "batched") -> np.ndarray:
     """Validate and shape a ``(S, K)`` stack of constant demand vectors."""
     arr = np.asarray(demands, dtype=float)
     if arr.ndim == 1:
         arr = arr[None, :]
     if arr.ndim != 2 or arr.shape[1] != len(network):
         raise ValueError(
-            f"expected a (S, {len(network)}) demand stack, got shape {arr.shape}"
+            f"{solver}: expected a (S, {len(network)}) demand stack, "
+            f"got shape {arr.shape}"
+        )
+    # isfinite before the sign check: NaN compares False against 0, so a
+    # plain `arr < 0` guard would let NaN/Inf demands poison the recursion.
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            f"{solver}: demands must be finite, got non-finite values at "
+            f"scenario indices {sorted(set(np.nonzero(~np.isfinite(arr))[0].tolist()))}"
         )
     if np.any(arr < 0):
-        raise ValueError("demands must be non-negative")
+        raise ValueError(f"{solver}: demands must be non-negative")
     return arr
 
 
@@ -156,6 +210,8 @@ def _think_stack(network: ClosedNetwork, think_times, s: int) -> np.ndarray:
         z = np.full(s, float(z))
     if z.shape != (s,):
         raise ValueError(f"expected {s} think times, got shape {z.shape}")
+    if not np.isfinite(z).all():
+        raise ValueError("think times must be finite")
     if np.any(z < 0):
         raise ValueError("think times must be non-negative")
     return z
@@ -204,7 +260,7 @@ def batched_exact_mva(
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _demand_stack(network, demands)
+    d = _demand_stack(network, demands, solver="batched-exact-mva")
     s, k = d.shape
     z = _think_stack(network, think_times, s)
     is_queue = np.array([st.kind == "queue" for st in network.stations])
@@ -260,7 +316,7 @@ def batched_schweitzer_amva(
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _demand_stack(network, demands)
+    d = _demand_stack(network, demands, solver="batched-schweitzer-amva")
     s, k = d.shape
     z = _think_stack(network, think_times, s)
     is_queue = np.array([st.kind == "queue" for st in network.stations])
@@ -405,6 +461,12 @@ def batched_mvasd(
         raise ValueError(
             f"expected a (S, {max_population}, {k}) demand-matrix stack, "
             f"got shape {matrices.shape}"
+        )
+    if not np.isfinite(matrices).all():
+        raise ValueError(
+            "batched-mvasd: demand matrices must be finite, got non-finite "
+            f"values at scenario indices "
+            f"{sorted(set(np.nonzero(~np.isfinite(matrices))[0].tolist()))}"
         )
     if np.any(matrices < 0):
         raise ValueError("demand matrices must be non-negative")

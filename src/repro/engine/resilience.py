@@ -1,0 +1,474 @@
+"""Fault-tolerant execution: retries, degradation, isolation, checkpointing.
+
+A million-scenario sweep dies three ways in practice: a worker process
+is OOM-killed mid-shard (the pool breaks), one pathological scenario
+poisons a whole vectorized kernel, or the driver itself is killed at
+scenario 999,999 and everything is lost.  This module closes all three
+holes behind the same :class:`~repro.engine.backends.ExecutionBackend`
+protocol the healthy backends implement:
+
+:class:`RetryPolicy`
+    Bounded retries with exponential backoff and a per-shard timeout —
+    the knobs of every recovery decision in one frozen value object.
+:class:`ResilientBackend`
+    The graceful-degradation chain *sharded → batched → serial*: shards
+    are fanned out with a per-shard timeout; shards that crash or time
+    out are retried (new pool, backoff) up to the policy bound; shards
+    that still fail are re-solved in-process with the method's batched
+    kernel, then the serial loop; scenarios that *still* fail are either
+    raised (``errors="raise"``) or isolated into structured
+    :class:`~repro.engine.batched.ScenarioFailure` records
+    (``errors="isolate"``).  Only failed work is ever redone.
+:class:`SweepCheckpoint`
+    An append-only journal of completed shards, content-addressed on
+    ``Scenario.fingerprint()`` + method + canonical options (the PR 4
+    cache keys).  Killing the driver and re-running with the same
+    checkpoint resumes exactly where it died — journaled shards are
+    byte-exact array round-trips, so the resumed result is bit-identical
+    to an uninterrupted run.
+:func:`solve_isolated`
+    The per-scenario last resort shared with the facade's
+    ``solve_stack(errors="isolate")`` path: every scenario is solved
+    alone, failures become records, failed rows are NaN.
+
+Every recovery path here is exercised by the deterministic
+fault-injection harness (:mod:`repro.engine.faults`) in
+``tests/test_faults.py`` — the faulted run must match the fault-free
+run to ≤1e-10.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from . import faults
+from .backends import (
+    _solve_shard,
+    get_backend,
+    scenario_offset,
+    shard_bounds,
+    _concat_results,
+    _scenario_offset,
+)
+from .batched import BatchedMVAResult, ScenarioFailure
+from .sweep import parallel_map, resolve_workers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..solvers.registry import SolverSpec
+    from ..solvers.scenario import Scenario
+
+__all__ = [
+    "ResilientBackend",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "solve_isolated",
+]
+
+#: Journal-format version; bumped whenever the record layout changes so
+#: stale checkpoints are recomputed instead of misread.
+_CHECKPOINT_VERSION = "repro-checkpoint-v1"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry and backoff knobs for the resilient execution path.
+
+    Attributes
+    ----------
+    max_retries:
+        Sharded-stage retries after the first attempt (so the stack is
+        tried at most ``max_retries + 1`` times before degrading).
+    backoff_base:
+        Sleep before the first retry, in seconds.
+    backoff_multiplier:
+        Exponential growth factor of successive backoffs.
+    backoff_max:
+        Upper bound on any single backoff sleep.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds; a shard exceeding it is
+        treated like a crashed worker (``None`` disables the timeout).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 2.0
+    shard_timeout: float | None = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
+
+    def backoff(self, retry_number: int) -> float:
+        """Sleep before retry ``retry_number`` (1-based), capped."""
+        if retry_number < 1:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** (retry_number - 1),
+        )
+
+
+def _failure_record(
+    scenario: "Scenario", index: int, solver: str, exc: BaseException, retries: int
+) -> ScenarioFailure:
+    try:
+        fingerprint = scenario.fingerprint()
+    except Exception:
+        # A demand model broken enough to fail fingerprinting still gets
+        # a record — the index and error keep it actionable.
+        fingerprint = "<unavailable>"
+    return ScenarioFailure(
+        index=index,
+        fingerprint=fingerprint,
+        solver=solver,
+        error=f"{type(exc).__name__}: {exc}",
+        retries=retries,
+    )
+
+
+def solve_isolated(
+    spec: "SolverSpec",
+    scenarios: Sequence["Scenario"],
+    options: Mapping[str, Any],
+    retries: int = 0,
+) -> BatchedMVAResult:
+    """Solve each scenario alone, isolating failures instead of aborting.
+
+    The per-scenario last resort behind ``solve_stack(errors="isolate")``
+    and the final stage of :class:`ResilientBackend`: successful
+    scenarios get exactly the rows the ``serial`` backend would produce
+    (same scalar solver, same order); failed scenarios contribute NaN
+    rows plus a :class:`ScenarioFailure` record.  ``retries`` stamps the
+    records with how many recovery attempts preceded isolation.
+    """
+    scenarios = list(scenarios)
+    offset = _scenario_offset()
+    n = scenarios[0].max_population
+    k = len(scenarios[0].station_names)
+    s = len(scenarios)
+    results: dict[int, Any] = {}
+    failures: list[ScenarioFailure] = []
+    for i, sc in enumerate(scenarios):
+        try:
+            faults.maybe_inject("kernel", scenario=offset + i)
+            results[i] = spec.solve(sc, **dict(options))
+        except Exception as exc:
+            failures.append(_failure_record(sc, i, spec.name, exc, retries))
+
+    populations = np.arange(1, n + 1)
+    throughput = np.full((s, n), np.nan)
+    response_time = np.full((s, n), np.nan)
+    queue_lengths = np.full((s, n, k), np.nan)
+    residence_times = np.full((s, n, k), np.nan)
+    utilizations = np.full((s, n, k), np.nan)
+    demands = np.full((s, n, k), np.nan)
+    have_demands = bool(results)
+    for i, r in results.items():
+        throughput[i] = r.throughput
+        response_time[i] = r.response_time
+        queue_lengths[i] = r.queue_lengths
+        residence_times[i] = r.residence_times
+        utilizations[i] = r.utilizations
+        if r.demands_used is None:
+            have_demands = False
+        else:
+            demands[i] = r.demands_used
+    first = next(iter(results.values()), None)
+    return BatchedMVAResult(
+        populations=first.populations if first is not None else populations,
+        throughput=throughput,
+        response_time=response_time,
+        queue_lengths=queue_lengths,
+        residence_times=residence_times,
+        utilizations=utilizations,
+        station_names=scenarios[0].station_names,
+        think_times=np.array([sc.think for sc in scenarios]),
+        solver=f"stacked-{first.solver}" if first is not None else spec.name,
+        demands_used=demands if have_demands else None,
+        backend="serial",
+        failures=tuple(failures),
+    )
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed shards for crash-safe sweeps.
+
+    Each record is one line of JSON holding a content-addressed shard
+    key (:meth:`shard_key` — scenario fingerprints + method + canonical
+    options, the same identity the solver cache uses), a SHA-256 of the
+    payload, and the shard's :class:`BatchedMVAResult` arrays as a
+    base64 ``.npz`` blob.  The array round-trip is lossless, so a
+    resumed sweep reassembles *bit-identical* results from journaled
+    shards.  Loading tolerates a torn tail (the line a killed driver was
+    writing) and corrupted records by skipping anything that fails JSON
+    parsing or the checksum — those shards are simply re-solved.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    @staticmethod
+    def shard_key(
+        method: str,
+        options: Mapping[str, Any],
+        fingerprints: Sequence[str],
+    ) -> str | None:
+        """Content hash identifying one shard's solve request.
+
+        ``None`` when the options cannot be canonicalized (callables) —
+        such shards are solved but not journaled, exactly mirroring the
+        result cache's uncacheable rule.
+        """
+        from ..solvers.cache import canonical_options
+
+        opts = canonical_options(options)
+        if opts is None or options.get("demand_axis") == "throughput":
+            return None
+        h = hashlib.sha256()
+        h.update(_CHECKPOINT_VERSION.encode("ascii"))
+        h.update(method.encode("utf-8"))
+        h.update(repr(opts).encode("utf-8"))
+        for fp in fingerprints:
+            h.update(fp.encode("ascii"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def load(self) -> dict[str, BatchedMVAResult]:
+        """All valid journaled shards, keyed by shard key (latest wins)."""
+        completed: dict[str, BatchedMVAResult] = {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except (FileNotFoundError, OSError):
+            return completed
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("version") != _CHECKPOINT_VERSION:
+                    continue
+                raw = base64.b64decode(record["payload"].encode("ascii"))
+                if hashlib.sha256(raw).hexdigest() != record["sha256"]:
+                    continue
+                completed[record["key"]] = self._decode(record["meta"], raw)
+            except Exception:
+                continue  # torn tail or corrupted record: re-solve that shard
+        return completed
+
+    def record(self, key: str | None, part: BatchedMVAResult) -> None:
+        """Append one completed shard (no-op for unkeyed/failed parts)."""
+        if key is None or part.failures:
+            return
+        meta, raw = self._encode(part)
+        record = {
+            "version": _CHECKPOINT_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(raw).hexdigest(),
+            "meta": meta,
+            "payload": base64.b64encode(raw).decode("ascii"),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="ascii") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            fh.flush()
+            try:
+                os.fsync(fh.fileno())
+            except OSError:  # pragma: no cover - fsync-less filesystems
+                pass
+
+    @staticmethod
+    def _encode(part: BatchedMVAResult) -> tuple[dict, bytes]:
+        arrays = {
+            "populations": part.populations,
+            "throughput": part.throughput,
+            "response_time": part.response_time,
+            "queue_lengths": part.queue_lengths,
+            "residence_times": part.residence_times,
+            "utilizations": part.utilizations,
+            "think_times": part.think_times,
+        }
+        if part.demands_used is not None:
+            arrays["demands_used"] = part.demands_used
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        meta = {
+            "solver": part.solver,
+            "backend": part.backend,
+            "station_names": list(part.station_names),
+        }
+        return meta, buf.getvalue()
+
+    @staticmethod
+    def _decode(meta: Mapping, raw: bytes) -> BatchedMVAResult:
+        with np.load(io.BytesIO(raw), allow_pickle=False) as data:
+            return BatchedMVAResult(
+                populations=data["populations"],
+                throughput=data["throughput"],
+                response_time=data["response_time"],
+                queue_lengths=data["queue_lengths"],
+                residence_times=data["residence_times"],
+                utilizations=data["utilizations"],
+                station_names=tuple(meta["station_names"]),
+                think_times=data["think_times"],
+                solver=str(meta["solver"]),
+                demands_used=data["demands_used"] if "demands_used" in data else None,
+                backend=meta.get("backend"),
+            )
+
+
+class ResilientBackend:
+    """The sharded → batched → serial graceful-degradation chain.
+
+    Implements the :class:`~repro.engine.backends.ExecutionBackend`
+    protocol.  Execution proceeds in stages, and only *failed* work is
+    ever redone:
+
+    1. **Sharded attempts** — contiguous shards fan out over
+       :func:`~repro.engine.sweep.parallel_map` workers with the
+       policy's per-shard timeout; shards whose worker crashes
+       (``BrokenProcessPool``), wedges (timeout) or errors are retried
+       with exponential backoff, in a fresh pool, up to
+       ``policy.max_retries`` times.  Completed shards are journaled to
+       the checkpoint (if any) as they land.
+    2. **In-process degradation** — shards that exhaust their retries
+       are re-solved in the driver: first through the method's batched
+       kernel (if registered), then through the serial per-scenario
+       loop.
+    3. **Per-scenario isolation** — scenarios that still fail are
+       raised (``errors="raise"``) or recorded as
+       :class:`~repro.engine.batched.ScenarioFailure` entries with NaN
+       result rows (``errors="isolate"``) via :func:`solve_isolated`.
+
+    The attempt counter published to :mod:`repro.engine.faults` is
+    monotone across stages, so a deterministic fault armed for attempt 0
+    fires exactly once and every later stage observes a healthy system —
+    which is what makes recovery-parity tests exact.
+    """
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        policy: RetryPolicy | None = None,
+        checkpoint: SweepCheckpoint | str | os.PathLike | None = None,
+        errors: str = "raise",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if errors not in ("raise", "isolate"):
+            raise ValueError(f"errors must be 'raise' or 'isolate', got {errors!r}")
+        self.workers = workers
+        self.policy = policy if policy is not None else RetryPolicy()
+        if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
+            checkpoint = SweepCheckpoint(checkpoint)
+        self.checkpoint = checkpoint
+        self.errors = errors
+        self._sleep = sleep
+
+    def run(self, spec, scenarios, options):
+        policy = self.policy
+        scenarios = list(scenarios)
+        bounds = shard_bounds(len(scenarios), self.workers)
+        child_backend = "batched" if spec.batched_kernel else "serial"
+        parts: dict[int, BatchedMVAResult] = {}
+        retries: dict[int, int] = {i: 0 for i, _, _ in bounds}
+        keys: dict[int, str | None] = {}
+
+        if self.checkpoint is not None:
+            completed = self.checkpoint.load()
+            for i, start, stop in bounds:
+                key = self.checkpoint.shard_key(
+                    spec.name,
+                    options,
+                    [sc.fingerprint() for sc in scenarios[start:stop]],
+                )
+                keys[i] = key
+                part = completed.get(key) if key is not None else None
+                if part is not None and part.n_scenarios == stop - start:
+                    parts[i] = part
+
+        pending = [b for b in bounds if b[0] not in parts]
+        payload = (spec.name, child_backend, scenarios, dict(options))
+        attempt = 0
+        try:
+            # Stage 1: sharded fan-out with bounded retry + backoff.
+            # Skipped when only one worker/shard is available — there is
+            # no pool whose failures the retries would be covering.
+            if resolve_workers(self.workers) > 1 and len(bounds) > 1:
+                while pending and attempt <= policy.max_retries:
+                    if attempt:
+                        self._sleep(policy.backoff(attempt))
+                    faults.set_attempt(attempt)
+                    outs = parallel_map(
+                        _solve_shard,
+                        pending,
+                        workers=len(pending),
+                        payload=payload,
+                        timeout=policy.shard_timeout,
+                        return_exceptions=True,
+                    )
+                    still_failed = []
+                    for shard, out in zip(pending, outs):
+                        if isinstance(out, BaseException):
+                            retries[shard[0]] += 1
+                            still_failed.append(shard)
+                        else:
+                            parts[shard[0]] = out
+                            if self.checkpoint is not None:
+                                self.checkpoint.record(keys.get(shard[0]), out)
+                    pending = still_failed
+                    attempt += 1
+
+            # Stage 2/3: in-process degradation, then isolation.
+            for i, start, stop in pending:
+                sub = scenarios[start:stop]
+                part = None
+                last_exc: BaseException | None = None
+                chain = ["batched"] if spec.batched_kernel else []
+                chain.append("serial")
+                with scenario_offset(start):
+                    for backend_name in chain:
+                        faults.set_attempt(attempt)
+                        attempt += 1
+                        try:
+                            part = get_backend(backend_name).run(spec, sub, options)
+                            break
+                        except Exception as exc:
+                            retries[i] += 1
+                            last_exc = exc
+                    if part is None:
+                        faults.set_attempt(attempt)
+                        attempt += 1
+                        if self.errors != "isolate":
+                            raise last_exc
+                        part = solve_isolated(spec, sub, options, retries=retries[i])
+                parts[i] = part
+                if self.checkpoint is not None:
+                    self.checkpoint.record(keys.get(i), part)
+        finally:
+            faults.set_attempt(0)
+
+        ordered = [parts[i] for i, _, _ in bounds]
+        return _concat_results(ordered, self.name)

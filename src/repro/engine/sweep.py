@@ -38,12 +38,25 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from ..simulation.rng import spawn_seeds
 
 __all__ = ["ScenarioGrid", "parallel_map", "resolve_workers", "spawn_seeds"]
+
+#: Exceptions that mean "the pool plumbing failed", not "the task failed":
+#: unpicklable tasks/results, sandboxed environments, crashed workers.
+#: Items that hit these are recomputed serially in the parent.
+_INFRA_ERRORS = (
+    BrokenProcessPool,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    OSError,
+)
 
 #: Fork-inherited context for the currently running :func:`parallel_map`.
 _PAYLOAD: Any = None
@@ -63,11 +76,30 @@ def resolve_workers(workers: int | None) -> int:
     return int(workers)
 
 
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Give up on a pool whose workers may be wedged, without blocking.
+
+    Terminates the worker processes (guarded — ``_processes`` is
+    CPython-private) so a hung task cannot keep the interpreter alive,
+    then requests a non-blocking shutdown.  Pending futures surface
+    ``BrokenProcessPool``/cancellation, which the caller already treats
+    as per-item infrastructure failures.
+    """
+    try:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+    except Exception:
+        pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def parallel_map(
     fn: Callable,
     items: Sequence,
     workers: int | None = 1,
     payload: Any = None,
+    timeout: float | None = None,
+    return_exceptions: bool = False,
 ) -> list:
     """Apply ``fn(item, payload)`` to every item, results in input order.
 
@@ -80,6 +112,24 @@ def parallel_map(
     each ``item``/result picklable for the parallel path; the serial
     fallback has no such requirement.
 
+    Failure handling distinguishes *infrastructure* failures from *task*
+    failures:
+
+    * a crashed worker (``BrokenProcessPool`` — the OOM-killer model), an
+      unpicklable task/result, or an item exceeding ``timeout`` seconds
+      is an infrastructure failure — the item is recomputed serially in
+      the parent (a hung pool is abandoned first, so a wedged worker
+      cannot stall the run);
+    * an exception raised *by* ``fn`` is a task failure and propagates
+      unchanged — deterministic errors must not be blindly retried.
+
+    With ``return_exceptions=True`` neither is retried or raised:
+    failed items come back as their exception objects in the results
+    list, which is how :class:`repro.engine.resilience.ResilientBackend`
+    implements its own retry/backoff policy on top of this primitive.
+    ``KeyboardInterrupt`` always cancels outstanding work and shuts the
+    pool down without waiting before re-raising.
+
     The function itself introduces no nondeterminism: task inputs are
     fixed before dispatch and outputs are reassembled in input order, so
     any ``workers`` value produces identical results for pure tasks.
@@ -87,22 +137,74 @@ def parallel_map(
     global _PAYLOAD
     items = list(items)
     n_workers = min(resolve_workers(workers), len(items))
-    if n_workers <= 1:
-        return [fn(item, payload) for item in items]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        return [fn(item, payload) for item in items]
+    serial = n_workers <= 1
+    if not serial:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            serial = True
+    if serial:
+        if not return_exceptions:
+            return [fn(item, payload) for item in items]
+        results = []
+        for item in items:
+            try:
+                results.append(fn(item, payload))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    previous_payload = _PAYLOAD
     _PAYLOAD = payload
+    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=context)
+    abandoned = False
     try:
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=context) as pool:
+        try:
             futures = [pool.submit(_invoke, fn, item) for item in items]
-            return [future.result() for future in futures]
-    except (pickle.PicklingError, AttributeError, TypeError, OSError):
-        # Unpicklable task/result or a broken pool: recompute serially.
-        return [fn(item, payload) for item in items]
+        except _INFRA_ERRORS:
+            # Submission itself failed (e.g. unpicklable fn): all serial.
+            if return_exceptions:
+                return parallel_map(fn, items, workers=1, payload=payload,
+                                    return_exceptions=True)
+            return [fn(item, payload) for item in items]
+        results: list = [None] * len(items)
+        failed: dict[int, BaseException] = {}
+        for i, future in enumerate(futures):
+            if abandoned and not future.done():
+                failed[i] = TimeoutError(
+                    f"task {i} abandoned after a pool timeout"
+                )
+                continue
+            try:
+                results[i] = future.result(timeout=timeout)
+            except (FuturesTimeoutError, TimeoutError):
+                failed[i] = TimeoutError(
+                    f"task {i} exceeded the {timeout}s pool timeout"
+                )
+                # The worker may be wedged; never block on it again.
+                _abandon_pool(pool)
+                abandoned = True
+            except _INFRA_ERRORS as exc:
+                failed[i] = exc
+            except Exception as exc:
+                if return_exceptions:
+                    failed[i] = exc
+                else:
+                    raise  # a task failure: propagate unchanged
+        for i, exc in failed.items():
+            if return_exceptions:
+                results[i] = exc
+            else:
+                # Infrastructure failure: recompute the item in-parent.
+                results[i] = fn(items[i], payload)
+        return results
+    except KeyboardInterrupt:
+        _abandon_pool(pool)
+        raise
     finally:
-        _PAYLOAD = None
+        if not abandoned:
+            pool.shutdown(wait=False, cancel_futures=True)
+        _PAYLOAD = previous_payload
 
 
 @dataclass(frozen=True)

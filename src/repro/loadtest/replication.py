@@ -171,6 +171,7 @@ def run_replicated_sweep(
     duration: float = 200.0,
     seed: int = 0,
     workers: int | None = 1,
+    timeout: float | None = None,
 ) -> ReplicatedSweep:
     """Run R independent sweeps with SeedSequence-derived seeds.
 
@@ -179,7 +180,10 @@ def run_replicated_sweep(
     dispatched, so the result is bit-identical for every ``workers``
     value — ``workers > 1`` fans the replications out over a process
     pool (:func:`repro.engine.sweep.parallel_map`), ``workers=None``
-    uses one worker per CPU core.
+    uses one worker per CPU core.  ``timeout`` bounds each
+    replication's wall-clock seconds in the pool; replications whose
+    worker crashes or exceeds the budget are recomputed serially in the
+    parent (determinism is unaffected — seeds are fixed up front).
     """
     from ..engine.sweep import parallel_map  # runtime import: engine builds on loadtest
 
@@ -189,7 +193,9 @@ def run_replicated_sweep(
     tasks = [
         (level_key, duration, s) for s in spawn_seeds(seed, replications)
     ]
-    pieces = parallel_map(_replication_task, tasks, workers=workers, payload=application)
+    pieces = parallel_map(
+        _replication_task, tasks, workers=workers, payload=application, timeout=timeout
+    )
     sweeps = tuple(
         LoadTestSweep(application=application, levels=lvls, runs=runs)
         for lvls, runs in pieces

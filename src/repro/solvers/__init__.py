@@ -59,6 +59,7 @@ from .facade import (  # noqa: F401
     solve,
     solve_stack,
 )
+from ..engine.batched import ScenarioFailure  # noqa: F401  (failure records)
 from . import builtin  # noqa: F401  (registers the built-in solvers)
 
 __all__ = [
@@ -67,6 +68,7 @@ __all__ = [
     "DuplicateSolverError",
     "EXACT_POPULATION_LIMIT",
     "Scenario",
+    "ScenarioFailure",
     "SolverCache",
     "SolverCapabilityError",
     "SolverInputError",

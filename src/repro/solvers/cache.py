@@ -75,11 +75,20 @@ class CacheStats:
     uncacheable: int = 0
     size: int = 0
     maxsize: int = DEFAULT_MAXSIZE
+    #: Internal cache failures (corrupted entries, unhashable keys,
+    #: freezing errors) that degraded to a miss instead of propagating.
+    errors: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __getitem__(self, name: str):
+        """Counter access by name, e.g. ``cache_stats()["errors"]``."""
+        if name not in {f.name for f in fields(self)}:
+            raise KeyError(name)
+        return getattr(self, name)
 
 
 def canonical_options(options: Mapping[str, object]) -> tuple | None:
@@ -152,6 +161,12 @@ class SolverCache:
     Keys are built by the facade from ``(kind, fingerprint(s), method,
     backend, canonical options)``; values are the solver-result objects
     themselves, frozen on insertion.
+
+    The cache is an *optimization*, never a correctness dependency: any
+    internal failure in :meth:`get`/:meth:`put` (a corrupted entry, an
+    unhashable key, a freezing error) degrades to a counted miss — the
+    ``errors`` counter in :meth:`stats` — and the caller recomputes.  A
+    broken cache can slow ``solve()`` down but can never make it fail.
     """
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
@@ -164,29 +179,65 @@ class SolverCache:
         self._misses = 0
         self._evictions = 0
         self._uncacheable = 0
+        self._errors = 0
+
+    def _note_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+            self._misses += 1
 
     def get(self, key):
-        """The cached result for ``key``, or ``None`` (counted as a miss)."""
-        with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                self._misses += 1
-                return None
-            self._data.move_to_end(key)
-            self._hits += 1
-            return value
+        """The cached result for ``key``, or ``None`` (counted as a miss).
+
+        Never raises: internal failures degrade to a miss and bump the
+        ``errors`` counter.
+        """
+        try:
+            self._fault_hook("cache")
+            with self._lock:
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    self._misses += 1
+                    return None
+                self._data.move_to_end(key)
+                self._hits += 1
+                return value
+        except Exception:
+            self._note_error()
+            return None
 
     def put(self, key, result) -> None:
-        """Insert ``result``, freezing its arrays; evicts LRU entries."""
-        _freeze(result)
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-            self._data[key] = result
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self._evictions += 1
+        """Insert ``result``, freezing its arrays; evicts LRU entries.
+
+        Never raises: internal failures are dropped (the entry simply is
+        not cached) and bump the ``errors`` counter.
+        """
+        try:
+            self._fault_hook("cache")
+            _freeze(result)
+            with self._lock:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                self._data[key] = result
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+        except Exception:
+            with self._lock:
+                self._errors += 1
+
+    @staticmethod
+    def _fault_hook(point: str) -> None:
+        """Injection point for the deterministic fault harness.
+
+        ``corrupt-cache-entry`` faults raise here, exercising the
+        degrade-to-miss guard above.  Deferred import so this module
+        stays importable before the engine package initializes.
+        """
+        from ..engine.faults import maybe_inject
+
+        maybe_inject(point)
 
     def note_uncacheable(self) -> None:
         """Count a request the facade could not build a key for."""
@@ -197,7 +248,8 @@ class SolverCache:
         """Drop all entries and reset the counters."""
         with self._lock:
             self._data.clear()
-            self._hits = self._misses = self._evictions = self._uncacheable = 0
+            self._hits = self._misses = self._evictions = 0
+            self._uncacheable = self._errors = 0
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -208,6 +260,7 @@ class SolverCache:
                 uncacheable=self._uncacheable,
                 size=len(self._data),
                 maxsize=self.maxsize,
+                errors=self._errors,
             )
 
     def __len__(self) -> int:

@@ -64,7 +64,14 @@ EXACT_MULTICLASS_LATTICE_LIMIT = 250_000
 #: pickle-back overhead beats the per-scenario savings.
 AUTO_SHARD_THRESHOLD = 1024
 
-_STACK_BACKENDS = ("auto", "scalar", "serial", "batched", "process-sharded")
+_STACK_BACKENDS = (
+    "auto",
+    "scalar",
+    "serial",
+    "batched",
+    "process-sharded",
+    "resilient",
+)
 
 
 class SolverCapabilityError(SolverInputError):
@@ -164,6 +171,9 @@ def solve(
     backend: str = "auto",
     cache=USE_DEFAULT_CACHE,
     workers: int | None = None,
+    errors: str = "raise",
+    retry_policy=None,
+    checkpoint=None,
     **options: Any,
 ):
     """Solve one scenario (or a stack) with a registered method.
@@ -196,7 +206,20 @@ def solve(
     """
     if not isinstance(scenario, Scenario):
         return solve_stack(
-            scenario, method=method, backend=backend, cache=cache, workers=workers, **options
+            scenario,
+            method=method,
+            backend=backend,
+            cache=cache,
+            workers=workers,
+            errors=errors,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
+            **options,
+        )
+    if errors != "raise" or retry_policy is not None or checkpoint is not None:
+        raise SolverInputError(
+            "solve: errors/retry_policy/checkpoint apply to scenario stacks; "
+            "pass a sequence of scenarios (or call solve_stack)"
         )
     if backend not in ("auto", "scalar", "serial", "batched"):
         raise SolverInputError(
@@ -297,6 +320,9 @@ def solve_stack(
     backend: str = "auto",
     cache=USE_DEFAULT_CACHE,
     workers: int | None = None,
+    errors: str = "raise",
+    retry_policy=None,
+    checkpoint=None,
     **options: Any,
 ) -> BatchedMVAResult:
     """Solve a stack of topology-sharing scenarios in one shot.
@@ -308,9 +334,32 @@ def solve_stack(
     the stack reaches :data:`AUTO_SHARD_THRESHOLD` scenarios — callers
     never branch on the backend.  ``backend="batched"`` insists on a
     kernel; ``"serial"`` (alias ``"scalar"``) forces the per-scenario
-    loop; ``"process-sharded"`` forces the fan-out.  The result's
+    loop; ``"process-sharded"`` forces the fan-out; ``"resilient"``
+    routes through the :mod:`repro.engine.resilience` degradation chain
+    (sharded → batched → serial) with bounded retries.  The result's
     ``backend`` attribute records which one ran, and ``solver`` names
     the concrete method (``stacked-<name>`` for serial runs).
+
+    Fault-tolerance knobs
+    ---------------------
+    errors:
+        ``"raise"`` (default) propagates the first scenario failure;
+        ``"isolate"`` contains failures — failed scenarios become
+        :class:`~repro.engine.batched.ScenarioFailure` records on
+        ``result.failures`` with NaN trajectory rows, while every
+        healthy scenario keeps its exact result.
+    retry_policy:
+        A :class:`~repro.engine.resilience.RetryPolicy` bounding shard
+        retries, backoff and per-shard timeouts.  Implies
+        ``backend="resilient"``.
+    checkpoint:
+        Path (or :class:`~repro.engine.resilience.SweepCheckpoint`) of
+        an append-only journal of completed shards; re-running after a
+        crash re-solves only the missing shards and reassembles a
+        bit-identical result.  Implies ``backend="resilient"``.
+
+    Results carrying failures are never cached — a retry after fixing
+    the inputs must recompute, not replay the failure.
     """
     scenarios = list(scenarios)
     if not scenarios:
@@ -320,6 +369,10 @@ def solve_stack(
             raise SolverInputError(
                 f"solve_stack: expected Scenario instances, got {type(sc).__name__}"
             )
+    if errors not in ("raise", "isolate"):
+        raise SolverInputError(
+            f"solve_stack: errors must be 'raise' or 'isolate', got {errors!r}"
+        )
     _check_stackable(scenarios)
     name = _auto_stack_method(scenarios) if method == "auto" else method
     spec = get_solver(name)
@@ -328,6 +381,10 @@ def solve_stack(
             f"{spec.name}: only trajectory solvers can be stacked"
         )
     resolved = _resolve_backend(spec, len(scenarios), backend, workers)
+    if checkpoint is not None or retry_policy is not None:
+        # The retry/checkpoint machinery lives in the resilient backend;
+        # asking for either is asking for it.
+        resolved = "resilient"
     store = resolve_cache(cache)
     key = None
     if store is not None:
@@ -339,9 +396,26 @@ def solve_stack(
             hit = store.get(key)
             if hit is not None:
                 return hit
-    result = get_backend(resolved, workers=workers).run(spec, scenarios, options)
-    if result.backend != resolved:
+    if resolved == "resilient":
+        runner = get_backend(
+            "resilient",
+            workers=workers,
+            policy=retry_policy,
+            checkpoint=checkpoint,
+            errors=errors,
+        )
+        result = runner.run(spec, scenarios, options)
+    elif errors == "isolate":
+        try:
+            result = get_backend(resolved, workers=workers).run(spec, scenarios, options)
+        except Exception:
+            from ..engine.resilience import solve_isolated
+
+            result = solve_isolated(spec, scenarios, options)
+    else:
+        result = get_backend(resolved, workers=workers).run(spec, scenarios, options)
+    if not result.failures and result.backend != resolved:
         result = replace(result, backend=resolved)
-    if store is not None and key is not None:
+    if store is not None and key is not None and not result.failures:
         store.put(key, result)
     return result

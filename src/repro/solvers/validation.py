@@ -22,6 +22,7 @@ import numpy as np
 
 __all__ = [
     "SolverInputError",
+    "check_finite_demands",
     "resolve_demands",
     "resolve_demand_functions",
     "validate_population",
@@ -65,10 +66,30 @@ def resolve_demands(
             raise SolverInputError(
                 f"{solver}: expected {len(network)} demands, got shape {arr.shape}"
             )
-        if np.any(arr < 0):
-            raise SolverInputError(f"{solver}: demands must be non-negative")
-        return arr
-    return network.demands_at(level)
+        return check_finite_demands(arr, solver=solver)
+    return check_finite_demands(np.asarray(network.demands_at(level), dtype=float),
+                                solver=solver, context=f"at level {level:g}")
+
+
+def check_finite_demands(
+    arr: np.ndarray, *, solver: str = "solver", context: str = ""
+) -> np.ndarray:
+    """Reject NaN/Inf and negative demand values with a solver-named error.
+
+    The non-finite check must come first: NaN compares ``False`` against
+    ``0``, so a bare ``demands < 0`` guard silently admits NaN demands
+    and every downstream queue length, utilization and throughput turns
+    NaN instead of failing loudly at the boundary.
+    """
+    suffix = f" {context}" if context else ""
+    if not np.isfinite(arr).all():
+        bad = np.asarray(arr)[~np.isfinite(arr)][:4].tolist()
+        raise SolverInputError(
+            f"{solver}: demands must be finite{suffix}, got {bad}"
+        )
+    if np.any(arr < 0):
+        raise SolverInputError(f"{solver}: demands must be non-negative{suffix}")
+    return arr
 
 
 def resolve_demand_functions(

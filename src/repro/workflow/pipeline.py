@@ -140,6 +140,7 @@ def predict_performance_grid(
     application: Application,
     variants: Sequence[Mapping],
     workers: int | None = 1,
+    timeout: float | None = None,
     **common,
 ) -> list[PipelineReport]:
     """Run the Fig. 17 workflow for many configurations, fork-join style.
@@ -150,7 +151,9 @@ def predict_performance_grid(
     of :func:`predict_performance`.  Reports come back in variant order;
     ``workers > 1`` distributes the runs over a process pool, with
     results identical to the serial execution (each variant fixes its
-    own seed inputs up front).
+    own seed inputs up front).  ``timeout`` bounds each variant's
+    seconds in the pool; crashed or timed-out workers are recomputed
+    serially in the parent.
     """
     from ..engine.sweep import parallel_map  # runtime import: engine layering
 
@@ -158,7 +161,11 @@ def predict_performance_grid(
     if not variants:
         raise ValueError("need at least one variant")
     pieces = parallel_map(
-        _pipeline_task, variants, workers=workers, payload=(application, common)
+        _pipeline_task,
+        variants,
+        workers=workers,
+        payload=(application, common),
+        timeout=timeout,
     )
     return [
         PipelineReport(
