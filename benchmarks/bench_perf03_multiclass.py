@@ -1,0 +1,234 @@
+"""PERF-03 — batched multi-class kernels vs the per-scenario scalar loop.
+
+Times the PR-6 multi-class execution path on a what-if demand grid and
+records the results in ``BENCH_perf03.json`` at the repo root:
+
+* **Batched exact multi-class** — a 64-scenario demand-scaling grid
+  solved by ``solve_stack(method="exact-multiclass")`` through the
+  ``batched`` backend (one vectorized class-lattice walk for the whole
+  stack) vs the ``serial`` per-scenario loop.  Must agree to ≤1e-10
+  and, in full mode, be ≥3x faster.
+* **Batched multi-class MVASD** — the same grid with varying per-class
+  demand curves through ``batched-multiclass-mvasd``, parity-gated
+  against the scalar sweep.
+* **Masked isolation** — one scenario poisoned with a deterministic
+  kernel fault under ``errors="isolate"``: the failed row must come
+  back as a structured ``ScenarioFailure`` with NaN outputs while the
+  surviving rows are still solved by the batched kernel (backend
+  metadata says ``batched``, not a ``stacked-`` serial label) and match
+  the clean batched run bit-for-bit.
+
+Assertions gate on parity and routing always; the ≥3x speedup floor is
+enforced only in full mode (``REPRO_BENCH_QUICK=1`` shrinks class
+populations for the CI smoke job, where timings are recorded but too
+noisy to gate on).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.network import ClosedNetwork, Station
+from repro.engine import FaultPlan, faults
+from repro.solvers import Scenario, WorkloadClass, solve_stack
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf03.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+N_SCENARIOS = 64
+#: Class populations — the exact lattice costs prod_c (N_c + 1) points.
+POPULATIONS = (6, 5) if QUICK else (12, 10)
+POISONED_SCENARIO = 5
+
+
+def _three_tier() -> ClosedNetwork:
+    return ClosedNetwork(
+        [
+            Station("web", demand=0.04),
+            Station("app", demand=0.06),
+            Station("db", demand=0.05),
+        ],
+        think_time=1.0,
+    )
+
+
+def _constant_stack(network) -> list[Scenario]:
+    n = sum(POPULATIONS)
+    scales = np.linspace(0.7, 1.3, N_SCENARIOS)
+    stack = []
+    for s in scales:
+        classes = (
+            WorkloadClass(
+                "browse",
+                POPULATIONS[0],
+                {"web": 0.040 * s, "app": 0.030 * s, "db": 0.020 * s},
+                think_time=1.0,
+            ),
+            WorkloadClass(
+                "buy",
+                POPULATIONS[1],
+                {"web": 0.015 * s, "app": 0.060 * s, "db": 0.050 * s},
+                think_time=0.5,
+            ),
+        )
+        stack.append(Scenario(network, n, classes=classes))
+    return stack
+
+
+class _Ramp:
+    """Picklable per-class demand curve (base demand + linear ramp)."""
+
+    def __init__(self, base: float, slope: float) -> None:
+        self.base = base
+        self.slope = slope
+
+    def __call__(self, total):
+        return self.base * (1.0 + self.slope * total)
+
+
+def _varying_stack(network) -> list[Scenario]:
+    n = sum(POPULATIONS)
+    scales = np.linspace(0.8, 1.2, N_SCENARIOS)
+    stack = []
+    for s in scales:
+        classes = (
+            WorkloadClass(
+                "browse",
+                POPULATIONS[0],
+                {
+                    "web": _Ramp(0.040 * s, 0.004),
+                    "app": _Ramp(0.030 * s, 0.002),
+                    "db": 0.020 * s,
+                },
+                think_time=1.0,
+            ),
+            WorkloadClass(
+                "buy",
+                POPULATIONS[1],
+                {"web": 0.015 * s, "app": _Ramp(0.060 * s, 0.003), "db": 0.050 * s},
+                think_time=0.5,
+            ),
+        )
+        stack.append(Scenario(network, n, classes=classes))
+    return stack
+
+
+def test_perf03_multiclass_batched_vs_scalar(emit):
+    network = _three_tier()
+
+    # -- leg 1: exact multi-class, batched kernel vs scalar loop --------------
+    stack = _constant_stack(network)
+    t0 = time.perf_counter()
+    serial = solve_stack(stack, method="exact-multiclass", backend="serial", cache=None)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = solve_stack(stack, method="exact-multiclass", backend="batched", cache=None)
+    t_batched = time.perf_counter() - t0
+
+    exact_diff = float(np.abs(batched.throughput - serial.throughput).max())
+    exact_speedup = t_serial / t_batched if t_batched > 0 else float("inf")
+
+    # The routing claim itself: auto must pick the kernel, not the loop.
+    auto = solve_stack(stack, cache=None)
+    assert auto.backend == "batched" and not auto.solver.startswith("stacked-")
+
+    # -- leg 2: multi-class MVASD (varying demands), same comparison ----------
+    vstack = _varying_stack(network)
+    t0 = time.perf_counter()
+    vserial = solve_stack(vstack, method="multiclass-mvasd", backend="serial", cache=None)
+    t_vserial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vbatched = solve_stack(vstack, method="multiclass-mvasd", backend="batched", cache=None)
+    t_vbatched = time.perf_counter() - t0
+
+    mvasd_diff = float(np.abs(vbatched.throughput - vserial.throughput).max())
+    mvasd_speedup = t_vserial / t_vbatched if t_vbatched > 0 else float("inf")
+
+    # -- leg 3: masked isolation keeps survivors on the batched kernel --------
+    plan = FaultPlan.parse(f"raise-in-kernel@scenario={POISONED_SCENARIO}")
+    with faults.injected(plan):
+        isolated = solve_stack(
+            stack,
+            method="exact-multiclass",
+            backend="batched",
+            cache=None,
+            errors="isolate",
+        )
+    survivors = [i for i in range(N_SCENARIOS) if i != POISONED_SCENARIO]
+
+    cores = os.cpu_count() or 1
+    payload = {
+        "bench": "perf03_multiclass",
+        "quick_mode": QUICK,
+        "host_cpu_cores": cores,
+        "exact_multiclass": {
+            "scenarios": N_SCENARIOS,
+            "class_populations": list(POPULATIONS),
+            "lattice_points": int(np.prod([p + 1 for p in POPULATIONS])),
+            "stations": len(network),
+            "serial_seconds": round(t_serial, 4),
+            "batched_seconds": round(t_batched, 4),
+            "speedup": round(exact_speedup, 2),
+            "max_abs_throughput_diff": exact_diff,
+            "solver_labels": [serial.solver, batched.solver],
+        },
+        "multiclass_mvasd": {
+            "scenarios": N_SCENARIOS,
+            "max_total_population": sum(POPULATIONS),
+            "serial_seconds": round(t_vserial, 4),
+            "batched_seconds": round(t_vbatched, 4),
+            "speedup": round(mvasd_speedup, 2),
+            "max_abs_throughput_diff": mvasd_diff,
+        },
+        "masked_isolation": {
+            "poisoned_scenario": POISONED_SCENARIO,
+            "backend": isolated.backend,
+            "failed_indices": list(isolated.failed_indices),
+            "survivors_bit_identical": bool(
+                np.array_equal(
+                    isolated.throughput[survivors], batched.throughput[survivors]
+                )
+            ),
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "\n".join(
+            [
+                "PERF-03 — multi-class batched kernels",
+                f"Exact multi-class: {N_SCENARIOS} scenarios, classes "
+                f"{POPULATIONS}, K={len(network)} (host cores: {cores})",
+                f"  serial loop: {t_serial:.3f}s   batched kernel: {t_batched:.3f}s   "
+                f"speedup: {exact_speedup:.1f}x   max |dX|: {exact_diff:.2e}",
+                f"Multi-class MVASD: {N_SCENARIOS} scenarios x "
+                f"N={sum(POPULATIONS)} totals",
+                f"  serial loop: {t_vserial:.3f}s   batched kernel: {t_vbatched:.3f}s   "
+                f"speedup: {mvasd_speedup:.1f}x   max |dX|: {mvasd_diff:.2e}",
+                f"Masked isolation: scenario {POISONED_SCENARIO} poisoned -> "
+                f"backend={isolated.backend}, failures={isolated.failed_indices}",
+            ]
+        )
+    )
+
+    # Parity and routing gates (always); speedup floor in full mode only.
+    assert exact_diff <= 1e-10, "batched exact-multiclass diverged from the scalar loop"
+    assert mvasd_diff <= 1e-10, "batched multiclass-mvasd diverged from the scalar loop"
+    assert batched.solver == "batched-exact-multiclass"
+    assert serial.solver == "stacked-exact-multiclass"
+    assert isolated.backend == "batched", "isolation demoted survivors off the kernel"
+    assert isolated.failed_indices == (POISONED_SCENARIO,)
+    assert np.isnan(isolated.throughput[POISONED_SCENARIO]).all()
+    assert payload["masked_isolation"]["survivors_bit_identical"]
+    if not QUICK:
+        assert exact_speedup >= 3.0, (
+            f"batched exact-multiclass speedup {exact_speedup:.1f}x below the 3x floor"
+        )

@@ -231,6 +231,19 @@ def _cmd_solvers(_args) -> int:
     for spec in list_solvers():
         if spec.legacy:
             print(f"  {spec.name}: wraps {spec.legacy}")
+    kernel_less = [
+        s.name
+        for s in list_solvers()
+        if s.batched_kernel is None and s.returns in ("trajectory", "multiclass")
+    ]
+    if kernel_less:
+        print()
+        print(
+            "  note: stacks solved with "
+            + ", ".join(kernel_less)
+            + " fall back to a scalar per-scenario loop (solver label"
+            " 'stacked-<name>') — no batched kernel is registered for them."
+        )
     return 0
 
 

@@ -23,6 +23,7 @@ from .convolution import convolution_mva
 from .interval_mva import PredictionBand, band_from_estimates, interval_mva
 from .ld_mva import exact_load_dependent_mva, multiserver_rates
 from .linearizer import linearizer_amva, linearizer_multiserver_mva
+from .mom import method_of_moments, mom_state_count
 from .multiclass import MultiClassResult, exact_multiclass_mva
 from .multiclass_amva import MultiClassTrajectory, bard_schweitzer, multiclass_mvasd
 from .multiserver import MultiServerState, exact_multiserver_mva
@@ -60,6 +61,8 @@ __all__ = [
     "laws",
     "linearizer_amva",
     "linearizer_multiserver_mva",
+    "method_of_moments",
+    "mom_state_count",
     "multiclass_mvasd",
     "multiserver_rates",
     "mvasd",

@@ -1,0 +1,258 @@
+"""Method of Moments — exact multi-class analysis polynomial in population.
+
+The exact multi-class MVA of :mod:`repro.core.multiclass` walks the full
+population lattice, costing ``prod_c (N_c + 1)`` points — exponential in
+the number of classes and hopeless for realistic per-class populations.
+Casale's Method of Moments (MoM, arXiv:0902.3065) instead works with
+*normalizing constants of higher-order moments*: it relates the
+normalizing constant of the network to constants of companion networks
+with increased station multiplicities, yielding exact per-class
+throughputs and queue lengths in time polynomial in the total
+population for a fixed number of queueing stations.
+
+This module implements the moment recursion in its *unit-step
+population-constraint* form.  Split every customer into its own class
+(identical demands within an original class); adding one class-``c``
+customer to a network whose normalizing constant is tracked over
+station-multiplicity vectors ``v`` (``v_k`` = extra multiplicity of
+queueing station ``k``) satisfies exactly
+
+    ``g_t(v) = Z_c^eff * g_{t-1}(v) + sum_k (1 + v_k) D_{k,c} * g_{t-1}(v + e_k)``
+
+with base ``g_0(v) = 1``, where ``Z_c^eff`` folds the delay-station
+demands into the think time.  After all ``N`` customers are added,
+``g_N(0)`` is the (split-class) normalizing constant ``G``; one more
+run per class with a single class-``c`` customer removed gives
+
+    ``X_c = N_c * G(N - e_c) / G(N)``
+    ``Q_{k,c} = N_c * D_{k,c} * G^{+e_k}(N - e_c) / G(N)``
+
+(the ``prod_c N_c!`` split-class factors cancel in both ratios).  Each
+run touches the ``binom(N + K_q, K_q)`` multiplicity states of degree
+``<= N`` — polynomial in ``N`` for fixed queueing-station count
+``K_q`` — and needs only degrees ``<= N - t`` (+1 for the queue-length
+states) after ``t`` additions, so the per-step state set shrinks as the
+run progresses.  All recursion terms are non-negative (no subtractive
+cancellation); magnitudes are kept in range by per-step max
+normalization with the log-scale accumulated separately.
+
+Exactness is pinned against :func:`~repro.core.multiclass.exact_multiclass_mva`
+to 1e-8 on small lattices by the parity suite; the facade auto-selects
+``method-of-moments`` when the exact lattice exceeds
+``EXACT_MULTICLASS_LATTICE_LIMIT`` but the MoM state count stays
+feasible (see :func:`mom_state_count`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .multiclass import MultiClassResult
+
+__all__ = ["method_of_moments", "mom_state_count"]
+
+
+def mom_state_count(total_population: int, queue_stations: int) -> int:
+    """Multiplicity states a MoM run touches: ``binom(N + K_q, K_q)``.
+
+    The feasibility proxy for auto-selection — total work is roughly
+    ``N`` times this (one shrinking pass per customer), for ``C + 1``
+    runs.
+    """
+    return math.comb(int(total_population) + int(queue_stations), int(queue_stations))
+
+
+def _enumerate_states(kq: int, max_degree: int):
+    """Multiplicity vectors ``|v| <= max_degree`` over ``kq`` stations.
+
+    Returns ``(states, nbr, prefix)`` — the ``(P, kq)`` state array
+    ordered by (degree, lexicographic), the ``(P, kq)`` index of each
+    state's ``v + e_k`` neighbor (-1 past the horizon), and
+    ``prefix[d]`` = number of states with degree ``<= d``.
+    """
+    if kq == 0:
+        states = np.zeros((1, 0), dtype=np.int64)
+        nbr = np.zeros((1, 0), dtype=np.int64)
+        return states, nbr, [1] * (max_degree + 1)
+
+    def compose(total: int, parts: int):
+        if parts == 1:
+            yield (total,)
+            return
+        for first in range(total, -1, -1):
+            for rest in compose(total - first, parts - 1):
+                yield (first,) + rest
+
+    all_states: list[tuple[int, ...]] = []
+    prefix: list[int] = []
+    for deg in range(max_degree + 1):
+        all_states.extend(compose(deg, kq))
+        prefix.append(len(all_states))
+    index = {v: i for i, v in enumerate(all_states)}
+    states = np.array(all_states, dtype=np.int64)
+    nbr = np.full((len(all_states), kq), -1, dtype=np.int64)
+    for i, v in enumerate(all_states):
+        for kk in range(kq):
+            up = list(v)
+            up[kk] += 1
+            nbr[i, kk] = index.get(tuple(up), -1)
+    return states, nbr, prefix
+
+
+def _pc_run(
+    seq: Sequence[int],
+    states: np.ndarray,
+    nbr: np.ndarray,
+    prefix: Sequence[int],
+    z_eff: np.ndarray,
+    d_queue: np.ndarray,
+    max_degree: int,
+    need_degree: int,
+) -> tuple[np.ndarray, float]:
+    """Add the customers of ``seq`` one by one; return ``(g, logscale)``.
+
+    ``g[i] * exp(logscale)`` is the normalizing constant of the added
+    customers with station multiplicities raised by ``states[i]``;
+    ``need_degree`` is the highest multiplicity degree the caller reads
+    at the end (0 for a throughput run, 1 for queue-length extraction).
+    """
+    kq = states.shape[1]
+    g = np.ones(len(states))
+    logscale = 0.0
+    t_final = len(seq)
+    for t, ci in enumerate(seq, start=1):
+        limit = min(max_degree, t_final - t + need_degree)
+        p = prefix[limit]
+        new = z_eff[ci] * g[:p]
+        for kk in range(kq):
+            new = new + (1.0 + states[:p, kk]) * d_queue[kk, ci] * g[nbr[:p, kk]]
+        m = float(new.max())
+        if not np.isfinite(m) or m <= 0.0:
+            raise ArithmeticError(
+                "method-of-moments: normalizing-constant recursion degenerated "
+                "(a class with zero demand everywhere and zero think time?)"
+            )
+        g = new / m
+        logscale += math.log(m)
+    return g, logscale
+
+
+def method_of_moments(
+    demands: Sequence[Sequence[float]],
+    populations: Sequence[int],
+    think_times: Sequence[float],
+    station_names: Sequence[str] | None = None,
+    station_kinds: Sequence[str] | None = None,
+) -> MultiClassResult:
+    """Solve a multi-class closed network exactly via the Method of Moments.
+
+    Drop-in for :func:`~repro.core.multiclass.exact_multiclass_mva`
+    (same signature, same :class:`MultiClassResult`), but with cost
+    ``O(C * N * binom(N + K_q, K_q))`` — polynomial in the total
+    population ``N`` for a fixed number of queueing stations ``K_q`` —
+    instead of the lattice's ``prod_c (N_c + 1)``.  Use it when classes
+    are many or populations large; for tiny lattices the plain
+    recursion is faster.
+
+    Parameters
+    ----------
+    demands:
+        ``(K, C)`` matrix — demand of class ``c`` at station ``k``.
+    populations:
+        Class populations ``(N_1, ..., N_C)``.
+    think_times:
+        Per-class think times ``Z_c``.
+    station_names / station_kinds:
+        Optional labels and ``"queue"``/``"delay"`` flags (default all
+        queueing).
+    """
+    d = np.asarray(demands, dtype=float)
+    if d.ndim != 2:
+        raise ValueError(f"demands must be a (K, C) matrix, got shape {d.shape}")
+    if not np.isfinite(d).all():
+        raise ValueError("method-of-moments: demands must be finite")
+    if np.any(d < 0):
+        raise ValueError("demands must be non-negative")
+    k, c = d.shape
+    pops = tuple(int(p) for p in populations)
+    if len(pops) != c or any(p < 0 for p in pops):
+        raise ValueError(f"populations must be {c} non-negative integers, got {populations}")
+    z = np.asarray(think_times, dtype=float)
+    if z.shape != (c,) or np.any(z < 0):
+        raise ValueError(f"think_times must be {c} non-negative values")
+    names = tuple(station_names) if station_names else tuple(f"station-{i}" for i in range(k))
+    if len(names) != k:
+        raise ValueError(f"expected {k} station names")
+    kinds = tuple(station_kinds) if station_kinds else ("queue",) * k
+    if len(kinds) != k or any(kd not in ("queue", "delay") for kd in kinds):
+        raise ValueError("station_kinds must be 'queue'/'delay' per station")
+    is_queue = np.array([kd == "queue" for kd in kinds])
+
+    n_total = sum(pops)
+    if n_total == 0:
+        zero_c = np.zeros(c)
+        return MultiClassResult(
+            pops, zero_c, zero_c.copy(), np.zeros(k), np.zeros((k, c)),
+            np.zeros(k), names, tuple(z),
+        )
+
+    d_queue = d[is_queue]
+    kq = int(is_queue.sum())
+    # Delay stations fold into an effective think time — they only
+    # multiply the normalizing constant by a per-customer factor.
+    z_eff = z + d[~is_queue].sum(axis=0)
+
+    states, nbr, prefix = _enumerate_states(kq, n_total)
+    # index of the zero state and of each e_k state (for Q extraction)
+    idx_zero = 0
+    idx_e = np.arange(1, kq + 1) if kq else np.zeros(0, dtype=int)
+
+    full_seq = [ci for ci in range(c) for _ in range(pops[ci])]
+    g_full, log_full = _pc_run(
+        full_seq, states, nbr, prefix, z_eff, d_queue, n_total, need_degree=0
+    )
+    g0 = float(g_full[idx_zero])
+    if g0 <= 0.0:
+        raise ArithmeticError("method-of-moments: zero normalizing constant")
+
+    x_c = np.zeros(c)
+    q_kc = np.zeros((k, c))
+    r_kc = np.zeros((k, c))
+    for ci in range(c):
+        if pops[ci] == 0:
+            continue
+        seq = list(full_seq)
+        seq.remove(ci)
+        g_c, log_c = _pc_run(
+            seq, states, nbr, prefix, z_eff, d_queue, n_total, need_degree=1
+        )
+        # G(N - e_c)/G(N), with the per-run log scales re-applied.
+        scale = math.exp(log_c - log_full) / g0
+        x_c[ci] = pops[ci] * float(g_c[idx_zero]) * scale
+        if kq:
+            q_kc[is_queue, ci] = (
+                pops[ci] * d_queue[:, ci] * g_c[idx_e] * scale
+            )
+
+    # Delay-station queue lengths and residence times follow directly.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r_kc[is_queue] = np.where(
+            x_c[None, :] > 0, q_kc[is_queue] / x_c[None, :], 0.0
+        )
+    r_kc[~is_queue] = np.where(x_c[None, :] > 0, d[~is_queue], 0.0)
+    q_kc[~is_queue] = d[~is_queue] * x_c[None, :]
+
+    util = (d * x_c[np.newaxis, :]).sum(axis=1)
+    return MultiClassResult(
+        populations=pops,
+        throughput=x_c,
+        response_time=r_kc.sum(axis=0),
+        queue_lengths=q_kc.sum(axis=1),
+        queue_lengths_by_class=q_kc,
+        utilizations=util,
+        station_names=names,
+        think_times=tuple(z),
+    )

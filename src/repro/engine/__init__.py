@@ -37,9 +37,13 @@ from .backends import (
     shard_bounds,
 )
 from .batched import (
+    BatchedMultiClassResult,
+    BatchedMultiClassTrajectory,
     BatchedMVAResult,
     ScenarioFailure,
+    batched_exact_multiclass,
     batched_exact_mva,
+    batched_multiclass_mvasd,
     batched_mvasd,
     batched_schweitzer_amva,
     demand_matrix_stack,
@@ -50,12 +54,15 @@ from .resilience import (
     RetryPolicy,
     SweepCheckpoint,
     solve_isolated,
+    solve_isolated_batched,
 )
 from .sweep import ScenarioGrid, parallel_map, resolve_workers, spawn_seeds
 
 __all__ = [
     "BatchedBackend",
     "BatchedMVAResult",
+    "BatchedMultiClassResult",
+    "BatchedMultiClassTrajectory",
     "ExecutionBackend",
     "Fault",
     "FaultPlan",
@@ -68,7 +75,9 @@ __all__ = [
     "SerialBackend",
     "SweepCheckpoint",
     "backend_names",
+    "batched_exact_multiclass",
     "batched_exact_mva",
+    "batched_multiclass_mvasd",
     "batched_mvasd",
     "batched_schweitzer_amva",
     "demand_matrix_stack",
@@ -77,5 +86,6 @@ __all__ = [
     "resolve_workers",
     "shard_bounds",
     "solve_isolated",
+    "solve_isolated_batched",
     "spawn_seeds",
 ]

@@ -39,8 +39,12 @@ import numpy as np
 
 from . import faults
 from .batched import (
+    BatchedMultiClassResult,
+    BatchedMultiClassTrajectory,
     BatchedMVAResult,
+    batched_exact_multiclass,
     batched_exact_mva,
+    batched_multiclass_mvasd,
     batched_mvasd,
     batched_schweitzer_amva,
 )
@@ -87,6 +91,8 @@ class SerialBackend:
         for i, sc in enumerate(scenarios):
             faults.maybe_inject("kernel", scenario=_scenario_offset() + i)
             results.append(spec.solve(sc, **options))
+        if spec.returns == "multiclass":
+            return self._stack_multiclass(spec, scenarios, results)
         demands = [r.demands_used for r in results]
         return BatchedMVAResult(
             populations=results[0].populations,
@@ -104,6 +110,134 @@ class SerialBackend:
             backend=self.name,
         )
 
+    def _stack_multiclass(self, spec, scenarios, results):
+        # Multi-class scalar results carry no per-result solver label;
+        # the registry name is the concrete one.
+        solver = f"stacked-{spec.name}"
+        first = results[0]
+        if hasattr(first, "totals"):  # MultiClassTrajectory
+            return BatchedMultiClassTrajectory(
+                class_names=first.class_names,
+                station_names=first.station_names,
+                totals=first.totals,
+                populations=first.populations,
+                throughput=np.stack([r.throughput for r in results]),
+                response_time=np.stack([r.response_time for r in results]),
+                utilizations=np.stack([r.utilizations for r in results]),
+                think_times=np.asarray(first.think_times, dtype=float),
+                solver=solver,
+                backend=self.name,
+            )
+        return BatchedMultiClassResult(
+            populations=first.populations,
+            class_names=scenarios[0].class_names,
+            throughput=np.stack([r.throughput for r in results]),
+            response_time=np.stack([r.response_time for r in results]),
+            queue_lengths=np.stack([r.queue_lengths for r in results]),
+            queue_lengths_by_class=np.stack([r.queue_lengths_by_class for r in results]),
+            utilizations=np.stack([r.utilizations for r in results]),
+            station_names=first.station_names,
+            think_times=np.asarray(first.think_times, dtype=float),
+            solver=solver,
+            backend=self.name,
+        )
+
+
+def _kernel_input(spec: "SolverSpec", scenario: "Scenario") -> np.ndarray:
+    """The per-scenario input row the method's batched kernel consumes.
+
+    Extracting rows one scenario at a time (rather than inside the
+    kernel) is what lets the ``errors="isolate"`` path probe each
+    scenario independently and substitute a placeholder for poisoned
+    rows before the single vectorized call.
+    """
+    kernel = spec.batched_kernel
+    if kernel in ("exact-mva", "schweitzer-amva"):
+        return scenario.fixed_demands(spec.name)
+    if kernel == "mvasd":
+        return scenario.resolved_demand_matrix(spec.name)
+    if kernel == "exact-multiclass":
+        return scenario.multiclass_demand_matrix(spec.name)
+    if kernel == "multiclass-mvasd":
+        return scenario.multiclass_demand_tensor(spec.name)
+    from ..solvers.validation import SolverInputError
+
+    raise SolverInputError(f"{spec.name}: unknown batched kernel {kernel!r}")
+
+
+def _kernel_input_shape(spec: "SolverSpec", scenario: "Scenario") -> tuple[int, ...]:
+    """Shape of one kernel input row — for masked-out placeholder rows."""
+    k = len(scenario.network.stations)
+    n = scenario.max_population
+    kernel = spec.batched_kernel
+    if kernel in ("exact-mva", "schweitzer-amva"):
+        return (k,)
+    if kernel == "mvasd":
+        return (n, k)
+    c = len(scenario.classes) if scenario.is_multiclass else 0
+    if kernel == "exact-multiclass":
+        return (k, c)
+    return (n, k, c)
+
+
+def _run_kernel(spec, scenarios, rows, options, mask=None):
+    """One vectorized kernel call over pre-extracted input ``rows``.
+
+    ``mask`` (optional ``(S,)`` bool, ``True`` = solve) flows straight
+    into the kernel's in-recursion NaN masking — masked rows come back
+    all-NaN without demoting the healthy rows to a scalar loop.
+    """
+    first = scenarios[0]
+    kernel = spec.batched_kernel
+    if kernel in ("exact-multiclass", "multiclass-mvasd"):
+        if first.is_multiserver:
+            from ..solvers.facade import SolverCapabilityError
+
+            raise SolverCapabilityError(
+                f"{spec.name}: multi-class solvers take single-server/delay "
+                f"stations only — Seidmann-transform the network first "
+                f"(repro.core.amva.seidmann_transform)"
+            )
+        stack = np.stack(rows)
+        kinds = tuple(st.kind for st in first.network.stations)
+        if kernel == "exact-multiclass":
+            return batched_exact_multiclass(
+                stack,
+                populations=first.class_populations,
+                think_times=first.class_think_times,
+                station_names=first.station_names,
+                station_kinds=kinds,
+                class_names=first.class_names,
+                mask=mask,
+            )
+        return batched_multiclass_mvasd(
+            station_names=first.station_names,
+            class_names=first.class_names,
+            demand_tensors=stack,
+            mix=[float(p) for p in first.class_populations],
+            max_total_population=first.max_population,
+            think_times=first.class_think_times,
+            station_kinds=kinds,
+            mask=mask,
+        )
+    network = first.resolved_network()
+    n = first.max_population
+    think = np.array([sc.think for sc in scenarios])
+    stack = np.stack(rows)
+    if kernel == "exact-mva":
+        return batched_exact_mva(network, n, stack, think_times=think, mask=mask)
+    if kernel == "schweitzer-amva":
+        return batched_schweitzer_amva(network, n, stack, think_times=think, mask=mask)
+    # _kernel_input already rejected unknown kernels; "mvasd" is what's left.
+    return batched_mvasd(
+        network,
+        n,
+        stack,
+        single_server=bool(options.get("single_server", False)),
+        think_times=think,
+        mask=mask,
+    )
+
 
 class BatchedBackend:
     """One vectorized engine recursion for the whole stack."""
@@ -111,8 +245,6 @@ class BatchedBackend:
     name = "batched"
 
     def run(self, spec, scenarios, options):
-        from ..solvers.validation import SolverInputError
-
         if faults.active_plan() is not None:
             # A poisoned scenario takes the whole vectorized recursion
             # down with it — exactly the failure mode errors="isolate"
@@ -120,27 +252,8 @@ class BatchedBackend:
             offset = _scenario_offset()
             for i in range(len(scenarios)):
                 faults.maybe_inject("kernel", scenario=offset + i)
-        network = scenarios[0].resolved_network()
-        n = scenarios[0].max_population
-        think = np.array([sc.think for sc in scenarios])
-        kernel = spec.batched_kernel
-        if kernel == "exact-mva":
-            stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
-            result = batched_exact_mva(network, n, stack, think_times=think)
-        elif kernel == "schweitzer-amva":
-            stack = np.stack([sc.fixed_demands(spec.name) for sc in scenarios])
-            result = batched_schweitzer_amva(network, n, stack, think_times=think)
-        elif kernel == "mvasd":
-            matrices = np.stack([sc.resolved_demand_matrix(spec.name) for sc in scenarios])
-            result = batched_mvasd(
-                network,
-                n,
-                matrices,
-                single_server=bool(options.get("single_server", False)),
-                think_times=think,
-            )
-        else:  # pragma: no cover - registration error
-            raise SolverInputError(f"{spec.name}: unknown batched kernel {kernel!r}")
+        rows = [_kernel_input(spec, sc) for sc in scenarios]
+        result = _run_kernel(spec, scenarios, rows, options)
         return replace(result, backend=self.name)
 
 
@@ -208,15 +321,51 @@ def _solve_shard(bounds, payload):
         _SCENARIO_OFFSET = previous_offset
 
 
-def _concat_results(parts: Sequence[BatchedMVAResult], backend: str) -> BatchedMVAResult:
+def _concat_results(parts: Sequence[Any], backend: str):
     """Reassemble sharded sub-stack results along the scenario axis."""
     first = parts[0]
     demands = [p.demands_used for p in parts]
+    stacked_demands = (
+        None if any(d is None for d in demands) else np.concatenate(demands)
+    )
     failures = []
     offset = 0
     for p in parts:
         failures.extend(replace(f, index=offset + f.index) for f in p.failures)
         offset += p.n_scenarios
+    if isinstance(first, BatchedMultiClassTrajectory):
+        return BatchedMultiClassTrajectory(
+            class_names=first.class_names,
+            station_names=first.station_names,
+            totals=first.totals,
+            populations=first.populations,
+            throughput=np.concatenate([p.throughput for p in parts]),
+            response_time=np.concatenate([p.response_time for p in parts]),
+            utilizations=np.concatenate([p.utilizations for p in parts]),
+            think_times=first.think_times,
+            solver=first.solver,
+            demands_used=stacked_demands,
+            backend=backend,
+            failures=tuple(failures),
+        )
+    if isinstance(first, BatchedMultiClassResult):
+        return BatchedMultiClassResult(
+            populations=first.populations,
+            class_names=first.class_names,
+            throughput=np.concatenate([p.throughput for p in parts]),
+            response_time=np.concatenate([p.response_time for p in parts]),
+            queue_lengths=np.concatenate([p.queue_lengths for p in parts]),
+            queue_lengths_by_class=np.concatenate(
+                [p.queue_lengths_by_class for p in parts]
+            ),
+            utilizations=np.concatenate([p.utilizations for p in parts]),
+            station_names=first.station_names,
+            think_times=first.think_times,
+            solver=first.solver,
+            demands_used=stacked_demands,
+            backend=backend,
+            failures=tuple(failures),
+        )
     return BatchedMVAResult(
         populations=first.populations,
         throughput=np.concatenate([p.throughput for p in parts]),
@@ -227,7 +376,7 @@ def _concat_results(parts: Sequence[BatchedMVAResult], backend: str) -> BatchedM
         station_names=first.station_names,
         think_times=np.concatenate([p.think_times for p in parts]),
         solver=first.solver,
-        demands_used=None if any(d is None for d in demands) else np.concatenate(demands),
+        demands_used=stacked_demands,
         backend=backend,
         failures=tuple(failures),
     )

@@ -33,18 +33,25 @@ in demands and think times.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 from typing import Sequence
 
 import numpy as np
 
+from ..core.multiclass import MultiClassResult
+from ..core.multiclass_amva import MultiClassTrajectory
 from ..core.mvasd import DemandFn, precompute_demand_matrix
 from ..core.network import ClosedNetwork
 from ..core.results import MVAResult
 
 __all__ = [
     "BatchedMVAResult",
+    "BatchedMultiClassResult",
+    "BatchedMultiClassTrajectory",
     "ScenarioFailure",
     "batched_exact_mva",
+    "batched_exact_multiclass",
+    "batched_multiclass_mvasd",
     "batched_schweitzer_amva",
     "batched_mvasd",
     "demand_matrix_stack",
@@ -53,6 +60,32 @@ __all__ = [
 # Mirrors of the scalar Schweitzer fixed-point controls (amva.py).
 _MAX_ITER = 10_000
 _TOL = 1e-10
+# Mirror of the scalar Bard-Schweitzer controls (multiclass_amva.py).
+_MC_MAX_ITER = 50_000
+
+
+def _mask_stack(mask, s: int, solver: str) -> np.ndarray | None:
+    """Validate an optional ``(S,)`` boolean scenario-validity mask.
+
+    ``True`` rows are solved; ``False`` rows are excluded from input
+    validation and the recursion (their inputs are replaced by benign
+    placeholders) and come back as all-NaN output rows.  ``None`` keeps
+    the strict all-rows-must-be-valid behavior.
+    """
+    if mask is None:
+        return None
+    arr = np.asarray(mask, dtype=bool)
+    if arr.shape != (s,):
+        raise ValueError(f"{solver}: expected a ({s},) scenario mask, got shape {arr.shape}")
+    return arr
+
+
+def _nan_rows(mask: np.ndarray | None, *arrays: np.ndarray) -> None:
+    """Overwrite the masked-out scenario rows of each array with NaN."""
+    if mask is None or mask.all():
+        return
+    for arr in arrays:
+        arr[~mask] = np.nan
 
 
 @dataclass(frozen=True)
@@ -179,7 +212,9 @@ class BatchedMVAResult:
         )
 
 
-def _demand_stack(network: ClosedNetwork, demands, solver: str = "batched") -> np.ndarray:
+def _demand_stack(
+    network: ClosedNetwork, demands, solver: str = "batched", mask: np.ndarray | None = None
+) -> np.ndarray:
     """Validate and shape a ``(S, K)`` stack of constant demand vectors."""
     arr = np.asarray(demands, dtype=float)
     if arr.ndim == 1:
@@ -189,6 +224,11 @@ def _demand_stack(network: ClosedNetwork, demands, solver: str = "batched") -> n
             f"{solver}: expected a (S, {len(network)}) demand stack, "
             f"got shape {arr.shape}"
         )
+    if mask is not None:
+        # Masked-out rows may carry arbitrary garbage; neutralize them so
+        # the validity checks and the recursion only see the live rows.
+        arr = arr.copy()
+        arr[~mask] = 1.0
     # isfinite before the sign check: NaN compares False against 0, so a
     # plain `arr < 0` guard would let NaN/Inf demands poison the recursion.
     if not np.isfinite(arr).all():
@@ -201,7 +241,9 @@ def _demand_stack(network: ClosedNetwork, demands, solver: str = "batched") -> n
     return arr
 
 
-def _think_stack(network: ClosedNetwork, think_times, s: int) -> np.ndarray:
+def _think_stack(
+    network: ClosedNetwork, think_times, s: int, mask: np.ndarray | None = None
+) -> np.ndarray:
     """Per-scenario think times ``(S,)`` (default: the network's)."""
     if think_times is None:
         return np.full(s, network.think_time)
@@ -210,6 +252,14 @@ def _think_stack(network: ClosedNetwork, think_times, s: int) -> np.ndarray:
         z = np.full(s, float(z))
     if z.shape != (s,):
         raise ValueError(f"expected {s} think times, got shape {z.shape}")
+    if mask is not None:
+        # Masked rows keep their (reported) think time when it is usable —
+        # the serial isolate path reports the real Z for failed scenarios
+        # too — and only garbage values are neutralized.
+        z = z.copy()
+        with np.errstate(invalid="ignore"):
+            dead = ~mask & (~np.isfinite(z) | (z < 0))
+        z[dead] = 0.0
     if not np.isfinite(z).all():
         raise ValueError("think times must be finite")
     if np.any(z < 0):
@@ -241,6 +291,7 @@ def batched_exact_mva(
     max_population: int,
     demands,
     think_times=None,
+    mask=None,
 ) -> BatchedMVAResult:
     """Exact single-server MVA (Algorithm 1) over a stack of scenarios.
 
@@ -257,12 +308,22 @@ def batched_exact_mva(
     think_times:
         Optional per-scenario think times ``(S,)`` (default: the
         network's ``Z`` for every scenario).
+    mask:
+        Optional ``(S,)`` boolean validity mask: ``False`` rows are
+        skipped by input validation and return all-NaN trajectories
+        while the surviving rows keep the batched recursion (the
+        ``errors="isolate"`` path).  All masked kernels share this
+        contract; survivors see exactly the arithmetic of an unmasked
+        run because every update is elementwise along the scenario axis.
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _demand_stack(network, demands, solver="batched-exact-mva")
+    arr = np.asarray(demands, dtype=float)
+    s0 = arr.shape[0] if arr.ndim > 1 else 1
+    mask = _mask_stack(mask, s0, "batched-exact-mva")
+    d = _demand_stack(network, demands, solver="batched-exact-mva", mask=mask)
     s, k = d.shape
-    z = _think_stack(network, think_times, s)
+    z = _think_stack(network, think_times, s, mask=mask)
     is_queue = np.array([st.kind == "queue" for st in network.stations])
     servers = network.servers().astype(float)
 
@@ -286,6 +347,10 @@ def batched_exact_mva(
         rks[:, i] = r_k
         utils[:, i] = x[:, None] * d / servers
 
+    demands_used = np.broadcast_to(d[:, None, :], (s, n_levels, k))
+    if mask is not None:
+        demands_used = demands_used.copy()
+        _nan_rows(mask, xs, rs, qs, rks, utils, demands_used)
     return BatchedMVAResult(
         populations=pops,
         throughput=xs,
@@ -296,7 +361,7 @@ def batched_exact_mva(
         station_names=network.station_names,
         think_times=z,
         solver="batched-exact-mva",
-        demands_used=np.broadcast_to(d[:, None, :], (s, n_levels, k)),
+        demands_used=demands_used,
     )
 
 
@@ -305,6 +370,7 @@ def batched_schweitzer_amva(
     max_population: int,
     demands,
     think_times=None,
+    mask=None,
 ) -> BatchedMVAResult:
     """Schweitzer approximate MVA over a stack of scenarios.
 
@@ -312,13 +378,17 @@ def batched_schweitzer_amva(
     iterated together and *frozen* individually as soon as their own
     convergence criterion (identical to the scalar solver's) fires, so
     every scenario sees exactly the iterates the scalar
-    :func:`~repro.core.amva.schweitzer_amva` would produce.
+    :func:`~repro.core.amva.schweitzer_amva` would produce.  ``mask``
+    follows the :func:`batched_exact_mva` isolate contract.
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
-    d = _demand_stack(network, demands, solver="batched-schweitzer-amva")
+    arr = np.asarray(demands, dtype=float)
+    s0 = arr.shape[0] if arr.ndim > 1 else 1
+    mask = _mask_stack(mask, s0, "batched-schweitzer-amva")
+    d = _demand_stack(network, demands, solver="batched-schweitzer-amva", mask=mask)
     s, k = d.shape
-    z = _think_stack(network, think_times, s)
+    z = _think_stack(network, think_times, s, mask=mask)
     is_queue = np.array([st.kind == "queue" for st in network.stations])
     servers = network.servers().astype(float)
 
@@ -359,6 +429,10 @@ def batched_schweitzer_amva(
         rks[:, i] = r_k
         utils[:, i] = x[:, None] * d / servers
 
+    demands_used = np.broadcast_to(d[:, None, :], (s, n_levels, k))
+    if mask is not None:
+        demands_used = demands_used.copy()
+        _nan_rows(mask, xs, rs, qs, rks, utils, demands_used)
     return BatchedMVAResult(
         populations=pops,
         throughput=xs,
@@ -369,7 +443,7 @@ def batched_schweitzer_amva(
         station_names=network.station_names,
         think_times=z,
         solver="batched-schweitzer-amva",
-        demands_used=np.broadcast_to(d[:, None, :], (s, n_levels, k)),
+        demands_used=demands_used,
     )
 
 
@@ -424,6 +498,7 @@ def batched_mvasd(
     demand_matrices,
     single_server: bool = False,
     think_times=None,
+    mask=None,
 ) -> BatchedMVAResult:
     """MVASD (Algorithm 3, population axis) over a stack of scenarios.
 
@@ -462,6 +537,10 @@ def batched_mvasd(
             f"expected a (S, {max_population}, {k}) demand-matrix stack, "
             f"got shape {matrices.shape}"
         )
+    mask = _mask_stack(mask, matrices.shape[0], "batched-mvasd")
+    if mask is not None:
+        matrices = matrices.copy()
+        matrices[~mask] = 1.0
     if not np.isfinite(matrices).all():
         raise ValueError(
             "batched-mvasd: demand matrices must be finite, got non-finite "
@@ -471,7 +550,7 @@ def batched_mvasd(
     if np.any(matrices < 0):
         raise ValueError("demand matrices must be non-negative")
     s = matrices.shape[0]
-    z = _think_stack(network, think_times, s)
+    z = _think_stack(network, think_times, s, mask=mask)
     stations = network.stations
     servers = network.servers().astype(float)
 
@@ -520,6 +599,8 @@ def batched_mvasd(
         rks[:, i] = r_k
         utils[:, i] = x[:, None] * d / servers
 
+    if mask is not None:
+        _nan_rows(mask, xs, rs, qs, rks, utils, matrices)
     solver = "batched-mvasd-single-server" if single_server else "batched-mvasd"
     return BatchedMVAResult(
         populations=pops,
@@ -532,4 +613,497 @@ def batched_mvasd(
         think_times=z,
         solver=solver,
         demands_used=matrices,
+    )
+
+
+@dataclass(frozen=True)
+class BatchedMultiClassResult:
+    """Full-population multi-class solutions of S scenarios in one batch.
+
+    The multi-class analogue of :class:`BatchedMVAResult`: the arrays
+    carry a leading scenario axis on top of the scalar
+    :class:`~repro.core.multiclass.MultiClassResult` layout —
+    ``throughput`` is ``(S, C)``, ``queue_lengths_by_class`` is
+    ``(S, K, C)``.  Scenarios share the population vector, class names
+    and per-class think times (that is what makes the class-lattice
+    recursion batchable) but differ in their demand matrices.
+    """
+
+    populations: tuple[int, ...]
+    class_names: tuple[str, ...]
+    throughput: np.ndarray
+    response_time: np.ndarray
+    queue_lengths: np.ndarray
+    queue_lengths_by_class: np.ndarray
+    utilizations: np.ndarray
+    station_names: tuple[str, ...]
+    think_times: np.ndarray
+    solver: str
+    demands_used: np.ndarray | None = None
+    backend: str | None = None
+    failures: tuple[ScenarioFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        s = self.n_scenarios
+        c = len(self.class_names)
+        k = len(self.station_names)
+        if len(self.populations) != c:
+            raise ValueError(f"populations must have {c} entries")
+        for attr in ("throughput", "response_time"):
+            if getattr(self, attr).shape != (s, c):
+                raise ValueError(f"{attr} must have shape ({s}, {c})")
+        for attr, shape in (
+            ("queue_lengths", (s, k)),
+            ("queue_lengths_by_class", (s, k, c)),
+            ("utilizations", (s, k)),
+        ):
+            if getattr(self, attr).shape != shape:
+                raise ValueError(f"{attr} must have shape {shape}")
+        if self.think_times.shape != (c,):
+            raise ValueError(f"think_times must have shape ({c},)")
+        if self.demands_used is not None and self.demands_used.shape != (s, k, c):
+            raise ValueError(f"demands_used must have shape ({s}, {k}, {c})")
+        object.__setattr__(self, "failures", tuple(self.failures))
+        for f in self.failures:
+            if not 0 <= f.index < s:
+                raise ValueError(
+                    f"failure index {f.index} out of range for {s} scenarios"
+                )
+
+    @property
+    def failed_indices(self) -> tuple[int, ...]:
+        """Stack positions of the isolated scenarios, ascending."""
+        return tuple(sorted(f.index for f in self.failures))
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.throughput.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    @property
+    def total_throughput(self) -> np.ndarray:
+        """``sum_c X_c`` per scenario, shape ``(S,)``."""
+        return self.throughput.sum(axis=1)
+
+    def scenario(self, index: int) -> MultiClassResult:
+        """One scenario's solution as a scalar :class:`MultiClassResult`."""
+        s = self.n_scenarios
+        if not -s <= index < s:
+            raise IndexError(f"scenario index {index} out of range for {s} scenarios")
+        return MultiClassResult(
+            populations=self.populations,
+            throughput=np.array(self.throughput[index]),
+            response_time=np.array(self.response_time[index]),
+            queue_lengths=np.array(self.queue_lengths[index]),
+            queue_lengths_by_class=np.array(self.queue_lengths_by_class[index]),
+            utilizations=np.array(self.utilizations[index]),
+            station_names=self.station_names,
+            think_times=tuple(float(z) for z in self.think_times),
+        )
+
+
+@dataclass(frozen=True)
+class BatchedMultiClassTrajectory:
+    """Mix-sweep trajectories of S multi-class scenarios in one batch.
+
+    Batched analogue of
+    :class:`~repro.core.multiclass_amva.MultiClassTrajectory`:
+    ``throughput``/``response_time`` are ``(S, T, C)`` over the shared
+    total-population sweep ``totals`` with the shared realized integer
+    mixes ``populations`` ``(T, C)``; ``utilizations`` is ``(S, T, K)``.
+    """
+
+    class_names: tuple[str, ...]
+    station_names: tuple[str, ...]
+    totals: np.ndarray
+    populations: np.ndarray
+    throughput: np.ndarray
+    response_time: np.ndarray
+    utilizations: np.ndarray
+    think_times: np.ndarray
+    solver: str
+    demands_used: np.ndarray | None = None
+    backend: str | None = None
+    failures: tuple[ScenarioFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        s = self.n_scenarios
+        t = len(self.totals)
+        c = len(self.class_names)
+        k = len(self.station_names)
+        if self.populations.shape != (t, c):
+            raise ValueError(f"populations must have shape ({t}, {c})")
+        for attr in ("throughput", "response_time"):
+            if getattr(self, attr).shape != (s, t, c):
+                raise ValueError(f"{attr} must have shape ({s}, {t}, {c})")
+        if self.utilizations.shape != (s, t, k):
+            raise ValueError(f"utilizations must have shape ({s}, {t}, {k})")
+        if self.think_times.shape != (c,):
+            raise ValueError(f"think_times must have shape ({c},)")
+        if self.demands_used is not None and self.demands_used.shape != (s, t, k, c):
+            raise ValueError(f"demands_used must have shape ({s}, {t}, {k}, {c})")
+        object.__setattr__(self, "failures", tuple(self.failures))
+        for f in self.failures:
+            if not 0 <= f.index < s:
+                raise ValueError(
+                    f"failure index {f.index} out of range for {s} scenarios"
+                )
+
+    @property
+    def failed_indices(self) -> tuple[int, ...]:
+        """Stack positions of the isolated scenarios, ascending."""
+        return tuple(sorted(f.index for f in self.failures))
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.throughput.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    @property
+    def total_throughput(self) -> np.ndarray:
+        """``sum_c X_c`` per scenario and step, shape ``(S, T)``."""
+        return self.throughput.sum(axis=2)
+
+    def scenario(self, index: int) -> MultiClassTrajectory:
+        """One scenario's sweep as a scalar :class:`MultiClassTrajectory`."""
+        s = self.n_scenarios
+        if not -s <= index < s:
+            raise IndexError(f"scenario index {index} out of range for {s} scenarios")
+        return MultiClassTrajectory(
+            class_names=self.class_names,
+            station_names=self.station_names,
+            totals=self.totals,
+            populations=self.populations,
+            throughput=np.array(self.throughput[index]),
+            response_time=np.array(self.response_time[index]),
+            utilizations=np.array(self.utilizations[index]),
+            think_times=tuple(float(z) for z in self.think_times),
+        )
+
+
+def _class_axes(
+    class_names, think_times, station_names, station_kinds, k: int, solver: str
+):
+    """Validate the shared class/station structure of a multi-class batch."""
+    names = (
+        tuple(station_names)
+        if station_names
+        else tuple(f"station-{i}" for i in range(k))
+    )
+    if len(names) != k:
+        raise ValueError(f"{solver}: expected {k} station names")
+    kinds = tuple(station_kinds) if station_kinds else ("queue",) * k
+    if len(kinds) != k or any(kd not in ("queue", "delay") for kd in kinds):
+        raise ValueError(f"{solver}: station_kinds must be 'queue'/'delay' per station")
+    z = np.asarray(think_times, dtype=float)
+    c = z.shape[0] if z.ndim == 1 else 0
+    if z.ndim != 1 or c == 0 or not np.isfinite(z).all() or np.any(z < 0):
+        raise ValueError(f"{solver}: think_times must be finite non-negative per class")
+    cls = (
+        tuple(class_names)
+        if class_names
+        else tuple(f"class-{i}" for i in range(c))
+    )
+    if len(cls) != c:
+        raise ValueError(f"{solver}: expected {c} class names")
+    is_queue = np.array([kd == "queue" for kd in kinds])
+    return names, kinds, is_queue, z, cls
+
+
+def _multiclass_demand_stack(
+    demands, trailing: tuple[int, ...], solver: str, mask
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate a per-scenario multi-class demand stack ``(S, *trailing)``."""
+    arr = np.asarray(demands, dtype=float)
+    if arr.ndim == len(trailing):
+        arr = arr[None]
+    if arr.ndim != len(trailing) + 1 or arr.shape[1:] != trailing:
+        raise ValueError(
+            f"{solver}: expected a (S, {', '.join(map(str, trailing))}) "
+            f"demand stack, got shape {arr.shape}"
+        )
+    mask = _mask_stack(mask, arr.shape[0], solver)
+    if mask is not None:
+        arr = arr.copy()
+        arr[~mask] = 1.0
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            f"{solver}: demands must be finite, got non-finite values at "
+            f"scenario indices {sorted(set(np.nonzero(~np.isfinite(arr))[0].tolist()))}"
+        )
+    if np.any(arr < 0):
+        raise ValueError(f"{solver}: demands must be non-negative")
+    return arr, mask
+
+
+def batched_exact_multiclass(
+    demands,
+    populations,
+    think_times,
+    station_names=None,
+    station_kinds=None,
+    class_names=None,
+    mask=None,
+) -> BatchedMultiClassResult:
+    """Exact multi-class MVA over a stack of scenarios.
+
+    Vectorizes the class-lattice recursion of
+    :func:`~repro.core.multiclass.exact_multiclass_mva` over the
+    scenario axis: the ``Q_k(n)`` lattice table gains a leading
+    scenario dimension and every update is an array operation across
+    all S scenarios, so the ``O(K * prod_c (N_c + 1))`` Python-level
+    lattice walk is paid once for the whole stack instead of once per
+    scenario.  Operations are elementwise along the scenario axis in
+    the scalar solver's order, so each row matches the scalar result
+    to rounding (pinned at 1e-10 by the equivalence suite).
+
+    Parameters
+    ----------
+    demands:
+        ``(S, K, C)`` stack — one ``(K, C)`` class-demand matrix per
+        scenario.  A single ``(K, C)`` matrix is treated as ``S = 1``.
+    populations / think_times:
+        Shared class populations ``(N_1, ..., N_C)`` and per-class
+        think times.
+    station_names / station_kinds / class_names:
+        Optional shared labels and ``"queue"``/``"delay"`` flags.
+    mask:
+        Optional ``(S,)`` validity mask (the ``errors="isolate"``
+        path); see :func:`batched_exact_mva`.
+
+    Notes
+    -----
+    The lattice table costs ``S`` times the scalar solver's memory —
+    ``prod_c (N_c + 1) * S * K`` floats — so keep class populations
+    modest (the facade's ``EXACT_MULTICLASS_LATTICE_LIMIT`` guards
+    this).
+    """
+    arr = np.asarray(demands, dtype=float)
+    if arr.ndim not in (2, 3):
+        raise ValueError(
+            f"batched-exact-multiclass: demands must be (S, K, C), got shape {arr.shape}"
+        )
+    k, c = (arr.shape[1], arr.shape[2]) if arr.ndim == 3 else arr.shape
+    d, mask = _multiclass_demand_stack(demands, (k, c), "batched-exact-multiclass", mask)
+    s = d.shape[0]
+    pops = tuple(int(p) for p in populations)
+    if len(pops) != c or any(p < 0 for p in pops):
+        raise ValueError(
+            f"batched-exact-multiclass: populations must be {c} non-negative "
+            f"integers, got {populations}"
+        )
+    names, _kinds, is_queue, z, cls = _class_axes(
+        class_names, think_times, station_names, station_kinds, k,
+        "batched-exact-multiclass",
+    )
+    if z.shape != (c,):
+        raise ValueError(f"batched-exact-multiclass: think_times must be {c} values")
+
+    if sum(pops) == 0:
+        zero_sc = np.zeros((s, c))
+        return BatchedMultiClassResult(
+            populations=pops,
+            class_names=cls,
+            throughput=zero_sc,
+            response_time=zero_sc.copy(),
+            queue_lengths=np.zeros((s, k)),
+            queue_lengths_by_class=np.zeros((s, k, c)),
+            utilizations=np.zeros((s, k)),
+            station_names=names,
+            think_times=z,
+            solver="batched-exact-multiclass",
+            demands_used=d,
+        )
+
+    # Station queue lengths Q_k(n) over the lattice, for all S scenarios.
+    shape = tuple(p + 1 for p in pops)
+    q_table = np.zeros(shape + (s, k))
+    last_x = np.zeros((s, c))
+    last_r = np.zeros((s, c))
+    last_qkc = np.zeros((s, k, c))
+
+    for n in product(*(range(p + 1) for p in pops)):
+        if sum(n) == 0:
+            continue
+        r_kc = np.zeros((s, k, c))
+        x_c = np.zeros((s, c))
+        for ci in range(c):
+            if n[ci] == 0:
+                continue
+            prev = list(n)
+            prev[ci] -= 1
+            q_prev = q_table[tuple(prev)]
+            r_kc[:, :, ci] = np.where(is_queue, d[:, :, ci] * (1.0 + q_prev), d[:, :, ci])
+            x_c[:, ci] = n[ci] / (z[ci] + r_kc[:, :, ci].sum(axis=1))
+        q_kc = r_kc * x_c[:, None, :]
+        q_table[n] = q_kc.sum(axis=2)
+        if n == pops:
+            last_x = x_c
+            last_r = r_kc.sum(axis=1)
+            last_qkc = q_kc
+
+    util = (d * last_x[:, None, :]).sum(axis=2)
+    queue_lengths = last_qkc.sum(axis=2)
+    if mask is not None:
+        _nan_rows(mask, last_x, last_r, last_qkc, queue_lengths, util, d)
+    return BatchedMultiClassResult(
+        populations=pops,
+        class_names=cls,
+        throughput=last_x,
+        response_time=last_r,
+        queue_lengths=queue_lengths,
+        queue_lengths_by_class=last_qkc,
+        utilizations=util,
+        station_names=names,
+        think_times=z,
+        solver="batched-exact-multiclass",
+        demands_used=d,
+    )
+
+
+def batched_multiclass_mvasd(
+    station_names,
+    class_names,
+    demand_tensors,
+    mix,
+    max_total_population,
+    think_times,
+    station_kinds=None,
+    mask=None,
+) -> BatchedMultiClassTrajectory:
+    """Multi-class MVASD mix sweep over a stack of scenarios.
+
+    Vectorizes :func:`~repro.core.multiclass_amva.multiclass_mvasd`
+    over the scenario axis: at every total population the shared
+    largest-remainder mix apportionment is computed once, and the
+    Bard-Schweitzer fixed point iterates all S scenarios together —
+    each scenario is *frozen* individually the moment its own
+    convergence criterion (identical to the scalar solver's) fires, so
+    every row reproduces the scalar iterates exactly.
+
+    Parameters
+    ----------
+    station_names / class_names:
+        Shared labels (stations in order; classes in order).
+    demand_tensors:
+        ``(S, T, K, C)`` stack of per-total class-demand matrices for
+        totals ``1..T`` — the multi-class analogue of the precomputed
+        MVASD demand matrix, evaluated from the per-class ``SS_{k,c}(n)``
+        curves.  A single ``(T, K, C)`` tensor is treated as ``S = 1``.
+    mix:
+        Shared relative class weights (normalized internally; realized
+        integer populations follow largest-remainder rounding, exactly
+        as in the scalar sweep).
+    max_total_population:
+        Sweep 1..N total users (``T = N``).
+    think_times:
+        Per-class think times, shared across scenarios.
+    station_kinds:
+        Optional ``"queue"``/``"delay"`` per station.
+    mask:
+        Optional ``(S,)`` validity mask (the ``errors="isolate"``
+        path); see :func:`batched_exact_mva`.
+    """
+    names = tuple(station_names)
+    k = len(names)
+    cls = tuple(class_names)
+    c = len(cls)
+    if not c:
+        raise ValueError("batched-multiclass-mvasd: need at least one class")
+    t = int(max_total_population)
+    if t < 1:
+        raise ValueError("batched-multiclass-mvasd: max_total_population must be >= 1")
+    d, mask = _multiclass_demand_stack(
+        demand_tensors, (t, k, c), "batched-multiclass-mvasd", mask
+    )
+    s = d.shape[0]
+    weights = np.asarray(mix, dtype=float)
+    if weights.shape != (c,) or np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError(
+            "batched-multiclass-mvasd: mix weights must be non-negative with positive sum"
+        )
+    weights = weights / weights.sum()
+    _names, _kinds, is_queue, z, cls = _class_axes(
+        cls, think_times, names, station_kinds, k, "batched-multiclass-mvasd"
+    )
+    if z.shape != (c,):
+        raise ValueError(f"batched-multiclass-mvasd: think_times must be {c} values")
+
+    steps = np.arange(1, t + 1)
+    pops = np.zeros((t, c), dtype=int)
+    xs = np.zeros((s, t, c))
+    rs = np.zeros((s, t, c))
+    utils = np.zeros((s, t, k))
+
+    for i, total in enumerate(steps):
+        # Shared largest-remainder apportionment of the mix at this total.
+        raw = weights * total
+        base = np.floor(raw).astype(int)
+        remainder = int(total) - int(base.sum())
+        order = np.argsort(-(raw - base))
+        base[order[:remainder]] += 1
+        pops[i] = base
+
+        n_c = base.astype(float)
+        active_cls = n_c > 0
+        d_step = d[:, i, :, :]
+
+        # Bard-Schweitzer fixed point, all scenarios together; rows are
+        # frozen individually on the scalar convergence criterion.
+        q = np.zeros((s, k, c))
+        if active_cls.any():
+            q[:, :, active_cls] = n_c[active_cls] / k  # even initial spread
+        x = np.zeros((s, c))
+        r_c_out = np.zeros((s, c))
+        alive = np.arange(s)
+        for _ in range(_MC_MAX_ITER):
+            qa = q[alive]
+            da = d_step[alive]
+            a = alive.size
+            q_total = qa.sum(axis=2)
+            r = np.empty((a, k, c))
+            for ci in range(c):
+                if not active_cls[ci]:
+                    r[:, :, ci] = 0.0
+                    continue
+                # arrival-theorem queue with one class-ci customer removed
+                removed = qa[:, :, ci] / n_c[ci]
+                q_arr = np.maximum(q_total - removed, 0.0)
+                r[:, :, ci] = np.where(is_queue, da[:, :, ci] * (1.0 + q_arr), da[:, :, ci])
+            r_c = r.sum(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                xa = np.where(active_cls, n_c / (z + r_c), 0.0)
+            q_new = r * xa[:, None, :]
+            x[alive] = xa
+            r_c_out[alive] = r_c
+            q[alive] = q_new
+            converged = (
+                np.abs(q_new - qa).reshape(a, -1).max(axis=1)
+                <= _TOL * np.maximum(1.0, q_new.reshape(a, -1).max(axis=1))
+            )
+            alive = alive[~converged]
+            if alive.size == 0:
+                break
+
+        xs[:, i] = x
+        rs[:, i] = r_c_out
+        utils[:, i] = (d_step * x[:, None, :]).sum(axis=2)
+
+    if mask is not None:
+        _nan_rows(mask, xs, rs, utils, d)
+    return BatchedMultiClassTrajectory(
+        class_names=cls,
+        station_names=names,
+        totals=steps,
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        utilizations=utils,
+        think_times=z,
+        solver="batched-multiclass-mvasd",
+        demands_used=d,
     )

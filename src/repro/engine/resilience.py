@@ -45,7 +45,7 @@ import io
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
@@ -53,6 +53,9 @@ import numpy as np
 
 from . import faults
 from .backends import (
+    _kernel_input,
+    _kernel_input_shape,
+    _run_kernel,
     _solve_shard,
     get_backend,
     scenario_offset,
@@ -60,7 +63,12 @@ from .backends import (
     _concat_results,
     _scenario_offset,
 )
-from .batched import BatchedMVAResult, ScenarioFailure
+from .batched import (
+    BatchedMultiClassResult,
+    BatchedMultiClassTrajectory,
+    BatchedMVAResult,
+    ScenarioFailure,
+)
 from .sweep import parallel_map, resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +80,7 @@ __all__ = [
     "RetryPolicy",
     "SweepCheckpoint",
     "solve_isolated",
+    "solve_isolated_batched",
 ]
 
 #: Journal-format version; bumped whenever the record layout changes so
@@ -176,6 +185,9 @@ def solve_isolated(
         except Exception as exc:
             failures.append(_failure_record(sc, i, spec.name, exc, retries))
 
+    if spec.returns == "multiclass":
+        return _isolate_multiclass(spec, scenarios, results, failures)
+
     populations = np.arange(1, n + 1)
     throughput = np.full((s, n), np.nan)
     response_time = np.full((s, n), np.nan)
@@ -209,6 +221,129 @@ def solve_isolated(
         backend="serial",
         failures=tuple(failures),
     )
+
+
+def _isolate_multiclass(spec, scenarios, results, failures):
+    """Assemble the multi-class isolation container (NaN rows for failures)."""
+    first_sc = scenarios[0]
+    s = len(scenarios)
+    k = len(first_sc.station_names)
+    c = len(first_sc.classes)
+    n = first_sc.max_population
+    z = np.asarray(first_sc.class_think_times, dtype=float)
+    solver = f"stacked-{spec.name}"
+    first = next(iter(results.values()), None)
+    trajectory = (
+        hasattr(first, "totals")
+        if first is not None
+        else spec.batched_kernel == "multiclass-mvasd"
+    )
+    if trajectory:
+        throughput = np.full((s, n, c), np.nan)
+        response = np.full((s, n, c), np.nan)
+        utils = np.full((s, n, k), np.nan)
+        for i, r in results.items():
+            throughput[i] = r.throughput
+            response[i] = r.response_time
+            utils[i] = r.utilizations
+        if first is not None:
+            totals, pops = first.totals, first.populations
+        else:
+            # No survivor to copy the mix sweep from: recompute the
+            # largest-remainder apportionment the solver would have used.
+            totals = np.arange(1, n + 1)
+            weights = np.array(
+                [cl.population for cl in first_sc.classes], dtype=float
+            )
+            weights = weights / weights.sum()
+            pops = np.zeros((n, c), dtype=int)
+            for ti, total in enumerate(range(1, n + 1)):
+                raw = weights * total
+                base = np.floor(raw).astype(int)
+                order = np.argsort(-(raw - base))
+                base[order[: total - int(base.sum())]] += 1
+                pops[ti] = base
+        return BatchedMultiClassTrajectory(
+            class_names=first_sc.class_names,
+            station_names=first_sc.station_names,
+            totals=np.asarray(totals),
+            populations=np.asarray(pops),
+            throughput=throughput,
+            response_time=response,
+            utilizations=utils,
+            think_times=z,
+            solver=solver,
+            backend="serial",
+            failures=tuple(failures),
+        )
+    throughput = np.full((s, c), np.nan)
+    response = np.full((s, c), np.nan)
+    queue_lengths = np.full((s, k), np.nan)
+    queue_by_class = np.full((s, k, c), np.nan)
+    utils = np.full((s, k), np.nan)
+    for i, r in results.items():
+        throughput[i] = r.throughput
+        response[i] = r.response_time
+        queue_lengths[i] = r.queue_lengths
+        queue_by_class[i] = r.queue_lengths_by_class
+        utils[i] = r.utilizations
+    return BatchedMultiClassResult(
+        populations=first_sc.class_populations,
+        class_names=first_sc.class_names,
+        throughput=throughput,
+        response_time=response,
+        queue_lengths=queue_lengths,
+        queue_lengths_by_class=queue_by_class,
+        utilizations=utils,
+        station_names=first_sc.station_names,
+        think_times=z,
+        solver=solver,
+        backend="serial",
+        failures=tuple(failures),
+    )
+
+
+def solve_isolated_batched(
+    spec: "SolverSpec",
+    scenarios: Sequence["Scenario"],
+    options: Mapping[str, Any],
+    retries: int = 0,
+):
+    """Masked-kernel isolation: failed rows NaN, healthy rows stay batched.
+
+    Probes every scenario's kernel input independently (the injection
+    point and the place bad demand models blow up); scenarios whose
+    probe fails are masked out of the single vectorized kernel call
+    with a placeholder row.  Surviving scenarios keep batched speed —
+    previously one poisoned scenario demoted the whole shard to the
+    serial loop.  Falls back to :func:`solve_isolated` if the masked
+    kernel call itself still fails.
+    """
+    scenarios = list(scenarios)
+    offset = _scenario_offset()
+    rows: list[np.ndarray] = []
+    mask = np.ones(len(scenarios), dtype=bool)
+    failures: list[ScenarioFailure] = []
+    for i, sc in enumerate(scenarios):
+        try:
+            faults.maybe_inject("kernel", scenario=offset + i)
+            row = np.asarray(_kernel_input(spec, sc), dtype=float)
+            if not np.isfinite(row).all():
+                raise ValueError("non-finite demands")
+            rows.append(row)
+        except Exception as exc:
+            mask[i] = False
+            rows.append(np.ones(_kernel_input_shape(spec, sc)))
+            failures.append(_failure_record(sc, i, spec.name, exc, retries))
+    try:
+        result = _run_kernel(
+            spec, scenarios, rows, options, mask=None if mask.all() else mask
+        )
+    except Exception:
+        # The kernel failed on the surviving rows too (or the probe
+        # missed a poison the full recursion hits) — degrade all the way.
+        return solve_isolated(spec, scenarios, options, retries=retries)
+    return replace(result, backend="batched", failures=tuple(failures))
 
 
 class SweepCheckpoint:
@@ -278,8 +413,13 @@ class SweepCheckpoint:
         return completed
 
     def record(self, key: str | None, part: BatchedMVAResult) -> None:
-        """Append one completed shard (no-op for unkeyed/failed parts)."""
-        if key is None or part.failures:
+        """Append one completed shard (no-op for unkeyed/failed parts).
+
+        Multi-class containers are not journaled (yet) — the journal's
+        array layout is the single-class trajectory one; such shards are
+        simply re-solved on resume.
+        """
+        if key is None or part.failures or not isinstance(part, BatchedMVAResult):
             return
         meta, raw = self._encode(part)
         record = {
@@ -463,7 +603,12 @@ class ResilientBackend:
                         attempt += 1
                         if self.errors != "isolate":
                             raise last_exc
-                        part = solve_isolated(spec, sub, options, retries=retries[i])
+                        if spec.batched_kernel is not None:
+                            part = solve_isolated_batched(
+                                spec, sub, options, retries=retries[i]
+                            )
+                        else:
+                            part = solve_isolated(spec, sub, options, retries=retries[i])
                 parts[i] = part
                 if self.checkpoint is not None:
                     self.checkpoint.record(keys.get(i), part)

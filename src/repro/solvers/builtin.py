@@ -21,8 +21,9 @@ convolution                yes          -         -        yes    -
 mvasd                      yes          yes       -        -      yes
 ld-mva                     yes          -         -        yes    -
 interval-mva               yes          -         -        yes    -
-multiclass-mvasd           -            yes       yes      -      -
-exact-multiclass           -            -         yes      yes    -
+multiclass-mvasd           -            yes       yes      -      yes
+exact-multiclass           -            -         yes      yes    yes
+method-of-moments          -            -         yes      yes    -
 =========================  ===========  ========  =======  =====  =======
 
 Bounds solvers return an :class:`~repro.core.bounds.AsymptoticBounds`
@@ -41,6 +42,7 @@ from ..core.convolution import convolution_mva
 from ..core.interval_mva import band_from_estimates, interval_mva
 from ..core.ld_mva import exact_load_dependent_mva
 from ..core.linearizer import linearizer_amva, linearizer_multiserver_mva
+from ..core.mom import method_of_moments
 from ..core.multiclass import exact_multiclass_mva
 from ..core.multiclass_amva import multiclass_mvasd
 from ..core.multiserver import exact_multiserver_mva
@@ -274,6 +276,7 @@ def _require_single_server(scenario: Scenario, solver: str) -> None:
     summary="Bard-Schweitzer mix sweep with varying per-class demands",
     varying_demands=True,
     multiclass=True,
+    batched_kernel="multiclass-mvasd",
     cost=55,
     returns="multiclass",
     legacy="repro.core.multiclass_amva.multiclass_mvasd",
@@ -296,22 +299,37 @@ def _solve_multiclass_mvasd(scenario: Scenario, **options: Any):
     summary="exact multi-class MVA over the full population lattice",
     multiclass=True,
     exact=True,
+    batched_kernel="exact-multiclass",
     cost=60,
     returns="multiclass",
     legacy="repro.core.multiclass.exact_multiclass_mva",
 )
 def _solve_exact_multiclass(scenario: Scenario, **options: Any):
     _require_single_server(scenario, "exact-multiclass")
-    classes = scenario.classes
-    names = scenario.station_names
-    demands = [
-        [float(vec[k]) for vec in (c.demand_vector(names, scenario.demand_level) for c in classes)]
-        for k in range(len(names))
-    ]
     return exact_multiclass_mva(
-        demands=demands,
-        populations=[c.population for c in classes],
-        think_times=[c.think_time for c in classes],
-        station_names=names,
+        demands=scenario.multiclass_demand_matrix("exact-multiclass"),
+        populations=scenario.class_populations,
+        think_times=scenario.class_think_times,
+        station_names=scenario.station_names,
+        station_kinds=tuple(st.kind for st in scenario.network.stations),
+    )
+
+
+@register_solver(
+    "method-of-moments",
+    summary="Casale MoM: exact multi-class via moment recursions, poly in N",
+    multiclass=True,
+    exact=True,
+    cost=65,
+    returns="multiclass",
+    legacy="repro.core.mom.method_of_moments",
+)
+def _solve_method_of_moments(scenario: Scenario, **options: Any):
+    _require_single_server(scenario, "method-of-moments")
+    return method_of_moments(
+        demands=scenario.multiclass_demand_matrix("method-of-moments"),
+        populations=scenario.class_populations,
+        think_times=scenario.class_think_times,
+        station_names=scenario.station_names,
         station_kinds=tuple(st.kind for st in scenario.network.stations),
     )

@@ -32,9 +32,11 @@ trajectory methods) or a sequence of scenarios (delegates to
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Any, Sequence
 
+from ..core.mom import mom_state_count
 from ..engine.backends import get_backend
 from ..engine.batched import BatchedMVAResult
 from ..engine.sweep import resolve_workers
@@ -55,9 +57,15 @@ __all__ = [
 EXACT_POPULATION_LIMIT = 50_000
 
 #: Largest population lattice ``prod_c (N_c + 1)`` the exact multi-class
-#: recursion is attempted on before falling back to the Bard-Schweitzer
-#: mix sweep.
+#: recursion is attempted on before falling back to the Method of
+#: Moments (still exact, polynomial in total population) or — when even
+#: MoM is infeasible — the Bard-Schweitzer mix sweep.
 EXACT_MULTICLASS_LATTICE_LIMIT = 250_000
+
+#: Largest Method-of-Moments state count ``binom(N + K_q, K_q)`` (see
+#: :func:`repro.core.mom.mom_state_count`) auto-selection considers
+#: feasible when the exact lattice is not.
+MOM_STATE_LIMIT = 1_000_000
 
 #: Stacks at least this large are process-sharded by ``backend="auto"``
 #: (when more than one worker is available).  Below it the fork +
@@ -99,6 +107,12 @@ def auto_method(
             lattice *= cls.population + 1
         if lattice <= EXACT_MULTICLASS_LATTICE_LIMIT:
             return "exact-multiclass"
+        total = sum(cls.population for cls in scenario.classes)
+        n_queue = sum(1 for st in scenario.network.stations if st.kind == "queue")
+        if mom_state_count(total, n_queue) <= MOM_STATE_LIMIT:
+            # Lattice blew up but the moment recursion stays polynomial:
+            # keep exactness via Casale's Method of Moments.
+            return "method-of-moments"
         return "multiclass-mvasd"
     if scenario.has_varying_demands:
         return "mvasd"
@@ -257,6 +271,7 @@ def _check_stackable(scenarios: Sequence[Scenario]) -> None:
         tuple(st.kind for st in first.network.stations),
         tuple(st.servers for st in first.network.stations),
     )
+    multi = first.is_multiclass
     for sc in scenarios[1:]:
         other = (
             sc.network.station_names,
@@ -268,18 +283,36 @@ def _check_stackable(scenarios: Sequence[Scenario]) -> None:
                 "solve_stack: scenarios must share the station topology "
                 "(names, kinds, server counts)"
             )
+        if sc.is_multiclass != multi:
+            raise SolverInputError(
+                "solve_stack: cannot mix single-class and multi-class scenarios"
+            )
         if sc.max_population != first.max_population:
             raise SolverInputError(
                 "solve_stack: scenarios must share max_population "
                 f"({sc.max_population} != {first.max_population})"
             )
-        if sc.is_multiclass:
-            raise SolverInputError("solve_stack: multi-class scenarios are not stackable")
-    if first.is_multiclass:
-        raise SolverInputError("solve_stack: multi-class scenarios are not stackable")
+    if multi:
+        structure = first.class_structure()
+        for sc in scenarios[1:]:
+            if sc.class_structure() != structure:
+                raise SolverInputError(
+                    "solve_stack: multi-class scenarios must share the class "
+                    "structure (names, populations, think times); only demands "
+                    "may vary across the stack"
+                )
 
 
 def _auto_stack_method(scenarios: Sequence[Scenario]) -> str:
+    if scenarios[0].is_multiclass:
+        # Prefer the kernel-backed multi-class methods; method-of-moments
+        # is a scalar-only solver and would demote the stack to a serial
+        # loop, so past the exact lattice the stack takes Bard-Schweitzer.
+        if any(sc.has_varying_demands for sc in scenarios):
+            return "multiclass-mvasd"
+        if auto_method(scenarios[0]) == "exact-multiclass":
+            return "exact-multiclass"
+        return "multiclass-mvasd"
     if any(sc.has_varying_demands for sc in scenarios):
         return "mvasd"
     if any(sc.is_multiserver for sc in scenarios):
@@ -287,6 +320,33 @@ def _auto_stack_method(scenarios: Sequence[Scenario]) -> str:
         # (constant demands are just a flat demand matrix).
         return "mvasd"
     return "exact-mva"
+
+
+#: Methods already warned about falling back to a scalar stacked loop —
+#: the warning fires once per process per method, not once per stack.
+_SCALAR_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_scalar_fallback(spec: SolverSpec, n_scenarios: int) -> None:
+    """One-time ``UserWarning`` when a stack degrades to a scalar loop.
+
+    Kernel gaps should be visible, not quietly slow: a ``backend="auto"``
+    stack that lands on the serial per-scenario loop (solver label
+    ``stacked-<name>``) only does so because the method has no batched
+    kernel registered.
+    """
+    if spec.name in _SCALAR_FALLBACK_WARNED:
+        return
+    _SCALAR_FALLBACK_WARNED.add(spec.name)
+    nearest = _nearest_batched_method(spec)
+    hint = f"; nearest kernel-backed method: {nearest!r}" if nearest else ""
+    warnings.warn(
+        f"solve_stack: {spec.name!r} has no batched kernel, so the "
+        f"{n_scenarios}-scenario stack runs a scalar per-scenario loop "
+        f"(solver label 'stacked-{spec.name}'){hint}",
+        UserWarning,
+        stacklevel=3,
+    )
 
 
 def _resolve_backend(
@@ -324,8 +384,15 @@ def solve_stack(
     retry_policy=None,
     checkpoint=None,
     **options: Any,
-) -> BatchedMVAResult:
+) -> BatchedMVAResult | Any:
     """Solve a stack of topology-sharing scenarios in one shot.
+
+    Single-class trajectory stacks return a :class:`BatchedMVAResult`;
+    multi-class stacks return the matching
+    :class:`~repro.engine.batched.BatchedMultiClassResult` (point
+    solvers) or :class:`~repro.engine.batched.BatchedMultiClassTrajectory`
+    (``multiclass-mvasd``) container with the same ``backend`` /
+    ``failures`` / ``scenario(i)`` surface.
 
     With ``backend="auto"`` the stack goes through the method's
     :mod:`repro.engine` kernel when it has one (one batched recursion
@@ -376,11 +443,27 @@ def solve_stack(
     _check_stackable(scenarios)
     name = _auto_stack_method(scenarios) if method == "auto" else method
     spec = get_solver(name)
-    if spec.returns != "trajectory":
+    if spec.returns not in ("trajectory", "multiclass"):
         raise SolverCapabilityError(
-            f"{spec.name}: only trajectory solvers can be stacked"
+            f"{spec.name}: only trajectory and multiclass solvers can be stacked"
+        )
+    if spec.multiclass and not scenarios[0].is_multiclass:
+        raise SolverCapabilityError(
+            f"{spec.name}: multi-class solver needs scenarios with classes"
+        )
+    if scenarios[0].is_multiclass and not spec.multiclass:
+        raise SolverCapabilityError(
+            f"{spec.name}: scenarios have customer classes but the solver is "
+            f"single-class; use a multiclass-capable method (or method='auto')"
         )
     resolved = _resolve_backend(spec, len(scenarios), backend, workers)
+    if (
+        backend == "auto"
+        and resolved == "serial"
+        and spec.batched_kernel is None
+        and len(scenarios) > 1
+    ):
+        _warn_scalar_fallback(spec, len(scenarios))
     if checkpoint is not None or retry_policy is not None:
         # The retry/checkpoint machinery lives in the resilient backend;
         # asking for either is asking for it.
@@ -409,9 +492,14 @@ def solve_stack(
         try:
             result = get_backend(resolved, workers=workers).run(spec, scenarios, options)
         except Exception:
-            from ..engine.resilience import solve_isolated
+            from ..engine.resilience import solve_isolated, solve_isolated_batched
 
-            result = solve_isolated(spec, scenarios, options)
+            if resolved != "serial" and spec.batched_kernel is not None:
+                # Mask the poisoned scenarios out of the kernel instead of
+                # demoting every healthy row to the serial loop.
+                result = solve_isolated_batched(spec, scenarios, options)
+            else:
+                result = solve_isolated(spec, scenarios, options)
     else:
         result = get_backend(resolved, workers=workers).run(spec, scenarios, options)
     if not result.failures and result.backend != resolved:

@@ -83,6 +83,30 @@ def _readonly(arr: np.ndarray) -> np.ndarray:
     return arr
 
 
+class _ScaledDemand:
+    """Picklable wrapper scaling a demand curve by a constant factor.
+
+    ``with_overrides(demand_scale=...)`` on multi-class scenarios wraps
+    callable per-class demands with this instead of a lambda so derived
+    scenarios survive the fork/pickle boundary of the sharded backends.
+    """
+
+    __slots__ = ("fn", "scale")
+
+    def __init__(self, fn: DemandFn, scale: float) -> None:
+        self.fn = fn
+        self.scale = float(scale)
+
+    def __call__(self, level: float) -> float:
+        return float(self.fn(level)) * self.scale
+
+
+def _scale_class_demand(demand: float | DemandFn, scale: float) -> float | DemandFn:
+    if callable(demand):
+        return _ScaledDemand(demand, scale)
+    return float(demand) * scale
+
+
 @dataclass(frozen=True)
 class WorkloadClass:
     """One customer class of a multi-class scenario.
@@ -299,6 +323,42 @@ class Scenario:
         """The effective think time ``Z`` of this scenario."""
         return self.network.think_time if self.think_time is None else float(self.think_time)
 
+    # -- multi-class structure ----------------------------------------------
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        """Class labels in order (multi-class scenarios only)."""
+        if self.classes is None:
+            raise SolverInputError("scenario: not a multi-class scenario")
+        return tuple(c.name for c in self.classes)
+
+    @property
+    def class_populations(self) -> tuple[int, ...]:
+        """Per-class populations ``(N_1, ..., N_C)``."""
+        if self.classes is None:
+            raise SolverInputError("scenario: not a multi-class scenario")
+        return tuple(int(c.population) for c in self.classes)
+
+    @property
+    def class_think_times(self) -> tuple[float, ...]:
+        """Per-class think times ``(Z_1, ..., Z_C)``."""
+        if self.classes is None:
+            raise SolverInputError("scenario: not a multi-class scenario")
+        return tuple(float(c.think_time) for c in self.classes)
+
+    def class_structure(self) -> tuple[tuple[str, int, float], ...]:
+        """The batching invariant: ``(name, population, think_time)`` per class.
+
+        Multi-class scenarios are stackable into one batched kernel call
+        exactly when they share this structure (and the topology /
+        ``max_population``); demands are free to differ per scenario.
+        """
+        if self.classes is None:
+            raise SolverInputError("scenario: not a multi-class scenario")
+        return tuple(
+            (c.name, int(c.population), float(c.think_time)) for c in self.classes
+        )
+
     def resolved_network(self) -> ClosedNetwork:
         """The network with any think-time override applied."""
         if self.think_time is None:
@@ -363,6 +423,42 @@ class Scenario:
             precompute_demand_matrix(self.demand_fns(solver), self.max_population)
         )
 
+    def multiclass_demand_matrix(self, solver: str = "scenario") -> np.ndarray:
+        """The ``(K, C)`` class-demand matrix frozen at ``demand_level``.
+
+        The representation the exact multi-class solvers (and their
+        batched kernel) consume; read-only.
+        """
+        if self.classes is None:
+            raise SolverInputError(f"{solver}: not a multi-class scenario")
+        names = self.station_names
+        return _readonly(
+            np.stack(
+                [c.demand_vector(names, self.demand_level) for c in self.classes],
+                axis=1,
+            )
+        )
+
+    def multiclass_demand_tensor(self, solver: str = "scenario") -> np.ndarray:
+        """The ``(N, K, C)`` class-demand samples at totals ``1..N``.
+
+        Per-class demand curves evaluated at every *total* population —
+        exactly the values the scalar mix sweep
+        (:func:`~repro.core.multiclass_amva.multiclass_mvasd`) observes,
+        precomputed for the batched kernel; read-only.
+        """
+        if self.classes is None:
+            raise SolverInputError(f"{solver}: not a multi-class scenario")
+        names = self.station_names
+        out = np.empty((self.max_population, len(names), len(self.classes)))
+        for ci, cls in enumerate(self.classes):
+            if cls.has_varying_demands:
+                for level in range(1, self.max_population + 1):
+                    out[level - 1, :, ci] = cls.demand_vector(names, float(level))
+            else:
+                out[:, :, ci] = cls.demand_vector(names, 1.0)[None, :]
+        return _readonly(out)
+
     # -- identity -----------------------------------------------------------
 
     def fingerprint(self) -> str:
@@ -418,10 +514,44 @@ class Scenario:
         ``demand_scale`` multiplies the whole demand model (the
         resolved matrix for varying scenarios, the fixed vector
         otherwise) — the common what-if axis of the sweep grids.
+
+        Multi-class scenarios support ``demand_scale`` (every class's
+        demands scale together) and ``max_population``; a ``think_time``
+        override is rejected because think times live per class.
         """
         if self.is_multiclass:
-            raise SolverInputError(
-                "scenario: with_overrides does not support multi-class scenarios"
+            if think_time is not None:
+                raise SolverInputError(
+                    "scenario: think_time override does not apply to multi-class "
+                    "scenarios — think times are per class (WorkloadClass.think_time)"
+                )
+            n = self.max_population if max_population is None else int(max_population)
+            scale = 1.0 if demand_scale is None else float(demand_scale)
+            if scale < 0:
+                raise SolverInputError(
+                    f"scenario: demand_scale must be non-negative, got {scale}"
+                )
+            if scale == 1.0 and n == self.max_population:
+                return self
+            classes = tuple(
+                WorkloadClass(
+                    name=c.name,
+                    population=c.population,
+                    demands={
+                        st: _scale_class_demand(dm, scale)
+                        for st, dm in c.demands.items()
+                    }
+                    if scale != 1.0
+                    else c.demands,
+                    think_time=c.think_time,
+                )
+                for c in self.classes
+            )
+            return Scenario(
+                network=self.network,
+                max_population=n,
+                demand_level=self.demand_level,
+                classes=classes,
             )
         n = self.max_population if max_population is None else int(max_population)
         think = self.think if think_time is None else float(think_time)

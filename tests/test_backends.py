@@ -57,7 +57,11 @@ def _stack_for(spec, net):
     ]
 
 
-BATCHED_METHODS = [s.name for s in list_solvers() if s.batched_kernel]
+# Single-class kernel methods; the multi-class kernels have their own
+# parity suite in tests/test_multiclass_batched.py (different fixtures).
+BATCHED_METHODS = [
+    s.name for s in list_solvers() if s.batched_kernel and not s.multiclass
+]
 
 
 class TestParityAcrossBackends:

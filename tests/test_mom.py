@@ -1,0 +1,169 @@
+"""Method of Moments: exact parity, feasibility limits, auto-selection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClosedNetwork, Station, exact_multiclass_mva
+from repro.core.mom import method_of_moments, mom_state_count
+from repro.solvers import Scenario, WorkloadClass, list_solvers, solve
+from repro.solvers.facade import (
+    EXACT_MULTICLASS_LATTICE_LIMIT,
+    MOM_STATE_LIMIT,
+    auto_method,
+)
+
+
+@st.composite
+def _mom_case(draw):
+    k = draw(st.integers(1, 3))
+    c = draw(st.integers(1, 3))
+    demands = draw(
+        st.lists(
+            st.lists(st.floats(0.005, 0.3), min_size=c, max_size=c),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    pops = draw(st.lists(st.integers(0, 5), min_size=c, max_size=c))
+    think = draw(st.lists(st.floats(0.0, 2.0), min_size=c, max_size=c))
+    kinds = draw(
+        st.lists(st.sampled_from(["queue", "delay"]), min_size=k, max_size=k)
+    )
+    return demands, pops, think, kinds
+
+
+class TestExactParity:
+    @given(case=_mom_case())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_lattice_recursion(self, case):
+        demands, pops, think, kinds = case
+        mom = method_of_moments(demands, pops, think, station_kinds=kinds)
+        exact = exact_multiclass_mva(demands, pops, think, station_kinds=kinds)
+        np.testing.assert_allclose(mom.throughput, exact.throughput, atol=1e-8)
+        np.testing.assert_allclose(
+            mom.queue_lengths, exact.queue_lengths, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            mom.queue_lengths_by_class, exact.queue_lengths_by_class, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            mom.utilizations, exact.utilizations, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            mom.response_time, exact.response_time, atol=1e-8
+        )
+
+    def test_larger_lattice_still_exact(self):
+        demands = [[0.02, 0.01, 0.03], [0.05, 0.04, 0.02], [0.01, 0.03, 0.04]]
+        pops = [9, 8, 7]  # lattice: 10 * 9 * 8 = 720 points
+        think = [1.0, 0.5, 0.2]
+        mom = method_of_moments(demands, pops, think)
+        exact = exact_multiclass_mva(demands, pops, think)
+        np.testing.assert_allclose(mom.throughput, exact.throughput, atol=1e-8)
+        np.testing.assert_allclose(
+            mom.queue_lengths, exact.queue_lengths, atol=1e-8
+        )
+
+    def test_delay_stations_fold_into_think(self):
+        demands = [[0.02, 0.01], [0.08, 0.05]]
+        res_delay = method_of_moments(
+            demands, [4, 3], [1.0, 0.5], station_kinds=["queue", "delay"]
+        )
+        # A delay demand is equivalent to extra think time.
+        res_think = method_of_moments(
+            [[0.02, 0.01]], [4, 3], [1.08, 0.55], station_kinds=["queue"]
+        )
+        np.testing.assert_allclose(
+            res_delay.throughput, res_think.throughput, atol=1e-10
+        )
+
+    def test_zero_population(self):
+        res = method_of_moments([[0.1]], [0], [1.0])
+        assert res.throughput[0] == 0.0
+        assert res.queue_lengths[0] == 0.0
+
+
+class TestValidation:
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            method_of_moments([0.1, 0.2], [1], [1.0])
+        with pytest.raises(ValueError):
+            method_of_moments([[0.1]], [-1], [1.0])
+        with pytest.raises(ValueError):
+            method_of_moments([[0.1]], [1], [-1.0])
+        with pytest.raises(ValueError):
+            method_of_moments([[np.nan]], [1], [1.0])
+        with pytest.raises(ValueError):
+            method_of_moments([[0.1]], [1], [1.0], station_kinds=["lift"])
+
+
+class TestStateCount:
+    def test_binomial_formula(self):
+        assert mom_state_count(10, 2) == math.comb(12, 2)
+        assert mom_state_count(0, 3) == 1
+        assert mom_state_count(5, 0) == 1
+
+
+class TestRegistryIntegration:
+    @pytest.fixture
+    def net(self):
+        return ClosedNetwork(
+            [Station("web", demand=0.02), Station("db", demand=0.05)],
+            think_time=1.0,
+        )
+
+    def test_registered(self):
+        spec = next(s for s in list_solvers() if s.name == "method-of-moments")
+        assert spec.multiclass and spec.exact
+        assert spec.returns == "multiclass"
+
+    def test_solve_matches_exact_multiclass(self, net):
+        classes = (
+            WorkloadClass("a", 3, {"web": 0.02, "db": 0.05}, think_time=1.0),
+            WorkloadClass("b", 2, {"web": 0.01, "db": 0.04}, think_time=0.5),
+        )
+        sc = Scenario(net, 5, classes=classes)
+        mom = solve(sc, method="method-of-moments", cache=None)
+        exact = solve(sc, method="exact-multiclass", cache=None)
+        np.testing.assert_allclose(mom.throughput, exact.throughput, atol=1e-8)
+        np.testing.assert_allclose(
+            mom.queue_lengths, exact.queue_lengths, atol=1e-8
+        )
+
+    def test_auto_selected_past_lattice_limit(self, net):
+        # Six classes of 9 => lattice 10^6 > EXACT_MULTICLASS_LATTICE_LIMIT,
+        # but binom(54 + 2, 2) stays tiny: MoM keeps exactness.
+        classes = tuple(
+            WorkloadClass(
+                f"c{i}", 9, {"web": 0.01 + 0.001 * i, "db": 0.02}, think_time=1.0
+            )
+            for i in range(6)
+        )
+        sc = Scenario(net, 54, classes=classes)
+        lattice = 10**6
+        assert lattice > EXACT_MULTICLASS_LATTICE_LIMIT
+        assert mom_state_count(54, 2) <= MOM_STATE_LIMIT
+        assert auto_method(sc) == "method-of-moments"
+
+    def test_falls_back_to_amva_when_mom_infeasible(self, net):
+        # Huge total population: even the MoM state count blows past the
+        # feasibility limit, so auto-selection degrades to Bard-Schweitzer.
+        classes = tuple(
+            WorkloadClass(
+                f"c{i}", 2000, {"web": 0.01, "db": 0.02}, think_time=1.0
+            )
+            for i in range(4)
+        )
+        sc = Scenario(net, 8000, classes=classes)
+        assert mom_state_count(8000, 2) > MOM_STATE_LIMIT
+        assert auto_method(sc) == "multiclass-mvasd"
+
+    def test_small_lattice_still_prefers_plain_exact(self, net):
+        classes = (
+            WorkloadClass("a", 3, {"web": 0.02, "db": 0.05}, think_time=1.0),
+        )
+        assert auto_method(Scenario(net, 3, classes=classes)) == "exact-multiclass"
