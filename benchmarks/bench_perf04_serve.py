@@ -1,0 +1,247 @@
+"""PERF-04 — ``repro serve`` QPS: cold vs persistent-warm vs trajectory.
+
+Runs the capacity-planning service end to end (real subprocess, real
+TCP) and records per-solve rates in ``BENCH_perf04.json`` at the repo
+root:
+
+* **cold** — a fresh server with an empty sqlite store answers one
+  deep ``solve`` per scenario; every request runs the full recursion.
+* **trajectory** — ``whatif`` sweeps over smaller populations against
+  the same server; every population is a prefix slice of the deep
+  trajectory already in memory, so no recursion runs at all.
+* **persistent-warm** — the server is shut down and *restarted* on the
+  same sqlite path, then asked the same deep solves again; every
+  answer is a persistent-tier hit that survived the restart.
+
+Assertions gate on *provenance and parity* (every response labelled
+with the expected cache tier; served snapshots exactly equal to direct
+in-process solves — floats round-trip through JSON), never on
+wall-clock.  The measured speedups are recorded in the JSON for the
+EXPERIMENTS.md walkthrough.
+
+``REPRO_BENCH_QUICK=1`` shrinks the sweep for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import ServeClient, decode_scenario
+from repro.solvers import solve
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_perf04.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Deep-solve population — sized so a cold solve costs real work.
+MAX_POPULATION = 1_500 if QUICK else 5_000
+#: Distinct scenarios (demand scales) in the sweep.
+SCENARIOS = 6 if QUICK else 12
+#: What-if populations per scenario, all below MAX_POPULATION.
+WHATIF_POINTS = 5 if QUICK else 10
+
+
+def _payload(scale: float) -> dict:
+    return {
+        "stations": [
+            {"name": "web", "demand": 0.04 * scale, "servers": 4},
+            {"name": "app", "demand": 0.06 * scale, "servers": 2},
+            {"name": "db", "demand": 0.05 * scale},
+        ],
+        "think_time": 1.0,
+        "max_population": MAX_POPULATION,
+    }
+
+
+def _start_server(cache_path: str):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--cache-path",
+            cache_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            return proc, int(line.rsplit(":", 1)[1])
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"serve died before binding (rc={proc.returncode})")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("serve never announced its port")
+
+
+def _stop_server(proc, port):
+    try:
+        with ServeClient(port=port, timeout=30.0) as client:
+            client.shutdown()
+    except Exception:
+        proc.terminate()
+    proc.wait(timeout=120.0)
+
+
+def test_perf04_serve_qps(emit, tmp_path):
+    db = str(tmp_path / "serve-cache.sqlite")
+    scales = [0.7 + 0.6 * i / (SCENARIOS - 1) for i in range(SCENARIOS)]
+    payloads = [_payload(s) for s in scales]
+    whatif_pops = [
+        max(1, MAX_POPULATION * (i + 1) // (WHATIF_POINTS + 1))
+        for i in range(WHATIF_POINTS)
+    ]
+
+    # -- leg 1: cold deep solves ---------------------------------------------
+    proc, port = _start_server(db)
+    pid_first = None
+    try:
+        with ServeClient(port=port, timeout=120.0) as client:
+            pid_first = client.ping()["pid"]
+            t0 = time.perf_counter()
+            cold = [
+                client.request(
+                    {
+                        "op": "solve",
+                        "scenario": p,
+                        "method": "mvasd",
+                        "at": MAX_POPULATION,
+                    }
+                )
+                for p in payloads
+            ]
+            t_cold = time.perf_counter() - t0
+
+            # -- leg 2: what-if sweeps served from the trajectory ------------
+            t0 = time.perf_counter()
+            sweeps = [
+                client.request(
+                    {
+                        "op": "whatif",
+                        "scenario": p,
+                        "populations": whatif_pops,
+                        "method": "mvasd",
+                    }
+                )
+                for p in payloads
+            ]
+            t_traj = time.perf_counter() - t0
+    finally:
+        _stop_server(proc, port)
+    restart_clean = proc.returncode == 0
+
+    # -- leg 3: restart; the sqlite tier answers the same deep solves --------
+    proc, port = _start_server(db)
+    try:
+        with ServeClient(port=port, timeout=120.0) as client:
+            pid_second = client.ping()["pid"]
+            t0 = time.perf_counter()
+            warm = [
+                client.request(
+                    {
+                        "op": "solve",
+                        "scenario": p,
+                        "method": "mvasd",
+                        "at": MAX_POPULATION,
+                    }
+                )
+                for p in payloads
+            ]
+            t_warm = time.perf_counter() - t0
+    finally:
+        _stop_server(proc, port)
+
+    # -- parity: served snapshots vs direct in-process solves ----------------
+    n_parity = 3  # spot-check a few scenarios end to end
+    max_diff = 0.0
+    for payload, cold_env, warm_env, sweep_env in zip(
+        payloads[:n_parity], cold, warm, sweeps
+    ):
+        direct = solve(decode_scenario(payload), method="mvasd", cache=None)
+        for envelope in (cold_env, warm_env):
+            snap = envelope["result"]
+            ref = direct.at(MAX_POPULATION)
+            for field in ("throughput", "response_time", "cycle_time"):
+                max_diff = max(max_diff, abs(snap[field] - ref[field]))
+        for snap in sweep_env["result"]["snapshots"]:
+            ref = direct.at(snap["population"])
+            max_diff = max(max_diff, abs(snap["throughput"] - ref["throughput"]))
+
+    # -- rates ----------------------------------------------------------------
+    n_traj_solves = SCENARIOS * WHATIF_POINTS
+    qps_cold = SCENARIOS / t_cold if t_cold > 0 else float("inf")
+    qps_traj = n_traj_solves / t_traj if t_traj > 0 else float("inf")
+    qps_warm = SCENARIOS / t_warm if t_warm > 0 else float("inf")
+
+    payload = {
+        "bench": "perf04_serve",
+        "quick_mode": QUICK,
+        "host_cpu_cores": os.cpu_count() or 1,
+        "max_population": MAX_POPULATION,
+        "scenarios": SCENARIOS,
+        "whatif_populations": whatif_pops,
+        "cold": {
+            "solves": SCENARIOS,
+            "seconds": round(t_cold, 4),
+            "qps": round(qps_cold, 1),
+        },
+        "trajectory": {
+            "solves": n_traj_solves,
+            "seconds": round(t_traj, 4),
+            "qps": round(qps_traj, 1),
+            "speedup_vs_cold": round(qps_traj / qps_cold, 1),
+        },
+        "persistent_warm": {
+            "solves": SCENARIOS,
+            "seconds": round(t_warm, 4),
+            "qps": round(qps_warm, 1),
+            "speedup_vs_cold": round(qps_warm / qps_cold, 1),
+            "survived_restart": pid_second != pid_first and restart_clean,
+        },
+        "max_abs_diff_vs_direct": max_diff,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "\n".join(
+            [
+                "PERF-04 — repro serve: cold vs persistent-warm vs trajectory",
+                f"{SCENARIOS} scenarios x N={MAX_POPULATION}, "
+                f"what-if points: {whatif_pops}",
+                f"  cold:        {SCENARIOS:4d} solves in {t_cold:.3f}s "
+                f"= {qps_cold:8.1f} solves/s",
+                f"  trajectory:  {n_traj_solves:4d} solves in {t_traj:.3f}s "
+                f"= {qps_traj:8.1f} solves/s ({qps_traj / qps_cold:.0f}x cold)",
+                f"  warm (disk): {SCENARIOS:4d} solves in {t_warm:.3f}s "
+                f"= {qps_warm:8.1f} solves/s ({qps_warm / qps_cold:.0f}x cold), "
+                f"after restart",
+                f"  max |served - direct|: {max_diff:.2e}",
+            ]
+        )
+    )
+
+    # Provenance + parity gates only — timing is recorded, never asserted.
+    assert all(env["ok"] and env["provenance"] == "cold" for env in cold)
+    for env in sweeps:
+        assert env["ok"]
+        assert env["provenance"]["trajectory-prefix"] == WHATIF_POINTS
+        assert env["provenance"]["cold"] == 0
+    assert all(env["ok"] and env["provenance"] == "persistent" for env in warm)
+    assert pid_second != pid_first, "restart did not produce a new process"
+    assert restart_clean, "first server did not exit cleanly"
+    assert max_diff == 0.0, "served snapshots diverged from direct solves"

@@ -137,6 +137,7 @@ def solved_bottleneck_ranking(
     network: ClosedNetwork,
     max_population: int,
     method: str = "auto",
+    cache="default",
 ) -> SolvedBottleneckRanking:
     """Rank stations by *solved* utilization at the top population.
 
@@ -147,10 +148,14 @@ def solved_bottleneck_ranking(
     predicted utilization at ``N = max_population`` — the Tables 2-3
     observation ("93 % disk utilization, hence the bottleneck") done
     with model numbers instead of asymptotics.
+
+    ``cache`` is forwarded to :func:`repro.solvers.solve` (the global
+    cache by default) so the serve endpoint can route rankings through
+    its own store.
     """
     from ..solvers import Scenario, solve
 
-    result = solve(Scenario(network, max_population), method=method)
+    result = solve(Scenario(network, max_population), method=method, cache=cache)
     utils = result.utilizations[-1]
     entries = []
     for idx, st in enumerate(network.stations):

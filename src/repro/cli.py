@@ -11,14 +11,18 @@ Exposes the library's main flows without writing Python::
     python -m repro sweep-grid --demands 0.05,0.08 --servers 4,1 --think 1 \
         --population 100 --scales 0.5,0.75,1.0,1.25
     python -m repro sweep-grid ... --backend process-sharded --workers 8
-    python -m repro cache --demo
+    python -m repro cache --demo --path /var/tmp/repro-cache.sqlite
+    python -m repro serve --port 7173 --cache-path /var/tmp/repro-cache.sqlite
+    python -m repro query '{"op": "ping"}'
 
 Every command prints the same ASCII tables the benches produce.
 ``sweep --replications R --workers W`` fans R independent load tests
 over W processes (bit-identical to serial); ``sweep-grid`` solves a
 whole scenario grid through a selectable execution backend (batched
 kernel or process-sharded fan-out, :mod:`repro.engine`); ``cache``
-inspects the process-global solver result cache.
+inspects the process-global solver result cache (optionally with its
+persistent sqlite tier); ``serve``/``query`` run and talk to the
+always-on capacity-planning service of :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -315,10 +319,21 @@ def _cmd_sweep_grid(args) -> int:
 
 def _cmd_cache(args) -> int:
     from .analysis.tables import format_table
-    from .solvers import SolverCache, cache_stats, default_cache, set_default_cache
+    from .solvers import (
+        DEFAULT_MAXSIZE,
+        SolverCache,
+        cache_stats,
+        default_cache,
+        set_default_cache,
+    )
 
-    if args.maxsize is not None:
-        set_default_cache(SolverCache(maxsize=args.maxsize))
+    if args.maxsize is not None or args.path is not None:
+        set_default_cache(
+            SolverCache(
+                maxsize=args.maxsize if args.maxsize is not None else DEFAULT_MAXSIZE,
+                persistent=args.path,
+            )
+        )
     if args.clear:
         default_cache().clear()
     if args.demo:
@@ -336,9 +351,65 @@ def _cmd_cache(args) -> int:
         ("hit rate", f"{s.hit_rate:.0%}"),
         ("evictions", s.evictions),
         ("uncacheable", s.uncacheable),
+        ("errors", s.errors),
+        ("trajectory prefix hits", s.trajectory_hits),
+        ("trajectory extends", s.trajectory_extends),
     ]
+    if s.persistent is not None:
+        rows += [
+            ("persistent hits (this process)", s.persistent_hits),
+            ("persistent entries", s.persistent.entries),
+            ("persistent bytes on disk", s.persistent.bytes),
+            ("persistent errors", s.persistent.errors),
+            ("persistent path", s.persistent.path),
+        ]
     print(format_table(["Counter", "Value"], rows, title="solver result cache"))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.server import run_server
+
+    try:
+        run_server(
+            host=args.host,
+            port=args.port,
+            cache_path=args.cache_path,
+            maxsize=args.maxsize,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from .serve.client import ServeClient
+
+    if args.request == "-":
+        raw = sys.stdin.read()
+    elif args.request.startswith("@"):
+        with open(args.request[1:], encoding="utf-8") as fh:
+            raw = fh.read()
+    else:
+        raw = args.request
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise SystemExit("request must be a JSON object, e.g. '{\"op\": \"ping\"}'")
+    try:
+        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+            envelope = client.request(payload)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach repro-serve at {args.host}:{args.port}: {exc}"
+        ) from None
+    print(json.dumps(envelope, indent=2, sort_keys=True))
+    return 0 if envelope.get("ok") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -438,12 +509,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "cache", help="inspect or manage the process-global solver result cache"
     )
-    p.add_argument("--clear", action="store_true", help="drop all entries and counters")
+    p.add_argument("--clear", action="store_true",
+                   help="drop all entries and counters (every tier, including "
+                        "the persistent store when --path is given)")
     p.add_argument("--maxsize", type=int, default=None,
                    help="install a fresh cache with this capacity")
+    p.add_argument("--path", default=None, metavar="PATH",
+                   help="attach a persistent sqlite store at PATH (shared "
+                        "across processes and restarts)")
     p.add_argument("--demo", action="store_true",
                    help="solve a small scenario twice to demonstrate a warm hit")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on capacity-planning service (JSON lines over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7173,
+                   help="TCP port (0 = let the OS pick; the bound port is printed)")
+    p.add_argument("--cache-path", default=None, metavar="PATH",
+                   help="persistent sqlite store warming the service across restarts")
+    p.add_argument("--maxsize", type=int, default=1024,
+                   help="in-memory result cache capacity")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request solve timeout in seconds")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="send one JSON request to a running repro serve instance"
+    )
+    p.add_argument("request",
+                   help="JSON request object, @file, or '-' for stdin, e.g. "
+                        "'{\"op\": \"ping\"}'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7173)
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="socket timeout waiting for the response")
+    p.set_defaults(fn=_cmd_query)
     return parser
 
 

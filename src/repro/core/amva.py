@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .mva import _resolve_demands
+from .mva import _prefill, _resolve_demands, validate_resume
 from .network import ClosedNetwork, Station
 from .results import MVAResult
 
@@ -65,12 +65,16 @@ def schweitzer_amva(
     max_population: int,
     demands: Sequence[float] | None = None,
     demand_level: float = 1.0,
+    resume_from: MVAResult | None = None,
 ) -> MVAResult:
     """Schweitzer approximate MVA over ``n = 1..N`` (single-server stations).
 
     Each population level is an independent fixed point, seeded by the
     previous level's queues; the result therefore has the same
-    trajectory shape as the exact solvers.
+    trajectory shape as the exact solvers.  Because level ``n`` depends
+    on earlier levels only through that seed, ``resume_from=`` a
+    previous result at ``L < N`` continues the sweep bit-identically
+    from level ``L + 1``.
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
@@ -87,8 +91,21 @@ def schweitzer_amva(
     rks = np.empty((max_population, k))
     utils = np.empty((max_population, k))
 
+    start = 0
     q = np.full(k, 1.0 / k)
-    for i, n in enumerate(pops):
+    if resume_from is not None:
+        start = validate_resume(resume_from, max_population, k, z, "schweitzer-amva")
+        if resume_from.demands_used is None or not np.array_equal(
+            np.asarray(resume_from.demands_used[-1]), d
+        ):
+            raise ValueError(
+                "schweitzer-amva: resume_from demands differ from this solve"
+            )
+        _prefill(resume_from, (xs, rs, qs, rks, utils))
+        q = np.array(resume_from.queue_lengths[-1], dtype=float)
+
+    for i in range(start, max_population):
+        n = i + 1
         x, r_k, q = _schweitzer_fixed_point(d, is_queue, z, int(n), q)
         xs[i] = x
         rs[i] = float(r_k.sum())

@@ -141,6 +141,39 @@ class MultiServerState:
             self._p[: n + 1] /= total
         self._level = n
 
+    def snapshot(self) -> dict:
+        """Serializable copy of the recursion state at the current level.
+
+        Together with :meth:`restore` this lets a solver resume the
+        population recursion from a cached prefix (``resume_from=`` in
+        :func:`repro.core.mvasd.mvasd`) bit-identically: the full
+        marginal vector *is* the recursion state.
+        """
+        return {
+            "servers": self.servers,
+            "level": self._level,
+            "p": self._p[: self._level + 1].copy(),
+        }
+
+    @classmethod
+    def restore(
+        cls, servers: int, max_population: int, p: np.ndarray, level: int
+    ) -> "MultiServerState":
+        """Rebuild a state from :meth:`snapshot` with room to reach ``max_population``."""
+        level = int(level)
+        p = np.asarray(p, dtype=float)
+        if level > max_population:
+            raise ValueError(
+                f"snapshot level {level} exceeds max_population {max_population}"
+            )
+        if p.shape != (level + 1,):
+            raise ValueError(f"snapshot p must have shape ({level + 1},), got {p.shape}")
+        state = cls(servers, max_population)
+        state._p[: level + 1] = p
+        state._p[level + 1 :] = 0.0
+        state._level = level
+        return state
+
     def queue_length(self) -> float:
         """Mean jobs ``Q_k`` at the last updated level (from the marginals)."""
         n = self._level

@@ -52,11 +52,63 @@ def _resolve_demands(
     return resolve_demands(network, demands, level, solver=solver)
 
 
+def validate_resume(
+    prev: MVAResult,
+    max_population: int,
+    n_stations: int,
+    think_time: float,
+    solver: str,
+) -> int:
+    """Check that ``prev`` is a resumable prefix; return its level ``L``.
+
+    Shared by every solver accepting ``resume_from=``: the previous
+    result must be a dense ``1..L`` trajectory over the same stations
+    and think time, with ``L < max_population``.  Demand agreement is
+    checked by each solver against its own resolved demands (exact
+    equality — the facade's trajectory store guarantees it via
+    fingerprints, direct callers get a cheap guard).
+    """
+    if not isinstance(prev, MVAResult):
+        raise ValueError(
+            f"{solver}: resume_from must be an MVAResult, got {type(prev).__name__}"
+        )
+    if prev.queue_lengths.shape[1] != n_stations:
+        raise ValueError(
+            f"{solver}: resume_from covers {prev.queue_lengths.shape[1]} stations, "
+            f"this network has {n_stations}"
+        )
+    if float(prev.think_time) != float(think_time):
+        raise ValueError(
+            f"{solver}: resume_from think time {prev.think_time} != {think_time}"
+        )
+    level = prev.max_population
+    if int(prev.populations[0]) != 1 or len(prev.populations) != level:
+        raise ValueError(f"{solver}: resume_from must be a dense 1..L trajectory")
+    if level >= max_population:
+        raise ValueError(
+            f"{solver}: resume_from already covers N={level} >= {max_population}; "
+            f"take result.prefix({max_population}) instead"
+        )
+    return level
+
+
+def _prefill(prev: MVAResult, arrays: tuple[np.ndarray, ...]) -> None:
+    """Copy a resumed prefix into the output arrays (levels ``1..L``)."""
+    xs, rs, qs, rks, utils = arrays
+    level = prev.max_population
+    xs[:level] = prev.throughput
+    rs[:level] = prev.response_time
+    qs[:level] = prev.queue_lengths
+    rks[:level] = prev.residence_times
+    utils[:level] = prev.utilizations
+
+
 def exact_mva(
     network: ClosedNetwork,
     max_population: int,
     demands: Sequence[float] | None = None,
     demand_level: float = 1.0,
+    resume_from: MVAResult | None = None,
 ) -> MVAResult:
     """Solve a closed network with exact single-server MVA (Algorithm 1).
 
@@ -75,6 +127,11 @@ def exact_mva(
     demand_level:
         When the network has varying demands and ``demands`` is not
         given, the level at which they are frozen.
+    resume_from:
+        A previous result of this solver for the *same* network and
+        demands at some ``L < N``: the recursion restarts from the
+        cached queue lengths at ``L`` instead of from the empty network,
+        producing trajectories bit-identical to a full ``1..N`` solve.
 
     Returns
     -------
@@ -98,7 +155,18 @@ def exact_mva(
     rks = np.empty((max_population, k))
     utils = np.empty((max_population, k))
 
-    for i, n in enumerate(pops):
+    start = 0
+    if resume_from is not None:
+        start = validate_resume(resume_from, max_population, k, z, "exact-mva")
+        if resume_from.demands_used is None or not np.array_equal(
+            np.asarray(resume_from.demands_used[-1]), d
+        ):
+            raise ValueError("exact-mva: resume_from demands differ from this solve")
+        _prefill(resume_from, (xs, rs, qs, rks, utils))
+        q = np.array(resume_from.queue_lengths[-1], dtype=float)
+
+    for i in range(start, max_population):
+        n = i + 1
         r_k = np.where(is_queue, d * (1.0 + q), d)
         r_total = float(r_k.sum())
         x = n / (r_total + z)

@@ -38,6 +38,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from .multiserver import MultiServerState
+from .mva import validate_resume
 from .network import ClosedNetwork
 from .results import MVAResult
 
@@ -130,6 +131,7 @@ def mvasd(
     demand_functions: Mapping[str, DemandFn] | Sequence[DemandFn] | None = None,
     single_server: bool = False,
     demand_axis: str = "population",
+    resume_from: MVAResult | None = None,
 ) -> MVAResult:
     """Solve a closed network with MVASD (Algorithm 3).
 
@@ -151,6 +153,15 @@ def mvasd(
         ``"population"`` (default) evaluates demand curves at ``n``;
         ``"throughput"`` evaluates them at the level's own throughput
         via a damped fixed point (Fig. 11).
+    resume_from:
+        A previous *non-prefix* result of this solver variant at some
+        ``L < N`` over the same network and demand curves: the recursion
+        restarts from level ``L + 1``, bit-identical to a full solve.
+        Multi-server resumes need the result's ``final_state`` (the
+        per-station marginal vectors), which prefix slices drop.  Only
+        ``demand_axis="population"`` is resumable — the throughput axis
+        seeds each level's fixed point with the float ``x_prev``, which
+        a prefix cannot reproduce for the level after the cut.
 
     Returns
     -------
@@ -205,6 +216,63 @@ def mvasd(
         }
     )
 
+    start = 0
+    if resume_from is not None:
+        solver_name = "mvasd-single-server" if single_server else "mvasd"
+        if demand_axis != "population":
+            raise ValueError(
+                "mvasd: resume_from requires demand_axis='population' "
+                "(the throughput axis is not level-separable)"
+            )
+        prev = resume_from
+        start = validate_resume(prev, max_population, k, z, solver_name)
+        if prev.solver != solver_name:
+            raise ValueError(
+                f"mvasd: resume_from was produced by {prev.solver!r}, "
+                f"this solve is {solver_name!r}"
+            )
+        if prev.demands_used is None or not np.array_equal(
+            np.asarray(prev.demands_used), demand_matrix[:start]
+        ):
+            raise ValueError("mvasd: resume_from demands differ from this solve")
+        if not single_server:
+            fstate = prev.final_state
+            if not isinstance(fstate, Mapping) or "marginals" not in fstate:
+                raise ValueError(
+                    "mvasd: resume_from lacks final_state (prefix slices drop "
+                    "it) — re-solve from scratch or resume the original result"
+                )
+            if int(fstate.get("level", -1)) != start:
+                raise ValueError(
+                    f"mvasd: final_state level {fstate.get('level')} != "
+                    f"resume level {start}"
+                )
+            for idx, st in enumerate(stations):
+                if st.kind != "queue":
+                    continue
+                snap = fstate["marginals"].get(st.name)
+                if snap is None or int(snap["servers"]) != st.servers:
+                    raise ValueError(
+                        f"mvasd: final_state has no matching marginals for "
+                        f"station {st.name!r}"
+                    )
+                states[idx] = MultiServerState.restore(
+                    st.servers, max_population, snap["p"], snap["level"]
+                )
+        xs[:start] = prev.throughput
+        rs[:start] = prev.response_time
+        qs[:start] = prev.queue_lengths
+        rks[:start] = prev.residence_times
+        utils[:start] = prev.utilizations
+        used[:start] = prev.demands_used
+        for name, hist in prob_hist.items():
+            if prev.marginal_probabilities is None or name not in prev.marginal_probabilities:
+                raise ValueError(
+                    f"mvasd: resume_from lacks marginal history for {name!r}"
+                )
+            hist[:start] = prev.marginal_probabilities[name]
+        q = np.array(prev.queue_lengths[-1], dtype=float)
+
     def level_step(n: int, d: np.ndarray) -> tuple[np.ndarray, float]:
         """Residence times and their total at level ``n`` for demands ``d``."""
         r_k = np.empty(k)
@@ -218,8 +286,8 @@ def mvasd(
         return r_k, float(r_k.sum())
 
     x_prev = 0.0
-    for i, n in enumerate(pops):
-        n = int(n)
+    for i in range(start, max_population):
+        n = i + 1
         if demand_axis == "population":
             d = demand_matrix[i]
             r_k, r_total = level_step(n, d)
@@ -267,6 +335,17 @@ def mvasd(
     solver = "mvasd-single-server" if single_server else "mvasd"
     if demand_axis == "throughput":
         solver += "-throughput"
+    final_state = None
+    if states is not None and demand_axis == "population":
+        final_state = {
+            "solver": solver,
+            "level": max_population,
+            "marginals": {
+                st.name: states[idx].snapshot()
+                for idx, st in enumerate(stations)
+                if st.kind == "queue"
+            },
+        }
     return MVAResult(
         populations=pops,
         throughput=xs,
@@ -279,4 +358,5 @@ def mvasd(
         solver=solver,
         marginal_probabilities=prob_hist or None,
         demands_used=used,
+        final_state=final_state,
     )

@@ -53,6 +53,13 @@ class MVAResult:
         solvers).
     solver:
         Name of the producing algorithm.
+    final_state:
+        Opaque solver state at the last population level, for solvers
+        whose recursion can be *resumed* to a larger ``N`` (the
+        ``resume_from=`` parameter of ``mvasd``).  ``None`` for solvers
+        whose resume state is recoverable from the trajectory itself
+        (exact MVA and Schweitzer need only ``queue_lengths[-1]``) and
+        for prefix slices, which never carry a terminal state.
     """
 
     populations: np.ndarray
@@ -66,6 +73,7 @@ class MVAResult:
     solver: str
     marginal_probabilities: Mapping[str, np.ndarray] | None = None
     demands_used: np.ndarray | None = None
+    final_state: Mapping | None = None
 
     def __post_init__(self) -> None:
         n = len(self.populations)
@@ -103,6 +111,48 @@ class MVAResult:
             "queue_lengths": dict(zip(self.station_names, self.queue_lengths[idx])),
             "utilizations": dict(zip(self.station_names, self.utilizations[idx])),
         }
+
+    def prefix(self, n: int) -> "MVAResult":
+        """The ``n = 1..n`` prefix of this trajectory as its own result.
+
+        Because every MVA-family recursion builds population ``n`` only
+        from levels ``< n``, the prefix of a solve at ``N`` is
+        *bit-identical* to solving the same scenario at ``n`` directly —
+        this is what makes one cached solve at ``N = 280`` answer every
+        ``N' <= 280`` what-if query as a pure lookup.  Arrays are views
+        of this result's (possibly frozen) arrays; ``final_state`` is
+        dropped since it describes level ``N``, not ``n``.
+        """
+        n = int(n)
+        if n == self.max_population:
+            return self
+        if not 1 <= n < self.max_population:
+            raise ValueError(
+                f"prefix population must be in 1..{self.max_population}, got {n}"
+            )
+        if int(self.populations[0]) != 1 or len(self.populations) != self.max_population:
+            raise ValueError(
+                "prefix requires a dense 1..N trajectory "
+                f"(populations start at {self.populations[0]})"
+            )
+        marginals = (
+            None
+            if self.marginal_probabilities is None
+            else {k: v[:n] for k, v in self.marginal_probabilities.items()}
+        )
+        return MVAResult(
+            populations=self.populations[:n],
+            throughput=self.throughput[:n],
+            response_time=self.response_time[:n],
+            queue_lengths=self.queue_lengths[:n],
+            residence_times=self.residence_times[:n],
+            utilizations=self.utilizations[:n],
+            station_names=self.station_names,
+            think_time=self.think_time,
+            solver=self.solver,
+            marginal_probabilities=marginals,
+            demands_used=None if self.demands_used is None else self.demands_used[:n],
+        )
 
     def interpolate_throughput(self, populations) -> np.ndarray:
         """Linear interpolation of ``X^n`` at arbitrary population levels."""

@@ -75,6 +75,7 @@ FAULT_KINDS = {
     "delay-shard": "shard",
     "raise-in-kernel": "kernel",
     "corrupt-cache-entry": "cache",
+    "corrupt-persistent-entry": "persistent",
 }
 
 

@@ -1,0 +1,41 @@
+"""`repro.serve` — the always-on capacity-planning service.
+
+The paper's artifact answers "what happens at N users" as a batch
+script; this package turns the same facade into a long-lived service:
+
+* :mod:`~repro.serve.protocol` — the JSON-lines wire format: scenario
+  codec, result serialization, and the structured error envelope
+  (mirroring :class:`~repro.engine.batched.ScenarioFailure` fields);
+* :mod:`~repro.serve.server` — the asyncio TCP server behind
+  ``repro serve``: every request routes through the existing
+  facade → cache → backend → resilience stack, with per-request
+  timeouts and cache-tier provenance on each response;
+* :mod:`~repro.serve.client` — the thin blocking client behind
+  ``repro query`` (and the bench/test harnesses).
+
+What makes the service fast is not in this package at all: the
+trajectory store and the persistent sqlite tier live under
+:class:`~repro.solvers.cache.SolverCache`, so *any* facade caller —
+served or direct — gets incremental solves and restart-warm caches.
+"""
+
+from .client import ServeClient, ServeError, query  # noqa: F401
+from .protocol import (  # noqa: F401
+    ProtocolError,
+    decode_scenario,
+    encode_result,
+    error_envelope,
+)
+from .server import SolverServer, run_server  # noqa: F401
+
+__all__ = [
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "SolverServer",
+    "decode_scenario",
+    "encode_result",
+    "error_envelope",
+    "query",
+    "run_server",
+]

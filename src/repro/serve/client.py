@@ -1,0 +1,118 @@
+"""Blocking JSON-lines client for the capacity-planning service.
+
+Used by ``repro query``, the PERF-04 bench and the CI smoke job.  The
+client is deliberately dependency-free (one socket, one file object):
+anything that can write a line of JSON can talk to the server, and this
+module is the reference for what those lines look like.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping
+
+__all__ = ["ServeClient", "query"]
+
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+
+class ServeError(RuntimeError):
+    """Raised by :meth:`ServeClient.call` when the server answers ``ok: false``."""
+
+    def __init__(self, envelope: Mapping[str, Any]) -> None:
+        error = envelope.get("error") or {}
+        super().__init__(
+            f"{error.get('type', 'Error')}: {error.get('error', 'unknown failure')}"
+        )
+        self.envelope = dict(envelope)
+
+
+class ServeClient:
+    """One persistent connection to a :class:`~repro.serve.server.SolverServer`.
+
+    Usable as a context manager.  :meth:`request` returns the raw
+    response envelope; :meth:`call` unwraps ``result`` and raises
+    :class:`ServeError` on a structured failure.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7173,
+        timeout: float | None = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection(
+            (host, self.port), timeout=DEFAULT_CONNECT_TIMEOUT
+        )
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- the wire -------------------------------------------------------------
+
+    def request(self, payload: Mapping[str, Any]) -> dict:
+        """Send one request object, return the response envelope."""
+        body = dict(payload)
+        if "id" not in body:
+            self._next_id += 1
+            body["id"] = self._next_id
+        self._file.write(json.dumps(body).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def call(self, op: str, **payload: Any):
+        """Request ``op`` and return its ``result`` (raises on failure)."""
+        envelope = self.request({"op": op, **payload})
+        if not envelope.get("ok"):
+            raise ServeError(envelope)
+        return envelope["result"]
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def solve(self, scenario: Mapping[str, Any], **payload: Any) -> dict:
+        return self.call("solve", scenario=scenario, **payload)
+
+    def whatif(
+        self, scenario: Mapping[str, Any], populations, **payload: Any
+    ) -> dict:
+        return self.call(
+            "whatif", scenario=scenario, populations=list(populations), **payload
+        )
+
+    def cache_stats(self) -> dict:
+        return self.call("cache_stats")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def query(
+    payload: Mapping[str, Any],
+    host: str = "127.0.0.1",
+    port: int = 7173,
+    timeout: float | None = 60.0,
+) -> dict:
+    """One-shot request: connect, send, return the response envelope."""
+    with ServeClient(host, port, timeout=timeout) as client:
+        return client.request(payload)

@@ -1,0 +1,208 @@
+"""Wire format of the capacity-planning service.
+
+One request or response per line, UTF-8 JSON (``\\n``-terminated).  A
+request names an ``op`` and carries its inputs; a response echoes the
+request ``id`` and either ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": {...}}`` — the error envelope reuses the
+field vocabulary of :class:`~repro.engine.batched.ScenarioFailure`
+(``fingerprint``/``solver``/``error``) so service clients and batch
+callers read failures the same way.
+
+Floats ride as JSON numbers, which Python serializes via ``repr`` —
+shortest round-trip representation — so a served trajectory compares
+**bit-identical** (parity 0.0) to a direct in-process solve; the PERF-04
+bench and the CI smoke job assert exactly that.
+
+Scenario codec
+--------------
+
+.. code-block:: json
+
+    {
+      "stations": [
+        {"name": "cpu",  "demand": 0.005, "servers": 4},
+        {"name": "disk", "demand": {"levels": [1, 100], "values": [0.004, 0.003]}},
+        {"name": "net",  "demand": 0.002, "kind": "delay"}
+      ],
+      "think_time": 1.0,
+      "max_population": 280,
+      "demand_level": 1.0
+    }
+
+Station ``demand`` is a number (constant demand) or a
+``{"levels": [...], "values": [...]}`` table — linearly interpolated
+against population, the service-side equivalent of the paper's measured
+demand curves (fit splines client-side and sample them onto a table to
+ship them).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.network import ClosedNetwork, Station
+from ..core.results import MVAResult
+from ..solvers.scenario import Scenario
+
+__all__ = [
+    "ProtocolError",
+    "decode_request",
+    "decode_scenario",
+    "encode_result",
+    "error_envelope",
+    "ok_envelope",
+]
+
+#: Hard cap on one request line — a scenario is a few KB; anything
+#: larger is a malformed or hostile client.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+KNOWN_OPS = (
+    "ping",
+    "solve",
+    "solve_stack",
+    "whatif",
+    "bottlenecks",
+    "cache_stats",
+    "shutdown",
+)
+
+
+class ProtocolError(ValueError):
+    """A request the server cannot even begin to execute."""
+
+
+class _InterpTable:
+    """Picklable linear-interpolation demand curve from a wire table."""
+
+    __slots__ = ("levels", "values")
+
+    def __init__(self, levels, values) -> None:
+        self.levels = np.asarray(levels, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.levels.ndim != 1 or self.levels.shape != self.values.shape:
+            raise ProtocolError("demand table: levels/values must be equal-length lists")
+        if len(self.levels) < 2:
+            raise ProtocolError("demand table needs at least two points")
+        if not np.all(np.diff(self.levels) > 0):
+            raise ProtocolError("demand table levels must be strictly increasing")
+
+    def __call__(self, n):
+        return np.interp(np.asarray(n, dtype=float), self.levels, self.values)
+
+
+def _decode_demand(raw) -> float | _InterpTable:
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        return float(raw)
+    if isinstance(raw, Mapping) and "levels" in raw and "values" in raw:
+        return _InterpTable(raw["levels"], raw["values"])
+    raise ProtocolError(
+        f"station demand must be a number or {{levels, values}} table, got {raw!r}"
+    )
+
+
+def decode_scenario(payload: Mapping[str, Any]) -> Scenario:
+    """Build a validated :class:`Scenario` from its wire representation."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"scenario must be an object, got {type(payload).__name__}")
+    try:
+        raw_stations = payload["stations"]
+        max_population = payload["max_population"]
+    except KeyError as exc:
+        raise ProtocolError(f"scenario is missing required key {exc.args[0]!r}") from None
+    if not isinstance(raw_stations, list) or not raw_stations:
+        raise ProtocolError("scenario.stations must be a non-empty list")
+    stations = []
+    for idx, st in enumerate(raw_stations):
+        if not isinstance(st, Mapping) or "name" not in st or "demand" not in st:
+            raise ProtocolError(f"station #{idx} needs at least name and demand")
+        stations.append(
+            Station(
+                str(st["name"]),
+                _decode_demand(st["demand"]),
+                servers=int(st.get("servers", 1)),
+                visits=float(st.get("visits", 1.0)),
+                kind=str(st.get("kind", "queue")),
+            )
+        )
+    network = ClosedNetwork(
+        stations,
+        think_time=float(payload.get("think_time", 0.0)),
+        name=str(payload.get("name", "served")),
+    )
+    return Scenario(
+        network,
+        max_population=int(max_population),
+        demand_level=float(payload.get("demand_level", 1.0)),
+    )
+
+
+def decode_request(line: bytes) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(f"unknown op {op!r}; known: {', '.join(KNOWN_OPS)}")
+    return request
+
+
+def encode_result(result) -> dict:
+    """JSON-ready representation of a facade result.
+
+    :class:`MVAResult` trajectories serialize as parallel lists (floats
+    round-trip exactly); other result kinds fall back to their summary
+    line so every op can at least report what it computed.
+    """
+    if isinstance(result, MVAResult):
+        return {
+            "kind": "mva",
+            "solver": result.solver,
+            "station_names": list(result.station_names),
+            "think_time": result.think_time,
+            "populations": result.populations.tolist(),
+            "throughput": result.throughput.tolist(),
+            "response_time": result.response_time.tolist(),
+            "cycle_time": result.cycle_time.tolist(),
+            "queue_lengths": result.queue_lengths.tolist(),
+            "utilizations": result.utilizations.tolist(),
+        }
+    if hasattr(result, "summary"):
+        return {"kind": type(result).__name__, "summary": result.summary()}
+    return {"kind": type(result).__name__, "repr": repr(result)}
+
+
+def ok_envelope(request_id, result, provenance=None) -> dict:
+    envelope = {"id": request_id, "ok": True, "result": result}
+    if provenance is not None:
+        envelope["provenance"] = provenance
+    return envelope
+
+
+def error_envelope(
+    request_id,
+    exc: BaseException,
+    *,
+    fingerprint: str | None = None,
+    solver: str | None = None,
+) -> dict:
+    """Structured failure mirroring ``ScenarioFailure`` field names."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": type(exc).__name__,
+            "error": str(exc),
+            "fingerprint": fingerprint,
+            "solver": solver,
+        },
+    }

@@ -1,0 +1,379 @@
+"""The asyncio capacity-planning server behind ``repro serve``.
+
+One long-lived process owns a :class:`~repro.solvers.cache.SolverCache`
+(optionally backed by the persistent sqlite tier) and answers JSON-lines
+requests over TCP.  Every solve routes through the ordinary
+facade → cache → backend stack — the server adds no solver logic of its
+own, only:
+
+* **per-request timeouts** — a solve that exceeds ``timeout`` seconds
+  answers with a structured error envelope instead of wedging the
+  connection (the worker thread finishes in the background; subsequent
+  requests queue behind it);
+* **cache-tier provenance** — each response reports where its answer
+  came from (``memory`` / ``persistent`` / ``trajectory-prefix`` /
+  ``trajectory-extend`` / ``cold``), measured as a counter diff around
+  the solve.  Solves are serialized by a lock to keep that diff exact;
+  the protocol layer stays fully concurrent, so slow clients do not
+  block fast ones — only concurrent *solves* queue.
+
+The server binds ``127.0.0.1:7173`` by default; pass ``port=0`` to let
+the OS pick (the chosen port is printed on the ``listening`` line and
+available as ``server.port`` — how the bench and CI smoke find it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+from typing import Any, Mapping
+
+from ..solvers import solve, solve_stack
+from ..solvers.cache import SolverCache
+from .protocol import (
+    ProtocolError,
+    decode_request,
+    decode_scenario,
+    encode_result,
+    error_envelope,
+    ok_envelope,
+)
+
+__all__ = ["DEFAULT_PORT", "SolverServer", "run_server"]
+
+DEFAULT_PORT = 7173
+DEFAULT_TIMEOUT = 30.0
+
+#: Priority order for collapsing a single-solve counter diff to a label.
+_TIERS = (
+    ("memory", "hits"),
+    ("persistent", "persistent_hits"),
+    ("trajectory-prefix", "trajectory_hits"),
+    ("trajectory-extend", "trajectory_extends"),
+)
+
+
+def _provenance_counts(before, after) -> dict:
+    """Per-tier request counts between two cache snapshots.
+
+    A trajectory-served request first misses the key-value tiers (one
+    ``misses`` tick) and then hits the trajectory store, so true cold
+    solves are the misses *not* explained by trajectory serving.
+    """
+    counts = {
+        label: getattr(after, field) - getattr(before, field) for label, field in _TIERS
+    }
+    counts["cold"] = max(
+        0,
+        (after.misses - before.misses)
+        - counts["trajectory-prefix"]
+        - counts["trajectory-extend"],
+    )
+    counts["uncacheable"] = after.uncacheable - before.uncacheable
+    return counts
+
+
+def _provenance_label(counts: Mapping[str, int]) -> str:
+    for label, _ in _TIERS:
+        if counts.get(label, 0) > 0:
+            return label
+    if counts.get("cold", 0) > 0:
+        return "cold"
+    return "uncached"
+
+
+class SolverServer:
+    """Asyncio JSON-lines solver service around one :class:`SolverCache`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache: SolverCache | None = None,
+        cache_path: str | None = None,
+        maxsize: int = 1024,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        if cache is None:
+            cache = SolverCache(maxsize=maxsize, persistent=cache_path)
+        self.cache = cache
+        self.timeout = float(timeout)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        #: Serializes solves so provenance counter-diffs are unambiguous.
+        self._solve_lock = threading.Lock()
+        self.requests_handled = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                shutdown_after = bool(response.pop("_shutdown", False))
+                writer.write(json.dumps(response).encode() + b"\n")
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                self.requests_handled += 1
+                if shutdown_after:
+                    self.request_shutdown()
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        request_id = None
+        try:
+            request = decode_request(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op == "ping":
+                return ok_envelope(request_id, {"pong": True, "pid": os.getpid()})
+            if op == "cache_stats":
+                return ok_envelope(request_id, self._cache_stats())
+            if op == "shutdown":
+                envelope = ok_envelope(request_id, {"stopping": True})
+                envelope["_shutdown"] = True
+                return envelope
+            # solver ops run in a worker thread under the request timeout
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(None, self._execute, op, request)
+            try:
+                result, provenance = await asyncio.wait_for(future, self.timeout)
+            except asyncio.TimeoutError:
+                return error_envelope(
+                    request_id,
+                    TimeoutError(
+                        f"{op} exceeded the {self.timeout:g}s request timeout"
+                    ),
+                )
+            return ok_envelope(request_id, result, provenance)
+        except Exception as exc:  # every failure answers; none kills the server
+            return error_envelope(request_id, exc)
+
+    # -- op execution (worker thread) -----------------------------------------
+
+    def _classified(self, fn):
+        """Run ``fn`` under the solve lock, classifying its cache traffic."""
+        with self._solve_lock:
+            before = self.cache.stats()
+            out = fn()
+            after = self.cache.stats()
+        return out, _provenance_counts(before, after)
+
+    def _execute(self, op: str, request: Mapping[str, Any]):
+        if op == "solve":
+            return self._op_solve(request)
+        if op == "solve_stack":
+            return self._op_solve_stack(request)
+        if op == "whatif":
+            return self._op_whatif(request)
+        if op == "bottlenecks":
+            return self._op_bottlenecks(request)
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    def _op_solve(self, request):
+        scenario = decode_scenario(request.get("scenario"))
+        method = str(request.get("method", "auto"))
+        options = dict(request.get("options") or {})
+        at = request.get("at")
+
+        result, counts = self._classified(
+            lambda: solve(scenario, method=method, cache=self.cache, **options)
+        )
+        payload = encode_result(result)
+        if at is not None:
+            payload = {"kind": "at", "solver": result.solver, **result.at(int(at))}
+        return payload, _provenance_label(counts)
+
+    def _op_solve_stack(self, request):
+        raw = request.get("scenarios")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("solve_stack needs a non-empty scenarios list")
+        scenarios = [decode_scenario(item) for item in raw]
+        method = str(request.get("method", "auto"))
+        options = dict(request.get("options") or {})
+        errors = str(request.get("errors", "isolate"))
+
+        result, counts = self._classified(
+            lambda: solve_stack(
+                scenarios, method=method, cache=self.cache, errors=errors, **options
+            )
+        )
+        payload = {
+            "kind": "batched",
+            "solver": result.solver,
+            "count": result.n_scenarios,
+            "peak_throughput": result.peak_throughput().tolist(),
+            "failures": [
+                {
+                    "index": f.index,
+                    "fingerprint": f.fingerprint,
+                    "solver": f.solver,
+                    "error": f.error,
+                    "retries": f.retries,
+                }
+                for f in result.failures
+            ],
+        }
+        return payload, _provenance_label(counts)
+
+    def _op_whatif(self, request):
+        """One snapshot per requested population — the capacity question.
+
+        Each population is its own ``solve()`` at ``N' = n``; with the
+        trajectory store active, one deep solve answers the whole sweep
+        (prefix slices below the deepest N seen, one resume above it).
+        """
+        scenario = decode_scenario(request.get("scenario"))
+        raw_pops = request.get("populations")
+        if not isinstance(raw_pops, list) or not raw_pops:
+            raise ProtocolError("whatif needs a non-empty populations list")
+        populations = [int(n) for n in raw_pops]
+        if any(n < 1 for n in populations):
+            raise ProtocolError("whatif populations must be >= 1")
+        method = str(request.get("method", "auto"))
+        options = dict(request.get("options") or {})
+
+        def sweep():
+            snapshots = []
+            for n in populations:
+                sc = (
+                    scenario
+                    if n == scenario.max_population
+                    else scenario.with_overrides(max_population=n)
+                )
+                result = solve(sc, method=method, cache=self.cache, **options)
+                snapshots.append({"solver": result.solver, **result.at(n)})
+            return snapshots
+
+        snapshots, counts = self._classified(sweep)
+        return {"kind": "whatif", "snapshots": snapshots}, counts
+
+    def _op_bottlenecks(self, request):
+        from ..analysis.bottlenecks import solved_bottleneck_ranking
+
+        scenario = decode_scenario(request.get("scenario"))
+        method = str(request.get("method", "auto"))
+
+        def rank():
+            return solved_bottleneck_ranking(
+                scenario.resolved_network(),
+                scenario.max_population,
+                method=method,
+                cache=self.cache,
+            )
+
+        ranking, counts = self._classified(rank)
+        payload = {
+            "kind": "bottlenecks",
+            "population": ranking.population,
+            "solver": ranking.solver,
+            "stations": list(ranking.stations),
+            "utilizations": ranking.utilizations.tolist(),
+        }
+        return payload, _provenance_label(counts)
+
+    def _cache_stats(self) -> dict:
+        stats = self.cache.stats()
+        payload = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "uncacheable": stats.uncacheable,
+            "errors": stats.errors,
+            "size": stats.size,
+            "maxsize": stats.maxsize,
+            "persistent_hits": stats.persistent_hits,
+            "trajectory_hits": stats.trajectory_hits,
+            "trajectory_extends": stats.trajectory_extends,
+            "requests_handled": self.requests_handled,
+        }
+        if stats.persistent is not None:
+            payload["persistent"] = {
+                "hits": stats.persistent.hits,
+                "misses": stats.persistent.misses,
+                "errors": stats.persistent.errors,
+                "writes": stats.persistent.writes,
+                "entries": stats.persistent.entries,
+                "bytes": stats.persistent.bytes,
+                "path": stats.persistent.path,
+            }
+        if self.cache.trajectory is not None:
+            payload["trajectory"] = self.cache.trajectory.stats()
+        return payload
+
+
+async def _amain(server: SolverServer, announce) -> None:
+    await server.start()
+    if announce is not None:
+        announce(f"repro-serve listening on {server.host}:{server.port}")
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_shutdown)
+    except (ImportError, NotImplementedError, RuntimeError):  # pragma: no cover
+        pass
+    await server.serve_until_shutdown()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    cache_path: str | None = None,
+    maxsize: int = 1024,
+    timeout: float = DEFAULT_TIMEOUT,
+    announce=None,
+) -> SolverServer:
+    """Blocking entry point used by ``repro serve``.
+
+    Builds the server, prints the ``listening`` line (flushed, so a
+    parent process can scrape the bound port), and runs until a client
+    sends ``shutdown`` or the process receives SIGINT/SIGTERM.
+    """
+    server = SolverServer(
+        host=host, port=port, cache_path=cache_path, maxsize=maxsize, timeout=timeout
+    )
+    if announce is None:
+        def announce(message: str) -> None:
+            print(message, flush=True)
+
+    asyncio.run(_amain(server, announce))
+    return server

@@ -32,6 +32,7 @@ from .validation import (  # noqa: F401  (re-exports)
 )
 from .scenario import Scenario, WorkloadClass  # noqa: F401
 from .cache import (  # noqa: F401
+    DEFAULT_MAXSIZE,
     USE_DEFAULT_CACHE,
     CacheStats,
     SolverCache,
@@ -40,6 +41,12 @@ from .cache import (  # noqa: F401
     resolve_cache,
     set_default_cache,
 )
+from .persistent import (  # noqa: F401
+    PersistentCache,
+    PersistentStats,
+    persistent_key,
+)
+from .trajectory import TrajectoryStore, resumable_method  # noqa: F401
 from .registry import (  # noqa: F401
     CAPABILITY_FLAGS,
     DuplicateSolverError,
@@ -65,14 +72,18 @@ from . import builtin  # noqa: F401  (registers the built-in solvers)
 __all__ = [
     "CAPABILITY_FLAGS",
     "CacheStats",
+    "DEFAULT_MAXSIZE",
     "DuplicateSolverError",
     "EXACT_POPULATION_LIMIT",
+    "PersistentCache",
+    "PersistentStats",
     "Scenario",
     "ScenarioFailure",
     "SolverCache",
     "SolverCapabilityError",
     "SolverInputError",
     "SolverSpec",
+    "TrajectoryStore",
     "USE_DEFAULT_CACHE",
     "UnknownSolverError",
     "WorkloadClass",
@@ -85,7 +96,9 @@ __all__ = [
     "register_solver",
     "resolve_cache",
     "resolve_demand_functions",
+    "persistent_key",
     "resolve_demands",
+    "resumable_method",
     "set_default_cache",
     "solve",
     "solve_stack",

@@ -27,6 +27,7 @@ import constraints can all opt in:
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
@@ -36,6 +37,7 @@ import numpy as np
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_MAXSIZE",
     "SolverCache",
     "USE_DEFAULT_CACHE",
     "cache_stats",
@@ -77,7 +79,19 @@ class CacheStats:
     maxsize: int = DEFAULT_MAXSIZE
     #: Internal cache failures (corrupted entries, unhashable keys,
     #: freezing errors) that degraded to a miss instead of propagating.
+    #: Includes failures of the persistent tier, so the PR 5 contract —
+    #: ``cache_stats()["errors"]`` counts every degraded operation —
+    #: holds across tiers.
     errors: int = 0
+    #: Requests answered by the persistent (sqlite) second level after an
+    #: in-memory miss.
+    persistent_hits: int = 0
+    #: Requests answered as a pure prefix slice of a cached trajectory.
+    trajectory_hits: int = 0
+    #: Requests answered by resuming a cached trajectory to a deeper N.
+    trajectory_extends: int = 0
+    #: Counters of the persistent tier itself (None when not configured).
+    persistent: object | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -162,6 +176,18 @@ class SolverCache:
     backend, canonical options)``; values are the solver-result objects
     themselves, frozen on insertion.
 
+    Two optional lower tiers extend the in-memory LRU (PR 7):
+
+    * ``persistent=`` — a :class:`~repro.solvers.persistent.PersistentCache`
+      (or a path to create one): a sqlite-backed shared store consulted
+      by :meth:`fetch` after an in-memory miss, so process restarts and
+      worker fleets warm each other;
+    * ``trajectory`` — a
+      :class:`~repro.solvers.trajectory.TrajectoryStore` (on by
+      default) the *facade* consults for population-prefix and
+      resumed-recursion answers; it lives on the cache object so
+      ``clear()`` and ``stats()`` cover it.
+
     The cache is an *optimization*, never a correctness dependency: any
     internal failure in :meth:`get`/:meth:`put` (a corrupted entry, an
     unhashable key, a freezing error) degrades to a counted miss — the
@@ -169,7 +195,12 @@ class SolverCache:
     broken cache can slow ``solve()`` down but can never make it fail.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MAXSIZE,
+        persistent=None,
+        trajectory=True,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
@@ -180,6 +211,21 @@ class SolverCache:
         self._evictions = 0
         self._uncacheable = 0
         self._errors = 0
+        self._persistent_hits = 0
+        self._trajectory_hits = 0
+        self._trajectory_extends = 0
+        if isinstance(persistent, (str, os.PathLike)):
+            from .persistent import PersistentCache
+
+            persistent = PersistentCache(persistent)
+        self.persistent = persistent
+        if trajectory is True:
+            from .trajectory import TrajectoryStore
+
+            trajectory = TrajectoryStore()
+        elif trajectory is False:
+            trajectory = None
+        self.trajectory = trajectory
 
     def _note_error(self) -> None:
         with self._lock:
@@ -207,11 +253,60 @@ class SolverCache:
             self._note_error()
             return None
 
-    def put(self, key, result) -> None:
+    def fetch(self, key):
+        """Two-tier lookup: ``(result, tier)`` with tier ``"memory"``,
+        ``"persistent"``, or ``None`` on a full miss.
+
+        The in-memory LRU is consulted first (same counters as
+        :meth:`get`); on a miss, the persistent tier — when configured —
+        is probed by the cross-process stable digest of ``key``, and a
+        hit is *promoted* into the LRU (frozen, like any insertion) so
+        repeats are pure memory hits.  Never raises.
+        """
+        try:
+            self._fault_hook("cache")
+            with self._lock:
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    pass
+                else:
+                    self._data.move_to_end(key)
+                    self._hits += 1
+                    return value, "memory"
+            if self.persistent is None:
+                with self._lock:
+                    self._misses += 1
+                return None, None
+            from .persistent import persistent_key
+
+            value = self.persistent.get(persistent_key(key))
+            if value is None:
+                with self._lock:
+                    self._misses += 1
+                return None, None
+            _freeze(value)
+            with self._lock:
+                self._persistent_hits += 1
+                self._data[key] = value
+                self._data.move_to_end(key)
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+            return value, "persistent"
+        except Exception:
+            self._note_error()
+            return None, None
+
+    def put(self, key, result, persist: bool = True) -> None:
         """Insert ``result``, freezing its arrays; evicts LRU entries.
 
-        Never raises: internal failures are dropped (the entry simply is
-        not cached) and bump the ``errors`` counter.
+        With a persistent tier configured and ``persist=True`` the
+        result is also written through to the shared store (pass
+        ``persist=False`` for derived values — e.g. prefix slices — that
+        are cheap to recreate from what is already stored).  Never
+        raises: internal failures are dropped (the entry simply is not
+        cached) and bump the ``errors`` counter.
         """
         try:
             self._fault_hook("cache")
@@ -226,6 +321,29 @@ class SolverCache:
         except Exception:
             with self._lock:
                 self._errors += 1
+            return
+        if persist and self.persistent is not None:
+            try:
+                from .persistent import persistent_key
+
+                method = key[2] if isinstance(key, tuple) and len(key) > 2 else ""
+                self.persistent.put(persistent_key(key), result, method=str(method))
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+
+    def note_trajectory(self, kind: str) -> None:
+        """Count a request answered by the trajectory store.
+
+        ``kind`` is ``"prefix"`` (pure slice) or ``"extend"`` (resumed
+        recursion), matching the tuple tags
+        :meth:`~repro.solvers.trajectory.TrajectoryStore.serve` returns.
+        """
+        with self._lock:
+            if kind == "prefix":
+                self._trajectory_hits += 1
+            elif kind == "extend":
+                self._trajectory_extends += 1
 
     @staticmethod
     def _fault_hook(point: str) -> None:
@@ -244,14 +362,29 @@ class SolverCache:
         with self._lock:
             self._uncacheable += 1
 
-    def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+    def clear(self, persistent: bool = True) -> None:
+        """Drop all entries and reset the counters — every tier.
+
+        Pass ``persistent=False`` to keep the shared on-disk store (it
+        may be warming *other* processes) while flushing this process's
+        memory and trajectory state.
+        """
         with self._lock:
             self._data.clear()
             self._hits = self._misses = self._evictions = 0
             self._uncacheable = self._errors = 0
+            self._persistent_hits = 0
+            self._trajectory_hits = self._trajectory_extends = 0
+        if self.trajectory is not None:
+            self.trajectory.clear()
+        if persistent and self.persistent is not None:
+            self.persistent.clear()
 
     def stats(self) -> CacheStats:
+        pstats = self.persistent.stats() if self.persistent is not None else None
+        t_errors = (
+            self.trajectory.stats()["errors"] if self.trajectory is not None else 0
+        )
         with self._lock:
             return CacheStats(
                 hits=self._hits,
@@ -260,7 +393,12 @@ class SolverCache:
                 uncacheable=self._uncacheable,
                 size=len(self._data),
                 maxsize=self.maxsize,
-                errors=self._errors,
+                # one counter covers every tier's degraded operations
+                errors=self._errors + t_errors + (pstats.errors if pstats else 0),
+                persistent_hits=self._persistent_hits,
+                trajectory_hits=self._trajectory_hits,
+                trajectory_extends=self._trajectory_extends,
+                persistent=pstats,
             )
 
     def __len__(self) -> int:

@@ -244,14 +244,30 @@ def solve(
     kind = "batched" if backend == "batched" else "scalar"
     store = resolve_cache(cache)
     key = None
+    traj = store.trajectory if store is not None and kind == "scalar" else None
     if store is not None:
         key = _cache_key("solve", (scenario.fingerprint(),), spec, kind, options)
         if key is None:
             store.note_uncacheable()
         else:
-            hit = store.get(key)
+            hit, tier = store.fetch(key)
             if hit is not None:
+                if tier == "persistent" and traj is not None:
+                    # a restarted process rebuilds trajectory serving from
+                    # whatever the shared store hands back
+                    traj.offer(scenario, spec.name, options, hit)
                 return hit
+            if traj is not None:
+                served = traj.serve(scenario, spec.name, options)
+                if served is not None:
+                    tkind, result = served
+                    store.note_trajectory(tkind)
+                    # prefixes are free slices of already-stored work;
+                    # extensions contain newly paid-for levels worth sharing
+                    store.put(key, result, persist=(tkind == "extend"))
+                    if tkind == "extend":
+                        traj.offer(scenario, spec.name, options, result)
+                    return result
     if backend == "batched":
         stacked = solve_stack(
             [scenario], method=spec.name, backend="batched", cache=None, **options
@@ -261,6 +277,8 @@ def solve(
         result = spec.solve(scenario, **options)
     if store is not None and key is not None:
         store.put(key, result)
+        if traj is not None:
+            traj.offer(scenario, spec.name, options, result)
     return result
 
 
@@ -476,7 +494,10 @@ def solve_stack(
         if key is None:
             store.note_uncacheable()
         else:
-            hit = store.get(key)
+            # two-tier lookup: stacks profit from the persistent store on
+            # restart just like single solves (no trajectory serving here —
+            # the store is keyed per scenario, not per stack)
+            hit, _ = store.fetch(key)
             if hit is not None:
                 return hit
     if resolved == "resilient":

@@ -1,0 +1,260 @@
+"""Persistent (sqlite-backed) second level under :class:`SolverCache`.
+
+The in-process LRU of :mod:`repro.solvers.cache` dies with the process;
+a capacity-planning *service* wants restarts and fleets of worker
+processes to warm each other.  This module adds that durability as a
+strictly-optional second tier:
+
+* keys are sha256 hex digests of a **deterministic encoding** of the
+  facade cache key (:func:`persistent_key`) — unlike Python's ``hash``
+  they are stable across processes, interpreter versions and
+  ``PYTHONHASHSEED``, which is what makes the store shareable;
+* values are pickled solver results, stored next to their own sha256 so
+  a torn write or bit rot is *detected on read* and degrades to a miss
+  instead of returning garbage;
+* every operation inherits the PR 5 non-fatal contract: ``get``/``put``/
+  ``clear`` never raise — a locked, corrupt, or unwritable store counts
+  an error and the caller recomputes.
+
+sqlite is used in WAL mode with a busy timeout so concurrent worker
+processes (and the asyncio service's executor threads) can share one
+store file without stepping on each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sqlite3
+import struct
+import threading
+from dataclasses import dataclass, fields
+
+__all__ = ["PersistentCache", "PersistentStats", "persistent_key"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS solver_cache (
+    key     TEXT PRIMARY KEY,
+    sha256  TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    method  TEXT NOT NULL DEFAULT '',
+    created REAL NOT NULL DEFAULT 0
+)
+"""
+
+
+@dataclass(frozen=True)
+class PersistentStats:
+    """Point-in-time counters of a :class:`PersistentCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    writes: int = 0
+    entries: int = 0
+    bytes: int = 0
+    path: str = ""
+
+    def __getitem__(self, name: str):
+        if name not in {f.name for f in fields(self)}:
+            raise KeyError(name)
+        return getattr(self, name)
+
+
+def _encode(value, out: list) -> None:
+    """Deterministic byte encoding of a facade cache key.
+
+    Python's ``hash`` is salted per process; pickling tuples is stable
+    in practice but makes no cross-version promise.  This tiny recursive
+    codec covers exactly the types the facade puts in keys (str/bytes,
+    bool/int, canonical floats, ``None`` and nested tuples from
+    :func:`repro.solvers.cache.canonical_options`) with explicit type
+    tags — ``bool`` is checked before ``int`` so ``True`` and ``1``
+    encode differently, and floats go through the same ``-0.0``/NaN
+    canonicalization the fingerprints use.
+    """
+    if value is None:
+        out.append(b"N")
+    elif isinstance(value, bool):
+        out.append(b"T" if value else b"F")
+    elif isinstance(value, int):
+        raw = str(value).encode()
+        out.append(b"i" + struct.pack("<I", len(raw)) + raw)
+    elif isinstance(value, float):
+        v = value + 0.0
+        if v != v:  # fold every NaN bit pattern onto one
+            v = float("nan")
+        out.append(b"f" + struct.pack("<d", v))
+    elif isinstance(value, str):
+        raw = value.encode()
+        out.append(b"s" + struct.pack("<I", len(raw)) + raw)
+    elif isinstance(value, bytes):
+        out.append(b"b" + struct.pack("<I", len(value)) + value)
+    elif isinstance(value, tuple):
+        out.append(b"(" + struct.pack("<I", len(value)))
+        for item in value:
+            _encode(item, out)
+        out.append(b")")
+    else:
+        raise TypeError(f"unencodable cache-key component: {type(value).__name__}")
+
+
+def persistent_key(key) -> str:
+    """Cross-process stable sha256 hex digest of a facade cache key."""
+    out: list = []
+    _encode(key, out)
+    return hashlib.sha256(b"".join(out)).hexdigest()
+
+
+class PersistentCache:
+    """sqlite-backed result store keyed on :func:`persistent_key` digests.
+
+    The store is an optimization, never a correctness dependency: every
+    failure mode (missing parent directory, locked database, corrupted
+    file, truncated payload, unpicklable result) degrades to a counted
+    miss or dropped write.  Payload integrity is verified on *every*
+    read by recomputing the stored sha256 — a row whose blob no longer
+    matches its digest is deleted and reported as a miss, which is what
+    the cross-process corruption tests pin down.
+    """
+
+    def __init__(self, path: str | os.PathLike, timeout: float = 5.0) -> None:
+        self.path = os.fspath(path)
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._conn: sqlite3.Connection | None = None
+        self._hits = 0
+        self._misses = 0
+        self._errors = 0
+        self._writes = 0
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open (once) the store; caller holds the lock."""
+        if self._conn is None:
+            conn = sqlite3.connect(
+                self.path, timeout=self.timeout, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:
+                pass
+            self._conn = None
+
+    @staticmethod
+    def _fault_hook() -> None:
+        from ..engine.faults import maybe_inject
+
+        maybe_inject("persistent")
+
+    # -- the non-fatal store API ----------------------------------------------
+
+    def get(self, digest: str):
+        """The stored result for ``digest``, or ``None``.  Never raises."""
+        try:
+            self._fault_hook()
+            with self._lock:
+                conn = self._connect()
+                row = conn.execute(
+                    "SELECT sha256, payload FROM solver_cache WHERE key = ?",
+                    (digest,),
+                ).fetchone()
+                if row is None:
+                    self._misses += 1
+                    return None
+                sha, payload = row
+                if hashlib.sha256(payload).hexdigest() != sha:
+                    # torn write / bit rot: purge the row, report a miss
+                    conn.execute(
+                        "DELETE FROM solver_cache WHERE key = ?", (digest,)
+                    )
+                    conn.commit()
+                    self._errors += 1
+                    self._misses += 1
+                    return None
+                value = pickle.loads(payload)
+                self._hits += 1
+                return value
+        except Exception:
+            with self._lock:
+                self._errors += 1
+                self._misses += 1
+                self._drop_connection()
+            return None
+
+    def put(self, digest: str, result, method: str = "") -> None:
+        """Store ``result`` under ``digest``.  Never raises."""
+        try:
+            self._fault_hook()
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            sha = hashlib.sha256(payload).hexdigest()
+            with self._lock:
+                conn = self._connect()
+                conn.execute(
+                    "INSERT OR REPLACE INTO solver_cache "
+                    "(key, sha256, payload, method, created) "
+                    "VALUES (?, ?, ?, ?, strftime('%s','now'))",
+                    (digest, sha, payload, method),
+                )
+                conn.commit()
+                self._writes += 1
+        except Exception:
+            with self._lock:
+                self._errors += 1
+                self._drop_connection()
+
+    def clear(self) -> None:
+        """Drop every stored entry and reset the counters.  Never raises."""
+        try:
+            with self._lock:
+                conn = self._connect()
+                conn.execute("DELETE FROM solver_cache")
+                conn.commit()
+                self._hits = self._misses = self._errors = self._writes = 0
+        except Exception:
+            with self._lock:
+                self._errors += 1
+                self._drop_connection()
+
+    def stats(self) -> PersistentStats:
+        entries = 0
+        size = 0
+        try:
+            with self._lock:
+                conn = self._connect()
+                entries = int(
+                    conn.execute("SELECT COUNT(*) FROM solver_cache").fetchone()[0]
+                )
+            size = os.path.getsize(self.path)
+        except Exception:
+            with self._lock:
+                self._errors += 1
+                self._drop_connection()
+        with self._lock:
+            return PersistentStats(
+                hits=self._hits,
+                misses=self._misses,
+                errors=self._errors,
+                writes=self._writes,
+                entries=entries,
+                bytes=size,
+                path=self.path,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PersistentCache({self.path!r})"

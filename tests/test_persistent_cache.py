@@ -1,0 +1,278 @@
+"""The persistent sqlite cache tier and its cross-process guarantees.
+
+Satellites (b) and (c): `cache_stats()`/`repro cache` coverage of the
+persistent tier, the PR 5 non-fatal degradation contract extended to
+disk failures, stable fingerprints across *separate interpreter
+processes*, and sha256 corruption detection.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sqlite3
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import ClosedNetwork, Station
+from repro.solvers import (
+    PersistentCache,
+    Scenario,
+    SolverCache,
+    persistent_key,
+    solve,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "cache.sqlite")
+
+
+def _net():
+    return ClosedNetwork(
+        [Station("cpu", 0.05, servers=2), Station("disk", 0.08)], think_time=1.0
+    )
+
+
+# -- persistent_key determinism ----------------------------------------------
+
+
+class TestPersistentKey:
+    def test_digest_is_hex_sha256(self):
+        digest = persistent_key(("solve", ("abc",), "exact-mva", "scalar", ()))
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+    def test_bool_and_int_encode_differently(self):
+        assert persistent_key((True,)) != persistent_key((1,))
+        assert persistent_key((False,)) != persistent_key((0,))
+
+    def test_negative_zero_folds(self):
+        assert persistent_key((0.0,)) == persistent_key((-0.0,))
+
+    def test_nan_folds_to_one_pattern(self):
+        quiet = float("nan")
+        other = np.float64(np.uint64(0x7FF8000000000001).view(np.float64))
+        assert persistent_key((quiet,)) == persistent_key((float(other),))
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError, match="unencodable"):
+            persistent_key((object(),))
+
+    def test_same_scenario_key_across_processes(self, db_path):
+        """The satellite (c) core claim: fingerprint + digest stability.
+
+        Two *separate interpreter processes* compute the digest of the
+        same scenario's cache key; both must match this process's.
+        """
+        script = textwrap.dedent(
+            """
+            from repro.core import ClosedNetwork, Station
+            from repro.solvers import Scenario, persistent_key
+            net = ClosedNetwork(
+                [Station("cpu", 0.05, servers=2), Station("disk", 0.08)],
+                think_time=1.0,
+            )
+            sc = Scenario(net, max_population=40)
+            key = ("solve", (sc.fingerprint(),), "exact-mva", "scalar", ())
+            print(persistent_key(key))
+            """
+        )
+        digests = set()
+        for seed in ("0", "12345"):  # different hash randomization per run
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": REPO_SRC,
+                    "PYTHONHASHSEED": seed,
+                },
+            )
+            digests.add(out.stdout.strip())
+        sc = Scenario(_net(), max_population=40)
+        local = persistent_key(("solve", (sc.fingerprint(),), "exact-mva", "scalar", ()))
+        assert digests == {local}
+
+
+# -- the store itself ---------------------------------------------------------
+
+
+class TestPersistentCache:
+    def test_round_trip_and_stats(self, db_path):
+        store = PersistentCache(db_path)
+        store.put("a" * 64, {"x": np.arange(4.0)}, method="exact-mva")
+        value = store.get("a" * 64)
+        assert np.array_equal(value["x"], np.arange(4.0))
+        stats = store.stats()
+        assert stats.hits == 1 and stats.writes == 1 and stats.entries == 1
+        assert stats.bytes > 0 and stats.path == db_path
+
+    def test_miss_counts(self, db_path):
+        store = PersistentCache(db_path)
+        assert store.get("f" * 64) is None
+        assert store.stats().misses == 1
+
+    def test_corrupted_payload_detected_as_miss(self, db_path):
+        """sha256 mismatch -> row purged, error + miss counted, no crash."""
+        store = PersistentCache(db_path)
+        store.put("a" * 64, [1.0, 2.0, 3.0])
+        store.close()
+        conn = sqlite3.connect(db_path)
+        (payload,) = conn.execute(
+            "SELECT payload FROM solver_cache WHERE key = ?", ("a" * 64,)
+        ).fetchone()
+        mangled = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        conn.execute(
+            "UPDATE solver_cache SET payload = ? WHERE key = ?", (mangled, "a" * 64)
+        )
+        conn.commit()
+        conn.close()
+
+        fresh = PersistentCache(db_path)
+        assert fresh.get("a" * 64) is None
+        stats = fresh.stats()
+        assert stats.errors == 1 and stats.misses == 1
+        # the poisoned row is gone; a re-put works again
+        fresh.put("a" * 64, [1.0])
+        assert fresh.get("a" * 64) == [1.0]
+
+    def test_unreadable_store_never_raises(self, tmp_path):
+        bogus = tmp_path / "not-a-database.sqlite"
+        bogus.write_bytes(b"this is not sqlite at all" * 10)
+        store = PersistentCache(str(bogus))
+        assert store.get("a" * 64) is None
+        store.put("a" * 64, [1])
+        assert store.stats().errors >= 2  # both operations degraded
+
+    def test_missing_parent_directory_never_raises(self, tmp_path):
+        store = PersistentCache(str(tmp_path / "no" / "such" / "dir" / "db.sqlite"))
+        assert store.get("a" * 64) is None
+        store.put("a" * 64, [1])
+        assert store.stats().errors >= 2
+
+    def test_clear(self, db_path):
+        store = PersistentCache(db_path)
+        store.put("a" * 64, [1])
+        store.put("b" * 64, [2])
+        store.clear()
+        assert store.stats().entries == 0
+        assert store.get("a" * 64) is None
+
+
+# -- SolverCache integration --------------------------------------------------
+
+
+class TestTwoTierCache:
+    def test_restart_warm_hit_bit_identical(self, db_path):
+        net = _net()
+        first = SolverCache(persistent=db_path)
+        cold = solve(Scenario(net, 60), method="exact-mva", cache=first)
+
+        restarted = SolverCache(persistent=db_path)  # fresh memory tier
+        warm = solve(Scenario(net, 60), method="exact-mva", cache=restarted)
+        assert np.array_equal(warm.throughput, cold.throughput)
+        stats = restarted.stats()
+        assert stats.persistent_hits == 1
+        assert stats.hits == 0  # memory tier was empty
+        # promotion: the next repeat is a pure memory hit
+        solve(Scenario(net, 60), method="exact-mva", cache=restarted)
+        assert restarted.stats().hits == 1
+
+    def test_two_processes_share_one_store(self, db_path):
+        """Worker fleet warming: process A solves, process B hits."""
+        script = textwrap.dedent(
+            f"""
+            from repro.core import ClosedNetwork, Station
+            from repro.solvers import Scenario, SolverCache, solve
+            net = ClosedNetwork(
+                [Station("cpu", 0.05, servers=2), Station("disk", 0.08)],
+                think_time=1.0,
+            )
+            cache = SolverCache(persistent={db_path!r})
+            solve(Scenario(net, 45), method="exact-mva", cache=cache)
+            print(cache.stats().persistent_hits)
+            """
+        )
+        outputs = []
+        for seed in ("0", "999"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={**os.environ, "PYTHONPATH": REPO_SRC, "PYTHONHASHSEED": seed},
+            )
+            outputs.append(out.stdout.strip())
+        # first process: cold solve (0 persistent hits); second: warm hit
+        assert outputs == ["0", "1"]
+
+    def test_persist_false_skips_disk(self, db_path):
+        cache = SolverCache(persistent=db_path)
+        cache.put(("k",), [1.0], persist=False)
+        assert cache.stats().persistent.entries == 0
+        cache.put(("k2",), [2.0])
+        assert cache.stats().persistent.entries == 1
+
+    def test_tier_errors_roll_up(self, tmp_path):
+        bogus = tmp_path / "garbage.sqlite"
+        bogus.write_bytes(b"garbage bytes, not sqlite" * 8)
+        cache = SolverCache(persistent=str(bogus))
+        result = solve(Scenario(_net(), 20), method="exact-mva", cache=cache)
+        assert result.max_population == 20  # solve unaffected
+        assert cache.stats().errors >= 1  # degraded disk ops were counted
+
+    def test_clear_keep_persistent(self, db_path):
+        cache = SolverCache(persistent=db_path)
+        solve(Scenario(_net(), 30), method="exact-mva", cache=cache)
+        cache.clear(persistent=False)
+        assert cache.stats().persistent.entries == 1
+        cache.clear()
+        assert cache.stats().persistent.entries == 0
+
+    def test_fault_injection_persistent_point(self, db_path):
+        from repro.engine.faults import Fault, FaultPlan, injected
+
+        cache = SolverCache(persistent=db_path)
+        with injected(FaultPlan((Fault(kind="corrupt-persistent-entry"),))):
+            solve(Scenario(_net(), 25), method="exact-mva", cache=cache)
+        stats = cache.stats()
+        assert stats.errors >= 1
+        # the solve itself survived and is memory-cached
+        solve(Scenario(_net(), 25), method="exact-mva", cache=cache)
+        assert cache.stats().hits >= 1
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCacheCLI:
+    def test_cache_path_reports_persistent_rows(self, db_path, capsys):
+        assert cli_main(["cache", "--path", db_path, "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "persistent entries" in out
+        assert db_path in out
+        assert "trajectory prefix hits" in out
+
+    def test_cache_clear_drops_persistent_store(self, db_path, capsys):
+        assert cli_main(["cache", "--path", db_path, "--demo"]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "--path", db_path, "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"persistent entries\s*\|\s*0\b", out)
+
+    def test_cache_without_path_unchanged(self, capsys):
+        assert cli_main(["cache", "--maxsize", "64", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "persistent" not in out
+        assert "64" in out

@@ -1,0 +1,367 @@
+"""The ``repro serve`` service: protocol, provenance, restarts, timeouts.
+
+The tentpole acceptance claims live here: a long-lived process answers
+solve / what-if / bottleneck queries over JSON lines, served results are
+*exactly* equal to direct solves (floats round-trip through JSON), and
+a restarted server is warm because the sqlite tier survives it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.serve import ServeClient, ServeError, decode_scenario, encode_result
+from repro.serve.protocol import ProtocolError, decode_request, error_envelope
+from repro.serve.server import _provenance_counts, _provenance_label
+from repro.solvers import Scenario, solve
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _scenario_payload(cpu=0.05, disk=0.08, n=40):
+    return {
+        "stations": [
+            {"name": "cpu", "demand": cpu, "servers": 2},
+            {"name": "disk", "demand": disk},
+        ],
+        "think_time": 1.0,
+        "max_population": n,
+    }
+
+
+def _start_server(cache_path=None, timeout=None):
+    """Launch ``repro serve --port 0`` and scrape the bound port."""
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    if cache_path is not None:
+        cmd += ["--cache-path", cache_path]
+    if timeout is not None:
+        cmd += ["--timeout", str(timeout)]
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return proc, port
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"serve died before binding (rc={proc.returncode})")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("serve never announced its port")
+
+
+def _stop_server(proc, port):
+    try:
+        with ServeClient(port=port, timeout=10.0) as client:
+            client.shutdown()
+    except Exception:
+        proc.terminate()
+    try:
+        proc.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10.0)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One shared server (sqlite-backed) for the read-only protocol tests."""
+    db = str(tmp_path_factory.mktemp("serve") / "cache.sqlite")
+    proc, port = _start_server(cache_path=db)
+    yield {"port": port, "db": db}
+    _stop_server(proc, port)
+
+
+# -- protocol units (no sockets) ---------------------------------------------
+
+
+class TestProtocol:
+    def test_decode_scenario_round_trip(self):
+        sc = decode_scenario(_scenario_payload())
+        assert sc.max_population == 40
+        net = sc.resolved_network()
+        assert [st.name for st in net.stations] == ["cpu", "disk"]
+        assert net.stations[0].servers == 2
+        assert net.think_time == 1.0
+
+    def test_decode_scenario_demand_table(self):
+        payload = _scenario_payload()
+        payload["stations"][0]["demand"] = {"levels": [1, 100], "values": [0.4, 0.1]}
+        sc = decode_scenario(payload)
+        fn = sc.resolved_network().stations[0].demand
+        assert float(fn(1)) == 0.4
+        assert float(fn(100)) == pytest.approx(0.1)
+        assert 0.1 < float(fn(50)) < 0.4
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.pop("max_population"), "missing required key"),
+            (lambda p: p.update(stations=[]), "non-empty list"),
+            (lambda p: p["stations"][0].pop("demand"), "name and demand"),
+            (
+                lambda p: p["stations"][0].update(demand={"levels": [1], "values": [2]}),
+                "two points",
+            ),
+            (
+                lambda p: p["stations"][0].update(
+                    demand={"levels": [5, 1], "values": [1, 2]}
+                ),
+                "strictly increasing",
+            ),
+        ],
+    )
+    def test_decode_scenario_rejects_junk(self, mutate, message):
+        payload = _scenario_payload()
+        mutate(payload)
+        with pytest.raises(ProtocolError, match=message):
+            decode_scenario(payload)
+
+    def test_decode_request_rejects_junk(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_request(b"{nope")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_request(b"[1, 2]")
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(b'{"op": "explode"}')
+
+    def test_encode_result_floats_round_trip_exactly(self, two_station_net):
+        result = solve(Scenario(two_station_net, 30), method="exact-mva", cache=None)
+        wire = json.loads(json.dumps(encode_result(result)))
+        assert wire["kind"] == "mva"
+        assert np.array_equal(np.array(wire["throughput"]), result.throughput)
+        assert np.array_equal(np.array(wire["queue_lengths"]), result.queue_lengths)
+
+    def test_error_envelope_mirrors_scenario_failure(self):
+        env = error_envelope(7, ValueError("boom"), fingerprint="fp", solver="mvasd")
+        assert env["ok"] is False and env["id"] == 7
+        assert env["error"] == {
+            "type": "ValueError",
+            "error": "boom",
+            "fingerprint": "fp",
+            "solver": "mvasd",
+        }
+
+    def test_provenance_label_priority(self):
+        class Snap:
+            def __init__(self, **kw):
+                fields = (
+                    "hits persistent_hits trajectory_hits trajectory_extends "
+                    "misses uncacheable"
+                ).split()
+                for f in fields:
+                    setattr(self, f, kw.get(f, 0))
+
+        counts = _provenance_counts(Snap(), Snap(misses=1))
+        assert counts["cold"] == 1
+        assert _provenance_label(counts) == "cold"
+        counts = _provenance_counts(Snap(), Snap(misses=1, trajectory_hits=1))
+        assert counts["cold"] == 0
+        assert _provenance_label(counts) == "trajectory-prefix"
+        assert _provenance_label(_provenance_counts(Snap(), Snap(hits=1))) == "memory"
+        assert _provenance_label(_provenance_counts(Snap(), Snap())) == "uncached"
+
+
+# -- the live server ----------------------------------------------------------
+
+
+class TestServe:
+    def test_ping(self, server):
+        with ServeClient(port=server["port"]) as client:
+            pong = client.ping()
+        assert pong["pong"] is True and pong["pid"] > 0
+
+    def test_solve_parity_and_provenance(self, server):
+        payload = _scenario_payload(n=40)
+        with ServeClient(port=server["port"]) as client:
+            first = client.request(
+                {"op": "solve", "scenario": payload, "method": "exact-mva"}
+            )
+            second = client.request(
+                {"op": "solve", "scenario": payload, "method": "exact-mva"}
+            )
+        assert first["ok"] and first["provenance"] == "cold"
+        assert second["ok"] and second["provenance"] == "memory"
+        direct = solve(decode_scenario(payload), method="exact-mva", cache=None)
+        served = np.array(first["result"]["throughput"])
+        assert np.array_equal(served, direct.throughput)  # parity 0.0
+        assert np.array_equal(np.array(second["result"]["throughput"]), direct.throughput)
+
+    def test_solve_at_snapshot(self, server):
+        payload = _scenario_payload(cpu=0.06, n=30)
+        with ServeClient(port=server["port"]) as client:
+            result = client.solve(payload, method="exact-mva", at=30)
+        assert result["kind"] == "at"
+        direct = solve(decode_scenario(payload), method="exact-mva", cache=None)
+        assert result["throughput"] == direct.at(30)["throughput"]
+
+    def test_whatif_rides_the_trajectory(self, server):
+        payload = _scenario_payload(cpu=0.07, n=50)
+        with ServeClient(port=server["port"]) as client:
+            deep = client.request(
+                {"op": "solve", "scenario": payload, "method": "exact-mva"}
+            )
+            envelope = client.request(
+                {
+                    "op": "whatif",
+                    "scenario": payload,
+                    "populations": [10, 25, 40],
+                    "method": "exact-mva",
+                }
+            )
+        assert deep["ok"] and envelope["ok"]
+        assert envelope["provenance"] == {
+            "memory": 0,
+            "persistent": 0,
+            "trajectory-prefix": 3,
+            "trajectory-extend": 0,
+            "cold": 0,
+            "uncacheable": 0,
+        }
+        snapshots = envelope["result"]["snapshots"]
+        assert [s["population"] for s in snapshots] == [10, 25, 40]
+        for snap in snapshots:
+            direct = solve(
+                decode_scenario({**payload, "max_population": snap["population"]}),
+                method="exact-mva",
+                cache=None,
+            )
+            assert snap["throughput"] == direct.at(snap["population"])["throughput"]
+
+    def test_solve_stack(self, server):
+        scenarios = [_scenario_payload(cpu=c, n=20) for c in (0.04, 0.05, 0.09)]
+        with ServeClient(port=server["port"]) as client:
+            result = client.call("solve_stack", scenarios=scenarios, method="exact-mva")
+        assert result["kind"] == "batched"
+        assert result["count"] == 3 and result["failures"] == []
+        assert len(result["peak_throughput"]) == 3
+        # heavier demand -> lower peak throughput
+        assert result["peak_throughput"][0] > result["peak_throughput"][2]
+
+    def test_bottlenecks(self, server):
+        payload = _scenario_payload(cpu=0.03, disk=0.11, n=25)
+        with ServeClient(port=server["port"]) as client:
+            result = client.call("bottlenecks", scenario=payload)
+        assert result["kind"] == "bottlenecks"
+        assert result["stations"][0] == "disk"  # largest demand dominates
+        assert result["population"] == 25
+
+    def test_error_envelope_for_bad_scenario(self, server):
+        with ServeClient(port=server["port"]) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.solve({"stations": [], "max_population": 10})
+        error = excinfo.value.envelope["error"]
+        assert error["type"] == "ProtocolError"
+        assert "non-empty list" in error["error"]
+
+    def test_error_envelope_for_unknown_op(self, server):
+        with ServeClient(port=server["port"]) as client:
+            envelope = client.request({"op": "explode"})
+        assert envelope["ok"] is False
+        assert "unknown op" in envelope["error"]["error"]
+
+    def test_junk_line_answers_instead_of_killing_connection(self, server):
+        with ServeClient(port=server["port"]) as client:
+            client._file.write(b"{not json\n")
+            client._file.flush()
+            envelope = json.loads(client._file.readline())
+            assert envelope["ok"] is False
+            assert client.ping()["pong"] is True  # connection still alive
+
+    def test_cache_stats_op(self, server):
+        with ServeClient(port=server["port"]) as client:
+            stats = client.cache_stats()
+        assert stats["requests_handled"] > 0
+        assert stats["persistent"]["path"] == server["db"]
+        assert "trajectory" in stats
+
+    def test_query_cli(self, server, capsys):
+        rc = cli_main(
+            ["query", '{"op": "ping"}', "--port", str(server["port"])]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out)["result"]["pong"] is True
+
+    def test_query_cli_error_exit_code(self, server, capsys):
+        rc = cli_main(
+            [
+                "query",
+                '{"op": "solve", "scenario": {"stations": [], "max_population": 3}}',
+                "--port",
+                str(server["port"]),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert json.loads(out)["ok"] is False
+
+
+# -- lifecycle: restarts and timeouts (dedicated servers) ---------------------
+
+
+class TestServeLifecycle:
+    def test_restart_is_warm_from_persistent_tier(self, tmp_path):
+        """The tentpole claim: the sqlite tier outlives the process."""
+        db = str(tmp_path / "cache.sqlite")
+        payload = _scenario_payload(n=35)
+        request = {"op": "solve", "scenario": payload, "method": "exact-mva"}
+
+        proc, port = _start_server(cache_path=db)
+        try:
+            with ServeClient(port=port) as client:
+                cold = client.request(request)
+        finally:
+            _stop_server(proc, port)
+        assert cold["provenance"] == "cold"
+        assert proc.returncode == 0
+
+        proc, port = _start_server(cache_path=db)
+        try:
+            with ServeClient(port=port) as client:
+                warm = client.request(request)
+                # the persistent hit re-seeds the trajectory store
+                prefix = client.request(
+                    {
+                        "op": "solve",
+                        "scenario": {**payload, "max_population": 12},
+                        "method": "exact-mva",
+                    }
+                )
+        finally:
+            _stop_server(proc, port)
+        assert warm["provenance"] == "persistent"
+        assert warm["result"]["throughput"] == cold["result"]["throughput"]
+        assert prefix["provenance"] == "trajectory-prefix"
+
+    def test_request_timeout_answers_with_envelope(self):
+        proc, port = _start_server(timeout=0.1)
+        try:
+            with ServeClient(port=port, timeout=30.0) as client:
+                envelope = client.request(
+                    {
+                        "op": "solve",
+                        "scenario": _scenario_payload(n=200_000),
+                        "method": "exact-mva",
+                    }
+                )
+                assert envelope["ok"] is False
+                assert envelope["error"]["type"] == "TimeoutError"
+                assert "0.1s request timeout" in envelope["error"]["error"]
+        finally:
+            _stop_server(proc, port)
