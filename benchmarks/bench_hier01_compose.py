@@ -1,0 +1,168 @@
+"""HIER-01 — hierarchical composition: cached FES tables vs flat re-solves.
+
+The ISSUE-8 acceptance sweep: a gateway fronting a six-station backend
+(app tier with two disks, database tier with one), swept over 10⁴
+gateway demand scales.  The backend never changes, so the hierarchical
+path aggregates it **once** into a flow-equivalent station — every
+further ``aggregate()`` call is a :class:`~repro.solvers.SolverCache`
+hit — and each sweep point solves a tiny 2-station composed model on
+the batched ld-MVA kernel.  The flat path re-solves the full
+seven-dimensional product-form network (log-domain convolution, the
+exact multiserver reference) from scratch each time.
+
+Because the flat leg is exactly the cost composition amortizes away, it
+is timed on a systematic subsample and projected to the full sweep
+(``flat_sample`` in the JSON records how many were actually solved —
+nothing is silently dropped).  Results land in ``BENCH_hier01.json``:
+
+* ``speedup_vs_flat`` — projected flat sweep seconds / hierarchical
+  sweep seconds (the ≥10x acceptance number),
+* ``fes_cache`` — aggregation reuse counters (1 cold solve, S-1 hits),
+* ``max_abs_throughput_diff`` — composed-vs-flat parity on the sampled
+  points, gated at ≤1e-8.
+
+Assertions gate on parity and cache reuse, and on the speedup itself:
+the gap is algorithmic (table lookup + O(N²K) on K=2 vs repeated
+convolution on K=7), not a parallelism artifact, so it holds on
+single-core CI runners too.  ``REPRO_BENCH_QUICK=1`` shrinks the sweep
+for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.network import ClosedNetwork, Station
+from repro.solvers import Scenario, SolverCache, aggregate, compose, solve, solve_stack
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_hier01.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Sweep shape: S gateway demand scales x N population levels.
+SWEEP_SCENARIOS = 512 if QUICK else 10_000
+MAX_POPULATION = 60 if QUICK else 100
+
+#: Flat re-solves actually executed (systematic subsample, projected).
+FLAT_SAMPLE = 24 if QUICK else 64
+
+#: Stations folded into the flow-equivalent backend.
+BACKEND = ("srv.cpu", "srv.disk1", "srv.disk2", "db.cpu", "db.disk")
+
+
+def _gateway_network(gw_demand: float) -> ClosedNetwork:
+    return ClosedNetwork(
+        [
+            Station("gw.cpu", demand=gw_demand, servers=2),
+            Station("srv.cpu", demand=0.020, servers=4),
+            Station("srv.disk1", demand=0.030),
+            Station("srv.disk2", demand=0.025),
+            Station("db.cpu", demand=0.018, servers=2),
+            Station("db.disk", demand=0.035),
+        ],
+        think_time=1.0,
+    )
+
+
+def test_hier01_cached_fes_sweep(emit):
+    scales = np.linspace(0.6, 1.4, SWEEP_SCENARIOS)
+    flat_scenarios = [
+        Scenario(_gateway_network(0.012 * s), MAX_POPULATION) for s in scales
+    ]
+
+    # -- hierarchical leg: aggregate (cached) + compose + batched ld-MVA ------
+    cache = SolverCache(maxsize=64)
+    t0 = time.perf_counter()
+    composed = []
+    for sc in flat_scenarios:
+        fes = aggregate(sc, BACKEND, name="backend", cache=cache)
+        composed.append(compose(sc, [fes]))
+    t_aggregate = time.perf_counter() - t0
+    stats = cache.stats()
+
+    t0 = time.perf_counter()
+    stack = solve_stack(composed, cache=None)
+    t_solve = time.perf_counter() - t0
+    t_hier = t_aggregate + t_solve
+
+    # -- flat leg: exact convolution re-solves on a systematic subsample ------
+    sample_idx = np.unique(
+        np.linspace(0, SWEEP_SCENARIOS - 1, FLAT_SAMPLE).round().astype(int)
+    )
+    t0 = time.perf_counter()
+    flat_results = [
+        solve(flat_scenarios[i], cache=None, station_detail=False)
+        for i in sample_idx
+    ]
+    t_flat_sample = time.perf_counter() - t0
+    t_flat_projected = t_flat_sample / len(sample_idx) * SWEEP_SCENARIOS
+    speedup = t_flat_projected / t_hier if t_hier > 0 else float("inf")
+
+    max_diff = max(
+        float(np.abs(stack.throughput[i] - flat.throughput).max())
+        for i, flat in zip(sample_idx, flat_results)
+    )
+
+    payload = {
+        "bench": "hier01_compose",
+        "quick_mode": QUICK,
+        "host_cpu_cores": os.cpu_count() or 1,
+        "sweep": {
+            "scenarios": SWEEP_SCENARIOS,
+            "max_population": MAX_POPULATION,
+            "flat_stations": len(BACKEND) + 1,
+            "composed_stations": 2,
+            "backend_members": list(BACKEND),
+        },
+        "hierarchical": {
+            "aggregate_seconds": round(t_aggregate, 4),
+            "solve_seconds": round(t_solve, 4),
+            "total_seconds": round(t_hier, 4),
+            "stack_solver": stack.solver,
+        },
+        "flat": {
+            "flat_sample": int(len(sample_idx)),
+            "sample_seconds": round(t_flat_sample, 4),
+            "per_scenario_seconds": round(t_flat_sample / len(sample_idx), 5),
+            "projected_sweep_seconds": round(t_flat_projected, 2),
+            "flat_solver": flat_results[0].solver,
+        },
+        "fes_cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "reused": stats.hits >= SWEEP_SCENARIOS - 1,
+        },
+        "speedup_vs_flat": round(speedup, 1),
+        "max_abs_throughput_diff": max_diff,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "\n".join(
+            [
+                "HIER-01 — hierarchical composition sweep",
+                f"Sweep: {SWEEP_SCENARIOS} gateway scales x N={MAX_POPULATION}, "
+                f"flat K={len(BACKEND) + 1} -> composed K=2",
+                f"  hierarchical: aggregate {t_aggregate:.3f}s "
+                f"(cache hits {stats.hits}/{SWEEP_SCENARIOS}) + "
+                f"solve {t_solve:.3f}s [{stack.solver}]",
+                f"  flat: {len(sample_idx)} sampled re-solves "
+                f"[{flat_results[0].solver}] at "
+                f"{t_flat_sample / len(sample_idx):.4f}s each -> "
+                f"projected {t_flat_projected:.1f}s for the sweep",
+                f"  speedup: {speedup:.0f}x   max |dX|: {max_diff:.2e}",
+            ]
+        )
+    )
+
+    # Parity and reuse gates, plus the acceptance speedup (algorithmic, so it
+    # is stable across hosts; timing details are recorded, not asserted).
+    assert max_diff <= 1e-8, "composed sweep diverged from the flat exact solves"
+    assert stats.hits >= SWEEP_SCENARIOS - 1, "FES table was re-solved, not reused"
+    assert stats.misses <= 2, "backend subsystem should be solved once"
+    assert speedup >= 10.0, f"cached composition only {speedup:.1f}x vs flat"

@@ -11,6 +11,9 @@ Exposes the library's main flows without writing Python::
     python -m repro sweep-grid --demands 0.05,0.08 --servers 4,1 --think 1 \
         --population 100 --scales 0.5,0.75,1.0,1.25
     python -m repro sweep-grid ... --backend process-sharded --workers 8
+    python -m repro compose --demands 0.012,0.03,0.02,0.025 --servers 2,4,1,1 \
+        --think 1 --population 100 --aggregate 2,3:disks --aggregate 1,2:server \
+        --flat-check
     python -m repro cache --demo --path /var/tmp/repro-cache.sqlite
     python -m repro serve --port 7173 --cache-path /var/tmp/repro-cache.sqlite
     python -m repro query '{"op": "ping"}'
@@ -226,6 +229,84 @@ def _cmd_solve(args) -> int:
             title=f"{result.solver} trajectory",
         )
     )
+    return 0
+
+
+def _parse_aggregate_spec(text: str) -> tuple[list[str], str | None]:
+    """Parse one ``--aggregate`` value: ``members[:name]``.
+
+    Members are comma-separated station indices or names; the optional
+    ``:name`` names the resulting flow-equivalent station.
+    """
+    group, _, name = text.partition(":")
+    members = [tok.strip() for tok in group.split(",") if tok.strip()]
+    if not members:
+        raise SystemExit(f"--aggregate {text!r}: needs at least one station")
+    return members, (name.strip() or None)
+
+
+def _cmd_compose(args) -> int:
+    from .solvers import aggregate as fes_aggregate
+    from .solvers import compose as fes_compose
+
+    net = _adhoc_network(args)
+    base = Scenario(net, args.population)
+    current = base
+    built = []
+    try:
+        for spec_text in args.aggregate:
+            tokens, name = _parse_aggregate_spec(spec_text)
+            names = []
+            for tok in tokens:
+                if tok.isdigit():
+                    idx = int(tok)
+                    if idx >= len(current.station_names):
+                        raise SystemExit(
+                            f"--aggregate {spec_text!r}: station index {idx} out of "
+                            f"range; current stations: {list(current.station_names)}"
+                        )
+                    names.append(current.station_names[idx])
+                else:
+                    names.append(tok)
+            fes = fes_aggregate(current, names, name=name, method=args.method)
+            current = fes_compose(current, [fes])
+            built.append(fes)
+        result = solve(current)
+    except SolverInputError as exc:
+        raise SystemExit(str(exc)) from None
+
+    for fes in built:
+        print(
+            f"aggregated {'+'.join(fes.members)} -> {fes.name} "
+            f"[{fes.solver}, N<={fes.max_population}]"
+        )
+    print(f"composed stations: {', '.join(current.station_names)}")
+    print()
+    print(result.summary())
+    levels = np.unique(np.linspace(1, args.population, 12).round().astype(int))
+    print()
+    print(
+        format_series(
+            "N",
+            levels,
+            {
+                "X": result.interpolate_throughput(levels.astype(float)).round(3),
+                "R+Z": result.interpolate_cycle_time(levels.astype(float)).round(4),
+            },
+            title=f"{result.solver} trajectory (composed)",
+        )
+    )
+    if args.flat_check:
+        flat = solve(base, method=args.method)
+        diff = float(np.abs(result.throughput - flat.throughput).max())
+        print()
+        print(f"flat-check: max |X_composed - X_flat| = {diff:.3e} "
+              f"(tolerance {args.flat_tolerance:.0e})")
+        if diff > args.flat_tolerance:
+            raise SystemExit(
+                f"composition diverged from the flat solve by {diff:.3e} > "
+                f"{args.flat_tolerance:.0e}"
+            )
     return 0
 
 
@@ -467,6 +548,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "solvers", help="list registered solvers with their capability flags"
     ).set_defaults(fn=_cmd_solvers)
+
+    p = sub.add_parser(
+        "compose",
+        help="hierarchical composition: aggregate station groups into "
+             "flow-equivalent stations and solve the reduced model",
+    )
+    p.add_argument("--demands", type=_parse_float_list, required=True,
+                   help="comma-separated station demands (seconds)")
+    p.add_argument("--servers", type=_parse_int_list, default=None,
+                   help="comma-separated server counts (default all 1)")
+    p.add_argument("--think", type=float, default=0.0)
+    p.add_argument("--population", type=int, required=True)
+    p.add_argument("--aggregate", action="append", required=True, metavar="GROUP[:NAME]",
+                   help="station group to aggregate, e.g. '1,2:server-tier'; "
+                        "members are indices or names of the scenario as reduced "
+                        "by earlier --aggregate flags (repeatable, applied in order)")
+    p.add_argument("--method", choices=("auto", *solver_names()), default="auto",
+                   help="solver for the subsystem and flat solves")
+    p.add_argument("--flat-check", action="store_true",
+                   help="also solve the flat model and gate on the throughput parity")
+    p.add_argument("--flat-tolerance", type=float, default=1e-8,
+                   help="max |X_composed - X_flat| allowed by --flat-check")
+    p.set_defaults(fn=_cmd_compose)
 
     p = sub.add_parser(
         "sweep-grid",

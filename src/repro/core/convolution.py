@@ -161,9 +161,15 @@ def convolution_mva(
         # Multi-server stations: p_k(j|n) = f_k(j) G_{-k}(n-j) / G(n).
         for i in multiserver_idx:
             others = [seq for j, seq in enumerate(logs) if j != i]
-            log_g_minus = others[0].copy()
-            for seq in others[1:]:
-                log_g_minus = log_convolve(log_g_minus, seq)
+            if others:
+                log_g_minus = others[0].copy()
+                for seq in others[1:]:
+                    log_g_minus = log_convolve(log_g_minus, seq)
+            else:
+                # lone station, no think term: the complement network is
+                # empty, whose G is the delta at population 0
+                log_g_minus = np.full(n_levels + 1, -np.inf)
+                log_g_minus[0] = 0.0
             f_i = logs[i]
             for lev in range(n_levels):
                 n = lev + 1

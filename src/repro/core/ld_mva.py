@@ -17,6 +17,15 @@ recursion is validated against it in the tests and the ablation bench.
 The price is O(N^2 K) time and O(N K) memory versus Algorithm 2's
 O(N K).
 
+This recursion is also the workhorse of hierarchical composition
+(:mod:`repro.solvers.fes`): a flow-equivalent service center is exactly
+a station with a tabulated ``mu(j)`` law, supplied here through
+``rate_tables``.  The inner ``j``-loop is vectorized across stations —
+the per-level work is a handful of ``(K, n)`` array operations — and
+the recursion carries its marginal state in ``final_state`` so
+``resume_from=`` extends a ``1..L`` trajectory to ``1..N`` without
+recomputing the prefix.
+
 Demands must be constant over the sweep (this is a fixed-demand exact
 solver); combine with MVASD-style outer sweeps by re-solving per level
 if needed.
@@ -28,13 +37,15 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from .mva import _resolve_demands
+from .mva import _prefill, _resolve_demands, validate_resume
 from .network import ClosedNetwork
 from .results import MVAResult
 
-__all__ = ["exact_load_dependent_mva", "multiserver_rates"]
+__all__ = ["build_rate_tables", "exact_load_dependent_mva", "multiserver_rates"]
 
 RateFn = Callable[[int], float]
+
+_SOLVER_NAME = "exact-load-dependent-mva"
 
 
 def multiserver_rates(demand: float, servers: int) -> RateFn:
@@ -50,12 +61,60 @@ def multiserver_rates(demand: float, servers: int) -> RateFn:
     return mu
 
 
+def build_rate_tables(
+    network: ClosedNetwork,
+    demands: np.ndarray,
+    max_population: int,
+    rates: Mapping[str, RateFn] | None = None,
+    rate_tables: Mapping[str, Sequence[float]] | None = None,
+    solver: str = "ld-mva",
+) -> np.ndarray:
+    """Dense ``(K, N)`` service-rate matrix ``mu_k(j)`` for ``j = 1..N``.
+
+    Row precedence per queueing station: a callable from ``rates``, then
+    a tabulated law from ``rate_tables`` (truncated to ``N`` entries —
+    tables shorter than ``N`` are an error), then the multi-server
+    default ``min(j, C_k) / D_k``.  Delay stations and zero-demand
+    queues get ``+inf`` rows (never congested), which the recursion
+    treats as "no queueing contribution".
+    """
+    big_n = max_population
+    js = np.arange(1, big_n + 1, dtype=float)
+    mu = np.empty((len(network), big_n), dtype=float)
+    for idx, st in enumerate(network.stations):
+        if st.kind == "delay":
+            mu[idx] = np.inf
+            continue
+        if rates is not None and st.name in rates:
+            fn = rates[st.name]
+            row = np.array([fn(j) for j in range(1, big_n + 1)], dtype=float)
+        elif rate_tables is not None and st.name in rate_tables:
+            table = np.asarray(rate_tables[st.name], dtype=float)
+            if table.ndim != 1 or table.shape[0] < big_n:
+                have = 0 if table.ndim != 1 else table.shape[0]
+                raise ValueError(
+                    f"{solver}: station {st.name!r}: rate table covers "
+                    f"{have} populations, need {big_n}"
+                )
+            row = table[:big_n]
+        elif demands[idx] <= 0:
+            row = np.full(big_n, np.inf)
+        else:
+            row = np.minimum(js, st.servers) / demands[idx]
+        if np.any(np.isnan(row)) or np.any(row <= 0):
+            raise ValueError(f"station {st.name!r}: service rates must be positive")
+        mu[idx] = row
+    return mu
+
+
 def exact_load_dependent_mva(
     network: ClosedNetwork,
     max_population: int,
     demands: Sequence[float] | None = None,
     demand_level: float = 1.0,
     rates: Mapping[str, RateFn] | None = None,
+    rate_tables: Mapping[str, Sequence[float]] | None = None,
+    resume_from: MVAResult | None = None,
 ) -> MVAResult:
     """Exact MVA with general load-dependent stations.
 
@@ -75,13 +134,153 @@ def exact_load_dependent_mva(
         Optional mapping ``station name -> mu(j)`` (jobs per second when
         ``j`` jobs are present, in demand units — i.e. already folding
         in the visit count).
+    rate_tables:
+        Optional mapping ``station name -> [mu(1), ..., mu(N)]`` — the
+        array-native form of ``rates``, and the representation
+        flow-equivalent stations (:mod:`repro.solvers.fes`) carry.
+        ``rates`` wins where both name a station.
+    resume_from:
+        A previous result of this solver for the same network, demands
+        and rate laws at some ``L < N``: the recursion restarts from the
+        marginal distributions stored in ``final_state``, producing
+        trajectories bit-identical to a full ``1..N`` solve.
 
     Returns
     -------
     MVAResult
         ``marginal_probabilities[name]`` holds ``p_k(j | N)`` for
         ``j = 0..N`` at the final population (shape ``(1, N+1)``),
-        complementing the per-level scalars.
+        complementing the per-level scalars.  ``final_state`` carries
+        the full marginal matrix for ``resume_from=``.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    d = _resolve_demands(network, demands, demand_level, solver="ld-mva")
+    k = len(network)
+    z = network.think_time
+    stations = network.stations
+    servers = network.servers().astype(float)
+    big_n = max_population
+    is_queue = np.array([st.kind == "queue" for st in stations])
+
+    mu = build_rate_tables(network, d, big_n, rates, rate_tables)
+    # R_k(n) weight table j / mu_k(j); +inf rates (delay, idle stations)
+    # contribute zero, so the np.where below restores the delay demand.
+    weights = np.arange(1, big_n + 1, dtype=float) / mu
+
+    # p[idx, j] = p_k(j | n) for the current n; starts at n = 0.
+    p = np.zeros((k, big_n + 1))
+    p[:, 0] = 1.0
+
+    pops = np.arange(1, big_n + 1)
+    xs = np.empty(big_n)
+    rs = np.empty(big_n)
+    qs = np.empty((big_n, k))
+    rks = np.empty((big_n, k))
+    utils = np.empty((big_n, k))
+
+    start = 0
+    if resume_from is not None:
+        start = _restore(resume_from, big_n, k, z, d, mu, p, (xs, rs, qs, rks, utils))
+
+    for i in range(start, big_n):
+        n = i + 1
+        r_queue = (weights[:, :n] * p[:, :n]).sum(axis=1)
+        r_k = np.where(is_queue, r_queue, d)
+        r_total = float(r_k.sum())
+        x = n / (r_total + z)
+
+        # p(j|n) = (X/mu(j)) p(j-1|n-1); build the tail fresh before
+        # assigning — p still holds the n-1 values.  Divide-first keeps
+        # the rounding identical to the scalar reference per element.
+        tail = (x / mu[:, :n]) * p[:, :n]
+        p[:, 1 : n + 1] = tail
+        p[:, 0] = np.maximum(0.0, 1.0 - tail.sum(axis=1))
+
+        xs[i] = x
+        rs[i] = r_total
+        rks[i] = r_k
+        qs[i] = x * r_k
+        utils[i] = x * d / servers
+
+    prob_hist = {
+        st.name: p[idx][np.newaxis, :].copy()
+        for idx, st in enumerate(stations)
+        if st.kind == "queue"
+    }
+    return MVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_time=z,
+        solver=_SOLVER_NAME,
+        marginal_probabilities=prob_hist,
+        demands_used=np.tile(d, (big_n, 1)),
+        final_state={
+            "solver": _SOLVER_NAME,
+            "level": big_n,
+            "marginals": p.copy(),
+            "mu": mu.copy(),
+        },
+    )
+
+
+def _restore(
+    prev: MVAResult,
+    max_population: int,
+    k: int,
+    think_time: float,
+    d: np.ndarray,
+    mu: np.ndarray,
+    p: np.ndarray,
+    arrays: tuple[np.ndarray, ...],
+) -> int:
+    """Validate ``resume_from`` and prefill state; return the start level."""
+    level = validate_resume(prev, max_population, k, think_time, "ld-mva")
+    if prev.solver != _SOLVER_NAME:
+        raise ValueError(
+            f"ld-mva: resume_from was produced by {prev.solver!r}, "
+            f"expected {_SOLVER_NAME!r}"
+        )
+    if prev.demands_used is None or not np.array_equal(
+        np.asarray(prev.demands_used[-1]), d
+    ):
+        raise ValueError("ld-mva: resume_from demands differ from this solve")
+    state = prev.final_state
+    if not isinstance(state, Mapping) or "marginals" not in state:
+        raise ValueError("ld-mva: resume_from lacks final_state (prefix slices drop it)")
+    marginals = np.asarray(state["marginals"], dtype=float)
+    if marginals.shape != (k, level + 1):
+        raise ValueError(
+            f"ld-mva: resume_from marginals have shape {marginals.shape}, "
+            f"expected {(k, level + 1)}"
+        )
+    prev_mu = np.asarray(state["mu"], dtype=float)
+    if not np.array_equal(prev_mu, mu[:, :level]):
+        raise ValueError("ld-mva: resume_from service rates differ from this solve")
+    _prefill(prev, arrays)
+    p[:, : level + 1] = marginals
+    return level
+
+
+def _reference_exact_ld_mva(
+    network: ClosedNetwork,
+    max_population: int,
+    demands: Sequence[float] | None = None,
+    demand_level: float = 1.0,
+    rates: Mapping[str, RateFn] | None = None,
+    rate_tables: Mapping[str, Sequence[float]] | None = None,
+) -> MVAResult:
+    """Scalar per-station reference recursion (pre-vectorization).
+
+    Kept verbatim as the parity oracle for the vectorized solver: the
+    tests require ``exact_load_dependent_mva`` to agree with this
+    implementation to ≤1e-12.  Not registered anywhere — import it
+    directly.
     """
     if max_population < 1:
         raise ValueError(f"max_population must be >= 1, got {max_population}")
@@ -92,25 +291,12 @@ def exact_load_dependent_mva(
     servers = network.servers().astype(float)
     big_n = max_population
 
-    mu_tables = []  # mu_k(j) for j = 1..N, vectorized per station
-    for idx, st in enumerate(stations):
-        if st.kind == "delay":
-            mu_tables.append(None)
-            continue
-        if rates is not None and st.name in rates:
-            fn = rates[st.name]
-            mu_tables.append(np.array([fn(j) for j in range(1, big_n + 1)], dtype=float))
-        else:
-            if d[idx] <= 0:
-                mu_tables.append(np.full(big_n, np.inf))
-            else:
-                js = np.arange(1, big_n + 1, dtype=float)
-                mu_tables.append(np.minimum(js, st.servers) / d[idx])
-    for idx, table in enumerate(mu_tables):
-        if table is not None and np.any(table <= 0):
-            raise ValueError(f"station {stations[idx].name!r}: service rates must be positive")
+    mu_matrix = build_rate_tables(network, d, big_n, rates, rate_tables)
+    mu_tables = [
+        None if st.kind == "delay" else mu_matrix[idx]
+        for idx, st in enumerate(stations)
+    ]
 
-    # p[k][j] = p_k(j | n) for the current n; length N+1, starts at n=0.
     p = [np.zeros(big_n + 1) for _ in range(k)]
     for arr in p:
         arr[0] = 1.0
@@ -128,7 +314,7 @@ def exact_load_dependent_mva(
             if st.kind == "delay":
                 r_k[idx] = d[idx]
                 continue
-            mu = mu_tables[idx][:n]  # mu(1..n)
+            mu = mu_tables[idx][:n]
             js = np.arange(1, n + 1, dtype=float)
             r_k[idx] = float(((js / mu) * p[idx][:n]).sum())
         r_total = float(r_k.sum())
@@ -138,8 +324,6 @@ def exact_load_dependent_mva(
             if st.kind == "delay":
                 continue
             mu = mu_tables[idx][:n]
-            # p(j|n) = (X/mu(j)) p(j-1|n-1), computed high-to-low is unsafe
-            # because p still holds n-1 values; build fresh then assign.
             new_tail = (x / mu) * p[idx][:n]
             p[idx][1 : n + 1] = new_tail
             p[idx][0] = max(0.0, 1.0 - float(new_tail.sum()))
@@ -164,7 +348,7 @@ def exact_load_dependent_mva(
         utilizations=utils,
         station_names=network.station_names,
         think_time=z,
-        solver="exact-load-dependent-mva",
+        solver=_SOLVER_NAME,
         marginal_probabilities=prob_hist,
         demands_used=np.tile(d, (big_n, 1)),
     )

@@ -135,11 +135,18 @@ class MVAResult:
                 "prefix requires a dense 1..N trajectory "
                 f"(populations start at {self.populations[0]})"
             )
-        marginals = (
-            None
-            if self.marginal_probabilities is None
-            else {k: v[:n] for k, v in self.marginal_probabilities.items()}
-        )
+        # Per-level marginal histories (first axis == level count) slice
+        # like every other trajectory; final-population snapshots (e.g.
+        # ld-MVA's ``(1, N+1)`` distributions) describe level N only and
+        # are dropped, same as ``final_state``.
+        marginals = None
+        if self.marginal_probabilities is not None:
+            n_levels = len(self.populations)
+            marginals = {
+                k: v[:n]
+                for k, v in self.marginal_probabilities.items()
+                if v.shape[0] == n_levels
+            } or None
         return MVAResult(
             populations=self.populations[:n],
             throughput=self.throughput[:n],

@@ -43,6 +43,7 @@ from .batched import (
     ScenarioFailure,
     batched_exact_multiclass,
     batched_exact_mva,
+    batched_ld_mva,
     batched_multiclass_mvasd,
     batched_mvasd,
     batched_schweitzer_amva,
@@ -77,6 +78,7 @@ __all__ = [
     "backend_names",
     "batched_exact_multiclass",
     "batched_exact_mva",
+    "batched_ld_mva",
     "batched_multiclass_mvasd",
     "batched_mvasd",
     "batched_schweitzer_amva",

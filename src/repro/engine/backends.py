@@ -44,6 +44,7 @@ from .batched import (
     BatchedMVAResult,
     batched_exact_multiclass,
     batched_exact_mva,
+    batched_ld_mva,
     batched_multiclass_mvasd,
     batched_mvasd,
     batched_schweitzer_amva,
@@ -156,6 +157,12 @@ def _kernel_input(spec: "SolverSpec", scenario: "Scenario") -> np.ndarray:
         return scenario.fixed_demands(spec.name)
     if kernel == "mvasd":
         return scenario.resolved_demand_matrix(spec.name)
+    if kernel == "ld-mva":
+        # Packed (K, N+1) row: demand column + the mu_k(j) rate matrix.
+        return np.concatenate(
+            [scenario.fixed_demands(spec.name)[:, None], scenario.ld_rate_matrix(spec.name)],
+            axis=1,
+        )
     if kernel == "exact-multiclass":
         return scenario.multiclass_demand_matrix(spec.name)
     if kernel == "multiclass-mvasd":
@@ -174,6 +181,8 @@ def _kernel_input_shape(spec: "SolverSpec", scenario: "Scenario") -> tuple[int, 
         return (k,)
     if kernel == "mvasd":
         return (n, k)
+    if kernel == "ld-mva":
+        return (k, n + 1)
     c = len(scenario.classes) if scenario.is_multiclass else 0
     if kernel == "exact-multiclass":
         return (k, c)
@@ -228,6 +237,8 @@ def _run_kernel(spec, scenarios, rows, options, mask=None):
         return batched_exact_mva(network, n, stack, think_times=think, mask=mask)
     if kernel == "schweitzer-amva":
         return batched_schweitzer_amva(network, n, stack, think_times=think, mask=mask)
+    if kernel == "ld-mva":
+        return batched_ld_mva(network, n, stack, think_times=think, mask=mask)
     # _kernel_input already rejected unknown kernels; "mvasd" is what's left.
     return batched_mvasd(
         network,

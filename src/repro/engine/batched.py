@@ -51,6 +51,7 @@ __all__ = [
     "ScenarioFailure",
     "batched_exact_mva",
     "batched_exact_multiclass",
+    "batched_ld_mva",
     "batched_multiclass_mvasd",
     "batched_schweitzer_amva",
     "batched_mvasd",
@@ -361,6 +362,116 @@ def batched_exact_mva(
         station_names=network.station_names,
         think_times=z,
         solver="batched-exact-mva",
+        demands_used=demands_used,
+    )
+
+
+def batched_ld_mva(
+    network: ClosedNetwork,
+    max_population: int,
+    inputs,
+    think_times=None,
+    mask=None,
+) -> BatchedMVAResult:
+    """Exact load-dependent MVA over a stack of scenarios.
+
+    The hot kernel of hierarchical composition: every composed scenario
+    (flow-equivalent stations carrying tabulated rate laws) resolves to
+    one ``(K, N+1)`` row — column 0 is the constant demand vector,
+    columns ``1..N`` the service-rate matrix ``mu_k(j)`` of
+    :meth:`Scenario.ld_rate_matrix` — and the marginal-probability
+    recursion of :func:`repro.core.ld_mva.exact_load_dependent_mva`
+    advances all S scenarios together.  Per level the work is a handful
+    of ``(S, K, n)`` array operations, elementwise along the scenario
+    axis, so trajectories match the scalar solver to rounding.
+
+    Parameters
+    ----------
+    network:
+        Shared topology (station kinds and server counts; the rate
+        matrix already folds the multi-server law in).
+    max_population:
+        Largest population ``N``; results cover ``n = 1..N``.
+    inputs:
+        ``(S, K, N+1)`` packed stack; a single ``(K, N+1)`` row is
+        treated as ``S = 1``.  Delay stations carry ``+inf`` rate rows.
+    think_times:
+        Optional per-scenario think times ``(S,)``.
+    mask:
+        Optional ``(S,)`` validity mask, the
+        :func:`batched_exact_mva` isolate contract.
+    """
+    if max_population < 1:
+        raise ValueError(f"max_population must be >= 1, got {max_population}")
+    arr = np.asarray(inputs, dtype=float)
+    if arr.ndim == 2:
+        arr = arr[None, :, :]
+    k, big_n = len(network), max_population
+    if arr.ndim != 3 or arr.shape[1:] != (k, big_n + 1):
+        raise ValueError(
+            f"batched-ld-mva: expected a (S, {k}, {big_n + 1}) input stack "
+            f"(demand column + rate table), got shape {arr.shape}"
+        )
+    s = arr.shape[0]
+    mask = _mask_stack(mask, s, "batched-ld-mva")
+    d = _demand_stack(network, arr[:, :, 0], solver="batched-ld-mva", mask=mask)
+    mu = arr[:, :, 1:]
+    if mask is not None:
+        mu = mu.copy()
+        mu[~mask] = 1.0
+    if np.any(np.isnan(mu)) or np.any(mu <= 0):
+        bad = np.nonzero(np.any(np.isnan(mu) | (mu <= 0), axis=(1, 2)))[0]
+        raise ValueError(
+            f"batched-ld-mva: service rates must be positive at scenario "
+            f"indices {sorted(bad.tolist())}"
+        )
+    z = _think_stack(network, think_times, s, mask=mask)
+    is_queue = np.array([st.kind == "queue" for st in network.stations])
+    servers = network.servers().astype(float)
+
+    # Same weight table and update expressions as the scalar recursion,
+    # with a leading scenario axis; +inf rates (delay rows) contribute 0.
+    weights = np.arange(1, big_n + 1, dtype=float) / mu
+    p = np.zeros((s, k, big_n + 1))
+    p[:, :, 0] = 1.0
+
+    pops = np.arange(1, big_n + 1)
+    xs = np.empty((s, big_n))
+    rs = np.empty((s, big_n))
+    qs = np.empty((s, big_n, k))
+    rks = np.empty((s, big_n, k))
+    utils = np.empty((s, big_n, k))
+
+    for i, n in enumerate(pops):
+        r_queue = (weights[:, :, :n] * p[:, :, :n]).sum(axis=2)
+        r_k = np.where(is_queue, r_queue, d)
+        r_total = r_k.sum(axis=1)
+        x = n / (r_total + z)
+
+        tail = (x[:, None, None] / mu[:, :, :n]) * p[:, :, :n]
+        p[:, :, 1 : n + 1] = tail
+        p[:, :, 0] = np.maximum(0.0, 1.0 - tail.sum(axis=2))
+
+        xs[:, i] = x
+        rs[:, i] = r_total
+        rks[:, i] = r_k
+        qs[:, i] = x[:, None] * r_k
+        utils[:, i] = x[:, None] * d / servers
+
+    demands_used = np.broadcast_to(d[:, None, :], (s, big_n, k))
+    if mask is not None:
+        demands_used = demands_used.copy()
+        _nan_rows(mask, xs, rs, qs, rks, utils, demands_used)
+    return BatchedMVAResult(
+        populations=pops,
+        throughput=xs,
+        response_time=rs,
+        queue_lengths=qs,
+        residence_times=rks,
+        utilizations=utils,
+        station_names=network.station_names,
+        think_times=z,
+        solver="batched-exact-load-dependent-mva",
         demands_used=demands_used,
     )
 

@@ -34,6 +34,12 @@ Station ``demand`` is a number (constant demand) or a
 against population, the service-side equivalent of the paper's measured
 demand curves (fit splines client-side and sample them onto a table to
 ship them).
+
+An optional top-level ``"rate_tables": {"station": [mu1, mu2, ...]}``
+attaches tabulated load-dependent service-rate laws (flow-equivalent
+stations, :mod:`repro.solvers.fes`) — each list must cover populations
+``1..max_population``.  The ``compose`` op builds such scenarios
+server-side from ``{"stations": [...], "name": ...}`` aggregate groups.
 """
 
 from __future__ import annotations
@@ -66,6 +72,7 @@ KNOWN_OPS = (
     "solve_stack",
     "whatif",
     "bottlenecks",
+    "compose",
     "cache_stats",
     "shutdown",
 )
@@ -133,10 +140,14 @@ def decode_scenario(payload: Mapping[str, Any]) -> Scenario:
         think_time=float(payload.get("think_time", 0.0)),
         name=str(payload.get("name", "served")),
     )
+    rate_tables = payload.get("rate_tables")
+    if rate_tables is not None and not isinstance(rate_tables, Mapping):
+        raise ProtocolError("scenario.rate_tables must map station names to lists")
     return Scenario(
         network,
         max_population=int(max_population),
         demand_level=float(payload.get("demand_level", 1.0)),
+        rate_tables=rate_tables,
     )
 
 

@@ -205,6 +205,8 @@ class SolverServer:
             return self._op_whatif(request)
         if op == "bottlenecks":
             return self._op_bottlenecks(request)
+        if op == "compose":
+            return self._op_compose(request)
         raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
 
     def _op_solve(self, request):
@@ -284,6 +286,81 @@ class SolverServer:
 
         snapshots, counts = self._classified(sweep)
         return {"kind": "whatif", "snapshots": snapshots}, counts
+
+    def _op_compose(self, request):
+        """Hierarchical composition: aggregate station groups, solve reduced.
+
+        ``aggregates`` is a list of ``{"stations": [...], "name": ...}``
+        groups applied **in sequence** — each group aggregates stations
+        of the scenario as reduced by the groups before it, so a later
+        group may fold an earlier flow-equivalent station into a deeper
+        level of the hierarchy.  The subsystem solves ride the server's
+        cache like any other request (re-composing an unchanged
+        subsystem is a cache hit).  ``flat_check: true`` additionally
+        solves the flat scenario and reports the max throughput
+        divergence.
+        """
+        from ..solvers.fes import aggregate as fes_aggregate
+        from ..solvers.fes import compose as fes_compose
+
+        scenario = decode_scenario(request.get("scenario"))
+        raw_groups = request.get("aggregates")
+        if not isinstance(raw_groups, list) or not raw_groups:
+            raise ProtocolError("compose needs a non-empty aggregates list")
+        method = str(request.get("method", "auto"))
+        options = dict(request.get("options") or {})
+        flat_check = bool(request.get("flat_check", False))
+
+        def run():
+            current = scenario
+            built = []
+            for idx, group in enumerate(raw_groups):
+                if not isinstance(group, Mapping) or "stations" not in group:
+                    raise ProtocolError(f"aggregate #{idx} needs a stations list")
+                members = [str(name) for name in group["stations"]]
+                fes = fes_aggregate(
+                    current,
+                    members,
+                    name=group.get("name"),
+                    method=method,
+                    cache=self.cache,
+                    **options,
+                )
+                current = fes_compose(current, [fes])
+                built.append(fes)
+            result = solve(current, method="auto", cache=self.cache, **options)
+            flat_parity = None
+            if flat_check:
+                flat = solve(scenario, method=method, cache=self.cache, **options)
+                import numpy as np
+
+                flat_parity = float(
+                    np.abs(
+                        np.asarray(result.throughput) - np.asarray(flat.throughput)
+                    ).max()
+                )
+            return current, built, result, flat_parity
+
+        (current, built, result, flat_parity), counts = self._classified(run)
+        payload = {
+            **encode_result(result),
+            "composition": {
+                "stations": list(current.station_names),
+                "aggregates": [
+                    {
+                        "name": fes.name,
+                        "members": list(fes.members),
+                        "solver": fes.solver,
+                        "source_fingerprint": fes.source_fingerprint,
+                        "max_population": fes.max_population,
+                    }
+                    for fes in built
+                ],
+            },
+        }
+        if flat_parity is not None:
+            payload["flat_parity"] = flat_parity
+        return payload, _provenance_label(counts)
 
     def _op_bottlenecks(self, request):
         from ..analysis.bottlenecks import solved_bottleneck_ranking

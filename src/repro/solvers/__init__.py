@@ -66,6 +66,7 @@ from .facade import (  # noqa: F401
     solve,
     solve_stack,
 )
+from .fes import FESStation, aggregate, compose  # noqa: F401
 from ..engine.batched import ScenarioFailure  # noqa: F401  (failure records)
 from . import builtin  # noqa: F401  (registers the built-in solvers)
 
@@ -75,6 +76,7 @@ __all__ = [
     "DEFAULT_MAXSIZE",
     "DuplicateSolverError",
     "EXACT_POPULATION_LIMIT",
+    "FESStation",
     "PersistentCache",
     "PersistentStats",
     "Scenario",
@@ -87,9 +89,11 @@ __all__ = [
     "USE_DEFAULT_CACHE",
     "UnknownSolverError",
     "WorkloadClass",
+    "aggregate",
     "auto_method",
     "cache_stats",
     "capability_matrix",
+    "compose",
     "default_cache",
     "get_solver",
     "list_solvers",

@@ -227,7 +227,9 @@ def _solve_mvasd(scenario: Scenario, **options: Any):
     "ld-mva",
     summary="exact load-dependent MVA (textbook marginal recursion)",
     multiserver=True,
+    load_dependent=True,
     exact=True,
+    batched_kernel="ld-mva",
     cost=40,
     legacy="repro.core.ld_mva.exact_load_dependent_mva",
 )
@@ -238,6 +240,7 @@ def _solve_ld_mva(scenario: Scenario, **options: Any):
         scenario.max_population,
         demands=scenario.fixed_demands("ld-mva"),
         rates=options.get("rates"),
+        rate_tables=scenario.rate_tables,
     )
 
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import replace
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..core.mom import mom_state_count
 from ..engine.backends import get_backend
@@ -114,6 +114,11 @@ def auto_method(
             # keep exactness via Casale's Method of Moments.
             return "method-of-moments"
         return "multiclass-mvasd"
+    if scenario.has_rate_tables:
+        # Tabulated service-rate laws (flow-equivalent stations from
+        # hierarchical composition) need the load-dependent recursion;
+        # it is exact, so population never demotes this path.
+        return "ld-mva"
     if scenario.has_varying_demands:
         return "mvasd"
     if scenario.is_multiserver:
@@ -125,7 +130,9 @@ def auto_method(
     return "schweitzer-amva"
 
 
-def _resolve_spec(scenario: Scenario, method: str) -> SolverSpec:
+def _resolve_spec(
+    scenario: Scenario, method: str, options: Mapping[str, Any] | None = None
+) -> SolverSpec:
     spec = get_solver(auto_method(scenario) if method == "auto" else method)
     if scenario.is_multiclass and not spec.multiclass:
         raise SolverCapabilityError(
@@ -137,7 +144,53 @@ def _resolve_spec(scenario: Scenario, method: str) -> SolverSpec:
         raise SolverCapabilityError(
             f"{spec.name}: multi-class solver needs a scenario with classes"
         )
+    _check_single_class_capabilities(spec, scenario, options or {})
     return spec
+
+
+def _check_single_class_capabilities(
+    spec: SolverSpec, scenario: Scenario, options: Mapping[str, Any]
+) -> None:
+    """Reject scenario/solver pairings a fixed-demand path would mis-model.
+
+    Two silent-wrong-answer traps guarded here: a rate-table scenario
+    (flow-equivalent stations) handed to a solver that only reads
+    ``fixed_demands`` would ignore the tabulated law entirely, and a
+    multi-server scenario handed to a single-server solver would quietly
+    model ``servers>1`` stations as single servers.  The deliberate
+    single-server baseline of the paper stays available through
+    ``single_server=True``.
+    """
+    if scenario.is_multiclass:
+        return  # the multi-class family has its own Seidmann guard
+    if scenario.has_rate_tables and not spec.load_dependent:
+        nearest = _nearest_load_dependent_method()
+        hint = f"; nearest load-dependent method: {nearest!r}" if nearest else ""
+        raise SolverCapabilityError(
+            f"{spec.name}: scenario carries load-dependent rate tables "
+            f"(flow-equivalent stations) but this solver only reads fixed "
+            f"demands and would ignore them{hint} (or use method='auto')"
+        )
+    if (
+        scenario.is_multiserver
+        and not spec.multiserver
+        and not options.get("single_server", False)
+    ):
+        raise SolverCapabilityError(
+            f"{spec.name}: scenario has multi-server stations (servers>1) "
+            f"but this solver reads only single-server fixed demands and "
+            f"would silently model them as single servers; use "
+            f"{auto_method(scenario)!r} (method='auto' picks it), or pass "
+            f"single_server=True for the deliberate single-server baseline"
+        )
+
+
+def _nearest_load_dependent_method() -> str | None:
+    """Cheapest registered solver that consumes rate tables, if any."""
+    candidates = [s for s in list_solvers() if s.load_dependent]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda s: (s.cost, s.name)).name
 
 
 def _nearest_batched_method(spec: SolverSpec) -> str | None:
@@ -240,7 +293,7 @@ def solve(
             f"backend must be 'auto', 'scalar', 'serial' or 'batched' for a "
             f"single scenario, got {backend!r}"
         )
-    spec = _resolve_spec(scenario, method)
+    spec = _resolve_spec(scenario, method, options)
     kind = "batched" if backend == "batched" else "scalar"
     store = resolve_cache(cache)
     key = None
@@ -331,6 +384,11 @@ def _auto_stack_method(scenarios: Sequence[Scenario]) -> str:
         if auto_method(scenarios[0]) == "exact-multiclass":
             return "exact-multiclass"
         return "multiclass-mvasd"
+    if any(sc.has_rate_tables for sc in scenarios):
+        # Composed (flow-equivalent) scenarios ride the ld-MVA kernel —
+        # it is exact and multi-server-faithful, so it also covers the
+        # plain-demand scenarios sharing the stack.
+        return "ld-mva"
     if any(sc.has_varying_demands for sc in scenarios):
         return "mvasd"
     if any(sc.is_multiserver for sc in scenarios):
@@ -474,6 +532,8 @@ def solve_stack(
             f"{spec.name}: scenarios have customer classes but the solver is "
             f"single-class; use a multiclass-capable method (or method='auto')"
         )
+    for sc in scenarios:
+        _check_single_class_capabilities(spec, sc, options)
     resolved = _resolve_backend(spec, len(scenarios), backend, workers)
     if (
         backend == "auto"
@@ -486,6 +546,21 @@ def solve_stack(
         # The retry/checkpoint machinery lives in the resilient backend;
         # asking for either is asking for it.
         resolved = "resilient"
+    if (
+        spec.batched_kernel == "ld-mva"
+        and options.get("rates") is not None
+        and resolved != "serial"
+    ):
+        # Callable mu(j) laws cannot cross the kernel-input boundary;
+        # running the kernel anyway would silently drop the override.
+        if backend == "auto" and resolved != "resilient":
+            resolved = "serial"
+        else:
+            raise SolverInputError(
+                f"{spec.name}: callable rates= laws cannot ride the "
+                f"{resolved!r} backend — encode them as Scenario.rate_tables "
+                f"or use backend='serial'"
+            )
     store = resolve_cache(cache)
     key = None
     if store is not None:

@@ -48,7 +48,13 @@ __all__ = [
 ]
 
 #: Capability columns in display order (matches the DESIGN.md matrix).
-CAPABILITY_FLAGS = ("multiserver", "varying_demands", "multiclass", "exact")
+CAPABILITY_FLAGS = (
+    "multiserver",
+    "varying_demands",
+    "multiclass",
+    "load_dependent",
+    "exact",
+)
 
 
 class DuplicateSolverError(ValueError):
@@ -79,6 +85,12 @@ class SolverSpec:
     multiclass:
         Consumes the scenario's :class:`~repro.solvers.scenario.WorkloadClass`
         structure.
+    load_dependent:
+        Consumes tabulated service-rate laws (``Scenario.rate_tables``)
+        — the flow-equivalent stations hierarchical composition
+        produces.  Solvers without this flag only read
+        ``fixed_demands`` and would silently mis-model a rate-table
+        station, so the facade rejects the pairing.
     exact:
         Exact for the (single-class, product-form) model it solves.
     batched_kernel:
@@ -101,6 +113,7 @@ class SolverSpec:
     multiserver: bool = False
     varying_demands: bool = False
     multiclass: bool = False
+    load_dependent: bool = False
     exact: bool = False
     batched_kernel: str | None = None
     cost: int = 50
@@ -135,6 +148,7 @@ def register_solver(
     multiserver: bool = False,
     varying_demands: bool = False,
     multiclass: bool = False,
+    load_dependent: bool = False,
     exact: bool = False,
     batched_kernel: str | None = None,
     cost: int = 50,
@@ -161,6 +175,7 @@ def register_solver(
             multiserver=multiserver,
             varying_demands=varying_demands,
             multiclass=multiclass,
+            load_dependent=load_dependent,
             exact=exact,
             batched_kernel=batched_kernel,
             cost=cost,

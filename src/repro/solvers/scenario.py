@@ -21,6 +21,15 @@ explicitly (otherwise the network's own station demands apply):
 * ``classes`` — a multi-class workload mix (:class:`WorkloadClass`),
   which replaces the single-class demand description entirely.
 
+Orthogonally to the demand source, ``rate_tables`` attaches tabulated
+load-dependent service-rate laws ``station name -> [mu(1), ..., mu(N)]``
+to individual queueing stations — the canonical representation of a
+flow-equivalent service center (:mod:`repro.solvers.fes`).  Stations
+with a rate table are served by the exact load-dependent MVA recursion;
+the tables are part of the fingerprint, so composed scenarios ride the
+result cache, the persistent tier and the trajectory store like any
+other scenario.
+
 Scenarios are **content-addressed**: :meth:`Scenario.fingerprint` hashes
 the canonical serialization of everything a solver can observe —
 topology, server counts, the resolved demand matrix (with float
@@ -223,6 +232,12 @@ class Scenario:
     classes:
         Optional multi-class structure; when given, the single-class
         demand fields must be absent.
+    rate_tables:
+        Optional tabulated service-rate laws ``station name ->
+        [mu(1), ..., mu(N)]`` for individual queueing stations (the
+        flow-equivalent representation).  Orthogonal to the demand
+        source, but only combines with *constant* demands — varying
+        demands and multi-class mixes are rejected.
     """
 
     network: ClosedNetwork
@@ -233,6 +248,7 @@ class Scenario:
     demand_level: float = 1.0
     think_time: float | None = None
     classes: tuple[WorkloadClass, ...] | None = None
+    rate_tables: Mapping[str, Sequence[float]] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -291,6 +307,45 @@ class Scenario:
             if sum(c.population for c in classes) < 1:
                 raise SolverInputError("scenario: total class population must be >= 1")
             object.__setattr__(self, "classes", classes)
+        if self.rate_tables is not None:
+            object.__setattr__(self, "rate_tables", self._validated_rate_tables())
+
+    def _validated_rate_tables(self) -> Mapping[str, tuple[float, ...]] | None:
+        """Canonicalize ``rate_tables`` into an immutable, validated form."""
+        if self.is_multiclass:
+            raise SolverInputError(
+                "scenario: rate_tables do not combine with multi-class workloads"
+            )
+        if self.has_varying_demands:
+            raise SolverInputError(
+                "scenario: rate_tables require constant demands — freeze varying "
+                "demands (fixed_demands) before attaching flow-equivalent stations"
+            )
+        tables: dict[str, tuple[float, ...]] = {}
+        kinds = {st.name: st.kind for st in self.network.stations}
+        for name, values in self.rate_tables.items():
+            kind = kinds.get(name)
+            if kind is None:
+                raise SolverInputError(
+                    f"scenario: rate table names unknown station {name!r}"
+                )
+            if kind != "queue":
+                raise SolverInputError(
+                    f"scenario: rate table for {name!r} targets a {kind} station; "
+                    f"only queueing stations are load-dependent"
+                )
+            arr = np.asarray(values, dtype=float)
+            if arr.ndim != 1 or arr.shape[0] != self.max_population:
+                raise SolverInputError(
+                    f"scenario: rate table for {name!r} must cover populations "
+                    f"1..{self.max_population}, got shape {arr.shape}"
+                )
+            if np.any(np.isnan(arr)) or np.any(arr <= 0):
+                raise SolverInputError(
+                    f"scenario: rate table for {name!r} must be positive"
+                )
+            tables[name] = tuple(float(v) for v in arr)
+        return tables or None
 
     # -- structure ----------------------------------------------------------
 
@@ -317,6 +372,11 @@ class Scenario:
         if self.demand_functions is not None or self.demand_matrix is not None:
             return True
         return self.network.has_varying_demands
+
+    @property
+    def has_rate_tables(self) -> bool:
+        """Any station carrying a tabulated load-dependent rate law?"""
+        return bool(self.rate_tables)
 
     @property
     def think(self) -> float:
@@ -423,6 +483,27 @@ class Scenario:
             precompute_demand_matrix(self.demand_fns(solver), self.max_population)
         )
 
+    def ld_rate_matrix(self, solver: str = "scenario") -> np.ndarray:
+        """The dense ``(K, N)`` service-rate matrix ``mu_k(j)``.
+
+        Rate-table stations use their tables; other queueing stations
+        fall back to the multi-server law ``min(j, C_k) / D_k``; delay
+        stations (and zero-demand queues) get ``+inf`` rows.  This is
+        the representation the ld-MVA recursion and its batched kernel
+        consume; read-only.
+        """
+        from ..core.ld_mva import build_rate_tables
+
+        return _readonly(
+            build_rate_tables(
+                self.network,
+                self.fixed_demands(solver),
+                self.max_population,
+                rate_tables=self.rate_tables,
+                solver=solver,
+            )
+        )
+
     def multiclass_demand_matrix(self, solver: str = "scenario") -> np.ndarray:
         """The ``(K, C)`` class-demand matrix frozen at ``demand_level``.
 
@@ -497,6 +578,12 @@ class Scenario:
             h.update(b"single-class\x00")
             _hash_floats(h, self.resolved_demand_matrix("fingerprint"))
             _hash_floats(h, self.fixed_demands("fingerprint"))
+            if self.rate_tables:
+                h.update(b"rate-tables\x00")
+                for name in sorted(self.rate_tables):
+                    h.update(name.encode("utf-8"))
+                    h.update(b"\x00")
+                    _hash_floats(h, self.rate_tables[name])
         digest = h.hexdigest()
         object.__setattr__(self, "_fingerprint", digest)
         return digest
@@ -514,6 +601,10 @@ class Scenario:
         ``demand_scale`` multiplies the whole demand model (the
         resolved matrix for varying scenarios, the fixed vector
         otherwise) — the common what-if axis of the sweep grids.
+        Rate tables scale by ``1 / demand_scale`` (service *rates* are
+        inverse demands, so the whole model slows down together) and
+        truncate with ``max_population``; like demand matrices, they
+        cannot extend beyond their sampled range.
 
         Multi-class scenarios support ``demand_scale`` (every class's
         demands scale together) and ``max_population``; a ``think_time``
@@ -573,6 +664,7 @@ class Scenario:
                 demands=self.demands,
                 demand_level=self.demand_level,
                 think_time=think,
+                rate_tables=self._derived_rate_tables(n, 1.0),
             )
         scale = float(demand_scale)
         if scale < 0:
@@ -596,4 +688,25 @@ class Scenario:
             demands=tuple(scale * v for v in self.fixed_demands()),
             demand_level=self.demand_level,
             think_time=think,
+            rate_tables=self._derived_rate_tables(n, scale),
         )
+
+    def _derived_rate_tables(
+        self, max_population: int, scale: float
+    ) -> Mapping[str, tuple[float, ...]] | None:
+        """Rate tables for a derived scenario: truncated and rate-scaled."""
+        if not self.rate_tables:
+            return None
+        if max_population > self.max_population:
+            raise SolverInputError(
+                "scenario: cannot extend a rate table beyond its sampled range"
+            )
+        if scale <= 0:
+            raise SolverInputError(
+                f"scenario: demand_scale must be positive for rate-table "
+                f"scenarios, got {scale}"
+            )
+        return {
+            name: tuple(v / scale for v in table[:max_population])
+            for name, table in self.rate_tables.items()
+        }

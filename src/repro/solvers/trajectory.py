@@ -28,8 +28,10 @@ far.  A query is then served one of two ways:
 Fingerprint verification makes bucket collisions harmless: two demand
 curves that coincide at one customer but diverge later share a family
 yet can never serve each other.  Only the level-separable solvers are
-eligible (exact MVA, Schweitzer AMVA, and MVASD on the population axis);
-everything else falls through to a plain cache miss.  The store follows
+eligible (exact MVA, Schweitzer AMVA, MVASD on the population axis, and
+load-dependent MVA — a flow-equivalent rate table *is* a trajectory, so
+growing ``N`` on a composed scenario extends the table instead of
+recomputing it); everything else falls through to a plain cache miss.  The store follows
 the same non-fatal contract as the other cache tiers: any internal
 failure counts an error and degrades to "no answer".
 """
@@ -45,7 +47,7 @@ from ..core.results import MVAResult
 __all__ = ["TrajectoryStore", "resumable_method"]
 
 #: Methods whose recursion is level-separable and therefore resumable.
-_RESUMABLE = {"exact-mva", "schweitzer-amva", "mvasd"}
+_RESUMABLE = {"exact-mva", "schweitzer-amva", "mvasd", "ld-mva"}
 
 DEFAULT_MAX_FAMILIES = 64
 
@@ -230,11 +232,21 @@ class TrajectoryStore:
         Mirrors the builtin solver adapters, adding ``resume_from=``.
         """
         from ..core.amva import schweitzer_amva
+        from ..core.ld_mva import exact_load_dependent_mva
         from ..core.mva import exact_mva
         from ..core.mvasd import mvasd
 
         net = scenario.resolved_network()
         n = scenario.max_population
+        if method == "ld-mva":
+            return exact_load_dependent_mva(
+                net,
+                n,
+                demands=scenario.fixed_demands("ld-mva"),
+                rates=options.get("rates"),
+                rate_tables=scenario.rate_tables,
+                resume_from=prev,
+            )
         if method == "exact-mva":
             return exact_mva(
                 net, n, demands=scenario.fixed_demands("exact-mva"), resume_from=prev

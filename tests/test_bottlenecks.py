@@ -124,8 +124,8 @@ class TestSolvedRanking:
     def test_explicit_method_recorded(self, net):
         from repro.analysis.bottlenecks import solved_bottleneck_ranking
 
-        r = solved_bottleneck_ranking(net, 30, method="schweitzer-amva")
-        assert r.solver == "schweitzer-amva"
+        r = solved_bottleneck_ranking(net, 30, method="approx-multiserver-mva")
+        assert r.solver == "approx-multiserver-mva"
 
     def test_table_renders(self, net):
         from repro.analysis.bottlenecks import solved_bottleneck_ranking

@@ -83,6 +83,41 @@ class TestSolve:
             )
 
 
+class TestCompose:
+    ARGS = [
+        "compose",
+        "--demands", "0.012,0.02,0.03,0.025",
+        "--servers", "2,4,1,1",
+        "--think", "1",
+        "--population", "40",
+        "--aggregate", "2,3:disks",
+        "--aggregate", "1,disks:server",
+    ]
+
+    def test_chained_aggregation_passes_flat_check(self, capsys):
+        assert main(self.ARGS + ["--flat-check"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregated station-2+station-3 -> disks" in out
+        assert "aggregated station-1+disks -> server" in out
+        assert "composed stations: station-0, server" in out
+        assert "flat-check: max |X_composed - X_flat|" in out
+
+    def test_flat_check_gate_enforces_tolerance(self, capsys):
+        with pytest.raises(SystemExit, match="diverged from the flat solve"):
+            main(self.ARGS + ["--flat-check", "--flat-tolerance", "0"])
+
+    def test_unknown_station_in_aggregate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compose",
+                    "--demands", "0.05,0.08",
+                    "--population", "10",
+                    "--aggregate", "station-0,ghost",
+                ]
+            )
+
+
 class TestSolversListing:
     def test_lists_capability_matrix(self, capsys):
         assert main(["solvers"]) == 0

@@ -1,0 +1,315 @@
+"""Hierarchical composition: flow-equivalent aggregation (repro.solvers.fes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClosedNetwork, Station
+from repro.core.ld_mva import exact_load_dependent_mva, multiserver_rates
+from repro.solvers import (
+    FESStation,
+    Scenario,
+    SolverCache,
+    SolverCapabilityError,
+    SolverInputError,
+    aggregate,
+    auto_method,
+    compose,
+    solve,
+)
+
+
+@pytest.fixture
+def tiered_net() -> ClosedNetwork:
+    """Gateway -> server (cpu + two disks) -> db, closed by think time."""
+    return ClosedNetwork(
+        [
+            Station("gw.cpu", 0.012, servers=2),
+            Station("srv.cpu", 0.03, servers=4),
+            Station("srv.disk1", 0.02),
+            Station("srv.disk2", 0.025),
+            Station("db.cpu", 0.018, servers=2),
+            Station("db.disk", 0.035),
+            Station("lan", 0.006, kind="delay"),
+        ],
+        think_time=1.0,
+    )
+
+
+class TestAggregate:
+    def test_single_server_station_rate_table_is_its_rate_law(self):
+        # FES of one single-server queue in isolation: X_sub(j) = 1/D.
+        net = ClosedNetwork([Station("a", 0.05), Station("b", 0.08)], think_time=1.0)
+        fes = aggregate(Scenario(net, 10), ["a"], cache=None)
+        np.testing.assert_allclose(fes.rates, np.full(10, 20.0), rtol=1e-12)
+
+    def test_members_normalized_to_network_order(self, tiered_net):
+        sc = Scenario(tiered_net, 20)
+        fes = aggregate(sc, ["srv.disk2", "srv.disk1"], cache=None)
+        assert fes.members == ("srv.disk1", "srv.disk2")
+
+    def test_default_name_and_provenance(self, tiered_net):
+        sc = Scenario(tiered_net, 15)
+        fes = aggregate(sc, ["srv.disk1", "srv.disk2"], cache=None)
+        assert fes.name == "fes:srv.disk1+srv.disk2"
+        assert fes.max_population == 15
+        assert fes.solver  # concrete solver name, not "auto"
+        assert len(fes.source_fingerprint) == 64
+
+    def test_deeper_sampling(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        fes = aggregate(sc, ["srv.disk1"], max_population=25, cache=None)
+        assert fes.max_population == 25
+
+    def test_rejects_unknown_station(self, tiered_net):
+        with pytest.raises(SolverInputError, match="unknown station"):
+            aggregate(Scenario(tiered_net, 10), ["nope"], cache=None)
+
+    def test_rejects_empty_and_duplicates(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        with pytest.raises(SolverInputError, match="at least one"):
+            aggregate(sc, [], cache=None)
+        with pytest.raises(SolverInputError, match="duplicate"):
+            aggregate(sc, ["lan", "lan"], cache=None)
+
+    def test_rejects_zero_demand_subsystem(self):
+        net = ClosedNetwork([Station("idle", 0.0), Station("b", 0.1)], think_time=1.0)
+        with pytest.raises(SolverInputError, match="zero total demand"):
+            aggregate(Scenario(net, 5), ["idle"], cache=None)
+
+    def test_rejects_varying_and_multiclass(self, varying_net):
+        with pytest.raises(SolverInputError, match="varying-demand"):
+            aggregate(Scenario(varying_net, 10), ["cpu"], cache=None)
+        from repro.solvers import WorkloadClass
+
+        net = ClosedNetwork([Station("a", 0.05)], think_time=1.0)
+        multi = Scenario(
+            net,
+            10,
+            classes=(WorkloadClass("c1", 5, {"a": 0.05}, think_time=1.0),),
+        )
+        with pytest.raises(SolverInputError, match="multi-class"):
+            aggregate(multi, ["a"], cache=None)
+
+
+class TestAggregateParity:
+    """Satellite: FES of a single C-server station vs its known rate laws."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        demand=st.floats(min_value=0.01, max_value=0.5),
+        servers=st.integers(min_value=1, max_value=8),
+        population=st.integers(min_value=1, max_value=30),
+    )
+    def test_c_server_fes_equals_multiserver_rate_law(
+        self, demand, servers, population
+    ):
+        # In isolation every customer queues at the single station, so
+        # X_sub(j) = min(j, C)/D exactly — the multiserver_rates law.
+        net = ClosedNetwork(
+            [Station("cpu", demand, servers=servers), Station("disk", 0.01)],
+            think_time=1.0,
+        )
+        fes = aggregate(Scenario(net, population), ["cpu"], cache=None)
+        law = multiserver_rates(demand, servers)
+        expected = [law(j) for j in range(1, population + 1)]
+        np.testing.assert_allclose(fes.rates, expected, rtol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        demand=st.floats(min_value=0.05, max_value=0.4),
+        servers=st.integers(min_value=2, max_value=6),
+        think=st.floats(min_value=0.5, max_value=3.0),
+    )
+    def test_composed_matches_ld_mva_and_algorithm2(self, demand, servers, think):
+        net = ClosedNetwork(
+            [Station("cpu", demand, servers=servers), Station("disk", 0.03)],
+            think_time=think,
+        )
+        n = 40
+        sc = Scenario(net, n)
+        composed = compose(sc, [aggregate(sc, ["cpu"], cache=None)])
+        got = solve(composed, cache=None)
+
+        # exact reference: the ld-MVA recursion on the flat model
+        exact = exact_load_dependent_mva(net, n)
+        np.testing.assert_allclose(got.throughput, exact.throughput, atol=1e-10)
+
+        # Algorithm 2's correction-factor AMVA (Seidmann + Schweitzer)
+        # errs by up to ~10% around the knee; the composed exact result
+        # must stay inside that approximation band.
+        approx = solve(sc, method="approx-multiserver-mva", cache=None)
+        rel = np.abs(got.throughput - approx.throughput) / approx.throughput
+        assert rel.max() < 0.12
+
+    def test_chained_two_level_aggregation(self, tiered_net):
+        # FES of a subsystem that already contains an FES (rate tables
+        # flow into the subsystem solve, which rides ld-MVA).
+        sc = Scenario(tiered_net, 30)
+        disks = aggregate(sc, ["srv.disk1", "srv.disk2"], name="disks", cache=None)
+        lvl1 = compose(sc, [disks])
+        srv = aggregate(lvl1, ["srv.cpu", "disks"], name="srv", cache=None)
+        assert srv.solver == "exact-load-dependent-mva"
+        lvl2 = compose(lvl1, [srv])
+        flat = solve(sc, method="ld-mva", cache=None)
+        got = solve(lvl2, cache=None)
+        np.testing.assert_allclose(got.throughput, flat.throughput, atol=1e-8)
+
+
+class TestCompose:
+    def test_three_level_hierarchy_matches_flat(self, tiered_net):
+        """The acceptance gate: disk -> server -> gateway composition <= 1e-8."""
+        n = 60
+        sc = Scenario(tiered_net, n)
+        flat = solve(sc, method="ld-mva", cache=None)
+
+        disks = aggregate(sc, ["srv.disk1", "srv.disk2"], name="srv.disks", cache=None)
+        lvl1 = compose(sc, [disks])
+        srv = aggregate(lvl1, ["srv.cpu", "srv.disks"], name="srv", cache=None)
+        lvl2 = compose(lvl1, [srv])
+        db = aggregate(lvl2, ["db.cpu", "db.disk"], name="db", cache=None)
+        lvl3 = compose(lvl2, [db])
+
+        assert lvl3.station_names == ("gw.cpu", "srv", "db", "lan")
+        for scenario in (lvl1, lvl2, lvl3):
+            result = solve(scenario, cache=None)
+            np.testing.assert_allclose(
+                result.throughput, flat.throughput, atol=1e-8, rtol=0
+            )
+            np.testing.assert_allclose(
+                result.response_time, flat.response_time, atol=1e-8, rtol=0
+            )
+
+    def test_composed_scenario_routes_to_ld_mva(self, tiered_net):
+        sc = Scenario(tiered_net, 20)
+        reduced = compose(sc, [aggregate(sc, ["srv.disk1"], cache=None)])
+        assert reduced.has_rate_tables
+        assert auto_method(reduced) == "ld-mva"
+
+    def test_fes_station_replaces_members_in_place(self, tiered_net):
+        sc = Scenario(tiered_net, 20)
+        fes = aggregate(sc, ["srv.cpu", "db.cpu"], name="cpus", cache=None)
+        reduced = compose(sc, [fes])
+        # inserted at the first member's slot; other member dropped
+        assert reduced.station_names == (
+            "gw.cpu", "cpus", "srv.disk1", "srv.disk2", "db.disk", "lan",
+        )
+
+    def test_deeper_tables_truncate(self, tiered_net):
+        deep = aggregate(
+            Scenario(tiered_net, 10), ["srv.disk1"], max_population=40, cache=None
+        )
+        reduced = compose(Scenario(tiered_net, 25), [deep])
+        assert len(reduced.rate_tables[deep.name]) == 25
+
+    def test_shallow_tables_rejected(self, tiered_net):
+        shallow = aggregate(Scenario(tiered_net, 10), ["srv.disk1"], cache=None)
+        with pytest.raises(SolverInputError, match="re-aggregate"):
+            compose(Scenario(tiered_net, 50), [shallow])
+
+    def test_overlapping_members_rejected(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        a = aggregate(sc, ["srv.cpu", "srv.disk1"], name="a", cache=None)
+        b = aggregate(sc, ["srv.disk1", "srv.disk2"], name="b", cache=None)
+        with pytest.raises(SolverInputError, match="claimed by both"):
+            compose(sc, [a, b])
+
+    def test_name_collision_rejected(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        fes = aggregate(sc, ["srv.disk1"], name="db.disk", cache=None)
+        with pytest.raises(SolverInputError, match="collide"):
+            compose(sc, [fes])
+
+    def test_empty_aggregates_rejected(self, tiered_net):
+        with pytest.raises(SolverInputError, match="at least one"):
+            compose(Scenario(tiered_net, 10), [])
+
+    def test_single_fes_accepted_bare(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        fes = aggregate(sc, ["srv.disk1"], cache=None)
+        assert isinstance(compose(sc, fes), Scenario)
+
+    def test_fingerprint_distinguishes_tables(self, tiered_net):
+        sc = Scenario(tiered_net, 12)
+        r1 = compose(sc, [aggregate(sc, ["srv.disk1"], cache=None)])
+        r2 = compose(sc, [aggregate(sc, ["srv.disk2"], cache=None)])
+        assert r1.fingerprint() != r2.fingerprint()
+
+
+class TestCapabilityRouting:
+    def test_fixed_demand_solver_rejects_rate_tables_with_hint(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        reduced = compose(sc, [aggregate(sc, ["srv.disk1"], cache=None)])
+        with pytest.raises(SolverCapabilityError, match="'ld-mva'"):
+            solve(reduced, method="exact-mva", cache=None)
+
+    def test_fes_station_round_trips_as_station(self, tiered_net):
+        sc = Scenario(tiered_net, 10)
+        fes = aggregate(sc, ["srv.disk1", "srv.disk2"], cache=None)
+        st_ = fes.as_station()
+        assert st_.kind == "queue" and st_.servers == 1
+        assert st_.demand == pytest.approx(1.0 / fes.rates[0])
+
+
+class TestCacheIntegration:
+    def test_reaggregation_hits_memory_tier(self, tiered_net):
+        cache = SolverCache()
+        sc = Scenario(tiered_net, 25)
+        f1 = aggregate(sc, ["srv.disk1", "srv.disk2"], cache=cache)
+        before = cache.stats().hits
+        f2 = aggregate(sc, ["srv.disk1", "srv.disk2"], cache=cache)
+        assert f1 == f2
+        assert cache.stats().hits == before + 1
+
+    def test_restart_hits_persistent_tier(self, tiered_net, tmp_path):
+        from repro.solvers import PersistentCache
+
+        path = str(tmp_path / "fes.sqlite")
+        sc = Scenario(tiered_net, 20)
+        f1 = aggregate(
+            sc, ["srv.disk1", "srv.disk2"], cache=SolverCache(persistent=path)
+        )
+        fresh = SolverCache(persistent=PersistentCache(path))
+        f2 = aggregate(sc, ["srv.disk1", "srv.disk2"], cache=fresh)
+        assert f1 == f2
+        stats = fresh.stats()
+        assert stats.persistent_hits >= 1
+        assert stats.persistent.hits >= 1
+
+    def test_growing_population_extends_trajectory(self, tiered_net):
+        # an ld-mva-backed aggregation is a trajectory: deeper sampling
+        # resumes from the stored marginals, bit-identical on the prefix
+        cache = SolverCache()
+        sc = Scenario(tiered_net, 30)
+        shallow = aggregate(sc, ["srv.disk1", "srv.disk2"], method="ld-mva", cache=cache)
+        deep = aggregate(
+            sc,
+            ["srv.disk1", "srv.disk2"],
+            method="ld-mva",
+            max_population=60,
+            cache=cache,
+        )
+        assert cache.stats().trajectory_extends >= 1
+        assert deep.rates[:30] == shallow.rates
+
+    def test_composed_solve_extends_trajectory(self, tiered_net):
+        cache = SolverCache()
+        deep = aggregate(
+            Scenario(tiered_net, 80), ["srv.disk1", "srv.disk2"], cache=cache
+        )
+        r40 = solve(compose(Scenario(tiered_net, 40), [deep]), cache=cache)
+        before = cache.stats().trajectory_extends
+        r80 = solve(compose(Scenario(tiered_net, 80), [deep]), cache=cache)
+        assert cache.stats().trajectory_extends == before + 1
+        np.testing.assert_array_equal(r80.throughput[:40], r40.throughput)
+
+
+class TestFESStationDataclass:
+    def test_is_frozen_and_hashable(self):
+        fes = FESStation("f", ("a",), (1.0, 2.0), "exact-mva", "ab" * 32)
+        with pytest.raises(AttributeError):
+            fes.name = "other"
+        assert hash(fes) == hash(
+            FESStation("f", ("a",), (1.0, 2.0), "exact-mva", "ab" * 32)
+        )

@@ -10,6 +10,7 @@ from repro.core import (
     exact_mva,
     multiserver_rates,
 )
+from repro.core.ld_mva import _reference_exact_ld_mva, build_rate_tables
 
 
 class TestMultiserverRates:
@@ -73,3 +74,231 @@ class TestExactLoadDependent:
         ld = exact_load_dependent_mva(multiserver_net, 120)
         conv = convolution_mva(multiserver_net, 120)
         np.testing.assert_allclose(ld.throughput, conv.throughput, rtol=1e-8)
+
+
+class TestVectorizedParity:
+    """The vectorized recursion against the scalar reference, <= 1e-12."""
+
+    def _assert_parity(self, net, n, **kwargs):
+        vec = exact_load_dependent_mva(net, n, **kwargs)
+        ref = _reference_exact_ld_mva(net, n, **kwargs)
+        np.testing.assert_allclose(vec.throughput, ref.throughput, rtol=1e-12, atol=0)
+        np.testing.assert_allclose(
+            vec.response_time, ref.response_time, rtol=1e-12, atol=0
+        )
+        np.testing.assert_allclose(
+            vec.queue_lengths, ref.queue_lengths, rtol=1e-12, atol=1e-15
+        )
+        for name in vec.marginal_probabilities:
+            np.testing.assert_allclose(
+                vec.marginal_probabilities[name],
+                ref.marginal_probabilities[name],
+                rtol=1e-12,
+                atol=1e-15,
+            )
+
+    def test_multiserver(self, multiserver_net):
+        self._assert_parity(multiserver_net, 90)
+
+    def test_manycore(self, manycore_net):
+        self._assert_parity(manycore_net, 120)
+
+    def test_delay_and_zero_demand(self):
+        net = ClosedNetwork(
+            [
+                Station("cpu", 0.08, servers=2),
+                Station("idle", 0.0),
+                Station("lag", 1.2, kind="delay"),
+            ],
+            think_time=0.5,
+        )
+        self._assert_parity(net, 60)
+
+    def test_custom_rate_tables(self, two_station_net):
+        tables = {"cpu": [20.0 + 0.5 * j for j in range(40)]}
+        self._assert_parity(two_station_net, 40, rate_tables=tables)
+
+
+class TestBuildRateTables:
+    def test_multiserver_default_law(self, multiserver_net):
+        mu = build_rate_tables(
+            multiserver_net, multiserver_net.demands_at(1.0), 8
+        )
+        expected = np.minimum(np.arange(1, 9), 4) / 0.4
+        np.testing.assert_allclose(mu[0], expected)
+        np.testing.assert_allclose(mu[1], np.full(8, 1 / 0.05))
+
+    def test_delay_and_zero_demand_rows_are_inf(self):
+        net = ClosedNetwork(
+            [Station("idle", 0.0), Station("lag", 2.0, kind="delay")]
+        )
+        mu = build_rate_tables(net, np.array([0.0, 2.0]), 5)
+        assert np.all(np.isinf(mu))
+
+    def test_rates_win_over_tables(self):
+        net = ClosedNetwork([Station("disk", 0.1)], think_time=1.0)
+        mu = build_rate_tables(
+            net,
+            np.array([0.1]),
+            3,
+            rates={"disk": lambda j: 7.0},
+            rate_tables={"disk": [1.0, 2.0, 3.0]},
+        )
+        np.testing.assert_allclose(mu[0], [7.0, 7.0, 7.0])
+
+    def test_short_table_rejected(self):
+        net = ClosedNetwork([Station("disk", 0.1)], think_time=1.0)
+        with pytest.raises(ValueError, match="covers 2 populations, need 3"):
+            build_rate_tables(net, np.array([0.1]), 3, rate_tables={"disk": [1.0, 2.0]})
+
+    def test_long_table_truncates(self):
+        net = ClosedNetwork([Station("disk", 0.1)], think_time=1.0)
+        mu = build_rate_tables(
+            net, np.array([0.1]), 2, rate_tables={"disk": [5.0, 6.0, 7.0, 8.0]}
+        )
+        np.testing.assert_allclose(mu[0], [5.0, 6.0])
+
+    def test_nonpositive_table_rejected(self):
+        net = ClosedNetwork([Station("disk", 0.1)], think_time=1.0)
+        with pytest.raises(ValueError, match="positive"):
+            build_rate_tables(
+                net, np.array([0.1]), 2, rate_tables={"disk": [5.0, -1.0]}
+            )
+
+    def test_rate_tables_equal_rate_callables(self, multiserver_net):
+        table = [min(j, 4) / 0.4 for j in range(1, 51)]
+        via_table = exact_load_dependent_mva(
+            multiserver_net, 50, rate_tables={"cpu": table}
+        )
+        via_fn = exact_load_dependent_mva(
+            multiserver_net, 50, rates={"cpu": multiserver_rates(0.4, 4)}
+        )
+        np.testing.assert_array_equal(via_table.throughput, via_fn.throughput)
+
+
+class TestResume:
+    def test_resume_is_bit_identical(self, multiserver_net):
+        full = exact_load_dependent_mva(multiserver_net, 80)
+        half = exact_load_dependent_mva(multiserver_net, 40)
+        resumed = exact_load_dependent_mva(multiserver_net, 80, resume_from=half)
+        np.testing.assert_array_equal(resumed.throughput, full.throughput)
+        np.testing.assert_array_equal(resumed.queue_lengths, full.queue_lengths)
+        np.testing.assert_array_equal(
+            resumed.marginal_probabilities["cpu"],
+            full.marginal_probabilities["cpu"],
+        )
+
+    def test_resume_with_rate_tables(self, two_station_net):
+        table = [15.0 + 0.25 * j for j in range(60)]
+        kwargs = {"rate_tables": {"cpu": table}}
+        full = exact_load_dependent_mva(two_station_net, 60, **kwargs)
+        half = exact_load_dependent_mva(two_station_net, 25, **kwargs)
+        resumed = exact_load_dependent_mva(
+            two_station_net, 60, resume_from=half, **kwargs
+        )
+        np.testing.assert_array_equal(resumed.throughput, full.throughput)
+
+    def test_resume_rejects_changed_demands(self, multiserver_net):
+        half = exact_load_dependent_mva(multiserver_net, 20)
+        with pytest.raises(ValueError, match="demands differ"):
+            exact_load_dependent_mva(
+                multiserver_net, 40, demands=[0.39, 0.05], resume_from=half
+            )
+
+    def test_resume_rejects_changed_rates(self, multiserver_net):
+        half = exact_load_dependent_mva(multiserver_net, 20)
+        with pytest.raises(ValueError, match="service rates differ"):
+            exact_load_dependent_mva(
+                multiserver_net,
+                40,
+                rates={"cpu": lambda j: 30.0},
+                resume_from=half,
+            )
+
+    def test_resume_rejects_foreign_solver(self, two_station_net):
+        prev = exact_mva(two_station_net, 20)
+        with pytest.raises(ValueError):
+            exact_load_dependent_mva(two_station_net, 40, resume_from=prev)
+
+
+class TestBatchedKernel:
+    def _pack(self, scenario):
+        return np.concatenate(
+            [scenario.fixed_demands()[:, None], scenario.ld_rate_matrix()], axis=1
+        )
+
+    def test_batched_matches_scalar_bitwise(self, multiserver_net):
+        from repro.engine import batched_ld_mva
+        from repro.solvers import Scenario
+
+        scenarios = [
+            Scenario(multiserver_net, 60),
+            Scenario(multiserver_net, 60).with_overrides(demand_scale=0.8),
+            Scenario(
+                multiserver_net,
+                60,
+                rate_tables={"cpu": [min(j, 4) / 0.38 for j in range(1, 61)]},
+            ),
+        ]
+        stack = np.stack([self._pack(sc) for sc in scenarios])
+        batch = batched_ld_mva(multiserver_net, 60, stack, think_times=[1.0, 1.0, 1.0])
+        for i, sc in enumerate(scenarios):
+            scalar = exact_load_dependent_mva(
+                multiserver_net,
+                60,
+                demands=sc.fixed_demands(),
+                rate_tables=sc.rate_tables,
+            )
+            np.testing.assert_array_equal(batch.throughput[i], scalar.throughput)
+            np.testing.assert_array_equal(batch.queue_lengths[i], scalar.queue_lengths)
+
+    def test_mask_isolates_bad_rows(self, multiserver_net):
+        from repro.engine import batched_ld_mva
+        from repro.solvers import Scenario
+
+        sc = Scenario(multiserver_net, 30)
+        good = self._pack(sc)
+        bad = np.full_like(good, np.nan)
+        batch = batched_ld_mva(
+            multiserver_net,
+            30,
+            np.stack([good, bad]),
+            think_times=[1.0, 1.0],
+            mask=np.array([True, False]),
+        )
+        scalar = exact_load_dependent_mva(multiserver_net, 30)
+        np.testing.assert_array_equal(batch.throughput[0], scalar.throughput)
+        assert np.all(np.isnan(batch.throughput[1]))
+
+    def test_nonpositive_rates_name_scenario_indices(self, multiserver_net):
+        from repro.engine import batched_ld_mva
+        from repro.solvers import Scenario
+
+        good = self._pack(Scenario(multiserver_net, 10))
+        bad = good.copy()
+        bad[0, 3] = -1.0
+        with pytest.raises(ValueError, match=r"indices \[1\]"):
+            batched_ld_mva(multiserver_net, 10, np.stack([good, bad]))
+
+    def test_solve_stack_batched_backend(self, multiserver_net):
+        from repro.solvers import Scenario, solve, solve_stack
+
+        base = Scenario(multiserver_net, 50)
+        scenarios = [base.with_overrides(demand_scale=s) for s in (0.75, 1.0, 1.25)]
+        batch = solve_stack(scenarios, method="ld-mva", backend="batched", cache=None)
+        assert batch.backend == "batched"
+        for i, sc in enumerate(scenarios):
+            single = solve(sc, method="ld-mva", cache=None)
+            np.testing.assert_array_equal(batch.throughput[i], single.throughput)
+
+    def test_callable_rates_demote_auto_backend_to_serial(self, multiserver_net):
+        from repro.solvers import Scenario, SolverInputError, solve_stack
+
+        scenarios = [Scenario(multiserver_net, 20)] * 2
+        rates = {"cpu": multiserver_rates(0.4, 4)}
+        result = solve_stack(scenarios, method="ld-mva", cache=None, rates=rates)
+        assert result.backend == "serial"
+        with pytest.raises(SolverInputError, match="callable rates"):
+            solve_stack(
+                scenarios, method="ld-mva", backend="batched", cache=None, rates=rates
+            )

@@ -38,7 +38,7 @@ def db_path(tmp_path):
 
 def _net():
     return ClosedNetwork(
-        [Station("cpu", 0.05, servers=2), Station("disk", 0.08)], think_time=1.0
+        [Station("cpu", 0.05), Station("disk", 0.08)], think_time=1.0
     )
 
 
@@ -78,7 +78,7 @@ class TestPersistentKey:
             from repro.core import ClosedNetwork, Station
             from repro.solvers import Scenario, persistent_key
             net = ClosedNetwork(
-                [Station("cpu", 0.05, servers=2), Station("disk", 0.08)],
+                [Station("cpu", 0.05), Station("disk", 0.08)],
                 think_time=1.0,
             )
             sc = Scenario(net, max_population=40)
@@ -196,7 +196,7 @@ class TestTwoTierCache:
             from repro.core import ClosedNetwork, Station
             from repro.solvers import Scenario, SolverCache, solve
             net = ClosedNetwork(
-                [Station("cpu", 0.05, servers=2), Station("disk", 0.08)],
+                [Station("cpu", 0.05), Station("disk", 0.08)],
                 think_time=1.0,
             )
             cache = SolverCache(persistent={db_path!r})

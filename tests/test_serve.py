@@ -27,9 +27,11 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _scenario_payload(cpu=0.05, disk=0.08, n=40):
+    # Single-server stations: the requests below force method="exact-mva",
+    # which the facade now rejects for servers>1 scenarios.
     return {
         "stations": [
-            {"name": "cpu", "demand": cpu, "servers": 2},
+            {"name": "cpu", "demand": cpu},
             {"name": "disk", "demand": disk},
         ],
         "think_time": 1.0,
@@ -92,7 +94,9 @@ def server(tmp_path_factory):
 
 class TestProtocol:
     def test_decode_scenario_round_trip(self):
-        sc = decode_scenario(_scenario_payload())
+        payload = _scenario_payload()
+        payload["stations"][0]["servers"] = 2
+        sc = decode_scenario(payload)
         assert sc.max_population == 40
         net = sc.resolved_network()
         assert [st.name for st in net.stations] == ["cpu", "disk"]
@@ -260,6 +264,76 @@ class TestServe:
         assert result["kind"] == "bottlenecks"
         assert result["stations"][0] == "disk"  # largest demand dominates
         assert result["population"] == 25
+
+    def test_compose_hierarchy_with_flat_check(self, server):
+        payload = {
+            "stations": [
+                {"name": "gw", "demand": 0.012, "servers": 2},
+                {"name": "srv", "demand": 0.02, "servers": 4},
+                {"name": "disk1", "demand": 0.03},
+                {"name": "disk2", "demand": 0.025},
+            ],
+            "think_time": 1.0,
+            "max_population": 40,
+        }
+        groups = [
+            {"stations": ["disk1", "disk2"], "name": "disks"},
+            {"stations": ["srv", "disks"], "name": "server"},
+        ]
+        with ServeClient(port=server["port"]) as client:
+            first = client.request(
+                {
+                    "op": "compose",
+                    "scenario": payload,
+                    "aggregates": groups,
+                    "flat_check": True,
+                }
+            )
+            second = client.request(
+                {
+                    "op": "compose",
+                    "scenario": payload,
+                    "aggregates": groups,
+                    "flat_check": True,
+                }
+            )
+        assert first["ok"] and second["ok"]
+        result = first["result"]
+        assert result["composition"]["stations"] == ["gw", "server"]
+        names = [a["name"] for a in result["composition"]["aggregates"]]
+        assert names == ["disks", "server"]
+        for agg in result["composition"]["aggregates"]:
+            assert agg["max_population"] == 40
+            assert len(agg["source_fingerprint"]) == 64
+        assert result["flat_parity"] <= 1e-8
+        assert len(result["throughput"]) == 40
+        # every subsystem solve of the repeat is a memory hit
+        assert second["provenance"] == "memory"
+        assert second["result"]["throughput"] == result["throughput"]
+
+    def test_compose_rejects_empty_aggregates(self, server):
+        payload = _scenario_payload(n=10)
+        with ServeClient(port=server["port"]) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.call("compose", scenario=payload, aggregates=[])
+        assert "non-empty aggregates list" in excinfo.value.envelope["error"]["error"]
+
+    def test_rate_tables_scenario_over_the_wire(self, server):
+        n = 12
+        payload = {
+            "stations": [
+                {"name": "cpu", "demand": 0.05},
+                {"name": "disk", "demand": 0.08},
+            ],
+            "think_time": 1.0,
+            "max_population": n,
+            "rate_tables": {"cpu": [min(j, 3) / 0.05 for j in range(1, n + 1)]},
+        }
+        with ServeClient(port=server["port"]) as client:
+            result = client.solve(payload)
+        assert result["solver"] == "exact-load-dependent-mva"
+        direct = solve(decode_scenario(payload), cache=None)
+        assert np.array_equal(np.array(result["throughput"]), direct.throughput)
 
     def test_error_envelope_for_bad_scenario(self, server):
         with ServeClient(port=server["port"]) as client:

@@ -230,7 +230,10 @@ class TestFacadeLegacyParity:
                 continue
             module_path, fn_name = spec.legacy.rsplit(".", 1)
             legacy_fn = getattr(importlib.import_module(module_path), fn_name)
-            got = solve(sc, method=spec.name)
+            # Single-server methods need the explicit baseline flag on a
+            # multi-server net; their legacy wrappers silently do the same.
+            opts = {} if spec.multiserver else {"single_server": True}
+            got = solve(sc, method=spec.name, **opts)
             ref = legacy_fn(multiserver_net, 25)
             np.testing.assert_allclose(
                 got.throughput, ref.throughput, atol=1e-10,
@@ -309,6 +312,61 @@ class TestCapabilityEnforcement:
             Scenario(single_server_net, 5, demands=(0.1, 0.2, 0.3))
         with pytest.raises(ValueError, match="exact-mva: expected 2 demands"):
             exact_mva(single_server_net, 5, demands=[0.1])
+
+    def test_multiserver_scenario_rejects_single_server_solver(self, multiserver_net):
+        # a fixed-demand single-server path would silently model the
+        # 4-core CPU as one server — refuse, and name the capable method
+        with pytest.raises(
+            SolverCapabilityError, match="exact-mva: scenario has multi-server"
+        ):
+            solve(Scenario(multiserver_net, 10), method="exact-mva")
+        with pytest.raises(SolverCapabilityError, match="exact-multiserver-mva"):
+            solve(Scenario(multiserver_net, 10), method="schweitzer-amva")
+
+    def test_single_server_escape_hatch(self, multiserver_net):
+        # the deliberate single-server baseline stays one option away
+        result = solve(
+            Scenario(multiserver_net, 10),
+            method="exact-mva",
+            single_server=True,
+            cache=None,
+        )
+        assert result.solver == "exact-mva"
+
+    def test_multiserver_stack_rejected_without_escape_hatch(self, multiserver_net):
+        stack = [Scenario(multiserver_net, 10)] * 2
+        with pytest.raises(SolverCapabilityError, match="multi-server"):
+            solve_stack(stack, method="exact-mva", cache=None)
+        result = solve_stack(stack, method="exact-mva", single_server=True, cache=None)
+        assert result.n_scenarios == 2
+
+    def test_rate_table_scenario_rejects_fixed_demand_solver(self, single_server_net):
+        sc = Scenario(
+            single_server_net, 5, rate_tables={"web": [50.0, 51.0, 52.0, 53.0, 54.0]}
+        )
+        with pytest.raises(
+            SolverCapabilityError, match="nearest load-dependent method: 'ld-mva'"
+        ):
+            solve(sc, method="exact-mva")
+        with pytest.raises(SolverCapabilityError, match="load-dependent rate tables"):
+            solve_stack([sc, sc], method="schweitzer-amva", cache=None)
+
+    def test_rate_table_scenario_auto_routes_to_ld_mva(self, single_server_net):
+        sc = Scenario(
+            single_server_net, 5, rate_tables={"web": [50.0, 51.0, 52.0, 53.0, 54.0]}
+        )
+        assert auto_method(sc) == "ld-mva"
+        result = solve(sc, cache=None)
+        assert result.solver == "exact-load-dependent-mva"
+
+    def test_load_dependent_column_in_matrix(self):
+        matrix = capability_matrix()
+        header = matrix.splitlines()[0]
+        assert "load dependent" in header
+        ld_row = next(
+            line for line in matrix.splitlines() if line.startswith("ld-mva")
+        )
+        assert "yes" in ld_row
 
 
 class TestBatchedBackend:

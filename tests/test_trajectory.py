@@ -181,10 +181,13 @@ class TestFacadeTrajectoryParity:
     @pytest.mark.parametrize("method", ["exact-mva", "schweitzer-amva", "mvasd"])
     def test_served_levels_match_direct_solves(self, varying_net, method):
         cache = SolverCache()
-        deep = solve(Scenario(varying_net, 60), method=method, cache=cache)
+        # varying_net has a 4-server cpu; the single-server methods need
+        # the explicit baseline acknowledgment since the capability gate.
+        opts = {} if method == "mvasd" else {"single_server": True}
+        deep = solve(Scenario(varying_net, 60), method=method, cache=cache, **opts)
         for n in (3, 17, 41, 60):
-            served = solve(Scenario(varying_net, n), method=method, cache=cache)
-            direct = solve(Scenario(varying_net, n), method=method, cache=None)
+            served = solve(Scenario(varying_net, n), method=method, cache=cache, **opts)
+            direct = solve(Scenario(varying_net, n), method=method, cache=None, **opts)
             assert np.max(np.abs(served.throughput - direct.throughput)) <= 1e-10
             assert np.max(np.abs(served.cycle_time - direct.cycle_time)) <= 1e-10
             # and in fact exactly equal
