@@ -1,0 +1,275 @@
+"""PERF-05 — the execution fabric: remote workers vs serial, USL-fitted.
+
+Runs the PERF-01 what-if grid (demand scalings of the JPetStore spline
+demand curves under MVASD) through three execution paths and records
+the results in ``BENCH_perf05.json`` at the repo root:
+
+* **serial** — the in-process per-scenario reference loop.
+* **remote fleet** — real ``repro worker`` subprocesses over TCP at 1,
+  2 and 4 workers; every run must agree with serial to <= 1e-10.  The
+  throughput-vs-workers curve is fitted with Gunther's Universal
+  Scalability Law (:class:`~repro.interpolate.UniversalScalabilityLaw`)
+  so the artifact carries contention/coherency coefficients (sigma,
+  kappa) rather than raw timings alone.
+* **kill-and-resume** — a checkpointed remote sweep whose journal is
+  torn mid-file and one of two workers SIGKILLed; the resumed sweep on
+  the surviving worker must be bit-identical to the uninterrupted run.
+
+A warm leg repeats the sweep against the same fleet and reads each
+worker's ``cache_stats`` before/after to report the fleet-wide cache
+hit rate.
+
+Parity and resume gates hold always; the >= 2x throughput floor vs
+serial (batched kernels on the workers plus fan-out) is asserted only
+in full mode — ``REPRO_BENCH_QUICK=1`` shrinks the grid for the CI
+smoke job, where timing floors on shared runners are noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import RetryPolicy
+from repro.interpolate import UniversalScalabilityLaw
+from repro.serve import ServeClient
+from repro.solvers import Scenario, solve_stack
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_perf05.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+N_SCENARIOS = 16 if QUICK else 64
+MAX_POPULATION = 140 if QUICK else 280
+WORKER_COUNTS = (1, 2) if QUICK else (1, 2, 4)
+ATOL = 1e-10
+
+
+class _Scaled:
+    """Picklable demand-curve scaling (survives process/transport hops)."""
+
+    def __init__(self, fn, factor: float) -> None:
+        self.fn = fn
+        self.factor = factor
+
+    def __call__(self, level):
+        return self.fn(level) * self.factor
+
+
+def _start_worker():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            return proc, int(line.rsplit(":", 1)[1])
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"worker died before binding (rc={proc.returncode})")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("worker never announced its port")
+
+
+def _stop_fleet(fleet):
+    for proc, port in fleet:
+        if proc.poll() is not None:
+            continue
+        try:
+            with ServeClient(port=port, timeout=10.0) as client:
+                client.shutdown()
+        except Exception:
+            proc.terminate()
+        try:
+            proc.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+
+def _max_diff(a, b) -> float:
+    return max(
+        float(np.abs(getattr(a, f) - getattr(b, f)).max())
+        for f in ("throughput", "response_time", "queue_lengths", "utilizations")
+    )
+
+
+def test_perf05_execution_fabric(jps_app, jps_sweep, emit, tmp_path):
+    table = jps_sweep.demand_table(kind="cubic")
+    network = jps_app.network
+    scales = np.linspace(0.7, 1.3, N_SCENARIOS)
+    stack = [
+        Scenario(
+            network,
+            MAX_POPULATION,
+            demand_functions={
+                name: _Scaled(table.models[name], s) for name in network.station_names
+            },
+        )
+        for s in scales
+    ]
+
+    # -- leg 1: serial reference ---------------------------------------------
+    t0 = time.perf_counter()
+    serial = solve_stack(stack, method="mvasd", backend="serial", cache=None)
+    t_serial = time.perf_counter() - t0
+
+    # -- leg 2: worker fleets at 1/2/4 workers --------------------------------
+    fleets: dict[int, dict] = {}
+    diffs = []
+    last_fleet = None
+    warm = None
+    try:
+        for n_workers in WORKER_COUNTS:
+            fleet = [_start_worker() for _ in range(n_workers)]
+            hosts = ",".join(f"127.0.0.1:{port}" for _, port in fleet)
+            t0 = time.perf_counter()
+            remote = solve_stack(stack, method="mvasd", cache=None, hosts=hosts)
+            elapsed = time.perf_counter() - t0
+            diffs.append(_max_diff(remote, serial))
+            fleets[n_workers] = {
+                "seconds": round(elapsed, 4),
+                "scenarios_per_second": round(N_SCENARIOS / elapsed, 2),
+                "speedup_vs_serial": round(t_serial / elapsed, 2),
+            }
+            if n_workers == WORKER_COUNTS[-1]:
+                # -- warm leg: same fleet, same sweep twice ------------------
+                # Shards are pulled off a shared queue, so a repeat sweep may
+                # land a shard on the *other* worker (a cold miss that then
+                # warms that worker too).  Two repeats make the hit count
+                # robust to any assignment shuffle.
+                before = [ServeClient(port=p).cache_stats() for _, p in fleet]
+                solve_stack(stack, method="mvasd", cache=None, hosts=hosts)
+                t0 = time.perf_counter()
+                rewarm = solve_stack(stack, method="mvasd", cache=None, hosts=hosts)
+                t_warm = time.perf_counter() - t0
+                after = [ServeClient(port=p).cache_stats() for _, p in fleet]
+                diffs.append(_max_diff(rewarm, serial))
+                gained = sum(a["hits"] - b["hits"] for a, b in zip(after, before))
+                shards_seen = sum(
+                    (a["hits"] + a["misses"]) - (b["hits"] + b["misses"])
+                    for a, b in zip(after, before)
+                )
+                warm = {
+                    "seconds": round(t_warm, 4),
+                    "cache_hits_gained": gained,
+                    "hit_rate": round(gained / max(1, shards_seen), 3),
+                    "speedup_vs_cold_fleet": round(elapsed / t_warm, 2),
+                }
+                last_fleet = fleet
+            else:
+                _stop_fleet(fleet)
+    finally:
+        if last_fleet is not None:
+            _stop_fleet(last_fleet)
+
+    # -- leg 3: kill-and-resume via the checkpoint journal --------------------
+    fleet = [_start_worker() for _ in range(2)]
+    hosts = ",".join(f"127.0.0.1:{port}" for _, port in fleet)
+    ck_path = str(tmp_path / "perf05.ckpt")
+    try:
+        full = solve_stack(
+            stack, method="mvasd", cache=None, hosts=hosts, checkpoint=ck_path
+        )
+        lines = Path(ck_path).read_text().splitlines()
+        # tear the journal mid-file, as a crash would, and take a worker down
+        kept = max(1, len(lines) // 2)
+        Path(ck_path).write_text("\n".join(lines[:kept]) + "\n")
+        fleet[1][0].send_signal(signal.SIGKILL)
+        fleet[1][0].wait()
+        t0 = time.perf_counter()
+        resumed = solve_stack(
+            stack,
+            method="mvasd",
+            cache=None,
+            hosts=hosts,
+            checkpoint=ck_path,
+            retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+        )
+        t_resume = time.perf_counter() - t0
+        resume_identical = all(
+            np.array_equal(getattr(resumed, f), getattr(full, f))
+            for f in ("throughput", "response_time", "queue_lengths", "utilizations")
+        )
+        diffs.append(_max_diff(full, serial))
+    finally:
+        _stop_fleet(fleet)
+
+    # -- USL fit over the throughput-vs-workers curve --------------------------
+    workers_axis = np.asarray(WORKER_COUNTS, dtype=float)
+    rates = np.asarray(
+        [fleets[w]["scenarios_per_second"] for w in WORKER_COUNTS], dtype=float
+    )
+    usl = UniversalScalabilityLaw.fit(workers_axis, rates)
+
+    max_diff = max(diffs)
+    best = max(f["speedup_vs_serial"] for f in fleets.values())
+    cores = os.cpu_count() or 1
+    payload = {
+        "bench": "perf05_fabric",
+        "quick_mode": QUICK,
+        "host_cpu_cores": cores,
+        "scenarios": N_SCENARIOS,
+        "max_population": MAX_POPULATION,
+        "serial_seconds": round(t_serial, 4),
+        "serial_scenarios_per_second": round(N_SCENARIOS / t_serial, 2),
+        "workers": {str(w): stats for w, stats in fleets.items()},
+        "warm_fleet": warm,
+        "best_speedup_vs_serial": best,
+        "max_abs_diff_vs_serial": max_diff,
+        "kill_and_resume": {
+            "journal_shards_kept": kept,
+            "resume_seconds": round(t_resume, 4),
+            "bit_identical": resume_identical,
+        },
+        "usl_fit": {
+            "lambda": round(usl.lambda_, 4),
+            "sigma": round(usl.sigma, 6),
+            "kappa": round(usl.kappa, 8),
+            "peak_workers": None
+            if usl.peak_concurrency == np.inf
+            else round(usl.peak_concurrency, 1),
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "PERF-05 — execution fabric: remote workers vs serial",
+        f"{N_SCENARIOS} scenarios x N={MAX_POPULATION}, host cores: {cores}",
+        f"  serial: {t_serial:.3f}s = {N_SCENARIOS / t_serial:.1f} scenarios/s",
+    ]
+    for w, stats in fleets.items():
+        lines.append(
+            f"  workers={w}: {stats['seconds']:.3f}s = "
+            f"{stats['scenarios_per_second']:.1f} scenarios/s "
+            f"({stats['speedup_vs_serial']:.1f}x serial)"
+        )
+    lines += [
+        f"  warm fleet: {warm['seconds']:.3f}s, hit rate {warm['hit_rate']:.0%}",
+        f"  kill-and-resume: {t_resume:.3f}s, bit-identical: {resume_identical}",
+        f"  USL fit: lambda={usl.lambda_:.2f}, sigma={usl.sigma:.4f}, "
+        f"kappa={usl.kappa:.2e}",
+        f"  max |remote - serial|: {max_diff:.2e}",
+    ]
+    emit("\n".join(lines))
+
+    assert max_diff <= ATOL, "remote sweep diverged from the serial reference"
+    assert resume_identical, "checkpoint resume was not bit-identical"
+    assert warm["cache_hits_gained"] >= 1, "warm sweep never hit the worker caches"
+    if not QUICK:
+        # Batched kernels on the workers plus fan-out must clear 2x serial.
+        assert best >= 2.0, f"best fleet speedup {best:.2f}x below the 2x floor"

@@ -356,6 +356,9 @@ def _cmd_sweep_grid(args) -> int:
             plan_ctx = injected(FaultPlan.parse(args.inject_faults))
         except ValueError as exc:
             raise SystemExit(f"--inject-faults: {exc}") from None
+    hosts = getattr(args, "hosts", None)
+    if hosts and args.backend == "auto":
+        args.backend = "remote"
     try:
         with plan_ctx:
             result = solve_stack(
@@ -365,6 +368,7 @@ def _cmd_sweep_grid(args) -> int:
                 workers=args.workers,
                 errors=args.errors,
                 checkpoint=args.checkpoint,
+                hosts=hosts,
             )
     except SolverInputError as exc:
         raise SystemExit(str(exc)) from None
@@ -458,6 +462,23 @@ def _cmd_serve(args) -> int:
             cache_path=args.cache_path,
             maxsize=args.maxsize,
             timeout=args.timeout,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .serve.server import run_server
+
+    try:
+        run_server(
+            host=args.host,
+            port=args.port,
+            cache_path=args.cache_path,
+            maxsize=args.maxsize,
+            timeout=args.timeout,
+            banner="repro-worker",
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
@@ -594,13 +615,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("auto", "serial", "batched", "process-sharded", "resilient"),
+        choices=("auto", "serial", "batched", "process-sharded", "resilient", "remote"),
         default="auto",
         help="execution backend (auto: batched kernel, sharded for large grids; "
-             "resilient: sharded with retries + degradation)",
+             "resilient: sharded with retries + degradation; remote: shard over "
+             "repro worker hosts)",
     )
     p.add_argument("--workers", type=int, default=None,
                    help="process count for the sharded backend (default: one per core)")
+    p.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                   help="comma-separated repro worker addresses; implies "
+                        "--backend remote")
     p.add_argument("--errors", choices=("raise", "isolate"), default="raise",
                    help="isolate: failed scenarios become FAILED rows instead of aborting")
     p.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -639,6 +664,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=30.0,
                    help="per-request solve timeout in seconds")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one execution-fabric worker (a solver server tuned for "
+             "solve_shard traffic from sweep-grid --backend remote)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = let the OS pick; the bound port "
+                        "is printed on the 'listening on' line)")
+    p.add_argument("--cache-path", default=None, metavar="PATH",
+                   help="persistent sqlite store warming the worker across restarts")
+    p.add_argument("--maxsize", type=int, default=4096,
+                   help="in-memory result cache capacity")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-shard solve timeout in seconds")
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
         "query", help="send one JSON request to a running repro serve instance"

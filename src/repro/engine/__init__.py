@@ -21,6 +21,14 @@ grid-of-scenarios pattern:
     journals keyed on scenario fingerprints, per-scenario
     :class:`ScenarioFailure` isolation, and the deterministic
     :class:`FaultPlan` injection harness that proves the recovery paths.
+``repro.engine.fabric`` / ``repro.engine.transport``
+    The execution fabric: :class:`WorkPlan` partitioning, the
+    transport-agnostic :class:`Dispatcher` (the staged recovery loop,
+    factored out of the resilient backend), and interchangeable
+    :class:`Transport` implementations — forked local process pools
+    (:class:`LocalProcessTransport`) or a fleet of ``repro worker``
+    hosts over the serve protocol (:class:`RemoteTransport`, behind
+    ``backend="remote"`` / :class:`RemoteBackend`).
 
 See ``benchmarks/bench_perf01_batch_speedup.py`` for the measured
 speedups and the `repro sweep-grid` CLI subcommand for the command-line
@@ -49,6 +57,7 @@ from .batched import (
     batched_schweitzer_amva,
     demand_matrix_stack,
 )
+from .fabric import Dispatcher, RemoteBackend, WorkPlan, WorkShard
 from .faults import Fault, FaultPlan, InjectedFault
 from .resilience import (
     ResilientBackend,
@@ -58,23 +67,38 @@ from .resilience import (
     solve_isolated_batched,
 )
 from .sweep import ScenarioGrid, parallel_map, resolve_workers, spawn_seeds
+from .transport import (
+    LocalProcessTransport,
+    RemoteTransport,
+    Transport,
+    WorkerConnectionLost,
+    parse_hosts,
+)
 
 __all__ = [
     "BatchedBackend",
     "BatchedMVAResult",
     "BatchedMultiClassResult",
     "BatchedMultiClassTrajectory",
+    "Dispatcher",
     "ExecutionBackend",
     "Fault",
     "FaultPlan",
     "InjectedFault",
+    "LocalProcessTransport",
     "ProcessShardedBackend",
+    "RemoteBackend",
+    "RemoteTransport",
     "ResilientBackend",
     "RetryPolicy",
     "ScenarioFailure",
     "ScenarioGrid",
     "SerialBackend",
     "SweepCheckpoint",
+    "Transport",
+    "WorkPlan",
+    "WorkShard",
+    "WorkerConnectionLost",
     "backend_names",
     "batched_exact_multiclass",
     "batched_exact_mva",
@@ -85,6 +109,7 @@ __all__ = [
     "demand_matrix_stack",
     "get_backend",
     "parallel_map",
+    "parse_hosts",
     "resolve_workers",
     "shard_bounds",
     "solve_isolated",

@@ -49,7 +49,7 @@ from .batched import (
     batched_mvasd,
     batched_schweitzer_amva,
 )
-from .sweep import parallel_map, resolve_workers
+from .sweep import resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
     from ..solvers.registry import SolverSpec
@@ -394,7 +394,15 @@ def _concat_results(parts: Sequence[Any], backend: str):
 
 
 class ProcessShardedBackend:
-    """Contiguous sub-stacks fanned out over :func:`parallel_map` workers."""
+    """Contiguous sub-stacks fanned out over a local process transport.
+
+    The no-frills fan-out: one :class:`~repro.engine.transport.
+    LocalProcessTransport` round with no retries — a crashed worker is
+    retried in-parent by :func:`parallel_map` itself, and a solver error
+    propagates.  For retries, degradation and checkpointing, use the
+    ``resilient`` backend (a :class:`~repro.engine.fabric.Dispatcher`
+    over the same transport).
+    """
 
     name = "process-sharded"
 
@@ -402,20 +410,21 @@ class ProcessShardedBackend:
         self.workers = workers
 
     def run(self, spec, scenarios, options):
+        from .transport import LocalProcessTransport  # deferred: imports us
+
         child_backend = "batched" if spec.batched_kernel else "serial"
         bounds = shard_bounds(len(scenarios), self.workers)
-        parts = parallel_map(
-            _solve_shard,
+        parts = LocalProcessTransport(self.workers).run_shards(
             bounds,
-            workers=len(bounds),
-            payload=(spec.name, child_backend, list(scenarios), dict(options)),
+            (spec.name, child_backend, list(scenarios), dict(options)),
+            return_exceptions=False,
         )
         return _concat_results(parts, self.name)
 
 
 def backend_names() -> tuple[str, ...]:
     """The selectable execution backends, cheapest-to-set-up first."""
-    return ("serial", "batched", "process-sharded", "resilient")
+    return ("serial", "batched", "process-sharded", "resilient", "remote")
 
 
 def get_backend(name: str, workers: int | None = None, **kwargs) -> ExecutionBackend:
@@ -423,8 +432,9 @@ def get_backend(name: str, workers: int | None = None, **kwargs) -> ExecutionBac
 
     ``workers`` only affects ``process-sharded`` and ``resilient``; the
     in-process backends ignore it.  ``kwargs`` (retry policy,
-    checkpoint, error mode) are forwarded to
-    :class:`~repro.engine.resilience.ResilientBackend`.
+    checkpoint, error mode — plus ``hosts`` for ``remote``) are
+    forwarded to :class:`~repro.engine.resilience.ResilientBackend` /
+    :class:`~repro.engine.fabric.RemoteBackend`.
     """
     if name == "serial":
         return SerialBackend()
@@ -436,4 +446,8 @@ def get_backend(name: str, workers: int | None = None, **kwargs) -> ExecutionBac
         from .resilience import ResilientBackend  # deferred: builds on this module
 
         return ResilientBackend(workers=workers, **kwargs)
+    if name == "remote":
+        from .fabric import RemoteBackend  # deferred: builds on this module
+
+        return RemoteBackend(**kwargs)
     raise ValueError(f"unknown backend {name!r}; known: {backend_names()}")

@@ -41,6 +41,15 @@ Fault kinds
 ``corrupt-cache-entry``
     Raise :class:`InjectedFault` inside ``SolverCache.get``/``put`` —
     the cache must degrade to a counted miss, never propagate.
+``drop-connection``
+    Raise :class:`InjectedFault` in the remote transport just before the
+    matching shard is sent to a worker — the transport must treat it
+    like a vanished worker host (retire the connection, let the
+    dispatcher retry the shard elsewhere).
+``slow-worker``
+    Sleep ``delay`` seconds in the remote transport before sending the
+    matching shard (the remote twin of ``delay-shard``; pair with a
+    per-shard timeout to exercise timeout-driven host retirement).
 
 CLI spec syntax (``repro sweep-grid --inject-faults``): faults separated
 by ``;``, parameters by ``,`` — e.g.
@@ -76,6 +85,8 @@ FAULT_KINDS = {
     "raise-in-kernel": "kernel",
     "corrupt-cache-entry": "cache",
     "corrupt-persistent-entry": "persistent",
+    "drop-connection": "transport",
+    "slow-worker": "transport",
 }
 
 
@@ -278,14 +289,14 @@ def maybe_inject(
         if not fault.matches(point, shard, scenario):
             continue
         _fired.append((fault.kind, point, shard, scenario, _attempt))
-        if fault.kind == "delay-shard":
+        if fault.kind in ("delay-shard", "slow-worker"):
             time.sleep(fault.delay)
         elif fault.kind == "crash-worker":
             if _armed_pid is not None and os.getpid() != _armed_pid:
                 os._exit(1)  # simulate an OOM-killed / SIGKILLed worker
             # In the arming (driver) process a hard exit would kill the
             # whole run; the crash is only meaningful for forked workers.
-        else:  # raise-in-kernel, corrupt-cache-entry
+        else:  # raise-in-kernel, corrupt-*-entry, drop-connection
             raise InjectedFault(
                 f"injected {fault.kind} at {point} "
                 f"(shard={shard}, scenario={scenario}, attempt={_attempt})"

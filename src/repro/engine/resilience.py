@@ -56,11 +56,6 @@ from .backends import (
     _kernel_input,
     _kernel_input_shape,
     _run_kernel,
-    _solve_shard,
-    get_backend,
-    scenario_offset,
-    shard_bounds,
-    _concat_results,
     _scenario_offset,
 )
 from .batched import (
@@ -69,7 +64,6 @@ from .batched import (
     BatchedMVAResult,
     ScenarioFailure,
 )
-from .sweep import parallel_map, resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..solvers.registry import SolverSpec
@@ -352,7 +346,8 @@ class SweepCheckpoint:
     Each record is one line of JSON holding a content-addressed shard
     key (:meth:`shard_key` — scenario fingerprints + method + canonical
     options, the same identity the solver cache uses), a SHA-256 of the
-    payload, and the shard's :class:`BatchedMVAResult` arrays as a
+    payload, and the shard's result arrays (any of the three stack
+    containers, tagged by a ``container`` meta field) as a
     base64 ``.npz`` blob.  The array round-trip is lossless, so a
     resumed sweep reassembles *bit-identical* results from journaled
     shards.  Loading tolerates a torn tail (the line a killed driver was
@@ -389,9 +384,9 @@ class SweepCheckpoint:
             h.update(b"\x00")
         return h.hexdigest()
 
-    def load(self) -> dict[str, BatchedMVAResult]:
+    def load(self) -> dict[str, Any]:
         """All valid journaled shards, keyed by shard key (latest wins)."""
-        completed: dict[str, BatchedMVAResult] = {}
+        completed: dict[str, Any] = {}
         try:
             lines = self.path.read_text().splitlines()
         except (FileNotFoundError, OSError):
@@ -412,14 +407,27 @@ class SweepCheckpoint:
                 continue  # torn tail or corrupted record: re-solve that shard
         return completed
 
-    def record(self, key: str | None, part: BatchedMVAResult) -> None:
+    def record(self, key: str | None, part) -> None:
         """Append one completed shard (no-op for unkeyed/failed parts).
 
-        Multi-class containers are not journaled (yet) — the journal's
-        array layout is the single-class trajectory one; such shards are
-        simply re-solved on resume.
+        All three stack containers journal: single-class trajectories
+        (:class:`BatchedMVAResult`) and the two multi-class containers
+        — each with its own npz array layout, tagged by a ``container``
+        field in the record meta.  Parts carrying failures are never
+        journaled: a resume after fixing the inputs must recompute them.
         """
-        if key is None or part.failures or not isinstance(part, BatchedMVAResult):
+        if (
+            key is None
+            or part.failures
+            or not isinstance(
+                part,
+                (
+                    BatchedMVAResult,
+                    BatchedMultiClassResult,
+                    BatchedMultiClassTrajectory,
+                ),
+            )
+        ):
             return
         meta, raw = self._encode(part)
         record = {
@@ -439,30 +447,90 @@ class SweepCheckpoint:
                 pass
 
     @staticmethod
-    def _encode(part: BatchedMVAResult) -> tuple[dict, bytes]:
-        arrays = {
-            "populations": part.populations,
-            "throughput": part.throughput,
-            "response_time": part.response_time,
-            "queue_lengths": part.queue_lengths,
-            "residence_times": part.residence_times,
-            "utilizations": part.utilizations,
-            "think_times": part.think_times,
-        }
-        if part.demands_used is not None:
-            arrays["demands_used"] = part.demands_used
-        buf = io.BytesIO()
-        np.savez_compressed(buf, **arrays)
+    def _encode(part) -> tuple[dict, bytes]:
         meta = {
             "solver": part.solver,
             "backend": part.backend,
             "station_names": list(part.station_names),
         }
+        if isinstance(part, BatchedMultiClassTrajectory):
+            meta["container"] = "multiclass-trajectory"
+            meta["class_names"] = list(part.class_names)
+            arrays = {
+                "totals": np.asarray(part.totals),
+                "populations": np.asarray(part.populations),
+                "throughput": part.throughput,
+                "response_time": part.response_time,
+                "utilizations": part.utilizations,
+                "think_times": part.think_times,
+            }
+        elif isinstance(part, BatchedMultiClassResult):
+            meta["container"] = "multiclass"
+            meta["class_names"] = list(part.class_names)
+            arrays = {
+                "populations": np.asarray(part.populations),
+                "throughput": part.throughput,
+                "response_time": part.response_time,
+                "queue_lengths": part.queue_lengths,
+                "queue_lengths_by_class": part.queue_lengths_by_class,
+                "utilizations": part.utilizations,
+                "think_times": part.think_times,
+            }
+        else:
+            # "mva" is the implicit default so v1 single-class records
+            # (written before the tag existed) keep decoding unchanged.
+            meta["container"] = "mva"
+            arrays = {
+                "populations": part.populations,
+                "throughput": part.throughput,
+                "response_time": part.response_time,
+                "queue_lengths": part.queue_lengths,
+                "residence_times": part.residence_times,
+                "utilizations": part.utilizations,
+                "think_times": part.think_times,
+            }
+        if part.demands_used is not None:
+            arrays["demands_used"] = part.demands_used
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
         return meta, buf.getvalue()
 
     @staticmethod
-    def _decode(meta: Mapping, raw: bytes) -> BatchedMVAResult:
+    def _decode(meta: Mapping, raw: bytes):
+        container = meta.get("container", "mva")
         with np.load(io.BytesIO(raw), allow_pickle=False) as data:
+            demands = data["demands_used"] if "demands_used" in data else None
+            if container == "multiclass-trajectory":
+                return BatchedMultiClassTrajectory(
+                    class_names=tuple(meta["class_names"]),
+                    station_names=tuple(meta["station_names"]),
+                    totals=data["totals"],
+                    populations=data["populations"],
+                    throughput=data["throughput"],
+                    response_time=data["response_time"],
+                    utilizations=data["utilizations"],
+                    think_times=data["think_times"],
+                    solver=str(meta["solver"]),
+                    demands_used=demands,
+                    backend=meta.get("backend"),
+                )
+            if container == "multiclass":
+                return BatchedMultiClassResult(
+                    populations=tuple(int(n) for n in data["populations"]),
+                    class_names=tuple(meta["class_names"]),
+                    throughput=data["throughput"],
+                    response_time=data["response_time"],
+                    queue_lengths=data["queue_lengths"],
+                    queue_lengths_by_class=data["queue_lengths_by_class"],
+                    utilizations=data["utilizations"],
+                    station_names=tuple(meta["station_names"]),
+                    think_times=data["think_times"],
+                    solver=str(meta["solver"]),
+                    demands_used=demands,
+                    backend=meta.get("backend"),
+                )
+            if container != "mva":
+                raise ValueError(f"unknown checkpoint container {container!r}")
             return BatchedMVAResult(
                 populations=data["populations"],
                 throughput=data["throughput"],
@@ -473,7 +541,7 @@ class SweepCheckpoint:
                 station_names=tuple(meta["station_names"]),
                 think_times=data["think_times"],
                 solver=str(meta["solver"]),
-                demands_used=data["demands_used"] if "demands_used" in data else None,
+                demands_used=demands,
                 backend=meta.get("backend"),
             )
 
@@ -528,92 +596,17 @@ class ResilientBackend:
         self._sleep = sleep
 
     def run(self, spec, scenarios, options):
-        policy = self.policy
-        scenarios = list(scenarios)
-        bounds = shard_bounds(len(scenarios), self.workers)
-        child_backend = "batched" if spec.batched_kernel else "serial"
-        parts: dict[int, BatchedMVAResult] = {}
-        retries: dict[int, int] = {i: 0 for i, _, _ in bounds}
-        keys: dict[int, str | None] = {}
+        # The staged loop itself lives in the transport-agnostic
+        # Dispatcher; this backend is its local-process instantiation.
+        from .fabric import Dispatcher  # deferred: fabric builds on this module
+        from .transport import LocalProcessTransport
 
-        if self.checkpoint is not None:
-            completed = self.checkpoint.load()
-            for i, start, stop in bounds:
-                key = self.checkpoint.shard_key(
-                    spec.name,
-                    options,
-                    [sc.fingerprint() for sc in scenarios[start:stop]],
-                )
-                keys[i] = key
-                part = completed.get(key) if key is not None else None
-                if part is not None and part.n_scenarios == stop - start:
-                    parts[i] = part
-
-        pending = [b for b in bounds if b[0] not in parts]
-        payload = (spec.name, child_backend, scenarios, dict(options))
-        attempt = 0
-        try:
-            # Stage 1: sharded fan-out with bounded retry + backoff.
-            # Skipped when only one worker/shard is available — there is
-            # no pool whose failures the retries would be covering.
-            if resolve_workers(self.workers) > 1 and len(bounds) > 1:
-                while pending and attempt <= policy.max_retries:
-                    if attempt:
-                        self._sleep(policy.backoff(attempt))
-                    faults.set_attempt(attempt)
-                    outs = parallel_map(
-                        _solve_shard,
-                        pending,
-                        workers=len(pending),
-                        payload=payload,
-                        timeout=policy.shard_timeout,
-                        return_exceptions=True,
-                    )
-                    still_failed = []
-                    for shard, out in zip(pending, outs):
-                        if isinstance(out, BaseException):
-                            retries[shard[0]] += 1
-                            still_failed.append(shard)
-                        else:
-                            parts[shard[0]] = out
-                            if self.checkpoint is not None:
-                                self.checkpoint.record(keys.get(shard[0]), out)
-                    pending = still_failed
-                    attempt += 1
-
-            # Stage 2/3: in-process degradation, then isolation.
-            for i, start, stop in pending:
-                sub = scenarios[start:stop]
-                part = None
-                last_exc: BaseException | None = None
-                chain = ["batched"] if spec.batched_kernel else []
-                chain.append("serial")
-                with scenario_offset(start):
-                    for backend_name in chain:
-                        faults.set_attempt(attempt)
-                        attempt += 1
-                        try:
-                            part = get_backend(backend_name).run(spec, sub, options)
-                            break
-                        except Exception as exc:
-                            retries[i] += 1
-                            last_exc = exc
-                    if part is None:
-                        faults.set_attempt(attempt)
-                        attempt += 1
-                        if self.errors != "isolate":
-                            raise last_exc
-                        if spec.batched_kernel is not None:
-                            part = solve_isolated_batched(
-                                spec, sub, options, retries=retries[i]
-                            )
-                        else:
-                            part = solve_isolated(spec, sub, options, retries=retries[i])
-                parts[i] = part
-                if self.checkpoint is not None:
-                    self.checkpoint.record(keys.get(i), part)
-        finally:
-            faults.set_attempt(0)
-
-        ordered = [parts[i] for i, _, _ in bounds]
-        return _concat_results(ordered, self.name)
+        dispatcher = Dispatcher(
+            LocalProcessTransport(self.workers),
+            name=self.name,
+            policy=self.policy,
+            checkpoint=self.checkpoint,
+            errors=self.errors,
+            sleep=self._sleep,
+        )
+        return dispatcher.run(spec, scenarios, options)

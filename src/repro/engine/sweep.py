@@ -22,6 +22,12 @@ Determinism contract: a caller that derives all stochastic inputs from
 same results for every ``workers`` value — the executor only changes
 *where* tasks run, never *what* they compute.
 
+:func:`parallel_map` is also the engine underneath the fabric's
+:class:`~repro.engine.transport.LocalProcessTransport`: the dispatcher
+(:mod:`repro.engine.fabric`) plans and journals shards, and this module
+is the process-pool "wire" those shards travel when the transport is
+local rather than a fleet of ``repro worker`` hosts.
+
 Implementation note: tasks are shipped to workers by pickle, but large
 unpicklable context (e.g. an :class:`~repro.apps.base.Application`,
 whose demand profiles are closures) can ride along as the ``payload``

@@ -1,0 +1,306 @@
+"""Transports: where a shard of scenarios physically gets solved.
+
+The execution fabric (:mod:`repro.engine.fabric`) separates *planning*
+(shard partitioning, checkpoint keys), *dispatch* (retry/backoff,
+degradation, journaling) and *transport* (moving a shard to compute and
+its result back).  This module holds the transport layer: everything a
+:class:`~repro.engine.fabric.Dispatcher` needs to know about worker
+processes or worker hosts is behind the small :class:`Transport`
+protocol, so local process pools and remote socket workers are
+interchangeable underneath the same retry/checkpoint machinery.
+
+:class:`LocalProcessTransport`
+    Shards fan out over :func:`repro.engine.sweep.parallel_map` fork
+    workers — the scenario list rides as the fork-inherited payload, so
+    nothing but shard bounds and result arrays crosses the process
+    boundary.  This is the transport under both ``process-sharded`` and
+    ``resilient``.
+:class:`RemoteTransport`
+    Shards are serialized over the ``repro serve`` JSON-lines protocol
+    to a fleet of ``repro worker`` processes (one persistent socket per
+    host, one pump thread per host draining a shared shard queue).
+    Scenario sub-stacks ship fingerprint-verified — a worker refuses a
+    shard whose decoded scenarios do not hash to the fingerprints the
+    driver computed, so codec drift degrades to a local re-solve
+    instead of a silently different answer.  Remote solves run through
+    each worker's facade → cache stack, so they ride the worker's LRU
+    tier and (when the fleet shares a ``--cache-path``) the common
+    sqlite :class:`~repro.solvers.persistent.PersistentCache`.
+
+Failure model of the remote transport: a connection-level failure
+(refused, reset, timeout, or an injected ``drop-connection`` fault)
+retires that host *for the round* — its pump thread exits, surviving
+hosts drain the rest of the queue, and the failed shard surfaces as an
+exception for the dispatcher to retry (reconnection is attempted at the
+next round).  A *structured* worker error (the solver itself failed)
+keeps the host alive; only the shard fails.  If every host is gone,
+remaining shards fail with :class:`WorkerConnectionLost` and the
+dispatcher's in-process degradation chain takes over — a dead fleet
+never wedges or aborts a sweep that the driver alone could finish.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Protocol, Sequence
+
+from . import faults
+from .backends import _solve_shard
+from .sweep import parallel_map, resolve_workers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve.client import ServeClient
+
+__all__ = [
+    "DEFAULT_SHARDS_PER_HOST",
+    "LocalProcessTransport",
+    "RemoteTransport",
+    "Transport",
+    "WorkerConnectionLost",
+    "parse_host",
+    "parse_hosts",
+]
+
+#: Default oversubscription of the remote shard queue: more shards than
+#: hosts keeps fast workers busy while slow ones finish, and bounds how
+#: much work one dead host can take down with it.
+DEFAULT_SHARDS_PER_HOST = 4
+
+_UNSET = object()
+
+
+class WorkerConnectionLost(ConnectionError):
+    """A worker host vanished (refused/reset/timed out) mid-shard."""
+
+
+class Transport(Protocol):
+    """Moves shards of a scenario stack to compute and results back.
+
+    ``shards`` are the ``(shard_index, start, stop)`` bounds of
+    :func:`repro.engine.backends.shard_bounds`; ``payload`` is the
+    ``(method, child_backend, scenarios, options)`` tuple every shard
+    shares.  ``run_shards`` returns one entry per shard *in order* —
+    either the shard's batched result or (``return_exceptions=True``)
+    the exception that sank it.
+    """
+
+    name: str
+
+    def preferred_shards(self, n_scenarios: int) -> int:
+        """How many shards this transport wants a stack cut into."""
+        ...  # pragma: no cover - protocol
+
+    def fan_out(self, n_shards: int) -> bool:
+        """Whether fanning ``n_shards`` out is worth this transport's setup."""
+        ...  # pragma: no cover - protocol
+
+    def run_shards(
+        self,
+        shards: Sequence[tuple[int, int, int]],
+        payload: tuple,
+        timeout: float | None = None,
+        return_exceptions: bool = True,
+    ) -> list:
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class LocalProcessTransport:
+    """Shards solved by forked :func:`parallel_map` worker processes."""
+
+    name = "local-processes"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers
+
+    def preferred_shards(self, n_scenarios: int) -> int:
+        return resolve_workers(self.workers)
+
+    def fan_out(self, n_shards: int) -> bool:
+        # With one worker (or one shard) there is no pool whose failures
+        # a sharded stage would be covering — solve in-process instead.
+        return resolve_workers(self.workers) > 1 and n_shards > 1
+
+    def run_shards(self, shards, payload, timeout=None, return_exceptions=True):
+        return parallel_map(
+            _solve_shard,
+            list(shards),
+            workers=len(shards),
+            payload=payload,
+            timeout=timeout,
+            return_exceptions=return_exceptions,
+        )
+
+    def close(self) -> None:  # nothing persistent: pools are per-call
+        pass
+
+
+def parse_host(spec: str | tuple, default_port: int = 7173) -> tuple[str, int]:
+    """``"host:port"`` (or a ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    text = str(spec).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text, int(default_port)
+    return host, int(port)
+
+
+def parse_hosts(text: str, default_port: int = 7173) -> list[tuple[str, int]]:
+    """Comma-separated ``host:port`` list → ``[(host, port), ...]``."""
+    hosts = [
+        parse_host(part, default_port)
+        for part in (p.strip() for p in text.split(","))
+        if part
+    ]
+    if not hosts:
+        raise ValueError(f"host list {text!r} names no hosts")
+    return hosts
+
+
+class RemoteTransport:
+    """Shards solved by ``repro worker`` processes over JSON lines.
+
+    One persistent :class:`~repro.serve.client.ServeClient` connection
+    per host, reused across dispatcher rounds; a host dropped by a
+    connection failure is reconnected at the start of the next round.
+    """
+
+    name = "remote-sockets"
+
+    def __init__(
+        self,
+        hosts: Sequence[str | tuple],
+        connect_timeout: float = 10.0,
+        shards_per_host: int = DEFAULT_SHARDS_PER_HOST,
+    ) -> None:
+        self.hosts = tuple(parse_host(h) for h in hosts)
+        if not self.hosts:
+            raise ValueError("RemoteTransport needs at least one worker host")
+        self.connect_timeout = float(connect_timeout)
+        self.shards_per_host = max(1, int(shards_per_host))
+        self._clients: list["ServeClient | None"] = [None] * len(self.hosts)
+
+    def preferred_shards(self, n_scenarios: int) -> int:
+        return max(1, min(int(n_scenarios), len(self.hosts) * self.shards_per_host))
+
+    def fan_out(self, n_shards: int) -> bool:
+        # Even a single remote shard is worth shipping: the worker holds
+        # the warm cache tiers the driver process does not.
+        return True
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self, host_index: int, timeout: float | None):
+        client = self._clients[host_index]
+        if client is not None:
+            try:
+                client.set_timeout(timeout)
+                return client
+            except OSError:
+                self._drop(host_index)
+        from ..serve.client import ServeClient
+
+        host, port = self.hosts[host_index]
+        try:
+            client = ServeClient(
+                host, port, timeout=timeout, connect_timeout=self.connect_timeout
+            )
+        except OSError:
+            return None
+        self._clients[host_index] = client
+        return client
+
+    def _drop(self, host_index: int) -> None:
+        client = self._clients[host_index]
+        self._clients[host_index] = None
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        for i in range(len(self._clients)):
+            self._drop(i)
+
+    # -- shard execution ------------------------------------------------------
+
+    def run_shards(self, shards, payload, timeout=None, return_exceptions=True):
+        shards = list(shards)
+        results: list[Any] = [_UNSET] * len(shards)
+        queue = list(range(len(shards)))
+        lock = threading.Lock()
+
+        def pump(host_index: int) -> None:
+            client = self._connect(host_index, timeout)
+            if client is None:
+                return  # unreachable host consumes no shards this round
+            while True:
+                with lock:
+                    if not queue:
+                        return
+                    i = queue.pop(0)
+                try:
+                    results[i] = self._solve_remote(client, shards[i], payload)
+                except WorkerConnectionLost as exc:
+                    results[i] = exc
+                    self._drop(host_index)
+                    return  # host retired for the round; others drain the queue
+                except Exception as exc:
+                    results[i] = exc  # structured worker error: host stays up
+
+        threads = [
+            threading.Thread(target=pump, args=(i,), daemon=True)
+            for i in range(len(self.hosts))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i, bounds in enumerate(shards):
+            if results[i] is _UNSET:
+                results[i] = WorkerConnectionLost(
+                    f"shard {bounds[0]}: no reachable worker host "
+                    f"(tried {len(self.hosts)})"
+                )
+        if not return_exceptions:
+            for out in results:
+                if isinstance(out, BaseException):
+                    raise out
+        return results
+
+    def _solve_remote(self, client, bounds, payload):
+        from ..serve.client import ServeError
+        from ..serve.protocol import decode_stack_result, encode_scenario
+
+        method, child_backend, scenarios, options = payload
+        shard, start, stop = bounds
+        try:
+            faults.maybe_inject("transport", shard=shard)
+        except faults.InjectedFault as exc:
+            raise WorkerConnectionLost(str(exc)) from exc
+        sub = scenarios[start:stop]
+        request = {
+            "op": "solve_shard",
+            "method": method,
+            "backend": child_backend,
+            "start": start,
+            "scenarios": [encode_scenario(sc) for sc in sub],
+            "fingerprints": [sc.fingerprint() for sc in sub],
+            "options": dict(options),
+        }
+        try:
+            envelope = client.request(request)
+        except (OSError, EOFError, ValueError) as exc:
+            # socket timeouts and resets are OSErrors; a torn response
+            # stream surfaces as a JSON decode error (ValueError).
+            raise WorkerConnectionLost(
+                f"worker {client.host}:{client.port} lost mid-shard: {exc}"
+            ) from exc
+        if not envelope.get("ok"):
+            raise ServeError(envelope)
+        return decode_stack_result(envelope["result"])

@@ -16,7 +16,7 @@ from .chebyshev import (
     exponential_error_bound,
 )
 from .cubic import CubicSpline
-from .demand_model import DemandTable, ServiceDemandModel
+from .demand_model import DemandTable, ServiceDemandModel, UniversalScalabilityLaw
 from .monotone import MonotoneCubicSpline
 from .smoothing import SmoothingSpline, smoothing_matrices
 from .tridiagonal import solve_tridiagonal
@@ -27,6 +27,7 @@ __all__ = [
     "MonotoneCubicSpline",
     "ServiceDemandModel",
     "SmoothingSpline",
+    "UniversalScalabilityLaw",
     "chebyshev_error_bound",
     "chebyshev_nodes",
     "chebyshev_nodes_unit",

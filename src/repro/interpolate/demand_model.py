@@ -13,6 +13,16 @@ choices baked in:
 * non-negativity of the evaluated demand (a spline wiggle must never
   produce a negative service time).
 
+Alongside the non-parametric splines, ``kind="usl"`` fits Gunther's
+Universal Scalability Law as a **2-parameter demand family**
+``D(N) = D1 · (1 + σ(N−1) + κN(N−1))`` — contention (σ) and coherency
+(κ) costs growing with concurrency.  Unlike the clamped splines it
+*extrapolates* beyond the sampled range, which is exactly what the
+EXT-02 extrapolation bench exercises; :class:`UniversalScalabilityLaw`
+is the same law on the throughput axis ``X(N) = λN / (1 + σ(N−1) +
+κN(N−1))``, used to fit the fabric's throughput-vs-workers scaling in
+BENCH perf05.
+
 :class:`DemandTable` bundles one model per station and plugs directly
 into :func:`repro.core.mvasd.mvasd` via :meth:`DemandTable.functions`.
 """
@@ -28,10 +38,59 @@ from .cubic import CubicSpline
 from .monotone import MonotoneCubicSpline
 from .smoothing import SmoothingSpline
 
-__all__ = ["ServiceDemandModel", "DemandTable"]
+__all__ = ["ServiceDemandModel", "DemandTable", "UniversalScalabilityLaw"]
 
-_KINDS = ("cubic", "not-a-knot", "smoothing", "pchip", "linear", "constant")
+_KINDS = ("cubic", "not-a-knot", "smoothing", "pchip", "linear", "constant", "usl")
 _AXES = ("concurrency", "throughput")
+
+
+def _usl_basis(n: np.ndarray) -> np.ndarray:
+    """Design matrix ``[1, N−1, N(N−1)]`` of the Universal Scalability Law."""
+    n = np.asarray(n, dtype=float)
+    return np.stack([np.ones_like(n), n - 1.0, n * (n - 1.0)], axis=1)
+
+
+def _usl_fit(n: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares USL coefficients ``(a, σ, κ)`` for ``y ≈ a·(1+σ(N−1)+κN(N−1))``.
+
+    The law is linear in ``(a, aσ, aκ)``, so the fit is one ``lstsq``;
+    physically σ and κ are costs, so negative coefficients are dropped
+    from the basis and the remainder refitted rather than clipped in
+    place (clipping alone would bias ``a``).
+    """
+    n = np.asarray(n, dtype=float)
+    y = np.asarray(y, dtype=float)
+    active = [0, 1, 2]
+    coef = np.zeros(3)
+    for _ in range(3):
+        basis = _usl_basis(n)[:, active]
+        sol, *_ = np.linalg.lstsq(basis, y, rcond=None)
+        coef = np.zeros(3)
+        coef[active] = sol
+        negative = [i for i in active if i != 0 and coef[i] < 0]
+        if not negative:
+            break
+        active = [i for i in active if i not in negative]
+    a = float(coef[0])
+    if not np.isfinite(a) or a <= 0:
+        # degenerate samples (e.g. all-zero demands): constant fallback
+        return max(float(np.mean(y)), 0.0), 0.0, 0.0
+    return a, float(coef[1] / a), float(coef[2] / a)
+
+
+class _USLCurve:
+    """Gunther's USL demand law ``D1·(1+σ(N−1)+κN(N−1))`` (picklable)."""
+
+    __slots__ = ("d1", "sigma", "kappa")
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.d1, self.sigma, self.kappa = _usl_fit(x, y)
+
+    def __call__(self, q, deriv: int = 0):
+        q = np.asarray(q, dtype=float)
+        if deriv:
+            return self.d1 * (self.sigma + self.kappa * (2.0 * q - 1.0))
+        return self.d1 * (1.0 + self.sigma * (q - 1.0) + self.kappa * q * (q - 1.0))
 
 
 class _ConstantCurve:
@@ -81,8 +140,10 @@ class ServiceDemandModel:
     kind:
         ``"cubic"`` (natural spline, default), ``"not-a-knot"``,
         ``"smoothing"`` (with ``lam``), ``"pchip"``
-        (monotonicity-preserving), ``"linear"`` or ``"constant"``
-        (mean of the samples — the classic what-MVA-does baseline).
+        (monotonicity-preserving), ``"linear"``, ``"constant"``
+        (mean of the samples — the classic what-MVA-does baseline) or
+        ``"usl"`` (Gunther's 2-parameter Universal Scalability Law,
+        the only family that extrapolates beyond the sampled range).
     axis:
         Label of the independent variable, ``"concurrency"`` or
         ``"throughput"`` — purely informational but checked by
@@ -125,6 +186,8 @@ class ServiceDemandModel:
         x, y = self.levels, self.demands
         if self.kind == "constant" or x.size == 1:
             return _ConstantCurve(float(y.mean()))
+        if self.kind == "usl":
+            return _USLCurve(x, y)
         if self.kind == "linear" or x.size == 2:
             return _LinearCurve(x, y)
         if self.kind == "smoothing" and x.size >= 3:
@@ -254,3 +317,70 @@ class DemandTable:
             },
             axis=self.axis,
         )
+
+
+@dataclass(frozen=True)
+class UniversalScalabilityLaw:
+    """Gunther's USL on the throughput axis: ``X(N) = λN / (1+σ(N−1)+κN(N−1))``.
+
+    The capacity-law view of the same 2-parameter family
+    ``kind="usl"`` fits on the demand axis: ``λ`` is the single-stream
+    rate, ``σ`` the serialization (contention) fraction and ``κ`` the
+    pairwise-coherency cost.  κ > 0 gives throughput a genuine peak at
+    :attr:`peak_concurrency` followed by *retrograde* scaling — the
+    behaviour neither a clamped spline nor plain Amdahl (κ = 0) can
+    express.  Used by BENCH perf05 to characterize the execution
+    fabric's throughput-vs-workers curve.
+    """
+
+    lambda_: float
+    sigma: float
+    kappa: float
+
+    def __post_init__(self) -> None:
+        if self.lambda_ <= 0:
+            raise ValueError("lambda_ (single-stream rate) must be positive")
+        if self.sigma < 0 or self.kappa < 0:
+            raise ValueError("sigma and kappa are costs and must be non-negative")
+
+    @classmethod
+    def fit(cls, concurrency, throughput) -> "UniversalScalabilityLaw":
+        """Least-squares fit from measured ``(N, X(N))`` samples.
+
+        ``N/X(N)`` is linear in the USL basis ``[1, N−1, N(N−1)]`` with
+        intercept ``1/λ``, so the fit reuses the demand-axis machinery;
+        negative σ/κ estimates are refitted out, not clipped.
+        """
+        n = np.asarray(concurrency, dtype=float)
+        x = np.asarray(throughput, dtype=float)
+        if n.ndim != 1 or n.shape != x.shape or n.size == 0:
+            raise ValueError("concurrency and throughput must be equal-length 1-D")
+        if np.any(n <= 0) or np.any(x <= 0):
+            raise ValueError("concurrency and throughput samples must be positive")
+        a, sigma, kappa = _usl_fit(n, n / x)
+        return cls(lambda_=1.0 / a, sigma=sigma, kappa=kappa)
+
+    def throughput(self, concurrency):
+        """Predicted ``X(N)``; scalar in, scalar out — array in, array out."""
+        n = np.asarray(concurrency, dtype=float)
+        out = self.lambda_ * n / (
+            1.0 + self.sigma * (n - 1.0) + self.kappa * n * (n - 1.0)
+        )
+        if n.ndim == 0:
+            return float(out)
+        return out
+
+    def speedup(self, concurrency):
+        """``X(N) / X(1)`` — the scaling curve normalized to one worker."""
+        n = np.asarray(concurrency, dtype=float)
+        out = n / (1.0 + self.sigma * (n - 1.0) + self.kappa * n * (n - 1.0))
+        if n.ndim == 0:
+            return float(out)
+        return out
+
+    @property
+    def peak_concurrency(self) -> float:
+        """``N* = sqrt((1−σ)/κ)`` where throughput peaks; inf when κ = 0."""
+        if self.kappa <= 0:
+            return float("inf")
+        return float(np.sqrt(max(1.0 - self.sigma, 0.0) / self.kappa))

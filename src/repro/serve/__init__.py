@@ -13,6 +13,12 @@ script; this package turns the same facade into a long-lived service:
 * :mod:`~repro.serve.client` — the thin blocking client behind
   ``repro query`` (and the bench/test harnesses).
 
+The same wire format doubles as the execution fabric's transport:
+``repro worker`` runs this server as a fabric worker, and
+:class:`~repro.engine.transport.RemoteTransport` ships sub-stacks to it
+via the ``solve_shard`` op (:func:`~repro.serve.protocol.encode_scenario`
+/ :func:`~repro.serve.protocol.decode_stack_result`).
+
 What makes the service fast is not in this package at all: the
 trajectory store and the persistent sqlite tier live under
 :class:`~repro.solvers.cache.SolverCache`, so *any* facade caller —
@@ -23,7 +29,10 @@ from .client import ServeClient, ServeError, query  # noqa: F401
 from .protocol import (  # noqa: F401
     ProtocolError,
     decode_scenario,
+    decode_stack_result,
     encode_result,
+    encode_scenario,
+    encode_stack_result,
     error_envelope,
 )
 from .server import SolverServer, run_server  # noqa: F401
@@ -34,7 +43,10 @@ __all__ = [
     "ServeError",
     "SolverServer",
     "decode_scenario",
+    "decode_stack_result",
     "encode_result",
+    "encode_scenario",
+    "encode_stack_result",
     "error_envelope",
     "query",
     "run_server",

@@ -41,15 +41,23 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 7173,
         timeout: float | None = 60.0,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
     ) -> None:
         self.host = host
         self.port = int(port)
-        self._sock = socket.create_connection(
-            (host, self.port), timeout=DEFAULT_CONNECT_TIMEOUT
-        )
+        self._sock = socket.create_connection((host, self.port), timeout=connect_timeout)
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+
+    def set_timeout(self, timeout: float | None) -> None:
+        """Adjust the per-request socket timeout on the live connection.
+
+        The fabric reuses one connection per worker host across rounds
+        whose :class:`~repro.engine.resilience.RetryPolicy` shard
+        timeouts may differ.
+        """
+        self._sock.settimeout(timeout)
 
     # -- the wire -------------------------------------------------------------
 

@@ -11,7 +11,12 @@ callers read failures the same way.
 Floats ride as JSON numbers, which Python serializes via ``repr`` —
 shortest round-trip representation — so a served trajectory compares
 **bit-identical** (parity 0.0) to a direct in-process solve; the PERF-04
-bench and the CI smoke job assert exactly that.
+bench and the CI smoke job assert exactly that.  The bulk arrays of the
+execution-fabric ops (``solve_shard`` trajectories, resolved demand
+matrices) instead ride as packed buffers — base64 of the raw C-order
+IEEE-754 bytes, ``{"__nd__": shape, "dtype": ..., "b64": ...}`` — which
+is bit-exact by construction and keeps codec time negligible next to
+the solve; decoders accept plain nested lists in the same positions.
 
 Scenario codec
 --------------
@@ -40,10 +45,20 @@ attaches tabulated load-dependent service-rate laws (flow-equivalent
 stations, :mod:`repro.solvers.fes`) — each list must cover populations
 ``1..max_population``.  The ``compose`` op builds such scenarios
 server-side from ``{"stations": [...], "name": ...}`` aggregate groups.
+
+An optional top-level ``"demand_matrix"`` (one ``K``-demand row per
+population ``1..max_population``, as nested lists or a packed buffer)
+ships a *resolved* varying-demand law exactly — this is how the remote sweep
+fabric serializes spline/measured demand curves without shipping the
+callables: :func:`encode_scenario` resolves the curve onto the integer
+population grid, and the decoded scenario hashes to the **same
+fingerprint** as the original, which the ``solve_shard`` op verifies
+before solving.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from typing import Any, Mapping
 
@@ -51,25 +66,33 @@ import numpy as np
 
 from ..core.network import ClosedNetwork, Station
 from ..core.results import MVAResult
+from ..engine.batched import BatchedMVAResult, ScenarioFailure
 from ..solvers.scenario import Scenario
 
 __all__ = [
     "ProtocolError",
     "decode_request",
     "decode_scenario",
+    "decode_stack_result",
     "encode_result",
+    "encode_scenario",
+    "encode_stack_result",
     "error_envelope",
     "ok_envelope",
 ]
 
-#: Hard cap on one request line — a scenario is a few KB; anything
-#: larger is a malformed or hostile client.
-MAX_LINE_BYTES = 4 * 1024 * 1024
+#: Hard cap on one request line.  Interactive requests are a few KB, but
+#: a ``solve_shard`` of a varying-demand sub-stack legitimately runs to
+#: tens of MB (S scenarios × an N×K resolved demand matrix each) — the
+#: cap only exists to bound what a malformed or hostile client can make
+#: the server buffer.
+MAX_LINE_BYTES = 64 * 1024 * 1024
 
 KNOWN_OPS = (
     "ping",
     "solve",
     "solve_stack",
+    "solve_shard",
     "whatif",
     "bottlenecks",
     "compose",
@@ -80,6 +103,41 @@ KNOWN_OPS = (
 
 class ProtocolError(ValueError):
     """A request the server cannot even begin to execute."""
+
+
+#: Dtypes a packed array may declare — closed set, so a hostile peer
+#: cannot smuggle object arrays through ``np.dtype(...)``.
+_PACKED_DTYPES = ("float64", "int64", "int32")
+
+
+def _pack_array(arr: np.ndarray) -> dict:
+    """Binary wire form of an ndarray: base64 of the raw C-order buffer.
+
+    Bit-exact by construction (it *is* the IEEE-754 buffer) and ~50x
+    cheaper to encode/decode than nested JSON float lists — the
+    difference between a ``solve_shard`` response dominated by codec
+    time and one dominated by the solve.
+    """
+    arr = np.ascontiguousarray(arr)
+    if str(arr.dtype) not in _PACKED_DTYPES:
+        arr = np.ascontiguousarray(arr, dtype=float)
+    return {
+        "__nd__": list(arr.shape),
+        "dtype": str(arr.dtype),
+        "b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _unpack_array(raw, dtype=None) -> np.ndarray:
+    """Inverse of :func:`_pack_array`; plain nested lists still decode."""
+    if isinstance(raw, Mapping) and "__nd__" in raw:
+        declared = str(raw["dtype"])
+        if declared not in _PACKED_DTYPES:
+            raise ProtocolError(f"packed array dtype {declared!r} not allowed")
+        flat = np.frombuffer(base64.b64decode(raw["b64"]), dtype=np.dtype(declared))
+        arr = flat.reshape([int(d) for d in raw["__nd__"]]).copy()
+        return arr if dtype is None else np.ascontiguousarray(arr, dtype=dtype)
+    return np.asarray(raw) if dtype is None else np.asarray(raw, dtype=dtype)
 
 
 class _InterpTable:
@@ -143,12 +201,151 @@ def decode_scenario(payload: Mapping[str, Any]) -> Scenario:
     rate_tables = payload.get("rate_tables")
     if rate_tables is not None and not isinstance(rate_tables, Mapping):
         raise ProtocolError("scenario.rate_tables must map station names to lists")
-    return Scenario(
-        network,
-        max_population=int(max_population),
-        demand_level=float(payload.get("demand_level", 1.0)),
-        rate_tables=rate_tables,
-    )
+    demand_matrix = payload.get("demand_matrix")
+    if demand_matrix is not None:
+        try:
+            demand_matrix = _unpack_array(demand_matrix, dtype=float)
+        except ProtocolError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"scenario.demand_matrix is not numeric: {exc}") from None
+        if demand_matrix.ndim != 2:
+            raise ProtocolError(
+                "scenario.demand_matrix must be an (N, K) list of demand rows"
+            )
+    try:
+        return Scenario(
+            network,
+            max_population=int(max_population),
+            demand_matrix=demand_matrix,
+            demand_level=float(payload.get("demand_level", 1.0)),
+            rate_tables=rate_tables,
+        )
+    except ValueError as exc:
+        raise ProtocolError(f"scenario rejected: {exc}") from None
+
+
+def encode_scenario(scenario: Scenario) -> dict:
+    """Wire representation of a :class:`Scenario` — inverse of
+    :func:`decode_scenario`.
+
+    Varying demand models (splines, measured curves, demand matrices)
+    are *resolved* onto the integer population grid and shipped as the
+    top-level ``"demand_matrix"``; constant demands ride as plain
+    station numbers.  Because :meth:`Scenario.fingerprint` hashes the
+    resolved matrix — not the callables — the decoded scenario hashes
+    identically whenever ``demand_level`` sits on the population grid,
+    which the remote capability probe checks up front and the
+    ``solve_shard`` op re-verifies per scenario.
+
+    Multi-class scenarios have no wire form; shard them locally.
+    """
+    if scenario.is_multiclass:
+        raise ProtocolError("multi-class scenarios have no wire representation")
+    demands = scenario.fixed_demands()
+    stations = []
+    for st, demand in zip(scenario.network.stations, demands):
+        entry: dict[str, Any] = {"name": st.name, "demand": float(demand)}
+        if st.servers != 1:
+            entry["servers"] = int(st.servers)
+        if st.visits != 1.0:
+            entry["visits"] = float(st.visits)
+        if st.kind != "queue":
+            entry["kind"] = st.kind
+        stations.append(entry)
+    payload: dict[str, Any] = {
+        "stations": stations,
+        "think_time": float(scenario.think),
+        "max_population": int(scenario.max_population),
+        "demand_level": float(scenario.demand_level),
+        "name": scenario.network.name,
+    }
+    if scenario.has_varying_demands:
+        payload["demand_matrix"] = _pack_array(
+            np.asarray(scenario.resolved_demand_matrix(), dtype=float)
+        )
+    if scenario.rate_tables:
+        payload["rate_tables"] = {
+            name: [float(v) for v in table]
+            for name, table in scenario.rate_tables.items()
+        }
+    return payload
+
+
+def encode_stack_result(result) -> dict:
+    """JSON-ready form of a :class:`BatchedMVAResult` sub-stack.
+
+    The ``solve_shard`` response body: every trajectory array packed via
+    :func:`_pack_array` (the raw IEEE-754 buffer, so round-trips are
+    bit-exact and cost memcpy, not float parsing), plus the
+    isolated-failure records so a remote shard degrades exactly like a
+    local one.
+    """
+    if not isinstance(result, BatchedMVAResult):
+        raise ProtocolError(
+            f"only single-class stacks cross the wire, got {type(result).__name__}"
+        )
+    return {
+        "kind": "batched-stack",
+        "solver": result.solver,
+        "backend": result.backend,
+        "station_names": list(result.station_names),
+        "populations": _pack_array(result.populations),
+        "think_times": _pack_array(result.think_times),
+        "throughput": _pack_array(result.throughput),
+        "response_time": _pack_array(result.response_time),
+        "queue_lengths": _pack_array(result.queue_lengths),
+        "residence_times": _pack_array(result.residence_times),
+        "utilizations": _pack_array(result.utilizations),
+        "demands_used": None
+        if result.demands_used is None
+        else _pack_array(result.demands_used),
+        "failures": [
+            {
+                "index": f.index,
+                "fingerprint": f.fingerprint,
+                "solver": f.solver,
+                "error": f.error,
+                "retries": f.retries,
+            }
+            for f in result.failures
+        ],
+    }
+
+
+def decode_stack_result(payload: Mapping[str, Any]) -> BatchedMVAResult:
+    """Rebuild the :class:`BatchedMVAResult` a worker shipped back."""
+    try:
+        if payload.get("kind") != "batched-stack":
+            raise ValueError(f"expected kind 'batched-stack', got {payload.get('kind')!r}")
+        demands_used = payload["demands_used"]
+        return BatchedMVAResult(
+            populations=_unpack_array(payload["populations"]),
+            throughput=_unpack_array(payload["throughput"], dtype=float),
+            response_time=_unpack_array(payload["response_time"], dtype=float),
+            queue_lengths=_unpack_array(payload["queue_lengths"], dtype=float),
+            residence_times=_unpack_array(payload["residence_times"], dtype=float),
+            utilizations=_unpack_array(payload["utilizations"], dtype=float),
+            station_names=tuple(str(n) for n in payload["station_names"]),
+            think_times=_unpack_array(payload["think_times"], dtype=float),
+            solver=str(payload["solver"]),
+            demands_used=None
+            if demands_used is None
+            else _unpack_array(demands_used, dtype=float),
+            backend=payload.get("backend"),
+            failures=tuple(
+                ScenarioFailure(
+                    index=int(f["index"]),
+                    fingerprint=str(f["fingerprint"]),
+                    solver=str(f["solver"]),
+                    error=str(f["error"]),
+                    retries=int(f.get("retries", 0)),
+                )
+                for f in payload["failures"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed stack result: {exc}") from None
 
 
 def decode_request(line: bytes) -> dict:

@@ -30,13 +30,16 @@ import os
 import threading
 from typing import Any, Mapping
 
+from ..engine.backends import scenario_offset
 from ..solvers import solve, solve_stack
 from ..solvers.cache import SolverCache
 from .protocol import (
+    MAX_LINE_BYTES,
     ProtocolError,
     decode_request,
     decode_scenario,
     encode_result,
+    encode_stack_result,
     error_envelope,
     ok_envelope,
 )
@@ -111,7 +114,11 @@ class SolverServer:
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        # the default StreamReader limit (64 KB) would reject the large
+        # solve_shard request lines the protocol explicitly allows
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES + 1024
+        )
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_until_shutdown(self) -> None:
@@ -201,6 +208,8 @@ class SolverServer:
             return self._op_solve(request)
         if op == "solve_stack":
             return self._op_solve_stack(request)
+        if op == "solve_shard":
+            return self._op_solve_shard(request)
         if op == "whatif":
             return self._op_whatif(request)
         if op == "bottlenecks":
@@ -254,6 +263,57 @@ class SolverServer:
             ],
         }
         return payload, _provenance_label(counts)
+
+    def _op_solve_shard(self, request):
+        """One fabric shard: solve a sub-stack and ship the full arrays back.
+
+        The remote-sweep workhorse.  Unlike ``solve_stack`` (a summary
+        view for interactive clients) this returns every trajectory
+        array bit-exactly, plus the shard's ``start`` offset so the
+        dispatcher can re-assemble ``_concat_results`` order.  Each
+        scenario's wire fingerprint is verified against the
+        ``fingerprints`` list the client computed from its *original*
+        scenarios — a mismatch means the codec could not express the
+        demand model exactly, and the shard must be solved locally.
+        """
+        raw = request.get("scenarios")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("solve_shard needs a non-empty scenarios list")
+        scenarios = [decode_scenario(item) for item in raw]
+        expected = request.get("fingerprints")
+        if expected is not None:
+            if not isinstance(expected, list) or len(expected) != len(scenarios):
+                raise ProtocolError(
+                    "solve_shard fingerprints must parallel the scenarios list"
+                )
+            for idx, (sc, fp) in enumerate(zip(scenarios, expected)):
+                if sc.fingerprint() != fp:
+                    raise ProtocolError(
+                        f"scenario #{idx} fingerprint mismatch after decode "
+                        f"({sc.fingerprint()[:12]} != {str(fp)[:12]}): the wire "
+                        "codec cannot express this demand model exactly; "
+                        "solve this shard locally"
+                    )
+        method = str(request.get("method", "auto"))
+        backend = str(request.get("backend", "auto"))
+        if backend not in ("auto", "serial", "batched"):
+            raise ProtocolError(
+                f"solve_shard backend must be auto/serial/batched, got {backend!r}"
+            )
+        start = int(request.get("start", 0))
+        options = dict(request.get("options") or {})
+
+        def run():
+            with scenario_offset(start):
+                return solve_stack(
+                    scenarios, method=method, backend=backend, cache=self.cache, **options
+                )
+
+        result, counts = self._classified(run)
+        return (
+            {**encode_stack_result(result), "start": start},
+            _provenance_label(counts),
+        )
 
     def _op_whatif(self, request):
         """One snapshot per requested population — the capacity question.
@@ -416,10 +476,10 @@ class SolverServer:
         return payload
 
 
-async def _amain(server: SolverServer, announce) -> None:
+async def _amain(server: SolverServer, announce, banner: str = "repro-serve") -> None:
     await server.start()
     if announce is not None:
-        announce(f"repro-serve listening on {server.host}:{server.port}")
+        announce(f"{banner} listening on {server.host}:{server.port}")
     loop = asyncio.get_running_loop()
     try:
         import signal
@@ -438,12 +498,16 @@ def run_server(
     maxsize: int = 1024,
     timeout: float = DEFAULT_TIMEOUT,
     announce=None,
+    banner: str = "repro-serve",
 ) -> SolverServer:
-    """Blocking entry point used by ``repro serve``.
+    """Blocking entry point used by ``repro serve`` and ``repro worker``.
 
     Builds the server, prints the ``listening`` line (flushed, so a
     parent process can scrape the bound port), and runs until a client
-    sends ``shutdown`` or the process receives SIGINT/SIGTERM.
+    sends ``shutdown`` or the process receives SIGINT/SIGTERM.  The
+    ``banner`` prefix distinguishes interactive service processes from
+    fabric workers in logs; the ``listening on`` suffix is stable either
+    way, so port-scraping launchers work for both.
     """
     server = SolverServer(
         host=host, port=port, cache_path=cache_path, maxsize=maxsize, timeout=timeout
@@ -452,5 +516,5 @@ def run_server(
         def announce(message: str) -> None:
             print(message, flush=True)
 
-    asyncio.run(_amain(server, announce))
+    asyncio.run(_amain(server, announce, banner))
     return server

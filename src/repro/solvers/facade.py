@@ -79,6 +79,7 @@ _STACK_BACKENDS = (
     "batched",
     "process-sharded",
     "resilient",
+    "remote",
 )
 
 
@@ -241,6 +242,7 @@ def solve(
     errors: str = "raise",
     retry_policy=None,
     checkpoint=None,
+    hosts=None,
     **options: Any,
 ):
     """Solve one scenario (or a stack) with a registered method.
@@ -281,12 +283,13 @@ def solve(
             errors=errors,
             retry_policy=retry_policy,
             checkpoint=checkpoint,
+            hosts=hosts,
             **options,
         )
-    if errors != "raise" or retry_policy is not None or checkpoint is not None:
+    if errors != "raise" or retry_policy is not None or checkpoint is not None or hosts is not None:
         raise SolverInputError(
-            "solve: errors/retry_policy/checkpoint apply to scenario stacks; "
-            "pass a sequence of scenarios (or call solve_stack)"
+            "solve: errors/retry_policy/checkpoint/hosts apply to scenario "
+            "stacks; pass a sequence of scenarios (or call solve_stack)"
         )
     if backend not in ("auto", "scalar", "serial", "batched"):
         raise SolverInputError(
@@ -459,6 +462,7 @@ def solve_stack(
     errors: str = "raise",
     retry_policy=None,
     checkpoint=None,
+    hosts=None,
     **options: Any,
 ) -> BatchedMVAResult | Any:
     """Solve a stack of topology-sharing scenarios in one shot.
@@ -499,7 +503,15 @@ def solve_stack(
         Path (or :class:`~repro.engine.resilience.SweepCheckpoint`) of
         an append-only journal of completed shards; re-running after a
         crash re-solves only the missing shards and reassembles a
-        bit-identical result.  Implies ``backend="resilient"``.
+        bit-identical result.  Implies ``backend="resilient"``
+        (or rides ``backend="remote"`` unchanged).
+    hosts:
+        ``"host:port,host:port"`` (or a list of such specs) naming
+        ``repro worker`` processes — implies ``backend="remote"``: the
+        stack shards over the workers via the
+        :class:`~repro.engine.fabric.Dispatcher`, with the same retry /
+        checkpoint / degradation semantics as ``"resilient"`` (shards
+        that no worker can solve fall back to local execution).
 
     Results carrying failures are never cached — a retry after fixing
     the inputs must recompute, not replay the failure.
@@ -515,6 +527,17 @@ def solve_stack(
     if errors not in ("raise", "isolate"):
         raise SolverInputError(
             f"solve_stack: errors must be 'raise' or 'isolate', got {errors!r}"
+        )
+    if hosts is not None and backend == "auto":
+        backend = "remote"
+    if backend == "remote" and not hosts:
+        raise SolverInputError(
+            "solve_stack: backend='remote' needs hosts= naming at least one "
+            "repro worker (e.g. hosts='127.0.0.1:7173')"
+        )
+    if hosts is not None and backend != "remote":
+        raise SolverInputError(
+            f"solve_stack: hosts= only applies to backend='remote', got {backend!r}"
         )
     _check_stackable(scenarios)
     name = _auto_stack_method(scenarios) if method == "auto" else method
@@ -542,9 +565,12 @@ def solve_stack(
         and len(scenarios) > 1
     ):
         _warn_scalar_fallback(spec, len(scenarios))
-    if checkpoint is not None or retry_policy is not None:
-        # The retry/checkpoint machinery lives in the resilient backend;
-        # asking for either is asking for it.
+    if (checkpoint is not None or retry_policy is not None) and resolved not in (
+        "resilient",
+        "remote",
+    ):
+        # The retry/checkpoint machinery lives in the dispatcher-backed
+        # backends; asking for either is asking for one of them.
         resolved = "resilient"
     if (
         spec.batched_kernel == "ld-mva"
@@ -575,7 +601,16 @@ def solve_stack(
             hit, _ = store.fetch(key)
             if hit is not None:
                 return hit
-    if resolved == "resilient":
+    if resolved == "remote":
+        runner = get_backend(
+            "remote",
+            hosts=hosts,
+            policy=retry_policy,
+            checkpoint=checkpoint,
+            errors=errors,
+        )
+        result = runner.run(spec, scenarios, options)
+    elif resolved == "resilient":
         runner = get_backend(
             "resilient",
             workers=workers,

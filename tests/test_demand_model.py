@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.interpolate import DemandTable, ServiceDemandModel
+from repro.interpolate import (
+    DemandTable,
+    ServiceDemandModel,
+    UniversalScalabilityLaw,
+)
 
 
 @pytest.fixture
@@ -167,3 +171,51 @@ class TestDemandTable:
         assert matrix.shape == (30, 2)
         for j, name in enumerate(table.stations()):
             np.testing.assert_array_equal(matrix[:, j], table.models[name](query))
+
+
+class TestUniversalScalabilityLaw:
+    def test_exact_parameter_recovery(self):
+        lam, sigma, kappa = 25.0, 0.03, 4e-4
+        n = np.array([1.0, 5, 10, 25, 50, 100, 200])
+        x = lam * n / (1 + sigma * (n - 1) + kappa * n * (n - 1))
+        usl = UniversalScalabilityLaw.fit(n, x)
+        assert usl.lambda_ == pytest.approx(lam, rel=1e-8)
+        assert usl.sigma == pytest.approx(sigma, rel=1e-6)
+        assert usl.kappa == pytest.approx(kappa, rel=1e-6)
+        np.testing.assert_allclose(usl.throughput(n), x, rtol=1e-8)
+
+    def test_linear_scaling_collapses_to_zero_coefficients(self):
+        n = np.array([1.0, 2, 4, 8, 16])
+        usl = UniversalScalabilityLaw.fit(n, 3.0 * n)
+        assert usl.sigma == 0.0 and usl.kappa == 0.0
+        assert usl.peak_concurrency == np.inf
+        assert usl.speedup(16.0) == pytest.approx(16.0)
+
+    def test_peak_concurrency_formula(self):
+        usl = UniversalScalabilityLaw(lambda_=10.0, sigma=0.04, kappa=1e-4)
+        assert usl.peak_concurrency == pytest.approx(np.sqrt(0.96 / 1e-4))
+        # throughput is maximal in the neighbourhood of N*
+        star = usl.peak_concurrency
+        assert usl.throughput(star) >= usl.throughput(star * 0.5)
+        assert usl.throughput(star) >= usl.throughput(star * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniversalScalabilityLaw(lambda_=0.0, sigma=0.1, kappa=0.0)
+        with pytest.raises(ValueError):
+            UniversalScalabilityLaw(lambda_=1.0, sigma=-0.1, kappa=0.0)
+        with pytest.raises(ValueError, match="equal-length"):
+            UniversalScalabilityLaw.fit([1, 2, 3], [1, 2])
+        with pytest.raises(ValueError, match="positive"):
+            UniversalScalabilityLaw.fit([1, 2, 0], [1, 2, 3])
+
+    def test_usl_kind_in_demand_model(self):
+        # demand-axis flavour: D(N) grows with contention and coherency
+        n = np.array([1.0, 10, 50, 100, 200])
+        d = 0.05 * (1 + 0.02 * (n - 1) + 1e-4 * n * (n - 1))
+        m = ServiceDemandModel(n, d, kind="usl")
+        np.testing.assert_allclose(m(n), d, rtol=1e-8)
+        # extrapolates the parametric form, not a clamp
+        assert m(400.0) == pytest.approx(
+            0.05 * (1 + 0.02 * 399 + 1e-4 * 400 * 399), rel=1e-6
+        )

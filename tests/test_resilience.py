@@ -313,6 +313,102 @@ class TestSweepCheckpoint:
         assert ck.load() == {}  # the failed shard must be recomputed next run
 
 
+class TestMulticlassCheckpoint:
+    """Satellite: all three stack containers ride the shard journal.
+
+    Multi-class sweeps used to skip journaling (the npz layout only knew
+    the single-class trajectory container); these pin the extended
+    ``container``-tagged layout and the resume bit-identity it buys.
+    """
+
+    def _mc_stack(self, net, s=6):
+        from repro.solvers import WorkloadClass
+
+        scales = np.linspace(0.8, 1.2, s)
+        return [
+            Scenario(
+                net,
+                5,
+                classes=(
+                    WorkloadClass(
+                        "a", 3, {"web": 0.02 * sc, "db": 0.05 * sc}, think_time=1.0
+                    ),
+                    WorkloadClass(
+                        "b", 2, {"web": 0.01 * sc, "db": 0.04 * sc}, think_time=0.5
+                    ),
+                ),
+            )
+            for sc in scales
+        ]
+
+    def test_multiclass_kill_and_resume_bit_identical(self, tmp_path, net):
+        stack = self._mc_stack(net)
+        path = tmp_path / "mc.ckpt"
+        full = solve_stack(
+            stack, method="exact-multiclass", workers=2, cache=None, checkpoint=path
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) >= 2
+        assert all(
+            json.loads(line)["meta"]["container"] == "multiclass" for line in lines
+        )
+        # crash that lost the tail: first shard survives, half a torn record
+        path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        resumed = solve_stack(
+            stack, method="exact-multiclass", workers=2, cache=None, checkpoint=path
+        )
+        assert np.array_equal(resumed.throughput, full.throughput)
+        assert np.array_equal(resumed.queue_lengths_by_class, full.queue_lengths_by_class)
+        assert np.array_equal(resumed.utilizations, full.utilizations)
+        assert resumed.populations == full.populations
+        assert resumed.class_names == full.class_names
+        serial = solve_stack(
+            stack, method="exact-multiclass", backend="serial", cache=None
+        )
+        np.testing.assert_allclose(full.throughput, serial.throughput, atol=ATOL)
+
+    def test_multiclass_trajectory_container_round_trips(self, tmp_path, net):
+        stack = self._mc_stack(net)
+        part = solve_stack(stack, method="multiclass-mvasd", backend="batched", cache=None)
+        ck = SweepCheckpoint(tmp_path / "traj.ckpt")
+        key = "c" * 64
+        ck.record(key, part)
+        loaded = ck.load()[key]
+        assert type(loaded) is type(part)
+        assert loaded.class_names == part.class_names
+        assert np.array_equal(loaded.totals, part.totals)
+        assert np.array_equal(np.asarray(loaded.populations), np.asarray(part.populations))
+        assert np.array_equal(loaded.throughput, part.throughput)
+        assert np.array_equal(loaded.response_time, part.response_time)
+        assert np.array_equal(loaded.utilizations, part.utilizations)
+
+    def test_v1_untagged_record_still_decodes(self, tmp_path, stack):
+        """Journals written before the container tag keep loading as mva."""
+        path = tmp_path / "v1.ckpt"
+        solve_stack(stack, method="exact-mva", workers=2, cache=None, checkpoint=path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        for record in records:
+            record["meta"].pop("container")
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        loaded = SweepCheckpoint(path).load()
+        assert len(loaded) == len(records)
+        for part in loaded.values():
+            assert part.throughput.ndim == 2  # BatchedMVAResult shape
+
+    def test_unknown_container_skipped_not_fatal(self, tmp_path, stack, baseline):
+        path = tmp_path / "future.ckpt"
+        solve_stack(stack, method="exact-mva", workers=2, cache=None, checkpoint=path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        records[0]["meta"]["container"] = "from-the-future"
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        loaded = SweepCheckpoint(path).load()
+        assert len(loaded) == len(records) - 1  # unknown shard re-solves
+        result = solve_stack(
+            stack, method="exact-mva", workers=2, cache=None, checkpoint=path
+        )
+        np.testing.assert_allclose(result.throughput, baseline.throughput, atol=ATOL)
+
+
 class TestNonFiniteDemands:
     def test_check_finite_names_the_solver(self):
         with pytest.raises(SolverInputError, match="exact-mva: demands must be finite"):
