@@ -357,7 +357,15 @@ def _cmd_sweep_grid(args) -> int:
         except ValueError as exc:
             raise SystemExit(f"--inject-faults: {exc}") from None
     hosts = getattr(args, "hosts", None)
-    if hosts and args.backend == "auto":
+    fleet = getattr(args, "fleet", None)
+    if fleet is not None:
+        # A bare integer means "launch an ephemeral supervised fleet of N
+        # local workers"; anything else is a `repro fleet up` state file.
+        try:
+            fleet = int(fleet)
+        except ValueError:
+            pass
+    if (hosts or fleet is not None) and args.backend == "auto":
         args.backend = "remote"
     try:
         with plan_ctx:
@@ -369,6 +377,7 @@ def _cmd_sweep_grid(args) -> int:
                 errors=args.errors,
                 checkpoint=args.checkpoint,
                 hosts=hosts,
+                fleet=fleet,
             )
     except SolverInputError as exc:
         raise SystemExit(str(exc)) from None
@@ -452,17 +461,33 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _serve_fault_context(spec):
+    import contextlib
+
+    from .engine.faults import FaultPlan, injected
+
+    if not spec:
+        return contextlib.nullcontext()
+    try:
+        return injected(FaultPlan.parse(spec))
+    except ValueError as exc:
+        raise SystemExit(f"--inject-faults: {exc}") from None
+
+
 def _cmd_serve(args) -> int:
     from .serve.server import run_server
 
     try:
-        run_server(
-            host=args.host,
-            port=args.port,
-            cache_path=args.cache_path,
-            maxsize=args.maxsize,
-            timeout=args.timeout,
-        )
+        with _serve_fault_context(args.inject_faults):
+            run_server(
+                host=args.host,
+                port=args.port,
+                cache_path=args.cache_path,
+                maxsize=args.maxsize,
+                timeout=args.timeout,
+                max_concurrent=args.max_concurrent,
+                admission_queue=args.admission_queue,
+            )
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     return 0
@@ -472,17 +497,189 @@ def _cmd_worker(args) -> int:
     from .serve.server import run_server
 
     try:
-        run_server(
-            host=args.host,
-            port=args.port,
-            cache_path=args.cache_path,
-            maxsize=args.maxsize,
-            timeout=args.timeout,
-            banner="repro-worker",
-        )
+        with _serve_fault_context(args.inject_faults):
+            run_server(
+                host=args.host,
+                port=args.port,
+                cache_path=args.cache_path,
+                maxsize=args.maxsize,
+                timeout=args.timeout,
+                max_concurrent=args.max_concurrent,
+                admission_queue=args.admission_queue,
+                banner="repro-worker",
+            )
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     return 0
+
+
+def _cmd_fleet(args) -> int:
+    import os
+    import signal
+    import time
+
+    from .analysis.tables import format_table
+    from .engine.supervisor import (
+        FleetSupervisor,
+        LocalLauncher,
+        load_fleet_state,
+        save_fleet_state,
+    )
+    from .serve.client import ServeClient, ServeError
+
+    if args.fleet_command == "up":
+        extra = []
+        if args.cache_path:
+            extra += ["--cache-path", args.cache_path]
+        if args.max_concurrent is not None:
+            extra += ["--max-concurrent", str(args.max_concurrent)]
+        if args.admission_queue is not None:
+            extra += ["--admission-queue", str(args.admission_queue)]
+        if args.inject_faults:
+            extra += ["--inject-faults", args.inject_faults]
+        supervisor = FleetSupervisor(
+            workers=args.workers, launcher=LocalLauncher(extra_args=extra)
+        )
+        supervisor.start()
+        up = supervisor.hosts()
+        if not up:
+            supervisor.stop(graceful=False)
+            for kind, slot, detail in supervisor.events:
+                print(f"[fleet] {kind} slot={slot} {detail}", file=sys.stderr)
+            raise SystemExit("fleet up: no worker came up")
+        save_fleet_state(args.state, supervisor, cache_path=args.cache_path)
+        for host, port in up:
+            print(f"worker listening on {host}:{port}")
+        print(f"fleet of {len(up)} worker(s) up; state in {args.state}")
+        if not args.supervise:
+            # Detached: leave the worker processes running as orphans —
+            # findable via the state file — but unsupervised (no relaunch
+            # on crash).
+            supervisor.detach()
+            return 0
+        print("supervising; ctrl-c drains the fleet and exits")
+        seen = 0
+        try:
+            while True:
+                time.sleep(0.5)
+                events = supervisor.events[seen:]
+                seen += len(events)
+                for kind, slot, detail in events:
+                    print(f"[fleet] {kind} slot={slot} {detail}", flush=True)
+                if events:
+                    # Relaunches move workers to new ports; keep attachers fresh.
+                    save_fleet_state(args.state, supervisor, cache_path=args.cache_path)
+        except KeyboardInterrupt:
+            clean = supervisor.drain()
+            supervisor.stop(graceful=False)
+            try:
+                os.unlink(args.state)
+            except OSError:
+                pass
+            print(f"fleet drained {'cleanly' if clean else 'with casualties'}")
+            return 0 if clean else 1
+
+    state = load_fleet_state(args.state)
+    workers = state["workers"]
+
+    if args.fleet_command == "status":
+        rows = []
+        n_up = 0
+        for w in workers:
+            endpoint = f"{w['host']}:{w['port']}"
+            try:
+                with ServeClient(w["host"], w["port"], timeout=args.timeout) as client:
+                    h = client.health()
+            except (ServeError, ConnectionError, OSError):
+                rows.append((endpoint, w.get("pid", "-"), "down", "-", "-", "-"))
+                continue
+            n_up += 1
+            rows.append(
+                (
+                    endpoint,
+                    h.get("pid", w.get("pid", "-")),
+                    "draining" if h.get("draining") else "up",
+                    h.get("in_flight", "-"),
+                    h.get("requests_handled", "-"),
+                    f"{h.get('uptime', 0.0):.0f}s",
+                )
+            )
+        print(
+            format_table(
+                ["Worker", "pid", "state", "in flight", "handled", "uptime"],
+                rows,
+                title=f"fleet: {n_up}/{len(workers)} worker(s) answering",
+            )
+        )
+        return 0 if n_up == len(workers) else 1
+
+    if args.fleet_command == "drain":
+        for w in workers:
+            try:
+                with ServeClient(w["host"], w["port"], timeout=args.timeout) as client:
+                    client.drain()
+                print(f"draining {w['host']}:{w['port']}")
+            except (ServeError, ConnectionError, OSError) as exc:
+                print(f"{w['host']}:{w['port']}: unreachable ({exc})")
+        def pid_running(pid):
+            try:
+                # Reap if it is our own child (fleet up in this process)
+                # — a zombie would otherwise still answer os.kill(pid, 0).
+                if os.waitpid(pid, os.WNOHANG)[0] == pid:
+                    return False
+            except (ChildProcessError, OSError):
+                pass
+            try:
+                os.kill(pid, 0)
+            except (OSError, ProcessLookupError):
+                return False
+            return True
+
+        deadline = time.monotonic() + args.timeout
+        clean = True
+        for w in workers:
+            pid = w.get("pid")
+            if pid is None:
+                continue
+            while time.monotonic() < deadline:
+                if not pid_running(int(pid)):
+                    break  # exited
+                time.sleep(0.05)
+            else:
+                clean = False
+                print(f"pid {pid} still running after {args.timeout:.0f}s")
+        if clean:
+            try:
+                os.unlink(args.state)
+            except OSError:
+                pass
+        print(f"fleet drained {'cleanly' if clean else 'with stragglers'}")
+        return 0 if clean else 1
+
+    if args.fleet_command == "down":
+        for w in workers:
+            stopped = False
+            try:
+                with ServeClient(w["host"], w["port"], timeout=args.timeout) as client:
+                    client.shutdown()
+                stopped = True
+            except (ServeError, ConnectionError, OSError):
+                pass
+            pid = w.get("pid")
+            if not stopped and pid is not None:
+                try:
+                    os.kill(int(pid), signal.SIGTERM)
+                    stopped = True
+                except (OSError, ProcessLookupError):
+                    stopped = True  # already gone
+            print(f"{w['host']}:{w['port']}: {'stopped' if stopped else 'not reachable'}")
+        try:
+            os.unlink(args.state)
+        except OSError:
+            pass
+        return 0
+
+    raise SystemExit(f"unknown fleet command {args.fleet_command!r}")
 
 
 def _cmd_query(args) -> int:
@@ -626,6 +823,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
                    help="comma-separated repro worker addresses; implies "
                         "--backend remote")
+    p.add_argument("--fleet", default=None, metavar="N|STATE",
+                   help="shard over a supervised fleet; N launches an ephemeral "
+                        "local fleet of N workers, a path attaches to a "
+                        "'repro fleet up' state file (implies --backend remote)")
     p.add_argument("--errors", choices=("raise", "isolate"), default="raise",
                    help="isolate: failed scenarios become FAILED rows instead of aborting")
     p.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -663,6 +864,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory result cache capacity")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="per-request solve timeout in seconds")
+    p.add_argument("--max-concurrent", type=int, default=1,
+                   help="solver requests executed concurrently (admission "
+                        "control; 1 keeps cache provenance exact)")
+    p.add_argument("--admission-queue", type=int, default=16,
+                   help="solver requests allowed to wait for a slot before "
+                        "the server sheds load with an 'overloaded' error")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan armed inside the server, "
+                        "e.g. 'reject-admission' to shed one request")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -680,7 +890,60 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory result cache capacity")
     p.add_argument("--timeout", type=float, default=600.0,
                    help="per-shard solve timeout in seconds")
+    p.add_argument("--max-concurrent", type=int, default=1,
+                   help="solver requests executed concurrently (admission control)")
+    p.add_argument("--admission-queue", type=int, default=16,
+                   help="waiting requests before the worker sheds load with an "
+                        "'overloaded' error (the transport retries elsewhere)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan armed inside the worker, "
+                        "e.g. 'reject-admission' for the chaos drill")
     p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "fleet",
+        help="manage a supervised fleet of local repro workers",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    fp = fleet_sub.add_parser("up", help="launch N workers and write a state file")
+    fp.add_argument("--workers", type=int, default=2,
+                    help="worker processes to launch (default 2)")
+    fp.add_argument("--state", default=".repro-fleet.json", metavar="PATH",
+                    help="fleet state file for status/drain/down and "
+                         "sweep-grid --fleet (default .repro-fleet.json)")
+    fp.add_argument("--cache-path", default=None, metavar="PATH",
+                    help="persistent sqlite store shared by every worker")
+    fp.add_argument("--max-concurrent", type=int, default=None,
+                    help="per-worker admission control (see repro worker)")
+    fp.add_argument("--admission-queue", type=int, default=None,
+                    help="per-worker admission queue depth (see repro worker)")
+    fp.add_argument("--inject-faults", default=None, metavar="SPEC",
+                    help="fault plan armed inside every worker (chaos drills)")
+    fp.add_argument("--supervise", action="store_true",
+                    help="stay in the foreground: heartbeat the workers, "
+                         "relaunch crashes, print membership events; ctrl-c "
+                         "drains the fleet (default: detach, leaving the "
+                         "workers running unsupervised)")
+    fp.set_defaults(fn=_cmd_fleet)
+
+    fp = fleet_sub.add_parser("status", help="ping every worker in the state file")
+    fp.add_argument("--state", default=".repro-fleet.json", metavar="PATH")
+    fp.add_argument("--timeout", type=float, default=5.0)
+    fp.set_defaults(fn=_cmd_fleet)
+
+    fp = fleet_sub.add_parser(
+        "drain", help="finish in-flight work, then stop every worker"
+    )
+    fp.add_argument("--state", default=".repro-fleet.json", metavar="PATH")
+    fp.add_argument("--timeout", type=float, default=30.0,
+                    help="seconds to wait for the workers to exit")
+    fp.set_defaults(fn=_cmd_fleet)
+
+    fp = fleet_sub.add_parser("down", help="stop every worker immediately")
+    fp.add_argument("--state", default=".repro-fleet.json", metavar="PATH")
+    fp.add_argument("--timeout", type=float, default=5.0)
+    fp.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser(
         "query", help="send one JSON request to a running repro serve instance"

@@ -66,12 +66,22 @@ from .resilience import (
     solve_isolated,
     solve_isolated_batched,
 )
+from .supervisor import (
+    CircuitBreaker,
+    CommandLauncher,
+    FleetSupervisor,
+    Launcher,
+    LocalLauncher,
+    StaticMembership,
+    WorkerHandle,
+)
 from .sweep import ScenarioGrid, parallel_map, resolve_workers, spawn_seeds
 from .transport import (
     LocalProcessTransport,
     RemoteTransport,
     Transport,
     WorkerConnectionLost,
+    WorkerOverloaded,
     parse_hosts,
 )
 
@@ -80,11 +90,16 @@ __all__ = [
     "BatchedMVAResult",
     "BatchedMultiClassResult",
     "BatchedMultiClassTrajectory",
+    "CircuitBreaker",
+    "CommandLauncher",
     "Dispatcher",
     "ExecutionBackend",
     "Fault",
     "FaultPlan",
+    "FleetSupervisor",
     "InjectedFault",
+    "Launcher",
+    "LocalLauncher",
     "LocalProcessTransport",
     "ProcessShardedBackend",
     "RemoteBackend",
@@ -94,11 +109,14 @@ __all__ = [
     "ScenarioFailure",
     "ScenarioGrid",
     "SerialBackend",
+    "StaticMembership",
     "SweepCheckpoint",
     "Transport",
     "WorkPlan",
     "WorkShard",
     "WorkerConnectionLost",
+    "WorkerHandle",
+    "WorkerOverloaded",
     "backend_names",
     "batched_exact_multiclass",
     "batched_exact_mva",

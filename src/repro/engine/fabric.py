@@ -272,11 +272,17 @@ def _check_remote_capability(spec, scenarios, options) -> None:
     from ..solvers.facade import SolverCapabilityError
 
     first = scenarios[0]
-    if first.is_multiclass:
-        raise SolverCapabilityError(
-            "remote backend: multi-class stacks have no wire encoding yet — "
-            "use backend='resilient' for local fan-out"
-        )
+    if first.is_multiclass and first.has_varying_demands:
+        level = float(first.demand_level)
+        if level != int(level) or not 1 <= level <= first.max_population:
+            # Class fingerprints sample integer totals only, so an
+            # off-grid freeze level would round-trip fingerprint-equal
+            # while the decoded interpolant evaluates differently there.
+            raise SolverCapabilityError(
+                "remote backend: multi-class stacks with varying demands need "
+                "an integer demand_level within 1..max_population to cross "
+                "the wire exactly — solve locally"
+            )
     if options.get("demand_axis") == "throughput":
         raise SolverCapabilityError(
             "remote backend: demand_axis='throughput' evaluates demand curves "
@@ -321,12 +327,14 @@ class RemoteBackend:
 
     def __init__(
         self,
-        hosts: Sequence[str | tuple] | str,
+        hosts: Sequence[str | tuple] | str = (),
         policy: RetryPolicy | None = None,
         checkpoint: SweepCheckpoint | str | None = None,
         errors: str = "raise",
         shards_per_host: int | None = None,
         connect_timeout: float = 10.0,
+        membership=None,
+        reprobe_interval: float = 0.5,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         from .transport import DEFAULT_SHARDS_PER_HOST, parse_hosts
@@ -334,8 +342,9 @@ class RemoteBackend:
         if isinstance(hosts, str):
             hosts = parse_hosts(hosts)
         self.hosts = tuple(hosts)
-        if not self.hosts:
-            raise ValueError("remote backend needs at least one worker host")
+        self.membership = membership
+        if not self.hosts and membership is None:
+            raise ValueError("remote backend needs worker hosts or a membership")
         if errors not in ("raise", "isolate"):
             raise ValueError(f"errors must be 'raise' or 'isolate', got {errors!r}")
         self.policy = policy if policy is not None else RetryPolicy()
@@ -347,7 +356,11 @@ class RemoteBackend:
             DEFAULT_SHARDS_PER_HOST if shards_per_host is None else int(shards_per_host)
         )
         self.connect_timeout = float(connect_timeout)
+        self.reprobe_interval = float(reprobe_interval)
         self._sleep = sleep
+        #: The transport of the most recent run — how callers read the
+        #: elastic counters (overload_retries, readmissions) afterwards.
+        self.last_transport = None
 
     def run(self, spec, scenarios, options):
         from .transport import RemoteTransport
@@ -358,7 +371,10 @@ class RemoteBackend:
             self.hosts,
             connect_timeout=self.connect_timeout,
             shards_per_host=self.shards_per_host,
+            membership=self.membership,
+            reprobe_interval=self.reprobe_interval,
         )
+        self.last_transport = transport
         try:
             dispatcher = Dispatcher(
                 transport,

@@ -50,6 +50,20 @@ Fault kinds
     Sleep ``delay`` seconds in the remote transport before sending the
     matching shard (the remote twin of ``delay-shard``; pair with a
     per-shard timeout to exercise timeout-driven host retirement).
+``kill-worker-process``
+    SIGKILL a supervised fleet worker (``shard`` selects the worker
+    slot).  Fired by the :class:`~repro.engine.supervisor.FleetSupervisor`
+    heartbeat via :func:`take_one_shot` — lifecycle faults live on
+    wall-clock threads, not retry attempts, so each armed fault fires
+    exactly once per plan instead of matching an attempt counter.
+``reject-admission``
+    The worker answers the matching shard with a structured
+    ``Overloaded`` envelope instead of solving it.  Fires in the remote
+    transport just before the shard is sent (driver-side, mirroring
+    ``drop-connection``), and in a worker's admission gate when the
+    worker process itself armed a plan (``repro worker
+    --inject-faults``).  The transport must treat it as retry-later —
+    re-queue the shard, keep the host.
 
 CLI spec syntax (``repro sweep-grid --inject-faults``): faults separated
 by ``;``, parameters by ``,`` — e.g.
@@ -76,6 +90,7 @@ __all__ = [
     "injected",
     "maybe_inject",
     "set_attempt",
+    "take_one_shot",
 ]
 
 #: Every recognised fault kind, mapped to the injection point it hooks.
@@ -87,6 +102,8 @@ FAULT_KINDS = {
     "corrupt-persistent-entry": "persistent",
     "drop-connection": "transport",
     "slow-worker": "transport",
+    "kill-worker-process": "fleet",
+    "reject-admission": "admission",
 }
 
 
@@ -232,6 +249,7 @@ def activate(plan: FaultPlan) -> None:
     _plan = plan
     _armed_pid = os.getpid()
     _fired.clear()
+    _consumed.clear()
 
 
 def deactivate() -> None:
@@ -269,6 +287,38 @@ def current_attempt() -> int:
 def fired() -> list[tuple[str, str, int | None, int | None, int]]:
     """Faults fired *in this process* since the plan was armed."""
     return list(_fired)
+
+
+#: Faults already consumed by :func:`take_one_shot` — identity-keyed so
+#: re-arming the same plan object does not resurrect them (``activate``
+#: clears this alongside ``_fired``).
+_consumed: set[int] = set()
+
+
+def take_one_shot(point: str, shard: int | None = None) -> Fault | None:
+    """Consume and return an armed fault at ``point``, ignoring attempts.
+
+    Lifecycle consumers (the fleet supervisor's heartbeat thread) live on
+    wall-clock time, not the dispatcher's retry-attempt clock: a
+    ``kill-worker-process`` fault matched via :meth:`Fault.matches` would
+    re-fire on every heartbeat once the dispatcher resets the attempt
+    counter.  This helper instead fires each armed fault *exactly once*:
+    the first call matching ``point`` (and ``shard``, when the fault pins
+    one) returns the fault, records it in :func:`fired`, and marks it
+    consumed; later calls skip it.  Returns ``None`` when nothing is
+    armed or everything matching is already consumed.
+    """
+    if _plan is None:
+        return None
+    for fault in _plan.faults:
+        if fault.point != point or id(fault) in _consumed:
+            continue
+        if fault.shard is not None and shard is not None and shard != fault.shard:
+            continue
+        _consumed.add(id(fault))
+        _fired.append((fault.kind, point, fault.shard, None, _attempt))
+        return fault
+    return None
 
 
 def maybe_inject(

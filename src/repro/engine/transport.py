@@ -31,17 +31,26 @@ Failure model of the remote transport: a connection-level failure
 (refused, reset, timeout, or an injected ``drop-connection`` fault)
 retires that host *for the round* — its pump thread exits, surviving
 hosts drain the rest of the queue, and the failed shard surfaces as an
-exception for the dispatcher to retry (reconnection is attempted at the
-next round).  A *structured* worker error (the solver itself failed)
-keeps the host alive; only the shard fails.  If every host is gone,
-remaining shards fail with :class:`WorkerConnectionLost` and the
-dispatcher's in-process degradation chain takes over — a dead fleet
-never wedges or aborts a sweep that the driver alone could finish.
+exception for the dispatcher to retry.  Retirement is no longer final
+even within a round: while at least one pump is still draining the
+queue, a monitor thread re-probes retired hosts (and any host newly
+published by an elastic *membership* source, e.g. a
+:class:`~repro.engine.supervisor.FleetSupervisor` that relaunched a
+crashed worker on a fresh port) and starts a new pump the moment a
+probe connects — a rejoining host immediately picks up queued shards.
+A *structured* worker error (the solver itself failed) keeps the host
+alive; only the shard fails.  An ``Overloaded`` error envelope is
+retry-later, not host death: the shard goes back on the queue (once per
+round) and the host keeps pumping.  If every host is gone, remaining
+shards fail with :class:`WorkerConnectionLost` and the dispatcher's
+in-process degradation chain takes over — a dead fleet never wedges or
+aborts a sweep that the driver alone could finish.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Protocol, Sequence
 
 from . import faults
@@ -57,6 +66,7 @@ __all__ = [
     "RemoteTransport",
     "Transport",
     "WorkerConnectionLost",
+    "WorkerOverloaded",
     "parse_host",
     "parse_hosts",
 ]
@@ -71,6 +81,14 @@ _UNSET = object()
 
 class WorkerConnectionLost(ConnectionError):
     """A worker host vanished (refused/reset/timed out) mid-shard."""
+
+
+class WorkerOverloaded(RuntimeError):
+    """A worker shed the shard with a structured ``Overloaded`` envelope.
+
+    Retry-later, not host death: the transport re-queues the shard for
+    another (or the same, later) worker and keeps the connection.
+    """
 
 
 class Transport(Protocol):
@@ -165,27 +183,56 @@ class RemoteTransport:
     """Shards solved by ``repro worker`` processes over JSON lines.
 
     One persistent :class:`~repro.serve.client.ServeClient` connection
-    per host, reused across dispatcher rounds; a host dropped by a
-    connection failure is reconnected at the start of the next round.
+    per ``(host, port)`` endpoint, reused across dispatcher rounds.
+    Membership is **elastic**: pass ``membership=`` (any object with a
+    ``hosts()`` method returning the current ``[(host, port), ...]`` —
+    a :class:`~repro.engine.supervisor.FleetSupervisor` qualifies) and
+    each ``run_shards`` round tracks it live — hosts that join mid-round
+    start draining the shared shard queue immediately, retired hosts
+    are re-probed every ``reprobe_interval`` seconds while the round is
+    still in progress, and hosts the membership dropped (quarantined)
+    stop being probed.  Without ``membership`` the initial host list is
+    the membership, and in-round re-probe still applies to retired
+    hosts.
     """
 
     name = "remote-sockets"
 
     def __init__(
         self,
-        hosts: Sequence[str | tuple],
+        hosts: Sequence[str | tuple] = (),
         connect_timeout: float = 10.0,
         shards_per_host: int = DEFAULT_SHARDS_PER_HOST,
+        membership=None,
+        reprobe_interval: float = 0.5,
     ) -> None:
-        self.hosts = tuple(parse_host(h) for h in hosts)
-        if not self.hosts:
-            raise ValueError("RemoteTransport needs at least one worker host")
+        self._static_hosts = tuple(parse_host(h) for h in hosts)
+        self.membership = membership
+        if not self._static_hosts and membership is None:
+            raise ValueError("RemoteTransport needs worker hosts or a membership")
         self.connect_timeout = float(connect_timeout)
         self.shards_per_host = max(1, int(shards_per_host))
-        self._clients: list["ServeClient | None"] = [None] * len(self.hosts)
+        self.reprobe_interval = float(reprobe_interval)
+        self._clients: dict[tuple[str, int], "ServeClient"] = {}
+        self._clients_lock = threading.Lock()
+        #: Shards re-queued after an ``Overloaded`` answer (all rounds).
+        self.overload_retries = 0
+        #: Pumps started mid-round for a host that was not reachable (or
+        #: not a member) when the round began — joins and re-admissions.
+        self.readmissions = 0
+
+    @property
+    def hosts(self) -> tuple[tuple[str, int], ...]:
+        """The current membership (live when a membership source is set)."""
+        if self.membership is not None:
+            current = tuple(parse_host(h) for h in self.membership.hosts())
+            if current:
+                return current
+        return self._static_hosts
 
     def preferred_shards(self, n_scenarios: int) -> int:
-        return max(1, min(int(n_scenarios), len(self.hosts) * self.shards_per_host))
+        n_hosts = max(1, len(self.hosts))
+        return max(1, min(int(n_scenarios), n_hosts * self.shards_per_host))
 
     def fan_out(self, n_shards: int) -> bool:
         # Even a single remote shard is worth shipping: the worker holds
@@ -194,29 +241,31 @@ class RemoteTransport:
 
     # -- connection management ------------------------------------------------
 
-    def _connect(self, host_index: int, timeout: float | None):
-        client = self._clients[host_index]
+    def _connect(self, endpoint: tuple[str, int], timeout: float | None):
+        with self._clients_lock:
+            client = self._clients.get(endpoint)
         if client is not None:
             try:
                 client.set_timeout(timeout)
                 return client
             except OSError:
-                self._drop(host_index)
+                self._drop(endpoint)
         from ..serve.client import ServeClient
 
-        host, port = self.hosts[host_index]
+        host, port = endpoint
         try:
             client = ServeClient(
                 host, port, timeout=timeout, connect_timeout=self.connect_timeout
             )
         except OSError:
             return None
-        self._clients[host_index] = client
+        with self._clients_lock:
+            self._clients[endpoint] = client
         return client
 
-    def _drop(self, host_index: int) -> None:
-        client = self._clients[host_index]
-        self._clients[host_index] = None
+    def _drop(self, endpoint: tuple[str, int]) -> None:
+        with self._clients_lock:
+            client = self._clients.pop(endpoint, None)
         if client is not None:
             try:
                 client.close()
@@ -224,8 +273,14 @@ class RemoteTransport:
                 pass
 
     def close(self) -> None:
-        for i in range(len(self._clients)):
-            self._drop(i)
+        with self._clients_lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except Exception:
+                pass
 
     # -- shard execution ------------------------------------------------------
 
@@ -234,38 +289,91 @@ class RemoteTransport:
         results: list[Any] = [_UNSET] * len(shards)
         queue = list(range(len(shards)))
         lock = threading.Lock()
+        #: Shards already granted their one in-round overload retry.
+        overload_retried: set[int] = set()
+        #: Endpoints with a live pump (under ``lock``).
+        pumping: set[tuple[str, int]] = set()
+        n_active = [0]
+        #: Last probe time per endpoint — bounds how hard the monitor
+        #: hammers a dead host (one connect per reprobe_interval).
+        last_probe: dict[tuple[str, int], float] = {}
 
-        def pump(host_index: int) -> None:
-            client = self._connect(host_index, timeout)
-            if client is None:
-                return  # unreachable host consumes no shards this round
-            while True:
+        def pump(endpoint: tuple[str, int], rejoin: bool = False) -> None:
+            try:
+                client = self._connect(endpoint, timeout)
+                if client is None:
+                    return  # unreachable host consumes no shards this round
+                if rejoin:
+                    self.readmissions += 1
+                while True:
+                    with lock:
+                        if not queue:
+                            return
+                        i = queue.pop(0)
+                    try:
+                        results[i] = self._solve_remote(client, shards[i], payload)
+                    except WorkerOverloaded as exc:
+                        with lock:
+                            if i in overload_retried:
+                                # second shed of the same shard: surface it,
+                                # the dispatcher's round retry takes over
+                                results[i] = exc
+                                continue
+                            overload_retried.add(i)
+                            queue.append(i)  # back of the queue: retry later
+                        self.overload_retries += 1
+                        time.sleep(min(0.05, self.reprobe_interval))
+                    except WorkerConnectionLost as exc:
+                        results[i] = exc
+                        self._drop(endpoint)
+                        return  # host retired; monitor may re-admit it later
+                    except Exception as exc:
+                        results[i] = exc  # structured worker error: host stays
+            finally:
                 with lock:
-                    if not queue:
-                        return
-                    i = queue.pop(0)
-                try:
-                    results[i] = self._solve_remote(client, shards[i], payload)
-                except WorkerConnectionLost as exc:
-                    results[i] = exc
-                    self._drop(host_index)
-                    return  # host retired for the round; others drain the queue
-                except Exception as exc:
-                    results[i] = exc  # structured worker error: host stays up
+                    pumping.discard(endpoint)
+                    n_active[0] -= 1
 
-        threads = [
-            threading.Thread(target=pump, args=(i,), daemon=True)
-            for i in range(len(self.hosts))
-        ]
-        for t in threads:
+        def start_pump(endpoint: tuple[str, int], rejoin: bool = False) -> threading.Thread:
+            with lock:
+                pumping.add(endpoint)
+                n_active[0] += 1
+            last_probe[endpoint] = time.monotonic()
+            t = threading.Thread(target=pump, args=(endpoint, rejoin), daemon=True)
             t.start()
+            return t
+
+        threads = [start_pump(endpoint) for endpoint in dict.fromkeys(self.hosts)]
+
+        # Elastic monitor: while at least one pump is draining the queue,
+        # watch membership for joins and re-probe retired hosts.  With no
+        # pump left alive the round is decided (the queue's remainder
+        # fails fast below) — a fully dead fleet must not hang here.
+        while True:
+            with lock:
+                work_left = bool(queue) or any(r is _UNSET for r in results)
+                anyone = n_active[0] > 0
+                if not work_left or not anyone:
+                    break
+                now = time.monotonic()
+                missing = [
+                    ep
+                    for ep in dict.fromkeys(self.hosts)
+                    if ep not in pumping
+                    and now - last_probe.get(ep, float("-inf")) >= self.reprobe_interval
+                    and queue
+                ]
+            for endpoint in missing:
+                threads.append(start_pump(endpoint, rejoin=True))
+            time.sleep(min(0.02, self.reprobe_interval))
+
         for t in threads:
             t.join()
         for i, bounds in enumerate(shards):
             if results[i] is _UNSET:
                 results[i] = WorkerConnectionLost(
                     f"shard {bounds[0]}: no reachable worker host "
-                    f"(tried {len(self.hosts)})"
+                    f"(tried {max(1, len(self.hosts))})"
                 )
         if not return_exceptions:
             for out in results:
@@ -283,6 +391,14 @@ class RemoteTransport:
             faults.maybe_inject("transport", shard=shard)
         except faults.InjectedFault as exc:
             raise WorkerConnectionLost(str(exc)) from exc
+        # Driver-side chaos: a `reject-admission` fault armed in this
+        # process sheds the matching shard exactly as an overloaded
+        # worker would (fires once — the retry must succeed).
+        if faults.take_one_shot("admission", shard=shard) is not None:
+            raise WorkerOverloaded(
+                f"injected reject-admission for shard {shard} "
+                f"at {client.host}:{client.port}"
+            )
         sub = scenarios[start:stop]
         request = {
             "op": "solve_shard",
@@ -302,5 +418,11 @@ class RemoteTransport:
                 f"worker {client.host}:{client.port} lost mid-shard: {exc}"
             ) from exc
         if not envelope.get("ok"):
+            error = envelope.get("error") or {}
+            if error.get("type") == "Overloaded":
+                raise WorkerOverloaded(
+                    f"worker {client.host}:{client.port} shed shard {shard}: "
+                    f"{error.get('error', 'overloaded')}"
+                )
             raise ServeError(envelope)
         return decode_stack_result(envelope["result"])

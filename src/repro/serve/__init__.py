@@ -35,9 +35,10 @@ from .protocol import (  # noqa: F401
     encode_stack_result,
     error_envelope,
 )
-from .server import SolverServer, run_server  # noqa: F401
+from .server import Overloaded, SolverServer, run_server  # noqa: F401
 
 __all__ = [
+    "Overloaded",
     "ProtocolError",
     "ServeClient",
     "ServeError",

@@ -12,6 +12,8 @@ import json
 import socket
 from typing import Any, Mapping
 
+from .protocol import MAX_LINE_BYTES
+
 __all__ = ["ServeClient", "query"]
 
 DEFAULT_CONNECT_TIMEOUT = 10.0
@@ -47,8 +49,19 @@ class ServeClient:
         self.port = int(port)
         self._sock = socket.create_connection((host, self.port), timeout=connect_timeout)
         self._sock.settimeout(timeout)
-        self._file = self._sock.makefile("rwb")
+        self._file = self._sock.makefile("wb")
+        #: Bytes received but not yet consumed as a full line.  Reads go
+        #: through :meth:`_readline_bounded` over the raw socket rather
+        #: than ``makefile("rb")``: CPython's ``SocketIO`` permanently
+        #: refuses reads after one timeout, which would make recovering a
+        #: timed-out request's connection (the late-reply resync below)
+        #: impossible.
+        self._rbuf = bytearray()
         self._next_id = 0
+        #: Request ids sent but never answered (a timed-out request's
+        #: reply is still in flight) — how :meth:`request` recognises a
+        #: late reply and discards it instead of mis-delivering it.
+        self._outstanding: set = set()
 
     def set_timeout(self, timeout: float | None) -> None:
         """Adjust the per-request socket timeout on the live connection.
@@ -62,17 +75,70 @@ class ServeClient:
     # -- the wire -------------------------------------------------------------
 
     def request(self, payload: Mapping[str, Any]) -> dict:
-        """Send one request object, return the response envelope."""
+        """Send one request object, return the *matching* response envelope.
+
+        Responses are correlated by ``id``: a reply to an *earlier*
+        request of this connection (one that timed out client-side while
+        the server kept solving) is discarded and the read resumes, so a
+        late reply can never be mis-delivered as the answer to the
+        current request.  A reply with an id this client never sent
+        means the peer is not speaking our protocol — that kills the
+        connection.  Reads are bounded by the server's own
+        ``MAX_LINE_BYTES`` so a misbehaving peer cannot make the client
+        buffer an unbounded line.
+        """
         body = dict(payload)
         if "id" not in body:
             self._next_id += 1
             body["id"] = self._next_id
+        request_id = body["id"]
+        self._outstanding.add(request_id)
         self._file.write(json.dumps(body).encode() + b"\n")
         self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        while True:
+            line = self._readline_bounded()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            envelope = json.loads(line)
+            response_id = envelope.get("id") if isinstance(envelope, dict) else None
+            if response_id == request_id:
+                self._outstanding.discard(request_id)
+                return envelope
+            if response_id in self._outstanding:
+                # A late reply to a request we gave up on — drop it and
+                # keep reading; the stream is back in sync once the
+                # current request's reply arrives.
+                self._outstanding.discard(response_id)
+                continue
+            raise ConnectionError(
+                f"response id {response_id!r} matches no outstanding request "
+                f"(expected {request_id!r}); desynchronized stream"
+            )
+
+    def _readline_bounded(self) -> bytes:
+        """One ``\\n``-terminated line, at most ``MAX_LINE_BYTES`` long.
+
+        A socket timeout leaves any partial line in ``_rbuf``, so a later
+        read resumes exactly where the stream stopped — no bytes lost, no
+        desynchronization.
+        """
+        while True:
+            newline = self._rbuf.find(b"\n")
+            if newline >= MAX_LINE_BYTES or (newline < 0 and len(self._rbuf) > MAX_LINE_BYTES):
+                raise ConnectionError(
+                    f"server response exceeds {MAX_LINE_BYTES} bytes; "
+                    f"dropping connection"
+                )
+            if newline >= 0:
+                line = bytes(self._rbuf[: newline + 1])
+                del self._rbuf[: newline + 1]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:  # EOF mid-line: surface whatever arrived
+                line = bytes(self._rbuf)
+                self._rbuf.clear()
+                return line
+            self._rbuf.extend(chunk)
 
     def call(self, op: str, **payload: Any):
         """Request ``op`` and return its ``result`` (raises on failure)."""
@@ -98,6 +164,12 @@ class ServeClient:
 
     def cache_stats(self) -> dict:
         return self.call("cache_stats")
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def drain(self) -> dict:
+        return self.call("drain")
 
     def shutdown(self) -> dict:
         return self.call("shutdown")

@@ -54,6 +54,18 @@ callables: :func:`encode_scenario` resolves the curve onto the integer
 population grid, and the decoded scenario hashes to the **same
 fingerprint** as the original, which the ``solve_shard`` op verifies
 before solving.
+
+Multi-class scenarios replace the single-class demand fields with a
+top-level ``"classes"`` list.  A class with constant demands ships them
+as a ``{"station": seconds}`` mapping; a class whose demands vary with
+the total population ships a packed ``(max_population, K)``
+``"demand_matrix"`` — its demand curves sampled at every total
+``1..max_population``, in station order — which decodes back into
+interpolated curves.  Because :meth:`WorkloadClass.fingerprint` samples
+varying demands at exactly those integer totals (and ``np.interp`` is
+exact at its own nodes), the decoded class hashes identically to the
+original; station-level ``demand`` entries are ignored by multi-class
+solvers and fingerprints, so they ride as ``0.0``.
 """
 
 from __future__ import annotations
@@ -66,8 +78,14 @@ import numpy as np
 
 from ..core.network import ClosedNetwork, Station
 from ..core.results import MVAResult
-from ..engine.batched import BatchedMVAResult, ScenarioFailure
-from ..solvers.scenario import Scenario
+from ..engine.batched import (
+    BatchedMultiClassResult,
+    BatchedMultiClassTrajectory,
+    BatchedMVAResult,
+    ScenarioFailure,
+)
+from ..solvers.scenario import Scenario, WorkloadClass
+from ..solvers.validation import SolverInputError
 
 __all__ = [
     "ProtocolError",
@@ -97,6 +115,8 @@ KNOWN_OPS = (
     "bottlenecks",
     "compose",
     "cache_stats",
+    "health",
+    "drain",
     "shutdown",
 )
 
@@ -169,6 +189,80 @@ def _decode_demand(raw) -> float | _InterpTable:
     )
 
 
+def _encode_class(cls: WorkloadClass, scenario: Scenario) -> dict:
+    """Wire form of one :class:`WorkloadClass` (see module docstring)."""
+    entry: dict[str, Any] = {
+        "name": cls.name,
+        "population": int(cls.population),
+        "think_time": float(cls.think_time),
+    }
+    names = scenario.station_names
+    if cls.has_varying_demands:
+        sampled = np.stack(
+            [
+                cls.demand_vector(names, float(level))
+                for level in range(1, scenario.max_population + 1)
+            ]
+        )
+        entry["demand_matrix"] = _pack_array(sampled)
+    else:
+        entry["demands"] = {
+            name: float(v) for name, v in zip(names, cls.demand_vector(names, 1.0))
+        }
+    return entry
+
+
+def _decode_class(
+    raw: Mapping[str, Any], station_names: tuple[str, ...], max_population: int
+) -> WorkloadClass:
+    """Inverse of :func:`_encode_class`."""
+    if not isinstance(raw, Mapping) or "name" not in raw or "population" not in raw:
+        raise ProtocolError("each class needs at least name and population")
+    if "demands" in raw:
+        demands_raw = raw["demands"]
+        if not isinstance(demands_raw, Mapping):
+            raise ProtocolError("class demands must map station names to numbers")
+        demands: dict[str, float | _InterpTable] = {
+            str(name): float(v) for name, v in demands_raw.items()
+        }
+    elif "demand_matrix" in raw:
+        try:
+            matrix = _unpack_array(raw["demand_matrix"], dtype=float)
+        except ProtocolError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"class demand_matrix is not numeric: {exc}") from None
+        if matrix.shape != (max_population, len(station_names)):
+            raise ProtocolError(
+                f"class demand_matrix must have shape "
+                f"({max_population}, {len(station_names)}), got {matrix.shape}"
+            )
+        if max_population == 1:
+            # One sampled total: the "curve" is a point, so it decodes as
+            # a constant (``fingerprint`` then samples at level 1.0 —
+            # the same value the matrix row holds).
+            demands = {name: float(matrix[0, k]) for k, name in enumerate(station_names)}
+        else:
+            levels = np.arange(1, max_population + 1, dtype=float)
+            demands = {
+                name: _InterpTable(levels, matrix[:, k])
+                for k, name in enumerate(station_names)
+            }
+    else:
+        raise ProtocolError(
+            f"class {raw.get('name')!r} needs demands or a demand_matrix"
+        )
+    try:
+        return WorkloadClass(
+            name=str(raw["name"]),
+            population=int(raw["population"]),
+            demands=demands,
+            think_time=float(raw.get("think_time", 0.0)),
+        )
+    except (SolverInputError, ValueError) as exc:
+        raise ProtocolError(f"class rejected: {exc}") from None
+
+
 def decode_scenario(payload: Mapping[str, Any]) -> Scenario:
     """Build a validated :class:`Scenario` from its wire representation."""
     if not isinstance(payload, Mapping):
@@ -213,12 +307,26 @@ def decode_scenario(payload: Mapping[str, Any]) -> Scenario:
             raise ProtocolError(
                 "scenario.demand_matrix must be an (N, K) list of demand rows"
             )
+    classes = None
+    raw_classes = payload.get("classes")
+    if raw_classes is not None:
+        if not isinstance(raw_classes, list) or not raw_classes:
+            raise ProtocolError("scenario.classes must be a non-empty list")
+        if demand_matrix is not None:
+            raise ProtocolError(
+                "scenario: classes and demand_matrix are mutually exclusive"
+            )
+        names = tuple(str(st["name"]) for st in raw_stations)
+        classes = tuple(
+            _decode_class(raw, names, int(max_population)) for raw in raw_classes
+        )
     try:
         return Scenario(
             network,
             max_population=int(max_population),
             demand_matrix=demand_matrix,
             demand_level=float(payload.get("demand_level", 1.0)),
+            classes=classes,
             rate_tables=rate_tables,
         )
     except ValueError as exc:
@@ -238,11 +346,16 @@ def encode_scenario(scenario: Scenario) -> dict:
     which the remote capability probe checks up front and the
     ``solve_shard`` op re-verifies per scenario.
 
-    Multi-class scenarios have no wire form; shard them locally.
+    Multi-class scenarios ship a top-level ``"classes"`` list instead
+    of per-station demands (see module docstring): constant class
+    demands as mappings, varying ones sampled onto the integer
+    total-population grid — fingerprint-identical on decode, because
+    class fingerprints hash exactly those samples.
     """
     if scenario.is_multiclass:
-        raise ProtocolError("multi-class scenarios have no wire representation")
-    demands = scenario.fixed_demands()
+        demands = np.zeros(len(scenario.network))
+    else:
+        demands = scenario.fixed_demands()
     stations = []
     for st, demand in zip(scenario.network.stations, demands):
         entry: dict[str, Any] = {"name": st.name, "demand": float(demand)}
@@ -260,7 +373,9 @@ def encode_scenario(scenario: Scenario) -> dict:
         "demand_level": float(scenario.demand_level),
         "name": scenario.network.name,
     }
-    if scenario.has_varying_demands:
+    if scenario.is_multiclass:
+        payload["classes"] = [_encode_class(c, scenario) for c in scenario.classes]
+    elif scenario.has_varying_demands:
         payload["demand_matrix"] = _pack_array(
             np.asarray(scenario.resolved_demand_matrix(), dtype=float)
         )
@@ -272,78 +387,158 @@ def encode_scenario(scenario: Scenario) -> dict:
     return payload
 
 
+def _encode_failures(result) -> list[dict]:
+    return [
+        {
+            "index": f.index,
+            "fingerprint": f.fingerprint,
+            "solver": f.solver,
+            "error": f.error,
+            "retries": f.retries,
+        }
+        for f in result.failures
+    ]
+
+
+def _decode_failures(payload) -> tuple[ScenarioFailure, ...]:
+    return tuple(
+        ScenarioFailure(
+            index=int(f["index"]),
+            fingerprint=str(f["fingerprint"]),
+            solver=str(f["solver"]),
+            error=str(f["error"]),
+            retries=int(f.get("retries", 0)),
+        )
+        for f in payload["failures"]
+    )
+
+
+def _maybe_pack(arr) -> dict | None:
+    return None if arr is None else _pack_array(arr)
+
+
+def _maybe_unpack(raw) -> np.ndarray | None:
+    return None if raw is None else _unpack_array(raw, dtype=float)
+
+
 def encode_stack_result(result) -> dict:
-    """JSON-ready form of a :class:`BatchedMVAResult` sub-stack.
+    """JSON-ready form of a batched sub-stack (the ``solve_shard`` body).
 
-    The ``solve_shard`` response body: every trajectory array packed via
-    :func:`_pack_array` (the raw IEEE-754 buffer, so round-trips are
-    bit-exact and cost memcpy, not float parsing), plus the
-    isolated-failure records so a remote shard degrades exactly like a
-    local one.
+    Every trajectory array is packed via :func:`_pack_array` (the raw
+    IEEE-754 buffer, so round-trips are bit-exact and cost memcpy, not
+    float parsing), plus the isolated-failure records so a remote shard
+    degrades exactly like a local one.  Three container kinds mirror the
+    checkpoint containers: ``batched-stack`` (single-class),
+    ``multiclass-stack`` (full-population multi-class) and
+    ``multiclass-trajectory-stack`` (mix sweeps).
     """
-    if not isinstance(result, BatchedMVAResult):
-        raise ProtocolError(
-            f"only single-class stacks cross the wire, got {type(result).__name__}"
-        )
-    return {
-        "kind": "batched-stack",
-        "solver": result.solver,
-        "backend": result.backend,
-        "station_names": list(result.station_names),
-        "populations": _pack_array(result.populations),
-        "think_times": _pack_array(result.think_times),
-        "throughput": _pack_array(result.throughput),
-        "response_time": _pack_array(result.response_time),
-        "queue_lengths": _pack_array(result.queue_lengths),
-        "residence_times": _pack_array(result.residence_times),
-        "utilizations": _pack_array(result.utilizations),
-        "demands_used": None
-        if result.demands_used is None
-        else _pack_array(result.demands_used),
-        "failures": [
-            {
-                "index": f.index,
-                "fingerprint": f.fingerprint,
-                "solver": f.solver,
-                "error": f.error,
-                "retries": f.retries,
-            }
-            for f in result.failures
-        ],
-    }
+    if isinstance(result, BatchedMVAResult):
+        return {
+            "kind": "batched-stack",
+            "solver": result.solver,
+            "backend": result.backend,
+            "station_names": list(result.station_names),
+            "populations": _pack_array(result.populations),
+            "think_times": _pack_array(result.think_times),
+            "throughput": _pack_array(result.throughput),
+            "response_time": _pack_array(result.response_time),
+            "queue_lengths": _pack_array(result.queue_lengths),
+            "residence_times": _pack_array(result.residence_times),
+            "utilizations": _pack_array(result.utilizations),
+            "demands_used": _maybe_pack(result.demands_used),
+            "failures": _encode_failures(result),
+        }
+    if isinstance(result, BatchedMultiClassResult):
+        return {
+            "kind": "multiclass-stack",
+            "solver": result.solver,
+            "backend": result.backend,
+            "station_names": list(result.station_names),
+            "class_names": list(result.class_names),
+            "populations": [int(n) for n in result.populations],
+            "think_times": _pack_array(result.think_times),
+            "throughput": _pack_array(result.throughput),
+            "response_time": _pack_array(result.response_time),
+            "queue_lengths": _pack_array(result.queue_lengths),
+            "queue_lengths_by_class": _pack_array(result.queue_lengths_by_class),
+            "utilizations": _pack_array(result.utilizations),
+            "demands_used": _maybe_pack(result.demands_used),
+            "failures": _encode_failures(result),
+        }
+    if isinstance(result, BatchedMultiClassTrajectory):
+        return {
+            "kind": "multiclass-trajectory-stack",
+            "solver": result.solver,
+            "backend": result.backend,
+            "station_names": list(result.station_names),
+            "class_names": list(result.class_names),
+            "totals": _pack_array(result.totals),
+            "populations": _pack_array(result.populations),
+            "think_times": _pack_array(result.think_times),
+            "throughput": _pack_array(result.throughput),
+            "response_time": _pack_array(result.response_time),
+            "utilizations": _pack_array(result.utilizations),
+            "demands_used": _maybe_pack(result.demands_used),
+            "failures": _encode_failures(result),
+        }
+    raise ProtocolError(
+        f"only batched stacks cross the wire, got {type(result).__name__}"
+    )
 
 
-def decode_stack_result(payload: Mapping[str, Any]) -> BatchedMVAResult:
-    """Rebuild the :class:`BatchedMVAResult` a worker shipped back."""
+def decode_stack_result(payload: Mapping[str, Any]):
+    """Rebuild the batched result a worker shipped back."""
     try:
-        if payload.get("kind") != "batched-stack":
-            raise ValueError(f"expected kind 'batched-stack', got {payload.get('kind')!r}")
-        demands_used = payload["demands_used"]
-        return BatchedMVAResult(
-            populations=_unpack_array(payload["populations"]),
-            throughput=_unpack_array(payload["throughput"], dtype=float),
-            response_time=_unpack_array(payload["response_time"], dtype=float),
-            queue_lengths=_unpack_array(payload["queue_lengths"], dtype=float),
-            residence_times=_unpack_array(payload["residence_times"], dtype=float),
-            utilizations=_unpack_array(payload["utilizations"], dtype=float),
-            station_names=tuple(str(n) for n in payload["station_names"]),
-            think_times=_unpack_array(payload["think_times"], dtype=float),
-            solver=str(payload["solver"]),
-            demands_used=None
-            if demands_used is None
-            else _unpack_array(demands_used, dtype=float),
-            backend=payload.get("backend"),
-            failures=tuple(
-                ScenarioFailure(
-                    index=int(f["index"]),
-                    fingerprint=str(f["fingerprint"]),
-                    solver=str(f["solver"]),
-                    error=str(f["error"]),
-                    retries=int(f.get("retries", 0)),
-                )
-                for f in payload["failures"]
-            ),
-        )
+        kind = payload.get("kind")
+        if kind == "batched-stack":
+            return BatchedMVAResult(
+                populations=_unpack_array(payload["populations"]),
+                throughput=_unpack_array(payload["throughput"], dtype=float),
+                response_time=_unpack_array(payload["response_time"], dtype=float),
+                queue_lengths=_unpack_array(payload["queue_lengths"], dtype=float),
+                residence_times=_unpack_array(payload["residence_times"], dtype=float),
+                utilizations=_unpack_array(payload["utilizations"], dtype=float),
+                station_names=tuple(str(n) for n in payload["station_names"]),
+                think_times=_unpack_array(payload["think_times"], dtype=float),
+                solver=str(payload["solver"]),
+                demands_used=_maybe_unpack(payload["demands_used"]),
+                backend=payload.get("backend"),
+                failures=_decode_failures(payload),
+            )
+        if kind == "multiclass-stack":
+            return BatchedMultiClassResult(
+                populations=tuple(int(n) for n in payload["populations"]),
+                class_names=tuple(str(n) for n in payload["class_names"]),
+                throughput=_unpack_array(payload["throughput"], dtype=float),
+                response_time=_unpack_array(payload["response_time"], dtype=float),
+                queue_lengths=_unpack_array(payload["queue_lengths"], dtype=float),
+                queue_lengths_by_class=_unpack_array(
+                    payload["queue_lengths_by_class"], dtype=float
+                ),
+                utilizations=_unpack_array(payload["utilizations"], dtype=float),
+                station_names=tuple(str(n) for n in payload["station_names"]),
+                think_times=_unpack_array(payload["think_times"], dtype=float),
+                solver=str(payload["solver"]),
+                demands_used=_maybe_unpack(payload["demands_used"]),
+                backend=payload.get("backend"),
+                failures=_decode_failures(payload),
+            )
+        if kind == "multiclass-trajectory-stack":
+            return BatchedMultiClassTrajectory(
+                class_names=tuple(str(n) for n in payload["class_names"]),
+                station_names=tuple(str(n) for n in payload["station_names"]),
+                totals=_unpack_array(payload["totals"]),
+                populations=_unpack_array(payload["populations"]),
+                throughput=_unpack_array(payload["throughput"], dtype=float),
+                response_time=_unpack_array(payload["response_time"], dtype=float),
+                utilizations=_unpack_array(payload["utilizations"], dtype=float),
+                think_times=_unpack_array(payload["think_times"], dtype=float),
+                solver=str(payload["solver"]),
+                demands_used=_maybe_unpack(payload["demands_used"]),
+                backend=payload.get("backend"),
+                failures=_decode_failures(payload),
+            )
+        raise ValueError(f"unknown stack-result kind {kind!r}")
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed stack result: {exc}") from None
 

@@ -16,6 +16,19 @@ own, only:
   the solve.  Solves are serialized by a lock to keep that diff exact;
   the protocol layer stays fully concurrent, so slow clients do not
   block fast ones — only concurrent *solves* queue.
+* **admission control** — at most ``max_concurrent`` solves run at
+  once (default 1, which is also what keeps provenance diffs exact;
+  raising it trades exact provenance for parallelism) and at most
+  ``admission_queue`` more may wait.  Beyond that the server answers
+  immediately with a structured ``Overloaded`` error envelope instead
+  of queueing unboundedly — the fabric transport treats that as
+  *retry-later*, not host death, which is what lets an overloaded
+  worker shed shards to its peers instead of being retired.
+* **graceful drain** — SIGTERM (or the ``drain`` op) closes the
+  listener, lets every in-flight request finish and answer, then exits
+  cleanly; SIGINT remains an immediate shutdown.  The ``health`` op
+  reports in-flight/queue-depth/uptime/cache counters for supervisors'
+  heartbeats.
 
 The server binds ``127.0.0.1:7173`` by default; pass ``port=0`` to let
 the OS pick (the chosen port is printed on the ``listening`` line and
@@ -28,8 +41,10 @@ import asyncio
 import json
 import os
 import threading
+import time
 from typing import Any, Mapping
 
+from ..engine import faults
 from ..engine.backends import scenario_offset
 from ..solvers import solve, solve_stack
 from ..solvers.cache import SolverCache
@@ -44,10 +59,21 @@ from .protocol import (
     ok_envelope,
 )
 
-__all__ = ["DEFAULT_PORT", "SolverServer", "run_server"]
+__all__ = ["DEFAULT_PORT", "Overloaded", "SolverServer", "run_server"]
 
 DEFAULT_PORT = 7173
 DEFAULT_TIMEOUT = 30.0
+DEFAULT_MAX_CONCURRENT = 1
+DEFAULT_ADMISSION_QUEUE = 16
+
+
+class Overloaded(RuntimeError):
+    """The server's admission queue is full — retry later, host is healthy.
+
+    The envelope ``type`` clients key on: the fabric transport re-queues
+    the shard instead of retiring the worker, and the supervisor's
+    heartbeat does *not* count it as a health-probe failure.
+    """
 
 #: Priority order for collapsing a single-solve counter diff to a label.
 _TIERS = (
@@ -98,6 +124,8 @@ class SolverServer:
         cache_path: str | None = None,
         maxsize: int = 1024,
         timeout: float = DEFAULT_TIMEOUT,
+        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+        admission_queue: int = DEFAULT_ADMISSION_QUEUE,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -105,11 +133,28 @@ class SolverServer:
             cache = SolverCache(maxsize=maxsize, persistent=cache_path)
         self.cache = cache
         self.timeout = float(timeout)
+        self.max_concurrent = int(max_concurrent)
+        self.admission_queue = int(admission_queue)
+        if self.max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if self.admission_queue < 0:
+            raise ValueError(f"admission_queue must be >= 0, got {admission_queue}")
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
         #: Serializes solves so provenance counter-diffs are unambiguous.
         self._solve_lock = threading.Lock()
+        #: Bounds concurrent solver-op executions (event-loop side).
+        self._solve_slots: asyncio.Semaphore | None = None
+        #: Solver ops admitted and not yet answered (running or queued).
+        self._admitted = 0
+        #: Requests currently being dispatched or having their response
+        #: written — what SIGTERM drain waits on (``wait_closed`` alone
+        #: does not wait for handler coroutines on py3.10/3.11).
+        self._active_requests = 0
+        self._draining = False
+        self._started_at: float | None = None
         self.requests_handled = 0
+        self.overload_rejections = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -120,6 +165,8 @@ class SolverServer:
             self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES + 1024
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._solve_slots = asyncio.Semaphore(self.max_concurrent)
+        self._started_at = time.monotonic()
 
     async def serve_until_shutdown(self) -> None:
         if self._server is None:
@@ -128,6 +175,26 @@ class SolverServer:
             await self._shutdown.wait()
 
     def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    def request_drain(self) -> None:
+        """Graceful stop: refuse new work, finish in-flight, then shut down.
+
+        Safe to call from a signal handler on the event loop (SIGTERM) or
+        from the ``drain`` op.  Idempotent.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        # The request that carried the `drain` op is itself active until
+        # its response is written; poll until every handler has answered.
+        while self._active_requests > 0:
+            await asyncio.sleep(0.005)
         self._shutdown.set()
 
     # -- connection handling --------------------------------------------------
@@ -145,17 +212,23 @@ class SolverServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._dispatch(line)
-                shutdown_after = bool(response.pop("_shutdown", False))
-                writer.write(json.dumps(response).encode() + b"\n")
+                self._active_requests += 1
                 try:
-                    await writer.drain()
-                except ConnectionResetError:
-                    break
+                    response = await self._dispatch(line)
+                    shutdown_after = bool(response.pop("_shutdown", False))
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    try:
+                        await writer.drain()
+                    except ConnectionResetError:
+                        break
+                finally:
+                    self._active_requests -= 1
                 self.requests_handled += 1
                 if shutdown_after:
                     self.request_shutdown()
                     break
+                if self._draining:
+                    break  # answered; no further requests on this connection
         finally:
             try:
                 writer.close()
@@ -166,32 +239,93 @@ class SolverServer:
     async def _dispatch(self, line: bytes) -> dict:
         request_id = None
         try:
-            request = decode_request(line)
+            try:
+                request = decode_request(line)
+            except ProtocolError:
+                # Salvage the id so the client can still correlate the
+                # error envelope with the request that caused it.
+                try:
+                    probe = json.loads(line)
+                    if isinstance(probe, dict):
+                        request_id = probe.get("id")
+                except (ValueError, UnicodeDecodeError):
+                    pass
+                raise
             request_id = request.get("id")
             op = request["op"]
             if op == "ping":
                 return ok_envelope(request_id, {"pong": True, "pid": os.getpid()})
             if op == "cache_stats":
                 return ok_envelope(request_id, self._cache_stats())
+            if op == "health":
+                return ok_envelope(request_id, self.health())
+            if op == "drain":
+                self.request_drain()
+                return ok_envelope(request_id, {"draining": True, "pid": os.getpid()})
             if op == "shutdown":
                 envelope = ok_envelope(request_id, {"stopping": True})
                 envelope["_shutdown"] = True
                 return envelope
-            # solver ops run in a worker thread under the request timeout
-            loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(None, self._execute, op, request)
-            try:
-                result, provenance = await asyncio.wait_for(future, self.timeout)
-            except asyncio.TimeoutError:
+            # solver ops: admission gate, then a worker thread under the
+            # request timeout, at most max_concurrent at once
+            if self._draining:
+                self.overload_rejections += 1
+                return error_envelope(
+                    request_id, Overloaded(f"server is draining, cannot admit {op}")
+                )
+            if (
+                self._admitted >= self.max_concurrent + self.admission_queue
+                or faults.take_one_shot("admission") is not None
+            ):
+                self.overload_rejections += 1
                 return error_envelope(
                     request_id,
-                    TimeoutError(
-                        f"{op} exceeded the {self.timeout:g}s request timeout"
+                    Overloaded(
+                        f"admission queue full ({self._admitted} admitted, "
+                        f"{self.max_concurrent} solving + {self.admission_queue} "
+                        f"queued max); retry later"
                     ),
                 )
+            self._admitted += 1
+            try:
+                async with self._solve_slots:
+                    loop = asyncio.get_running_loop()
+                    future = loop.run_in_executor(None, self._execute, op, request)
+                    try:
+                        result, provenance = await asyncio.wait_for(future, self.timeout)
+                    except asyncio.TimeoutError:
+                        return error_envelope(
+                            request_id,
+                            TimeoutError(
+                                f"{op} exceeded the {self.timeout:g}s request timeout"
+                            ),
+                        )
+            finally:
+                self._admitted -= 1
             return ok_envelope(request_id, result, provenance)
         except Exception as exc:  # every failure answers; none kills the server
             return error_envelope(request_id, exc)
+
+    def health(self) -> dict:
+        """The ``health`` op body: load, lifecycle and cache counters."""
+        uptime = (
+            0.0 if self._started_at is None else time.monotonic() - self._started_at
+        )
+        stats = self.cache.stats()
+        return {
+            "pid": os.getpid(),
+            "uptime": uptime,
+            "draining": self._draining,
+            # The health request itself is one of the active requests;
+            # report the depth the *other* clients are contributing.
+            "in_flight": max(0, self._active_requests - 1),
+            "admitted": self._admitted,
+            "max_concurrent": self.max_concurrent,
+            "admission_queue": self.admission_queue,
+            "requests_handled": self.requests_handled,
+            "overload_rejections": self.overload_rejections,
+            "cache": {"hits": stats.hits, "misses": stats.misses, "size": stats.size},
+        }
 
     # -- op execution (worker thread) -----------------------------------------
 
@@ -484,8 +618,12 @@ async def _amain(server: SolverServer, announce, banner: str = "repro-serve") ->
     try:
         import signal
 
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            loop.add_signal_handler(sig, server.request_shutdown)
+        # SIGINT stops immediately; SIGTERM drains — refuse new work,
+        # answer everything in flight, then exit 0 (how `repro fleet
+        # down`/`drain` and orchestrators stop workers without dropping
+        # requests).
+        loop.add_signal_handler(signal.SIGINT, server.request_shutdown)
+        loop.add_signal_handler(signal.SIGTERM, server.request_drain)
     except (ImportError, NotImplementedError, RuntimeError):  # pragma: no cover
         pass
     await server.serve_until_shutdown()
@@ -497,6 +635,8 @@ def run_server(
     cache_path: str | None = None,
     maxsize: int = 1024,
     timeout: float = DEFAULT_TIMEOUT,
+    max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+    admission_queue: int = DEFAULT_ADMISSION_QUEUE,
     announce=None,
     banner: str = "repro-serve",
 ) -> SolverServer:
@@ -510,7 +650,13 @@ def run_server(
     way, so port-scraping launchers work for both.
     """
     server = SolverServer(
-        host=host, port=port, cache_path=cache_path, maxsize=maxsize, timeout=timeout
+        host=host,
+        port=port,
+        cache_path=cache_path,
+        maxsize=maxsize,
+        timeout=timeout,
+        max_concurrent=max_concurrent,
+        admission_queue=admission_queue,
     )
     if announce is None:
         def announce(message: str) -> None:

@@ -243,6 +243,7 @@ def solve(
     retry_policy=None,
     checkpoint=None,
     hosts=None,
+    fleet=None,
     **options: Any,
 ):
     """Solve one scenario (or a stack) with a registered method.
@@ -284,11 +285,18 @@ def solve(
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             hosts=hosts,
+            fleet=fleet,
             **options,
         )
-    if errors != "raise" or retry_policy is not None or checkpoint is not None or hosts is not None:
+    if (
+        errors != "raise"
+        or retry_policy is not None
+        or checkpoint is not None
+        or hosts is not None
+        or fleet is not None
+    ):
         raise SolverInputError(
-            "solve: errors/retry_policy/checkpoint/hosts apply to scenario "
+            "solve: errors/retry_policy/checkpoint/hosts/fleet apply to scenario "
             "stacks; pass a sequence of scenarios (or call solve_stack)"
         )
     if backend not in ("auto", "scalar", "serial", "batched"):
@@ -453,6 +461,43 @@ def _resolve_backend(
     return "serial"
 
 
+def _resolve_fleet(fleet):
+    """Turn ``solve_stack``'s ``fleet=`` into ``(membership, ephemeral)``.
+
+    ``ephemeral`` is non-``None`` only when this call launched the fleet
+    itself (``fleet=<int>``) and therefore owns its teardown.
+    """
+    if fleet is None:
+        return None, None
+    from ..engine.supervisor import FleetSupervisor, StaticMembership, load_fleet_state
+
+    if isinstance(fleet, FleetSupervisor):
+        return fleet, None
+    if isinstance(fleet, int) and not isinstance(fleet, bool):
+        if fleet < 1:
+            raise SolverInputError(
+                f"solve_stack: fleet= worker count must be >= 1, got {fleet}"
+            )
+        supervisor = FleetSupervisor(workers=fleet)
+        supervisor.start()
+        return supervisor, supervisor
+    if isinstance(fleet, str) or hasattr(fleet, "__fspath__"):
+        try:
+            state = load_fleet_state(str(fleet))
+        except (OSError, ValueError) as exc:
+            raise SolverInputError(f"solve_stack: fleet= state file: {exc}") from exc
+        endpoints = [(w["host"], int(w["port"])) for w in state["workers"]]
+        if not endpoints:
+            raise SolverInputError(
+                f"solve_stack: fleet state file {fleet!s} lists no workers"
+            )
+        return StaticMembership(endpoints), None
+    raise SolverInputError(
+        "solve_stack: fleet= must be a FleetSupervisor, a worker count, or "
+        f"the path of a 'repro fleet up' state file, got {type(fleet).__name__}"
+    )
+
+
 def solve_stack(
     scenarios: Sequence[Scenario],
     method: str = "auto",
@@ -463,6 +508,7 @@ def solve_stack(
     retry_policy=None,
     checkpoint=None,
     hosts=None,
+    fleet=None,
     **options: Any,
 ) -> BatchedMVAResult | Any:
     """Solve a stack of topology-sharing scenarios in one shot.
@@ -512,6 +558,16 @@ def solve_stack(
         :class:`~repro.engine.fabric.Dispatcher`, with the same retry /
         checkpoint / degradation semantics as ``"resilient"`` (shards
         that no worker can solve fall back to local execution).
+    fleet:
+        A *supervised* fleet — implies ``backend="remote"`` with elastic
+        membership (crashed workers are relaunched mid-sweep and rejoin
+        the shard queue).  Accepts a running
+        :class:`~repro.engine.supervisor.FleetSupervisor` (left running
+        afterwards), an ``int`` worker count (an ephemeral local fleet
+        is launched, supervised for the sweep, and torn down), or the
+        path of a ``repro fleet up`` state file (attaches to those
+        workers without supervising them).  Mutually exclusive with
+        ``hosts=``.
 
     Results carrying failures are never cached — a retry after fixing
     the inputs must recompute, not replay the failure.
@@ -528,16 +584,21 @@ def solve_stack(
         raise SolverInputError(
             f"solve_stack: errors must be 'raise' or 'isolate', got {errors!r}"
         )
-    if hosts is not None and backend == "auto":
+    if fleet is not None and hosts is not None:
+        raise SolverInputError(
+            "solve_stack: fleet= and hosts= are mutually exclusive — a fleet "
+            "already knows its workers"
+        )
+    if (hosts is not None or fleet is not None) and backend == "auto":
         backend = "remote"
-    if backend == "remote" and not hosts:
+    if backend == "remote" and not hosts and fleet is None:
         raise SolverInputError(
             "solve_stack: backend='remote' needs hosts= naming at least one "
-            "repro worker (e.g. hosts='127.0.0.1:7173')"
+            "repro worker (e.g. hosts='127.0.0.1:7173'), or fleet="
         )
-    if hosts is not None and backend != "remote":
+    if (hosts is not None or fleet is not None) and backend != "remote":
         raise SolverInputError(
-            f"solve_stack: hosts= only applies to backend='remote', got {backend!r}"
+            f"solve_stack: hosts=/fleet= only apply to backend='remote', got {backend!r}"
         )
     _check_stackable(scenarios)
     name = _auto_stack_method(scenarios) if method == "auto" else method
@@ -602,14 +663,20 @@ def solve_stack(
             if hit is not None:
                 return hit
     if resolved == "remote":
-        runner = get_backend(
-            "remote",
-            hosts=hosts,
-            policy=retry_policy,
-            checkpoint=checkpoint,
-            errors=errors,
-        )
-        result = runner.run(spec, scenarios, options)
+        membership, ephemeral = _resolve_fleet(fleet)
+        try:
+            runner = get_backend(
+                "remote",
+                hosts=hosts if hosts is not None else (),
+                membership=membership,
+                policy=retry_policy,
+                checkpoint=checkpoint,
+                errors=errors,
+            )
+            result = runner.run(spec, scenarios, options)
+        finally:
+            if ephemeral is not None:
+                ephemeral.stop()
     elif resolved == "resilient":
         runner = get_backend(
             "resilient",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 import time
 
 import numpy as np
@@ -30,10 +31,11 @@ from repro.engine import (
     WorkerConnectionLost,
     faults,
 )
-from repro.engine.fabric import _check_remote_capability
+from repro.engine.fabric import RemoteBackend, _check_remote_capability
+from repro.engine.supervisor import StaticMembership
 from repro.engine.transport import parse_host, parse_hosts
 from repro.serve.client import ServeClient
-from repro.serve.protocol import ProtocolError, encode_scenario
+from repro.serve.protocol import encode_scenario
 from repro.solvers import (
     Scenario,
     SolverInputError,
@@ -71,13 +73,14 @@ def baseline(stack):
     return solve_stack(stack, method="exact-mva", backend="serial", cache=None)
 
 
-def _start_worker(cache_path=None, timeout=None):
+def _start_worker(cache_path=None, timeout=None, extra=()):
     """Launch ``repro worker --port 0`` and scrape the bound port."""
     cmd = [sys.executable, "-m", "repro", "worker", "--port", "0"]
     if cache_path is not None:
         cmd += ["--cache-path", cache_path]
     if timeout is not None:
         cmd += ["--timeout", str(timeout)]
+    cmd += list(extra)
     proc = subprocess.Popen(
         cmd,
         stdout=subprocess.PIPE,
@@ -217,16 +220,30 @@ class TestDispatcherLocal:
 
 
 class TestRemoteCapability:
-    def test_multiclass_rejected(self, net):
+    def test_multiclass_accepted(self, net):
         mc = Scenario(
             net,
             5,
             classes=(WorkloadClass("a", 3, {"web": 0.02, "db": 0.05}, think_time=1.0),),
         )
-        with pytest.raises(SolverCapabilityError, match="multi-class"):
+        _check_remote_capability(get_solver("exact-multiclass"), [mc], {})
+        from repro.serve.protocol import decode_scenario
+
+        assert decode_scenario(encode_scenario(mc)).fingerprint() == mc.fingerprint()
+
+    def test_multiclass_offgrid_level_rejected(self, net):
+        mc = Scenario(
+            net,
+            5,
+            demand_level=2.5,
+            classes=(
+                WorkloadClass(
+                    "a", 3, {"web": lambda n: 0.02 + 0.001 * n, "db": 0.05}
+                ),
+            ),
+        )
+        with pytest.raises(SolverCapabilityError, match="demand_level"):
             _check_remote_capability(get_solver("exact-multiclass"), [mc], {})
-        with pytest.raises(ProtocolError, match="multi-class"):
-            encode_scenario(mc)
 
     def test_throughput_axis_rejected(self, stack):
         with pytest.raises(SolverCapabilityError, match="demand_axis"):
@@ -243,10 +260,22 @@ class TestRemoteCapability:
     def test_facade_validation(self, net, stack):
         with pytest.raises(SolverInputError, match="needs hosts"):
             solve_stack(stack, backend="remote", cache=None)
-        with pytest.raises(SolverInputError, match="only applies to"):
+        with pytest.raises(SolverInputError, match="only appl"):
             solve_stack(stack, backend="serial", hosts="127.0.0.1:1", cache=None)
         with pytest.raises(SolverInputError, match="scenario\\s+stacks"):
             solve(Scenario(net, 10), hosts="127.0.0.1:1")
+
+    def test_facade_fleet_validation(self, stack):
+        with pytest.raises(SolverInputError, match="mutually exclusive"):
+            solve_stack(stack, hosts="127.0.0.1:1", fleet=2, cache=None)
+        with pytest.raises(SolverInputError, match="only appl"):
+            solve_stack(stack, backend="serial", fleet=2, cache=None)
+        with pytest.raises(SolverInputError, match="worker count"):
+            solve_stack(stack, fleet=0, cache=None)
+        with pytest.raises(SolverInputError, match="FleetSupervisor"):
+            solve_stack(stack, fleet=3.5, cache=None)
+        with pytest.raises(SolverInputError, match="state file"):
+            solve_stack(stack, fleet="/nonexistent/fleet.json", cache=None)
 
 
 # -- remote transport unit behaviour -------------------------------------------
@@ -306,6 +335,44 @@ class TestRemoteEndToEnd:
         remote = solve_stack(sc, method="mvasd", cache=None, hosts=hosts)
         assert np.array_equal(remote.throughput, ref.throughput)
         assert np.array_equal(remote.queue_lengths, ref.queue_lengths)
+
+    def test_multiclass_stack_crosses_the_wire_exactly(self, worker_fleet, net):
+        _, hosts = worker_fleet
+        sc = [
+            Scenario(
+                net,
+                6,
+                classes=(
+                    WorkloadClass(
+                        "browse", 4, {"web": 0.02 * s, "db": 0.05}, think_time=1.0
+                    ),
+                    WorkloadClass(
+                        "buy",
+                        2,
+                        {
+                            "web": lambda n, s=s: 0.03 * s
+                            + 0.001 * np.asarray(n, dtype=float),
+                            "db": 0.04,
+                        },
+                        think_time=0.5,
+                    ),
+                ),
+            )
+            for s in (0.9, 1.0, 1.1, 1.2, 1.3, 1.4)
+        ]
+        # snapshot kind (multiclass-stack)
+        ref = solve_stack(sc, method="exact-multiclass", backend="serial", cache=None)
+        remote = solve_stack(sc, method="exact-multiclass", cache=None, hosts=hosts)
+        assert remote.backend == "remote"
+        assert remote.class_names == ref.class_names
+        assert np.array_equal(remote.throughput, ref.throughput)
+        assert np.array_equal(remote.queue_lengths_by_class, ref.queue_lengths_by_class)
+        assert np.array_equal(remote.utilizations, ref.utilizations)
+        # trajectory kind (multiclass-trajectory-stack), via method="auto"
+        ref_t = solve_stack(sc, backend="serial", cache=None)
+        remote_t = solve_stack(sc, cache=None, hosts=hosts)
+        assert np.array_equal(remote_t.throughput, ref_t.throughput)
+        assert np.array_equal(remote_t.utilizations, ref_t.utilizations)
 
     def test_worker_killed_mid_fleet_still_finishes(self, worker_fleet, stack, baseline):
         workers, hosts = worker_fleet
@@ -408,6 +475,61 @@ class TestRemoteEndToEnd:
             )
         assert envelope["ok"] is False
         assert "auto/serial/batched" in envelope["error"]["error"]
+
+
+# -- overload shedding and elastic membership ----------------------------------
+
+
+class TestElasticAndOverload:
+    def test_driver_side_admission_shed_retries(self, worker_fleet, stack, baseline):
+        """A shed shard is requeued (retry-later), not treated as host death."""
+        _, hosts = worker_fleet
+        backend = RemoteBackend(hosts=parse_hosts(hosts))
+        with faults.injected(FaultPlan.parse("reject-admission@shard=0")):
+            result = backend.run(get_solver("exact-mva"), stack, {})
+        assert backend.last_transport.overload_retries >= 1
+        assert ("reject-admission", "admission") in {
+            (kind, point) for kind, point, *_ in faults.fired()
+        }
+        np.testing.assert_allclose(result.throughput, baseline.throughput, atol=ATOL)
+
+    def test_server_side_overload_envelope_retries(self, stack, baseline):
+        """A worker shedding load answers Overloaded; the transport retries."""
+        proc, port = _start_worker(extra=("--inject-faults", "reject-admission"))
+        try:
+            backend = RemoteBackend(hosts=[("127.0.0.1", port)])
+            result = backend.run(get_solver("exact-mva"), stack, {})
+            assert backend.last_transport.overload_retries >= 1
+            np.testing.assert_allclose(
+                result.throughput, baseline.throughput, atol=ATOL
+            )
+        finally:
+            _stop_worker(proc, port)
+
+    def test_mid_sweep_join_drains_queued_shards(self, worker_fleet, stack, baseline):
+        """A host added to the membership mid-sweep picks up queued shards."""
+        workers, _ = worker_fleet
+        (_, port1), (_, port2) = workers
+        membership = StaticMembership([("127.0.0.1", port1)])
+        backend = RemoteBackend(membership=membership, reprobe_interval=0.05)
+        box: dict = {}
+
+        def run():
+            # ~0.15s per shard keeps the lone starting host busy long
+            # enough for the join to matter
+            with faults.injected(FaultPlan.parse("slow-worker@delay=0.15")):
+                box["result"] = backend.run(get_solver("exact-mva"), stack, {})
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        time.sleep(0.25)
+        membership.add("127.0.0.1", port2)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert backend.last_transport.readmissions >= 1
+        np.testing.assert_allclose(
+            box["result"].throughput, baseline.throughput, atol=ATOL
+        )
 
 
 # -- CLI surface ---------------------------------------------------------------

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import socket
 import subprocess
 import sys
+import threading
 import time
 
 import numpy as np
@@ -39,13 +42,14 @@ def _scenario_payload(cpu=0.05, disk=0.08, n=40):
     }
 
 
-def _start_server(cache_path=None, timeout=None):
+def _start_server(cache_path=None, timeout=None, extra=()):
     """Launch ``repro serve --port 0`` and scrape the bound port."""
     cmd = [sys.executable, "-m", "repro", "serve", "--port", "0"]
     if cache_path is not None:
         cmd += ["--cache-path", cache_path]
     if timeout is not None:
         cmd += ["--timeout", str(timeout)]
+    cmd += list(extra)
     proc = subprocess.Popen(
         cmd,
         stdout=subprocess.PIPE,
@@ -353,7 +357,7 @@ class TestServe:
         with ServeClient(port=server["port"]) as client:
             client._file.write(b"{not json\n")
             client._file.flush()
-            envelope = json.loads(client._file.readline())
+            envelope = json.loads(client._readline_bounded())
             assert envelope["ok"] is False
             assert client.ping()["pong"] is True  # connection still alive
 
@@ -439,3 +443,210 @@ class TestServeLifecycle:
                 assert "0.1s request timeout" in envelope["error"]["error"]
         finally:
             _stop_server(proc, port)
+
+
+# -- client response correlation (scripted fake server) ------------------------
+
+
+class _ScriptedServer:
+    """A raw TCP stub standing in for repro-serve in client-protocol tests."""
+
+    def __init__(self, handler):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self._handler = handler
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._sock.accept()
+        try:
+            self._handler(conn.makefile("rwb"))
+        except (OSError, ValueError):
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+
+def _reply(f, request_id, **extra):
+    f.write(json.dumps({"ok": True, "id": request_id, "result": extra}).encode() + b"\n")
+
+
+class TestClientCorrelation:
+    def test_mismatched_response_id_desynchronizes(self):
+        def handler(f):
+            f.readline()
+            _reply(f, 999_999)  # an id the client never sent
+            f.flush()
+
+        srv = _ScriptedServer(handler)
+        try:
+            with ServeClient(port=srv.port, timeout=5.0) as client:
+                with pytest.raises(ConnectionError, match="desynchronized"):
+                    client.request({"op": "ping"})
+        finally:
+            srv.close()
+
+    def test_late_reply_after_timeout_is_skipped(self):
+        """The delayed-response regression: a stale answer must not be
+        mis-delivered to the *next* request on the same connection."""
+        ids = []
+
+        def handler(f):
+            ids.append(json.loads(f.readline())["id"])
+            time.sleep(0.5)  # past the client's read timeout
+            ids.append(json.loads(f.readline())["id"])
+            for request_id in ids:  # stale answer first, then the real one
+                _reply(f, request_id, seq=request_id)
+            f.flush()
+
+        srv = _ScriptedServer(handler)
+        try:
+            with ServeClient(port=srv.port, timeout=0.2) as client:
+                with pytest.raises(OSError):
+                    client.request({"op": "ping"})
+                client._sock.settimeout(10.0)  # only the first read times out
+                envelope = client.request({"op": "ping"})
+            assert len(ids) == 2 and ids[0] != ids[1]
+            assert envelope["id"] == ids[1]
+            assert envelope["result"]["seq"] == ids[1]
+        finally:
+            srv.close()
+
+    def test_oversized_response_line_rejected(self, monkeypatch):
+        import repro.serve.client as client_mod
+
+        monkeypatch.setattr(client_mod, "MAX_LINE_BYTES", 1024)
+
+        def handler(f):
+            f.readline()
+            f.write(b"x" * 5000 + b"\n")
+            f.flush()
+
+        srv = _ScriptedServer(handler)
+        try:
+            with ServeClient(port=srv.port, timeout=5.0) as client:
+                with pytest.raises(ConnectionError, match="exceeds 1024 bytes"):
+                    client.request({"op": "ping"})
+        finally:
+            srv.close()
+
+
+# -- admission control and graceful drain --------------------------------------
+
+
+def _slow_solve_request(n=300_000):
+    return {"op": "solve", "scenario": _scenario_payload(n=n), "method": "exact-mva"}
+
+
+class TestAdmissionControl:
+    def test_health_op(self, server):
+        with ServeClient(port=server["port"]) as client:
+            h = client.health()
+        assert h["pid"] > 0
+        assert h["uptime"] >= 0.0
+        assert h["draining"] is False
+        assert h["in_flight"] == 0
+        assert h["max_concurrent"] == 1
+        assert set(h["cache"]) == {"hits", "misses", "size"}
+
+    def test_injected_admission_rejection_sheds_exactly_once(self):
+        proc, port = _start_server(extra=("--inject-faults", "reject-admission"))
+        try:
+            request = {
+                "op": "solve",
+                "scenario": _scenario_payload(n=10),
+                "method": "exact-mva",
+            }
+            with ServeClient(port=port) as client:
+                shed = client.request(request)
+                assert shed["ok"] is False
+                assert shed["error"]["type"] == "Overloaded"
+                retried = client.request(request)
+                assert retried["ok"] is True
+                assert client.health()["overload_rejections"] == 1
+        finally:
+            _stop_server(proc, port)
+
+    def test_queue_full_sheds_with_overloaded_envelope(self):
+        proc, port = _start_server(
+            extra=("--max-concurrent", "1", "--admission-queue", "0")
+        )
+        try:
+            box = {}
+
+            def run_slow():
+                with ServeClient(port=port, timeout=120.0) as client:
+                    box["slow"] = client.request(_slow_solve_request())
+
+            thread = threading.Thread(target=run_slow)
+            thread.start()
+            time.sleep(0.5)  # the slow solve is now holding the only slot
+            with ServeClient(port=port, timeout=30.0) as client:
+                shed = client.request(
+                    {
+                        "op": "solve",
+                        "scenario": _scenario_payload(n=10),
+                        "method": "exact-mva",
+                    }
+                )
+                assert shed["ok"] is False
+                assert shed["error"]["type"] == "Overloaded"
+                assert "retry later" in shed["error"]["error"]
+                # control ops bypass the admission gate
+                assert client.request({"op": "ping"})["ok"] is True
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            assert box["slow"]["ok"] is True
+        finally:
+            _stop_server(proc, port)
+
+
+class TestGracefulDrain:
+    def _start_slow_solve(self, port, box):
+        def run_slow():
+            with ServeClient(port=port, timeout=120.0) as client:
+                box["slow"] = client.request(_slow_solve_request())
+
+        thread = threading.Thread(target=run_slow)
+        thread.start()
+        time.sleep(0.5)  # in flight before the drain lands
+        return thread
+
+    def test_drain_op_finishes_inflight_and_exits_zero(self):
+        proc, port = _start_server()
+        box = {}
+        try:
+            thread = self._start_slow_solve(port, box)
+            with ServeClient(port=port, timeout=30.0) as client:
+                d = client.drain()
+            assert d["draining"] is True
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            assert box["slow"]["ok"] is True
+            assert proc.wait(timeout=60.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    def test_sigterm_drains_without_dropping_inflight(self):
+        proc, port = _start_server()
+        box = {}
+        try:
+            thread = self._start_slow_solve(port, box)
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            assert box["slow"]["ok"] is True
+            assert proc.wait(timeout=60.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
